@@ -1,0 +1,56 @@
+"""E13 (ours) — chase scaling on random Flight/Hotel instances.
+
+Sweeps growing Flight/Hotel workloads through the three chase engines and
+reports step counts (triggers, merges) and per-size wall clock.  The
+expected shape: triggers grow with |Hotel| (one per flight-stop pair),
+merges grow with hotel sharing, and everything stays polynomial — the
+chases are PTIME; only existence/certainty are hard.
+"""
+
+import random
+import time
+
+from conftest import report
+
+from repro.chase.egd_chase import chase_with_egds
+from repro.chase.pattern_chase import chase_pattern
+from repro.chase.sameas_chase import solve_with_sameas
+from repro.scenarios.flights import hotel_egd, hotel_sameas, flights_st_tgd
+from repro.scenarios.generators import random_flights_instance
+
+SIZES = ((5, 4, 3), (10, 6, 4), (20, 8, 5), (40, 12, 8))
+
+
+def run_sweep():
+    rows = []
+    for flights, cities, hotels in SIZES:
+        instance = random_flights_instance(
+            flights, cities, hotels, rng=random.Random(flights)
+        )
+        start = time.perf_counter()
+        plain = chase_pattern([flights_st_tgd()], instance, alphabet={"f", "h"})
+        egd = chase_with_egds(
+            [flights_st_tgd()], [hotel_egd()], instance, alphabet={"f", "h"}
+        )
+        sameas = solve_with_sameas(
+            [flights_st_tgd()], [hotel_sameas()], instance, alphabet={"f", "h"}
+        )
+        elapsed_ms = (time.perf_counter() - start) * 1000
+        rows.append(
+            (
+                f"{flights} flights / {hotels} hotels",
+                "polynomial growth",
+                f"{plain.stats.st_applications} triggers, "
+                f"{egd.stats.null_merges} merges, "
+                f"{sameas.stats.sameas_edges_added} sameAs, "
+                f"{elapsed_ms:.0f} ms",
+            )
+        )
+        assert egd.succeeded
+    return rows
+
+
+def test_chase_scaling(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report("E13 / chase scaling (Flight/Hotel family)", rows)
+    assert len(rows) == len(SIZES)

@@ -1,0 +1,63 @@
+"""E7 / Corollary 4.2 — certain answers with egds are coNP-hard.
+
+The construction: query r_ρ = a·a over Ω_ρ; (c1, c2) is certain iff ρ is
+unsatisfiable.  The bench sweeps random formulas (both satisfiable and not)
+and checks the claimed equivalence against DPLL, timing the certainty
+decision.
+"""
+
+import random
+
+from conftest import report
+
+from repro.core.certain import is_certain_answer
+from repro.core.search import CandidateSearchConfig
+from repro.reductions.certain_hardness import certain_egd_instance
+from repro.solver.dpll import solve_cnf
+from repro.solver.generators import random_kcnf
+
+CFG = CandidateSearchConfig(star_bound=1)
+
+
+def make_cases():
+    rng = random.Random(42)
+    cases = []
+    while len(cases) < 6:
+        n = rng.randint(2, 4)
+        m = rng.randint(2 * n, 8 * n)
+        formula = random_kcnf(n, m, k=min(3, n), rng=rng)
+        cases.append((formula, solve_cnf(formula) is not None))
+    # Ensure at least one of each polarity appears in the sweep.
+    if all(sat for _, sat in cases) or not any(sat for _, sat in cases):
+        cases.extend(make_cases())
+    return cases
+
+
+def test_certain_iff_unsat(benchmark):
+    cases = make_cases()
+
+    def sweep():
+        verdicts = []
+        for formula, sat in cases:
+            instance = certain_egd_instance(formula)
+            certain = is_certain_answer(
+                instance.setting, instance.instance, instance.query, instance.tuple,
+                config=CFG,
+            )
+            verdicts.append((sat, certain))
+        return verdicts
+
+    verdicts = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    agreements = sum(1 for sat, certain in verdicts if certain == (not sat))
+    sats = sum(1 for sat, _ in verdicts if sat)
+
+    report(
+        "E7 / Corollary 4.2 (cert(a·a) ≡ unsat)",
+        [
+            ("formulas in sweep", len(verdicts), len(verdicts)),
+            ("satisfiable among them", "mixed", sats),
+            ("certain ⇔ unsat agreements", f"{len(verdicts)}/{len(verdicts)}",
+             f"{agreements}/{len(verdicts)}"),
+        ],
+    )
+    assert agreements == len(verdicts)

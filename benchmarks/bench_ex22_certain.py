@@ -1,0 +1,81 @@
+"""E2 / Example 2.2 (continued) — query answers and certain answers.
+
+Paper facts regenerated and asserted:
+
+* ⟦Q⟧_G1 is the printed four-pair set, ⟦Q⟧_G2 the printed nine-pair set;
+* cert_Ω(Q, I) = {(c1,c1), (c1,c3), (c3,c1), (c3,c3)};
+* cert_Ω′(Q, I) = {(c1,c1), (c3,c3)};
+* timing: the certain-answer engine under the egd setting.
+"""
+
+from conftest import report
+
+from repro.core.certain import certain_answers_nre
+from repro.core.search import CandidateSearchConfig
+from repro.graph.eval import evaluate_nre
+from repro.scenarios.flights import (
+    example_query,
+    flights_instance,
+    graph_g1,
+    graph_g2,
+    paper_answers_g1,
+    paper_answers_g2,
+    paper_certain_omega,
+    paper_certain_omega_prime,
+    setting_omega,
+    setting_omega_prime,
+)
+
+CFG = CandidateSearchConfig(star_bound=2)
+
+
+def test_query_answer_sets(benchmark):
+    q = example_query()
+    answers_g1 = evaluate_nre(graph_g1(), q)
+    answers_g2 = benchmark(lambda: evaluate_nre(graph_g2(), q))
+
+    report(
+        "E2a / ⟦Q⟧ on Figure 1",
+        [
+            ("|⟦Q⟧_G1|", 4, len(answers_g1)),
+            ("⟦Q⟧_G1 == paper set", True, answers_g1 == paper_answers_g1()),
+            ("|⟦Q⟧_G2|", 9, len(answers_g2)),
+            ("⟦Q⟧_G2 == paper set", True, answers_g2 == paper_answers_g2()),
+        ],
+    )
+    assert answers_g1 == paper_answers_g1()
+    assert answers_g2 == paper_answers_g2()
+
+
+def test_certain_answers_omega(benchmark):
+    instance = flights_instance()
+    result = benchmark(
+        lambda: certain_answers_nre(setting_omega(), instance, example_query(), config=CFG)
+    )
+    report(
+        "E2b / cert_Ω(Q, I)",
+        [
+            ("certain pairs", sorted(paper_certain_omega()), sorted(result.answers)),
+            ("matches paper", True, result.answers == paper_certain_omega()),
+            ("minimal solutions examined", "—", result.solutions_examined),
+        ],
+    )
+    assert result.answers == paper_certain_omega()
+
+
+def test_certain_answers_omega_prime(benchmark):
+    instance = flights_instance()
+    result = benchmark(
+        lambda: certain_answers_nre(
+            setting_omega_prime(), instance, example_query(), config=CFG
+        )
+    )
+    report(
+        "E2c / cert_Ω′(Q, I)",
+        [
+            ("certain pairs", sorted(paper_certain_omega_prime()), sorted(result.answers)),
+            ("matches paper", True, result.answers == paper_certain_omega_prime()),
+            ("minimal solutions examined", "—", result.solutions_examined),
+        ],
+    )
+    assert result.answers == paper_certain_omega_prime()

@@ -1,0 +1,48 @@
+"""E1 / Figure 1 — solution checking for G1, G2 (under Ω) and G3 (under Ω′).
+
+Paper facts regenerated and asserted:
+
+* G1 and G2 are solutions for I under Ω;
+* G3 is a solution under Ω′ but not under Ω;
+* timing: the solution predicate on the running example.
+"""
+
+from conftest import report
+
+from repro.core.solution import is_solution
+from repro.scenarios.flights import (
+    flights_instance,
+    graph_g1,
+    graph_g2,
+    graph_g3,
+    setting_omega,
+    setting_omega_prime,
+)
+
+
+def test_figure1_solution_matrix(benchmark):
+    instance = flights_instance()
+    omega = setting_omega()
+    omega_prime = setting_omega_prime()
+    g1, g2, g3 = graph_g1(), graph_g2(), graph_g3()
+
+    def check_all():
+        return (
+            is_solution(instance, g1, omega),
+            is_solution(instance, g2, omega),
+            is_solution(instance, g3, omega_prime),
+            is_solution(instance, g3, omega),
+        )
+
+    g1_ok, g2_ok, g3_prime_ok, g3_omega = benchmark(check_all)
+
+    report(
+        "E1 / Figure 1",
+        [
+            ("G1 ∈ Sol_Ω(I)", True, g1_ok),
+            ("G2 ∈ Sol_Ω(I)", True, g2_ok),
+            ("G3 ∈ Sol_Ω′(I)", True, g3_prime_ok),
+            ("G3 ∈ Sol_Ω(I)", False, g3_omega),
+        ],
+    )
+    assert g1_ok and g2_ok and g3_prime_ok and not g3_omega

@@ -1,0 +1,51 @@
+"""E10 / Figure 6, Example 5.2 — a successful chase with no solutions.
+
+Paper facts regenerated and asserted:
+
+* the adapted chase *succeeds* on the R/P gadget (the composite NRE is
+  opaque to egd matching) and returns the single-edge Figure 6(a) pattern;
+* the Figure 6(b) instantiation satisfies the s-t tgd but violates the egd
+  irreparably (merging would equate the constants c1 and c2);
+* nevertheless **no solution exists** — decided exactly by the
+  loop-collapse refutation (every symbol has a collapsing egd, yet the head
+  must connect two distinct constants).
+"""
+
+from conftest import report
+
+from repro.chase.egd_chase import chase_with_egds
+from repro.core.existence import ExistenceStatus, decide_existence
+from repro.core.solution import solution_violations
+from repro.scenarios.figures import (
+    example52_instance,
+    example52_setting,
+    figure6b_graph,
+)
+
+
+def test_example52_gap(benchmark):
+    setting, instance = example52_setting(), example52_instance()
+
+    chase_result = chase_with_egds(
+        setting.st_tgds, setting.egds(), instance, alphabet=setting.alphabet
+    )
+    pattern = chase_result.expect_pattern()
+
+    report6b = solution_violations(instance, figure6b_graph(), setting)
+
+    existence = benchmark(lambda: decide_existence(setting, instance))
+
+    report(
+        "E10 / Figure 6 (chase incompleteness)",
+        [
+            ("adapted chase succeeds", True, chase_result.succeeded),
+            ("chased pattern edges (Fig 6a)", 1, pattern.edge_count()),
+            ("Fig 6(b): s-t tgd satisfied", True, not report6b.st_tgd_violations),
+            ("Fig 6(b): egd violated", True, bool(report6b.egd_violations)),
+            ("solutions exist", "no", existence.status.value),
+            ("refuting strategy", "loop-collapse", existence.method),
+        ],
+    )
+    assert chase_result.succeeded
+    assert existence.status is ExistenceStatus.NOT_EXISTS
+    assert existence.method == "loop-collapse"

@@ -1,0 +1,61 @@
+"""E11 / Figure 7, Proposition 5.3 — patterns are not universal under egds.
+
+Paper facts regenerated and asserted:
+
+* the Figure 7 graph admits a homomorphism from the Figure 5 pattern yet is
+  not a solution (it violates the hotel egd) — so Rep_Σ(π) ≠ Sol_Ω(I) for
+  the chased π;
+* the generic counterexample constructor produces such an extension from
+  G1 too, and the (pattern, egds) pair classifies all of G1/G2/Figure 7
+  correctly.
+"""
+
+from conftest import report
+
+from repro.core.solution import is_solution
+from repro.core.universal import (
+    non_universality_counterexample,
+    universal_representative,
+)
+from repro.patterns.homomorphism import has_homomorphism
+from repro.scenarios.flights import (
+    figure7_graph,
+    flights_instance,
+    graph_g1,
+    graph_g2,
+    setting_omega,
+)
+
+
+def test_figure7_nonuniversality(benchmark):
+    omega = setting_omega()
+    instance = flights_instance()
+    representative = universal_representative(omega, instance)
+    fig7 = figure7_graph()
+
+    hom_exists = has_homomorphism(representative.pattern, fig7)
+    fig7_solution = is_solution(instance, fig7, omega)
+
+    counterexample = benchmark(
+        lambda: non_universality_counterexample(graph_g1(), list(omega.egds()))
+    )
+    generic_works = (
+        counterexample is not None
+        and has_homomorphism(representative.pattern, counterexample)
+        and not is_solution(instance, counterexample, omega)
+    )
+
+    report(
+        "E11 / Figure 7 (Proposition 5.3)",
+        [
+            ("π → Figure 7 exists", True, hom_exists),
+            ("Figure 7 is a solution", False, fig7_solution),
+            ("generic counterexample works", True, generic_works),
+            ("pair accepts G1", True, representative.contains(graph_g1())),
+            ("pair accepts G2", True, representative.contains(graph_g2())),
+            ("pair rejects Figure 7", True, not representative.contains(fig7)),
+        ],
+    )
+    assert hom_exists and not fig7_solution and generic_works
+    assert representative.contains(graph_g1())
+    assert not representative.contains(fig7)

@@ -1,0 +1,95 @@
+"""E12 (ours) — NRE engine throughput and differential correctness.
+
+Ablation for the two-evaluator design (DESIGN.md): the set-algebraic
+reference evaluator vs the product-automaton evaluator, on random graphs
+with the paper's query shape, plus an independent networkx cross-check for
+pure-star reachability.
+"""
+
+import random
+
+from conftest import report
+
+import networkx as nx
+
+from repro.graph.automaton import evaluate_nre_automaton
+from repro.graph.eval import evaluate_nre
+from repro.graph.parser import parse_nre
+from repro.scenarios.generators import random_graph, random_nre
+
+QUERY = parse_nre("f . f*[h] . f- . (f-)*")
+
+
+def flight_like_graph(nodes, edges, seed):
+    return random_graph(nodes, edges, alphabet=("f", "h"), rng=random.Random(seed))
+
+
+def test_recursive_evaluator_throughput(benchmark):
+    graph = flight_like_graph(40, 160, seed=1)
+    result = benchmark(lambda: evaluate_nre(graph, QUERY))
+    report(
+        "E12a / set-algebraic evaluator",
+        [("|V|, |E|", "40, ≤160", f"{graph.node_count()}, {graph.edge_count()}"),
+         ("answer pairs", "—", len(result))],
+    )
+    assert result == evaluate_nre_automaton(graph, QUERY)
+
+
+def test_automaton_evaluator_throughput(benchmark):
+    graph = flight_like_graph(40, 160, seed=1)
+    result = benchmark(lambda: evaluate_nre_automaton(graph, QUERY))
+    report(
+        "E12b / product-automaton evaluator",
+        [("answer pairs", "—", len(result))],
+    )
+    assert result == evaluate_nre(graph, QUERY)
+
+
+def test_differential_sweep(benchmark):
+    def sweep():
+        rng = random.Random(99)
+        disagreements = 0
+        cases = 0
+        for _ in range(40):
+            graph = random_graph(
+                rng.randint(3, 10), rng.randint(0, 25), rng=random.Random(rng.random())
+            )
+            expr = random_nre(depth=3, rng=rng)
+            if evaluate_nre(graph, expr) != evaluate_nre_automaton(graph, expr):
+                disagreements += 1
+            cases += 1
+        return cases, disagreements
+
+    cases, disagreements = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "E12c / differential sweep",
+        [("cases", 40, cases), ("evaluator disagreements", 0, disagreements)],
+    )
+    assert disagreements == 0
+
+
+def test_networkx_cross_check(benchmark):
+    """a* reachability must agree with networkx descendants()."""
+    graph = random_graph(30, 90, alphabet=("a",), rng=random.Random(3))
+
+    def ours():
+        return evaluate_nre(graph, parse_nre("a*"))
+
+    pairs = benchmark(ours)
+
+    digraph = nx.DiGraph()
+    digraph.add_nodes_from(graph.nodes())
+    for edge in graph.edges():
+        digraph.add_edge(edge.source, edge.target)
+    expected = set()
+    for node in digraph.nodes:
+        expected.add((node, node))
+        for reachable in nx.descendants(digraph, node):
+            expected.add((node, reachable))
+
+    report(
+        "E12d / networkx cross-check (a*)",
+        [("reachable pairs", len(expected), len(pairs)),
+         ("sets equal", True, set(pairs) == expected)],
+    )
+    assert set(pairs) == expected

@@ -1,0 +1,69 @@
+"""E15 (ours) — the tractable fragment the paper's Section 6 asks for.
+
+Certain answers in the Section 3.1 fragment (single-symbol heads, egds) are
+computed two ways:
+
+* the general minimal-solution enumeration (exponential machinery);
+* naive evaluation on the chased universal solution (polynomial,
+  ``repro.core.tractable`` — correctness argument in its docstring).
+
+The bench asserts agreement on growing random Flight/Hotel instances and
+contrasts the timings: the polynomial algorithm should scale gracefully
+while the general engine's work grows with the null count.
+"""
+
+import random
+import time
+
+from conftest import report
+
+from repro.core.certain import certain_answers_nre
+from repro.core.search import CandidateSearchConfig
+from repro.core.tractable import certain_answers_tractable
+from repro.graph.parser import parse_nre
+from repro.scenarios.figures import example31_setting
+from repro.scenarios.generators import random_flights_instance
+
+QUERY = parse_nre("f . f")
+SIZES = (2, 4, 6)
+
+
+def test_tractable_vs_general(benchmark):
+    setting = example31_setting()
+    rows = []
+    all_agree = True
+
+    def sweep():
+        nonlocal rows, all_agree
+        rows = []
+        for flights in SIZES:
+            instance = random_flights_instance(
+                flights, cities=3, hotels=2, rng=random.Random(flights)
+            )
+            start = time.perf_counter()
+            fast = certain_answers_tractable(setting, instance, QUERY)
+            fast_ms = (time.perf_counter() - start) * 1000
+            start = time.perf_counter()
+            slow = certain_answers_nre(
+                setting, instance, QUERY, config=CandidateSearchConfig(star_bound=1)
+            )
+            slow_ms = (time.perf_counter() - start) * 1000
+            domain = instance.active_domain()
+            fast_answers = {
+                p for p in fast.answers if p[0] in domain and p[1] in domain
+            }
+            agree = fast_answers == slow.answers
+            all_agree &= agree
+            rows.append(
+                (
+                    f"{flights} flights",
+                    "agree",
+                    f"agree={agree}, naive {fast_ms:.1f} ms vs "
+                    f"enumeration {slow_ms:.1f} ms ({slow.solutions_examined} sols)",
+                )
+            )
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report("E15 / tractable fragment (naive evaluation)", rows)
+    assert all_agree

@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints a ``paper vs measured`` block through
+:func:`report`, so running ``pytest benchmarks/ --benchmark-only -s``
+shows, for each experiment, what the paper states and what this
+implementation measures, alongside pytest-benchmark's timing table.
+"""
+
+from __future__ import annotations
+
+
+def report(experiment: str, rows: list[tuple[str, object, object]]) -> None:
+    """Print a paper-vs-measured table for one experiment."""
+    width = max((len(label) for label, _, _ in rows), default=10) + 2
+    print(f"\n[{experiment}] paper vs measured")
+    print(f"  {'fact'.ljust(width)} {'paper':>28} {'measured':>28}")
+    for label, paper, measured in rows:
+        print(f"  {label.ljust(width)} {str(paper):>28} {str(measured):>28}")

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Relational-to-RDF exchange with sameAs: a Semantic Web scenario.
+
+The paper motivates relational-to-graph exchange with ontology-based data
+access and direct mappings (Section 1).  This example plays that scenario:
+a legacy relational product catalogue is published as an RDF-style graph,
+entity reconciliation is expressed with sameAs constraints (two products
+with the same EAN code denote the same real-world item), and the
+constructive Section 4.2 algorithm builds a solution.
+
+Run:  python examples/rdf_sameas_exchange.py
+"""
+
+from repro import (
+    DataExchangeSetting,
+    RelationalInstance,
+    RelationalSchema,
+    certain_answers_nre,
+    decide_existence,
+    evaluate_nre,
+    parse_nre,
+    parse_sameas,
+    parse_st_tgd,
+    solve_with_sameas,
+)
+from repro.core.search import CandidateSearchConfig
+from repro.io.dot import graph_to_dot
+
+
+def main() -> None:
+    # Two catalogues name overlapping products; EAN codes identify them.
+    schema = RelationalSchema()
+    schema.declare("CatalogA", 2)  # CatalogA(product, ean)
+    schema.declare("CatalogB", 2)  # CatalogB(product, ean)
+    schema.declare("Supplies", 2)  # Supplies(vendor, product)
+    instance = RelationalInstance(
+        schema,
+        {
+            "CatalogA": [("widgetA", "0042"), ("gadgetA", "0077")],
+            "CatalogB": [("widgetB", "0042"), ("doohickeyB", "0099")],
+            "Supplies": [("acme", "widgetA"), ("globex", "widgetB")],
+        },
+    )
+
+    # Direct-mapping style s-t tgds: rows become typed nodes and edges.
+    mappings = [
+        parse_st_tgd("CatalogA(p, e) -> (p, ean, e)", name="A-to-graph"),
+        parse_st_tgd("CatalogB(p, e) -> (p, ean, e)", name="B-to-graph"),
+        parse_st_tgd("Supplies(v, p) -> (v, supplies, p)", name="supply-chain"),
+    ]
+
+    # Entity reconciliation: same EAN ⇒ sameAs (in both directions the
+    # constraint fires symmetrically, so both edges appear).
+    reconcile = parse_sameas(
+        "(p1, ean, e), (p2, ean, e) -> (p1, sameAs, p2)", name="ean-reconciliation"
+    )
+
+    setting = DataExchangeSetting(
+        schema,
+        {"ean", "supplies"},
+        mappings,
+        [reconcile],
+        name="catalogue-to-rdf",
+    )
+
+    # sameAs settings always have solutions (Section 4.2); the constructive
+    # algorithm chases, instantiates, and saturates.
+    result = solve_with_sameas(
+        setting.st_tgds, setting.sameas_constraints(), instance,
+        alphabet=setting.alphabet,
+    )
+    solution = result.expect_graph()
+    print("Constructed RDF-style solution:")
+    for edge in sorted(solution.edges(), key=repr):
+        print(f"  {edge}")
+
+    existence = decide_existence(setting, instance)
+    print(f"\nExistence: {existence.status.value} via {existence.method} "
+          "(sameAs settings always admit solutions)")
+
+    # Which products are *certainly* the same across all solutions?
+    # Query: one sameAs hop.
+    same = parse_nre("sameAs")
+    cfg = CandidateSearchConfig(star_bound=1)
+    cert = certain_answers_nre(setting, instance, same, config=cfg)
+    print(f"\nCertainly-identical products: {sorted(cert.answers)}")
+
+    # Which vendors certainly supply a product identical to widgetA?
+    # supplies · (sameAs ∪ ε): vendor -> product -> (possibly) its alias.
+    reach = parse_nre("supplies . (sameAs + ())")
+    print("\nVendor reach including reconciled aliases (on the constructed solution):")
+    for vendor, product in sorted(evaluate_nre(solution, reach)):
+        if vendor in ("acme", "globex"):
+            print(f"  {vendor} supplies {product}")
+
+    print("\nDOT rendering of the solution (pipe into `dot -Tpdf`):\n")
+    print(graph_to_dot(solution, name="catalogue"))
+
+
+if __name__ == "__main__":
+    main()

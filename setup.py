@@ -1,0 +1,6 @@
+"""Legacy shim: the environment lacks the `wheel` package, so editable
+installs go through `python setup.py develop`. All metadata lives in
+pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,142 @@
+"""repro — relational-to-graph data exchange with target constraints.
+
+A complete implementation of the system described in
+
+    Iovka Boneva, Angela Bonifati, Radu Ciucanu.
+    *Graph Data Exchange with Target Constraints.*
+    GraphQ @ EDBT/ICDT 2015, CEUR-WS Vol-1330, pp. 171–176.
+
+The public API re-exported here covers the common workflow:
+
+1. model the source (:class:`RelationalSchema`, :class:`RelationalInstance`)
+   and the mappings (:func:`parse_st_tgd`, :func:`parse_egd`,
+   :func:`parse_sameas`, :func:`parse_target_tgd`);
+2. bundle them into a :class:`DataExchangeSetting`;
+3. chase (:func:`chase_pattern`, :func:`chase_with_egds`,
+   :func:`solve_with_sameas`), decide existence (:func:`decide_existence`),
+   and answer queries (:func:`certain_answers_nre`, :func:`evaluate_nre`).
+
+See ``examples/quickstart.py`` for the end-to-end tour and DESIGN.md for
+the architecture.
+"""
+
+from repro.errors import (
+    ReproError,
+    SchemaError,
+    ParseError,
+    EvaluationError,
+    ChaseFailure,
+    BoundExceeded,
+    NotSupportedError,
+)
+from repro.relational import (
+    RelationSymbol,
+    RelationalSchema,
+    RelationalInstance,
+    ConjunctiveQuery,
+    evaluate_cq,
+    parse_cq,
+)
+from repro.graph import (
+    GraphDatabase,
+    NRE,
+    parse_nre,
+    evaluate_nre,
+    evaluate_nre_automaton,
+    CNREQuery,
+    CNREAtom,
+    evaluate_cnre,
+)
+from repro.patterns import (
+    GraphPattern,
+    Null,
+    find_homomorphism,
+    has_homomorphism,
+    in_rep,
+    canonical_instantiation,
+)
+from repro.mappings import (
+    SourceToTargetTgd,
+    TargetEgd,
+    TargetTgd,
+    SameAsConstraint,
+    SAME_AS_LABEL,
+    parse_st_tgd,
+    parse_egd,
+    parse_target_tgd,
+    parse_sameas,
+)
+from repro.chase import (
+    ChaseResult,
+    chase_pattern,
+    chase_relational,
+    chase_with_egds,
+    solve_with_sameas,
+    chase_target_tgds,
+)
+from repro.core import (
+    DataExchangeSetting,
+    is_solution,
+    decide_existence,
+    ExistenceStatus,
+    certain_answers_nre,
+    is_certain_answer,
+    UniversalRepresentative,
+    universal_representative,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "ParseError",
+    "EvaluationError",
+    "ChaseFailure",
+    "BoundExceeded",
+    "NotSupportedError",
+    "RelationSymbol",
+    "RelationalSchema",
+    "RelationalInstance",
+    "ConjunctiveQuery",
+    "evaluate_cq",
+    "parse_cq",
+    "GraphDatabase",
+    "NRE",
+    "parse_nre",
+    "evaluate_nre",
+    "evaluate_nre_automaton",
+    "CNREQuery",
+    "CNREAtom",
+    "evaluate_cnre",
+    "GraphPattern",
+    "Null",
+    "find_homomorphism",
+    "has_homomorphism",
+    "in_rep",
+    "canonical_instantiation",
+    "SourceToTargetTgd",
+    "TargetEgd",
+    "TargetTgd",
+    "SameAsConstraint",
+    "SAME_AS_LABEL",
+    "parse_st_tgd",
+    "parse_egd",
+    "parse_target_tgd",
+    "parse_sameas",
+    "ChaseResult",
+    "chase_pattern",
+    "chase_relational",
+    "chase_with_egds",
+    "solve_with_sameas",
+    "chase_target_tgds",
+    "DataExchangeSetting",
+    "is_solution",
+    "decide_existence",
+    "ExistenceStatus",
+    "certain_answers_nre",
+    "is_certain_answer",
+    "UniversalRepresentative",
+    "universal_representative",
+    "__version__",
+]

@@ -1,0 +1,52 @@
+"""Chase engines for relational-to-graph data exchange.
+
+Five procedures, matching the paper's sections:
+
+* :func:`~repro.chase.pattern_chase.chase_pattern` — the graph-pattern chase
+  for arbitrary s-t tgds (Section 3.2, after [5]); output: a pattern that is
+  a universal representative when there are no target constraints;
+* :func:`~repro.chase.relational_chase.chase_relational` — the Section 3.1
+  fragment (single-symbol heads): the classical relational chase with egds,
+  producing an actual graph with labeled-null nodes (Figure 2);
+* :func:`~repro.chase.egd_chase.chase_with_egds` — the Section 5 *adapted*
+  chase: pattern chase followed by egd steps that merge nulls or fail on
+  constant/constant conflicts; success does **not** guarantee a solution
+  exists (Example 5.2) — see :mod:`repro.core.existence` for the complete
+  decision procedures;
+* :func:`~repro.chase.sameas_chase.solve_with_sameas` — the constructive
+  polynomial solution for sameAs settings (Section 4.2): chase, instantiate,
+  saturate sameAs edges;
+* :func:`~repro.chase.target_tgd_chase.chase_target_tgds` — bounded
+  oblivious chase of general target tgds on concrete graphs.
+
+All engines report through :class:`~repro.chase.result.ChaseResult`, which
+carries the produced pattern/graph, the failure witness if any, and step
+statistics used by the benchmarks.
+"""
+
+from repro.chase.result import ChaseResult, ChaseStats
+from repro.chase.pattern_chase import chase_pattern
+from repro.chase.relational_chase import chase_relational
+from repro.chase.egd_chase import chase_with_egds, pattern_symbol_view
+from repro.chase.sameas_chase import solve_with_sameas, saturate_sameas
+from repro.chase.target_tgd_chase import chase_target_tgds
+from repro.chase.termination import (
+    dependency_graph,
+    is_weakly_acyclic,
+    DependencyGraph,
+)
+
+__all__ = [
+    "dependency_graph",
+    "is_weakly_acyclic",
+    "DependencyGraph",
+    "ChaseResult",
+    "ChaseStats",
+    "chase_pattern",
+    "chase_relational",
+    "chase_with_egds",
+    "pattern_symbol_view",
+    "solve_with_sameas",
+    "saturate_sameas",
+    "chase_target_tgds",
+]

@@ -1,0 +1,134 @@
+"""The Section 5 *adapted* chase: pattern chase plus egd steps.
+
+The paper extends the pattern chase with egd steps.  For each egd
+``ψ_Σ(x̄) → x₁ = x₂`` and each match of ψ on the pattern with
+``h(x₁) ≠ h(x₂)``:
+
+* (i)  both images constants  → the chase **fails** (no solution exists);
+* (ii) one constant, one null → the null is replaced by the constant;
+* (iii) both nulls            → one replaces the other.
+
+Matching a CNRE body *on a pattern* needs a convention, because pattern
+edges carry NREs, not symbols.  We interpret the pattern through its
+**symbol view**: pattern edges labeled by a bare symbol ``a`` act as actual
+``a``-edges, while edges with composite NREs are opaque (they constrain
+solutions but expose no concrete path the egd could traverse).  This is the
+reading under which the paper's examples behave exactly as printed:
+
+* Example 5.1 — the ``h`` edges of the Figure 3 pattern are bare symbols, so
+  the hotel egd fires and merges N2 with N3, giving the Figure 5 pattern;
+* Example 5.2 — the single edge ``a·(b*+c*)·a`` is composite, no egd can
+  fire, the chase *succeeds* … and yet no solution exists, which is the
+  incompleteness the paper demonstrates (success of the adapted chase is not
+  a certificate of existence; failure is a certificate of non-existence).
+
+The engine chases egds to a fixpoint (each step strictly decreases the node
+count, so termination is immediate) with a deterministic violation order so
+results are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+from repro.chase.pattern_chase import chase_pattern
+from repro.chase.result import ChaseResult, ChaseStats
+from repro.graph.database import GraphDatabase
+from repro.graph.nre import Label
+from repro.mappings.egd import TargetEgd
+from repro.mappings.stt import SourceToTargetTgd
+from repro.patterns.pattern import GraphPattern, is_null
+from repro.relational.instance import RelationalInstance
+
+Node = Hashable
+
+
+def pattern_symbol_view(pattern: GraphPattern) -> GraphDatabase:
+    """Return the graph of the pattern's bare-symbol edges.
+
+    Nodes are the pattern's nodes verbatim (constants and ``Null`` objects);
+    an edge ``(u, a, v)`` exists iff the pattern has the edge ``(u, a, v)``
+    with the *single-symbol* NRE ``a``.  Composite NREs are omitted — they
+    are opaque to egd matching (see the module docstring).
+    """
+    view = GraphDatabase()
+    for node in pattern.nodes():
+        view.add_node(node)
+    for edge in pattern.edges():
+        if isinstance(edge.nre, Label):
+            view.add_edge(edge.source, edge.nre.name, edge.target)
+    return view
+
+
+def _first_violation(
+    egds: Sequence[TargetEgd], pattern: GraphPattern
+) -> tuple[TargetEgd, Node, Node] | None:
+    """Return the lexicographically first egd violation on the pattern."""
+    view = pattern_symbol_view(pattern)
+    best: tuple[TargetEgd, Node, Node] | None = None
+    best_key: tuple[str, str] | None = None
+    for egd in egds:
+        for left, right in egd.violations(view):
+            key = tuple(sorted((repr(left), repr(right))))
+            if best_key is None or key < best_key:
+                best_key = key  # type: ignore[assignment]
+                best = (egd, left, right)
+    return best
+
+
+def chase_with_egds(
+    st_tgds: Iterable[SourceToTargetTgd],
+    egds: Sequence[TargetEgd],
+    instance: RelationalInstance,
+    alphabet: Iterable[str] | None = None,
+) -> ChaseResult:
+    """Run the adapted chase: s-t tgds into a pattern, then egd steps.
+
+    Returns a :class:`~repro.chase.result.ChaseResult` whose ``pattern`` is
+    the chased pattern.  ``failed=True`` (with the two constants recorded in
+    ``failure_witness``) proves no solution exists.  ``failed=False`` does
+    **not** prove a solution exists — use
+    :func:`repro.core.existence.decide_existence` for a complete answer on
+    bounded models.
+    """
+    seeded = chase_pattern(st_tgds, instance, alphabet=alphabet)
+    pattern = seeded.expect_pattern()
+    stats = seeded.stats
+    return _egd_fixpoint(pattern, list(egds), stats)
+
+
+def chase_pattern_with_egds(
+    pattern: GraphPattern, egds: Sequence[TargetEgd]
+) -> ChaseResult:
+    """Run only the egd steps on an existing pattern (mutating a copy)."""
+    return _egd_fixpoint(pattern.copy(), list(egds), ChaseStats())
+
+
+def _egd_fixpoint(
+    pattern: GraphPattern, egds: list[TargetEgd], stats: ChaseStats
+) -> ChaseResult:
+    while True:
+        stats.rounds += 1
+        violation = _first_violation(egds, pattern)
+        if violation is None:
+            return ChaseResult(pattern=pattern, stats=stats)
+        _, left, right = violation
+        stats.egd_firings += 1
+        left_null, right_null = is_null(left), is_null(right)
+        if not left_null and not right_null:
+            # (i) two constants: the chase fails — no solution exists.
+            return ChaseResult(
+                pattern=pattern,
+                failed=True,
+                failure_witness=(left, right),
+                stats=stats,
+            )
+        if left_null and not right_null:
+            pattern.substitute(left, right)  # (ii) null := constant
+        elif right_null and not left_null:
+            pattern.substitute(right, left)  # (ii) symmetric
+        else:
+            # (iii) two nulls: replace the later-labeled one, deterministically.
+            older, newer = sorted((left, right))
+            pattern.substitute(newer, older)
+        stats.null_merges += 1

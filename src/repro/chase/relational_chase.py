@@ -1,0 +1,144 @@
+"""The Section 3.1 fragment: relational chase with single-symbol heads.
+
+When every NRE in s-t tgd heads is a bare symbol ``a ∈ Σ``, the target
+schema behaves as a set of binary relations and the classical relational
+chase applies (paper, Section 3.1): the chase of the s-t tgds materialises a
+graph whose invented nodes are labeled nulls, and egd steps then merge nodes
+directly on that graph (failing on constant/constant conflicts).
+
+The output "can be essentially seen as a graph" (paper) — here it *is* a
+:class:`~repro.graph.database.GraphDatabase` whose null nodes are
+:class:`~repro.patterns.pattern.Null` values, and it is a universal solution
+for the fragment.  Example 3.1 / Figure 2 is reproduced in
+``benchmarks/bench_fig2_relational_chase.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+from repro.chase.result import ChaseResult, ChaseStats
+from repro.errors import NotSupportedError
+from repro.graph.classes import is_single_symbol
+from repro.graph.database import GraphDatabase
+from repro.mappings.egd import TargetEgd
+from repro.mappings.stt import SourceToTargetTgd
+from repro.patterns.pattern import Null, is_null
+from repro.relational.instance import RelationalInstance
+from repro.relational.query import Variable, is_variable
+
+Node = Hashable
+
+
+def _check_fragment(tgds: Sequence[SourceToTargetTgd]) -> None:
+    for tgd in tgds:
+        for expr in tgd.head.expressions():
+            if not is_single_symbol(expr):
+                raise NotSupportedError(
+                    "the relational chase handles the Section 3.1 fragment "
+                    f"(single-symbol heads) only; offending NRE: {expr}"
+                )
+
+
+def chase_relational(
+    st_tgds: Iterable[SourceToTargetTgd],
+    egds: Sequence[TargetEgd],
+    instance: RelationalInstance,
+    alphabet: Iterable[str] | None = None,
+) -> ChaseResult:
+    """Chase in the single-symbol fragment, producing a concrete graph.
+
+    Step 1 fires every s-t tgd trigger, adding plain labeled edges with
+    fresh :class:`~repro.patterns.pattern.Null` nodes for existentials.
+    Step 2 runs the egd fixpoint on the graph, merging nodes; equating two
+    distinct constants fails the chase (then no solution exists — in this
+    fragment the relational chase *is* sound and complete).
+    """
+    tgds = list(st_tgds)
+    _check_fragment(tgds)
+    sigma: set[str] | None = set(alphabet) if alphabet is not None else None
+    graph = GraphDatabase(alphabet=sigma)
+    stats = ChaseStats()
+    null_counter = 0
+
+    for tgd in tgds:
+        matches = sorted(
+            tgd.body_matches(instance),
+            key=lambda m: sorted((v.name, repr(m[v])) for v in m),
+        )
+        fired: set[tuple] = set()
+        for match in matches:
+            key = tuple(repr(match[v]) for v in tgd.body.variables())
+            if key in fired:
+                continue
+            fired.add(key)
+            assignment: dict[Variable, Node] = {v: match[v] for v in tgd.frontier}
+            for existential in tgd.existentials:
+                null_counter += 1
+                assignment[existential] = Null(f"N{null_counter}")
+            for atom in tgd.head.atoms:
+                source = (
+                    assignment[atom.subject] if is_variable(atom.subject) else atom.subject
+                )
+                target = (
+                    assignment[atom.object] if is_variable(atom.object) else atom.object
+                )
+                graph.add_edge(source, atom.nre.name, target)  # type: ignore[union-attr]
+            stats.st_applications += 1
+
+    return _egd_fixpoint_on_graph(graph, list(egds), stats)
+
+
+def _egd_fixpoint_on_graph(
+    graph: GraphDatabase, egds: list[TargetEgd], stats: ChaseStats
+) -> ChaseResult:
+    """Apply egd merge steps directly on a graph with null nodes."""
+    while True:
+        stats.rounds += 1
+        violation = _first_graph_violation(egds, graph)
+        if violation is None:
+            return ChaseResult(graph=graph, stats=stats)
+        left, right = violation
+        stats.egd_firings += 1
+        left_null, right_null = is_null(left), is_null(right)
+        if not left_null and not right_null:
+            return ChaseResult(
+                graph=graph,
+                failed=True,
+                failure_witness=(left, right),
+                stats=stats,
+            )
+        if left_null and not right_null:
+            graph = _rename_node(graph, left, right)
+        elif right_null and not left_null:
+            graph = _rename_node(graph, right, left)
+        else:
+            older, newer = sorted((left, right))
+            graph = _rename_node(graph, newer, older)
+        stats.null_merges += 1
+
+
+def _first_graph_violation(
+    egds: list[TargetEgd], graph: GraphDatabase
+) -> tuple[Node, Node] | None:
+    best: tuple[Node, Node] | None = None
+    best_key: tuple[str, str] | None = None
+    for egd in egds:
+        for left, right in egd.violations(graph):
+            key = tuple(sorted((repr(left), repr(right))))
+            if best_key is None or key < best_key:
+                best_key = key  # type: ignore[assignment]
+                best = (left, right)
+    return best
+
+
+def _rename_node(graph: GraphDatabase, old: Node, new: Node) -> GraphDatabase:
+    """Return a copy of ``graph`` with ``old`` renamed to ``new``."""
+    renamed = GraphDatabase(alphabet=graph.alphabet)
+    for node in graph.nodes():
+        renamed.add_node(new if node == old else node)
+    for edge in graph.edges():
+        source = new if edge.source == old else edge.source
+        target = new if edge.target == old else edge.target
+        renamed.add_edge(source, edge.label, target)
+    return renamed

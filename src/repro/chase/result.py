@@ -1,0 +1,91 @@
+"""Chase outcome containers.
+
+A chase run ends in one of two ways:
+
+* *success* — a pattern (pattern-level chases) or a graph (graph-level
+  chases) was produced;
+* *failure* — an egd attempted to equate two distinct constants; the failure
+  witness records which ones.  Failure proves that no solution exists
+  (Section 5 of the paper); the converse does **not** hold for the adapted
+  chase (Example 5.2), which is why :class:`ChaseResult.failed` must never
+  be negated into an existence claim.
+
+Statistics are collected uniformly so benchmarks can report step counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.database import GraphDatabase
+from repro.patterns.pattern import GraphPattern
+
+
+@dataclass
+class ChaseStats:
+    """Step counters for one chase run."""
+
+    st_applications: int = 0
+    """How many s-t tgd triggers fired (one head instantiation each)."""
+
+    egd_firings: int = 0
+    """How many egd violations were processed (merges or the final failure)."""
+
+    null_merges: int = 0
+    """How many null↦node substitutions were performed."""
+
+    sameas_edges_added: int = 0
+    """How many sameAs edges the saturation added."""
+
+    tgd_applications: int = 0
+    """How many target-tgd triggers fired."""
+
+    rounds: int = 0
+    """Fixpoint iterations of the outer loop."""
+
+    def merge(self, other: "ChaseStats") -> "ChaseStats":
+        """Return the component-wise sum of two stat records."""
+        return ChaseStats(
+            st_applications=self.st_applications + other.st_applications,
+            egd_firings=self.egd_firings + other.egd_firings,
+            null_merges=self.null_merges + other.null_merges,
+            sameas_edges_added=self.sameas_edges_added + other.sameas_edges_added,
+            tgd_applications=self.tgd_applications + other.tgd_applications,
+            rounds=max(self.rounds, other.rounds),
+        )
+
+
+@dataclass
+class ChaseResult:
+    """The outcome of a chase run.
+
+    Exactly one of ``pattern`` / ``graph`` is set by each engine (the
+    pattern chase and egd chase produce patterns; the relational, sameAs and
+    target-tgd chases produce graphs).  ``failed`` implies both may be the
+    partially-chased object for inspection, but the run proved that **no
+    solution exists**; ``failure_witness`` then names the two constants the
+    offending egd tried to merge.
+    """
+
+    pattern: GraphPattern | None = None
+    graph: GraphDatabase | None = None
+    failed: bool = False
+    failure_witness: tuple[object, object] | None = None
+    stats: ChaseStats = field(default_factory=ChaseStats)
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether the chase ran to completion without failing."""
+        return not self.failed
+
+    def expect_pattern(self) -> GraphPattern:
+        """Return the produced pattern, asserting the run made one."""
+        if self.pattern is None:
+            raise ValueError("this chase run produced no pattern")
+        return self.pattern
+
+    def expect_graph(self) -> GraphDatabase:
+        """Return the produced graph, asserting the run made one."""
+        if self.graph is None:
+            raise ValueError("this chase run produced no graph")
+        return self.graph

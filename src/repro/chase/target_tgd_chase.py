@@ -1,0 +1,137 @@
+"""Bounded oblivious chase of general target tgds on concrete graphs.
+
+Target tgds ``φ_Σ(x̄) → ∃ȳ. ψ_Σ(x̄, ȳ)`` can, in general, chase forever
+(fresh nodes feed new triggers feeding fresh nodes — the classical
+non-termination of the tgd chase; cf. [10] in the paper's references).  We
+therefore run a *standard* (non-oblivious) chase — a trigger fires only when
+its head has no extension yet — with an explicit round bound.  Exceeding the
+bound raises :class:`~repro.errors.BoundExceeded` unless ``strict=False``,
+in which case the partial graph is returned with ``failed=False`` and the
+caller decides what it means.
+
+Head instantiation materialises each head atom's NRE through its canonical
+witness (see :mod:`repro.graph.witness`): a head atom ``(x, f·f*, y)`` adds a
+single ``f`` edge on the shortest-derivation reading.  For the bare-symbol
+heads of sameAs constraints this is exactly "add the edge".
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Iterable, Sequence
+
+from repro.chase.result import ChaseResult, ChaseStats
+from repro.errors import BoundExceeded
+from repro.graph.database import GraphDatabase
+from repro.graph.witness import enumerate_witnesses, materialize_witness, witness_tree
+from repro.mappings.target_tgd import TargetTgd
+from repro.relational.query import Variable, is_variable
+
+Node = Hashable
+
+
+def chase_target_tgds(
+    graph: GraphDatabase,
+    tgds: Sequence[TargetTgd] | Iterable[TargetTgd],
+    max_rounds: int = 50,
+    strict: bool = True,
+) -> ChaseResult:
+    """Chase ``graph`` with target tgds, bounded by ``max_rounds`` rounds.
+
+    Returns a new graph; the input is not mutated.  One *round* processes
+    every currently-violated trigger once; the chase stops at the first
+    round with no violations.
+    """
+    dependencies = list(tgds)
+    labels: set[str] = set(graph.alphabet)
+    for tgd in dependencies:
+        from repro.graph.classes import alphabet_of
+
+        for expr in tgd.head.expressions():
+            labels.update(alphabet_of(expr))
+    current = graph.with_alphabet(labels)
+    stats = ChaseStats()
+    fresh_ids = itertools.count()
+
+    for _ in range(max_rounds):
+        stats.rounds += 1
+        violations: list[tuple[TargetTgd, dict[Variable, Node]]] = []
+        for tgd in dependencies:
+            violations.extend((tgd, hom) for hom in tgd.violations(current))
+        if not violations:
+            return ChaseResult(graph=current, stats=stats)
+        for tgd, hom in violations:
+            _apply(current, tgd, hom, fresh_ids)
+            stats.tgd_applications += 1
+
+    if strict:
+        from repro.chase.termination import is_weakly_acyclic
+
+        hint = (
+            " (the tgd set is not weakly acyclic, so divergence is expected; "
+            "see repro.chase.termination)"
+            if not is_weakly_acyclic(dependencies)
+            else " (the tgd set is weakly acyclic — raise max_rounds)"
+        )
+        raise BoundExceeded(
+            f"target-tgd chase did not converge within {max_rounds} rounds{hint}"
+        )
+    return ChaseResult(graph=current, stats=stats)
+
+
+def _apply(
+    graph: GraphDatabase,
+    tgd: TargetTgd,
+    hom: dict[Variable, Node],
+    fresh_ids: "itertools.count[int]",
+) -> None:
+    """Fire one trigger: add a usable witness of the head's NRE per atom.
+
+    A witness is *usable* on a concrete graph when its forced merges never
+    identify two distinct pre-existing nodes (a graph cannot merge nodes).
+    The canonical witness is usable except when the NRE admits only
+    ε-derivations between distinct endpoints; then we search the bounded
+    witness enumeration for an alternative (e.g. ``a*`` between distinct
+    ``x ≠ y`` takes one ``a`` step instead of zero).
+    """
+    assignment: dict[Variable, Node] = {v: hom[v] for v in tgd.frontier}
+    for existential in tgd.existentials:
+        assignment[existential] = f"_t{next(fresh_ids)}"
+    allocate = lambda: f"_t{next(fresh_ids)}"  # noqa: E731 - tiny local alias
+    for atom in tgd.head.atoms:
+        source = assignment[atom.subject] if is_variable(atom.subject) else atom.subject
+        target = assignment[atom.object] if is_variable(atom.object) else atom.object
+        witness = witness_tree(atom.nre, source, target, fresh=allocate)
+        if not _usable(witness):
+            witness = None
+            for candidate in enumerate_witnesses(
+                atom.nre, source, target, star_bound=3, fresh=allocate
+            ):
+                if _usable(candidate):
+                    witness = candidate
+                    break
+            if witness is None:
+                raise BoundExceeded(
+                    f"no concrete witness for head atom {atom} between "
+                    f"distinct nodes {source!r} and {target!r}"
+                )
+        edges, _ = materialize_witness(witness)
+        for edge_source, lab, edge_target in edges:
+            graph.add_edge(edge_source, lab, edge_target)
+
+
+def _is_fresh(node: Node) -> bool:
+    return isinstance(node, str) and (node.startswith("_w") or node.startswith("_t"))
+
+
+def _usable(witness) -> bool:
+    """Whether the witness's merges avoid identifying distinct real nodes."""
+    _, canonical = materialize_witness(witness)
+    classes: dict[Node, set[Node]] = {}
+    for node, representative in canonical.items():
+        classes.setdefault(representative, set()).add(node)
+    for members in classes.values():
+        real = [m for m in members if not _is_fresh(m)]
+        if len(set(real)) > 1:
+            return False
+    return True

@@ -1,0 +1,184 @@
+"""Weak acyclicity: a termination guarantee for the target-tgd chase.
+
+The classical condition of Fagin–Kolaitis–Miller–Popa (the paper's
+reference [11]) adapted to the graph setting: each edge label ``a`` of Σ
+behaves as a binary relation with two *positions* — ``(a, "src")`` and
+``(a, "dst")``.  The *dependency graph* of a set of target tgds has the
+positions as vertices and, for every tgd ``φ(x̄) → ∃ȳ. ψ(x̄, ȳ)``, every
+universally quantified variable ``x`` occurring in body position ``p``:
+
+* a **regular edge** ``p → q`` for every head position ``q`` where ``x``
+  occurs — values may flow from p to q;
+* a **special edge** ``p ⇒ q`` for every head position ``q`` holding an
+  *existential* variable — a value in p causes invention of a fresh value
+  in q.
+
+The tgd set is **weakly acyclic** iff no cycle goes through a special
+edge; then the chase terminates in polynomially many steps, because fresh
+values cannot feed their own creation.
+
+Scope: the analysis reads single-symbol head/body atoms exactly; an atom
+with a composite NRE contributes conservatively — every label it mentions
+is treated as if the atom occupied both positions of that label (an
+over-approximation that can only flag *more* cycles, never fewer, so
+"weakly acyclic" verdicts remain sound guarantees of termination).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.graph.classes import alphabet_of
+from repro.graph.nre import Label
+from repro.mappings.target_tgd import TargetTgd
+from repro.relational.query import Variable, is_variable
+
+Position = tuple[str, str]  # (label, "src" | "dst")
+
+
+@dataclass
+class DependencyGraph:
+    """The position dependency graph with regular and special edges."""
+
+    positions: set[Position] = field(default_factory=set)
+    regular: set[tuple[Position, Position]] = field(default_factory=set)
+    special: set[tuple[Position, Position]] = field(default_factory=set)
+
+    def all_edges(self) -> set[tuple[Position, Position]]:
+        """Regular and special edges together."""
+        return self.regular | self.special
+
+
+def _atom_positions(atom) -> list[tuple[object, Position]]:
+    """(term, position) pairs contributed by one CNRE atom.
+
+    Single-symbol atoms place their subject at ``(a, src)`` and object at
+    ``(a, dst)``.  Composite atoms over-approximate: both endpoints are
+    charged to both positions of every mentioned label.
+    """
+    if isinstance(atom.nre, Label):
+        return [
+            (atom.subject, (atom.nre.name, "src")),
+            (atom.object, (atom.nre.name, "dst")),
+        ]
+    contributions: list[tuple[object, Position]] = []
+    for lab in alphabet_of(atom.nre):
+        for term in (atom.subject, atom.object):
+            contributions.append((term, (lab, "src")))
+            contributions.append((term, (lab, "dst")))
+    return contributions
+
+
+def dependency_graph(tgds: Iterable[TargetTgd]) -> DependencyGraph:
+    """Build the position dependency graph of a target-tgd set."""
+    graph = DependencyGraph()
+    for tgd in tgds:
+        body_positions: dict[Variable, list[Position]] = {}
+        for atom in tgd.body.atoms:
+            for term, position in _atom_positions(atom):
+                graph.positions.add(position)
+                if is_variable(term):
+                    body_positions.setdefault(term, []).append(position)
+
+        head_variable_positions: dict[Variable, list[Position]] = {}
+        existential_positions: list[Position] = []
+        existentials = set(tgd.existentials)
+        for atom in tgd.head.atoms:
+            for term, position in _atom_positions(atom):
+                graph.positions.add(position)
+                if is_variable(term):
+                    if term in existentials:
+                        existential_positions.append(position)
+                    else:
+                        head_variable_positions.setdefault(term, []).append(position)
+
+        frontier = set(tgd.frontier)
+        for variable, sources in body_positions.items():
+            for p in sources:
+                for q in head_variable_positions.get(variable, []):
+                    graph.regular.add((p, q))
+                if variable in frontier:
+                    # A frontier value propagating into the head triggers
+                    # invention of fresh values at every existential position.
+                    for q in existential_positions:
+                        graph.special.add((p, q))
+    return graph
+
+
+def _strongly_connected_components(
+    vertices: set[Position], edges: set[tuple[Position, Position]]
+) -> list[set[Position]]:
+    """Tarjan's algorithm, iterative to dodge recursion limits."""
+    adjacency: dict[Position, list[Position]] = {v: [] for v in vertices}
+    for source, target in edges:
+        adjacency[source].append(target)
+
+    index_of: dict[Position, int] = {}
+    low: dict[Position, int] = {}
+    on_stack: set[Position] = set()
+    stack: list[Position] = []
+    components: list[set[Position]] = []
+    counter = [0]
+
+    for root in vertices:
+        if root in index_of:
+            continue
+        work: list[tuple[Position, int]] = [(root, 0)]
+        while work:
+            vertex, child_index = work[-1]
+            if child_index == 0:
+                index_of[vertex] = low[vertex] = counter[0]
+                counter[0] += 1
+                stack.append(vertex)
+                on_stack.add(vertex)
+            children = adjacency[vertex]
+            advanced = False
+            while child_index < len(children):
+                child = children[child_index]
+                child_index += 1
+                if child not in index_of:
+                    work[-1] = (vertex, child_index)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[vertex] = min(low[vertex], index_of[child])
+            if advanced:
+                continue
+            work.pop()
+            if low[vertex] == index_of[vertex]:
+                component: set[Position] = set()
+                while True:
+                    node = stack.pop()
+                    on_stack.discard(node)
+                    component.add(node)
+                    if node == vertex:
+                        break
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[vertex])
+    return components
+
+
+def is_weakly_acyclic(tgds: Sequence[TargetTgd] | Iterable[TargetTgd]) -> bool:
+    """Whether the target-tgd set is weakly acyclic (chase terminates).
+
+    >>> from repro.mappings.parser import parse_target_tgd
+    >>> is_weakly_acyclic([parse_target_tgd("(x, a, y), (y, a, z) -> (x, a, z)")])
+    True
+    >>> is_weakly_acyclic([parse_target_tgd("(x, a, y) -> (y, a, z)")])
+    False
+    """
+    graph = dependency_graph(tgds)
+    components = _strongly_connected_components(graph.positions, graph.all_edges())
+    component_of: dict[Position, int] = {}
+    for index, component in enumerate(components):
+        for position in component:
+            component_of[position] = index
+    for source, target in graph.special:
+        if component_of[source] == component_of[target]:
+            # A special edge inside one SCC closes a cycle through itself.
+            return False
+    return True

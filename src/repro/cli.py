@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands operate on a JSON *exchange document* — a single file holding the
+setting and the source instance (see :func:`load_document`)::
+
+    {
+      "setting":  { ... },   # repro.io.dependencies.setting_to_dict format
+      "instance": { ... }    # repro.io.json_io.instance_to_dict format
+    }
+
+Available commands:
+
+* ``demo``     — write the paper's running example as an exchange document
+                 (a ready-made input for the other commands);
+* ``chase``    — run the appropriate chase and print the resulting pattern
+                 (or graph, in the single-symbol fragment);
+* ``exists``   — decide existence of solutions; exit code 0/1/2 for
+                 exists / not-exists / unknown;
+* ``certain``  — compute the certain answers of an NRE query;
+* ``render``   — emit Graphviz DOT for a graph JSON file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+from repro.chase.egd_chase import chase_with_egds
+from repro.chase.pattern_chase import chase_pattern
+from repro.core.certain import certain_answers_nre
+from repro.core.existence import decide_existence
+from repro.core.search import CandidateSearchConfig
+from repro.core.setting import DataExchangeSetting
+from repro.graph.parser import parse_nre
+from repro.io.dependencies import setting_from_dict, setting_to_dict
+from repro.io.dot import graph_to_dot, pattern_to_dot
+from repro.io.json_io import (
+    graph_from_dict,
+    graph_to_dict,
+    instance_from_dict,
+    instance_to_dict,
+    pattern_to_dict,
+)
+from repro.relational.instance import RelationalInstance
+
+
+def load_document(path: str) -> tuple[DataExchangeSetting, RelationalInstance]:
+    """Read an exchange document (setting + instance) from ``path``."""
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    return setting_from_dict(data["setting"]), instance_from_dict(data["instance"])
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.scenarios.flights import flights_instance, setting_omega
+
+    document = {
+        "setting": setting_to_dict(setting_omega()),
+        "instance": instance_to_dict(flights_instance()),
+    }
+    text = json.dumps(document, indent=2, sort_keys=True)
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_chase(args: argparse.Namespace) -> int:
+    setting, instance = load_document(args.document)
+    if setting.egds():
+        result = chase_with_egds(
+            setting.st_tgds, setting.egds(), instance, alphabet=setting.alphabet
+        )
+        if result.failed:
+            left, right = result.failure_witness  # type: ignore[misc]
+            print(f"chase FAILED: egd equates constants {left!r} and {right!r}")
+            print("no solution exists")
+            return 1
+    else:
+        result = chase_pattern(setting.st_tgds, instance, alphabet=setting.alphabet)
+    pattern = result.expect_pattern()
+    if args.json:
+        print(json.dumps(pattern_to_dict(pattern), indent=2, sort_keys=True))
+    else:
+        print(pattern.pretty())
+        print(
+            f"-- {result.stats.st_applications} trigger(s), "
+            f"{result.stats.null_merges} merge(s)"
+        )
+    return 0
+
+
+def _cmd_exists(args: argparse.Namespace) -> int:
+    setting, instance = load_document(args.document)
+    config = CandidateSearchConfig(star_bound=args.star_bound)
+    result = decide_existence(setting, instance, search_config=config)
+    print(f"status: {result.status.value}")
+    print(f"method: {result.method}")
+    if result.detail:
+        print(f"detail: {result.detail}")
+    if result.witness is not None and args.witness:
+        print(json.dumps(graph_to_dict(result.witness), indent=2, sort_keys=True))
+    return {"exists": 0, "not-exists": 1, "unknown": 2}[result.status.value]
+
+
+def _cmd_certain(args: argparse.Namespace) -> int:
+    setting, instance = load_document(args.document)
+    query = parse_nre(args.query)
+    config = CandidateSearchConfig(star_bound=args.star_bound)
+    if args.pair:
+        from repro.core.certain import find_counterexample_solution
+
+        pair = tuple(args.pair)
+        counterexample = find_counterexample_solution(
+            setting, instance, query, pair, config=config
+        )
+        if counterexample is None:
+            print(f"{pair} is a certain answer")
+            return 0
+        print(f"{pair} is NOT certain; counterexample solution:")
+        print(json.dumps(graph_to_dict(counterexample), indent=2, sort_keys=True))
+        return 1
+    result = certain_answers_nre(setting, instance, query, config=config)
+    if result.no_solution:
+        print("no solution exists: every tuple is (vacuously) certain")
+        return 0
+    print(f"method: {result.method}")
+    for pair in sorted(result.answers, key=repr):
+        print(f"  {pair[0]}  {pair[1]}")
+    if not result.answers:
+        print("  (no certain answers)")
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    with open(args.graph, encoding="utf-8") as handle:
+        data: dict[str, Any] = json.load(handle)
+    if "edges" in data and data.get("edges") and len(data["edges"][0]) == 3 and (
+        isinstance(data["edges"][0][1], dict)
+    ):
+        from repro.io.json_io import pattern_from_dict
+
+        print(pattern_to_dot(pattern_from_dict(data), name=args.name))
+    else:
+        print(graph_to_dot(graph_from_dict(data), name=args.name))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Relational-to-graph data exchange with target constraints",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    demo = commands.add_parser("demo", help="write the paper's running example")
+    demo.add_argument("-o", "--output", default="-", help="output path or - for stdout")
+    demo.set_defaults(handler=_cmd_demo)
+
+    chase = commands.add_parser("chase", help="chase an exchange document")
+    chase.add_argument("document", help="exchange document (JSON)")
+    chase.add_argument("--json", action="store_true", help="emit the pattern as JSON")
+    chase.set_defaults(handler=_cmd_chase)
+
+    exists = commands.add_parser("exists", help="decide existence of solutions")
+    exists.add_argument("document")
+    exists.add_argument("--star-bound", type=int, default=2)
+    exists.add_argument("--witness", action="store_true", help="print the witness graph")
+    exists.set_defaults(handler=_cmd_exists)
+
+    certain = commands.add_parser("certain", help="certain answers of an NRE query")
+    certain.add_argument("document")
+    certain.add_argument("query", help="NRE, e.g. 'f . f*[h] . f- . (f-)*'")
+    certain.add_argument("--star-bound", type=int, default=2)
+    certain.add_argument(
+        "--pair",
+        nargs=2,
+        metavar=("U", "V"),
+        help="decide one tuple instead of computing the whole set "
+        "(exit 0 = certain, 1 = counterexample found)",
+    )
+    certain.set_defaults(handler=_cmd_certain)
+
+    render = commands.add_parser("render", help="render a graph JSON file as DOT")
+    render.add_argument("graph", help="graph or pattern JSON file")
+    render.add_argument("--name", default="G")
+    render.set_defaults(handler=_cmd_render)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""The core exchange engine: settings, solutions, existence, certain answers.
+
+This package implements the paper's central definitions and decision
+problems on top of the substrates:
+
+* :class:`~repro.core.setting.DataExchangeSetting` — Ω = (R, Σ, M_st, M_t)
+  (Definition 2.1), with fragment classification used to pick algorithms;
+* :mod:`repro.core.solution` — the solution predicate: ``G ∈ Sol_Ω(I)`` iff
+  ``(I, G) ⊨ M_st`` and ``G ⊨ M_t``;
+* :mod:`repro.core.search` — bounded enumeration of candidate solutions by
+  instantiating the chased pattern (witness choices × null quotients);
+* :mod:`repro.core.existence` — the existence-of-solutions problem, solved
+  by a strategy stack: trivial cases, the sameAs constructive algorithm, the
+  adapted chase (sound failure), loop-collapse refutation, the complete
+  SAT-based bounded-model procedure for the Theorem 4.1 fragment, and the
+  candidate search;
+* :mod:`~repro.core.certain` — certain answers ``cert_Ω(Q, I)`` via
+  minimal-solution intersection, with a counterexample API;
+* :mod:`~repro.core.universal` — universal representatives: why bare graph
+  patterns fail under egds (Proposition 5.3, with an executable
+  counterexample constructor) and the (pattern, constraints) pairs the paper
+  proposes instead.
+"""
+
+from repro.core.setting import DataExchangeSetting, SettingFragment
+from repro.core.solution import is_solution, solution_violations
+from repro.core.search import candidate_solutions, CandidateSearchConfig
+from repro.core.existence import (
+    ExistenceResult,
+    ExistenceStatus,
+    decide_existence,
+    loop_collapse_refutation,
+)
+from repro.core.certain import (
+    CertainAnswers,
+    certain_answers_nre,
+    certain_answers_cnre,
+    is_certain_answer,
+    find_counterexample_solution,
+)
+from repro.core.tractable import (
+    certain_answers_tractable,
+    in_tractable_fragment,
+)
+from repro.core.universal import (
+    UniversalRepresentative,
+    adapted_chase,
+    non_universality_counterexample,
+    universal_representative,
+)
+
+__all__ = [
+    "DataExchangeSetting",
+    "SettingFragment",
+    "is_solution",
+    "solution_violations",
+    "candidate_solutions",
+    "CandidateSearchConfig",
+    "ExistenceResult",
+    "ExistenceStatus",
+    "decide_existence",
+    "loop_collapse_refutation",
+    "CertainAnswers",
+    "certain_answers_nre",
+    "certain_answers_cnre",
+    "is_certain_answer",
+    "find_counterexample_solution",
+    "certain_answers_tractable",
+    "in_tractable_fragment",
+    "UniversalRepresentative",
+    "adapted_chase",
+    "non_universality_counterexample",
+    "universal_representative",
+]

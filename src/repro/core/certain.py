@@ -1,0 +1,244 @@
+"""Certain answers: ``cert_Ω(Q, I) = ⋂ {⟦Q⟧_G | G ∈ Sol_Ω(I)}``.
+
+The engine exploits one structural fact, stated and used throughout the
+module: **NRE and CNRE queries are monotone** — they contain no negation, so
+extending a graph with nodes or edges can only add answers (every operator
+of the NRE grammar — ε, a, a⁻, +, ·, *, [·] — denotes a monotone operation
+on the edge relation, and conjunction preserves monotonicity).  Hence for a
+monotone Q:
+
+* if ``G ⊆ G′`` are both solutions, ``⟦Q⟧_G ⊆ ⟦Q⟧_G′``, so the intersection
+  over all solutions equals the intersection over the ⊆-minimal ones;
+* a tuple is certain iff **no** solution avoids it, and the most effective
+  counterexamples are exactly the minimal solutions.
+
+Minimal solutions are enumerated by :mod:`repro.core.search` (witness
+choices for the chased pattern's NRE edges × null quotients), bounded by
+``star_bound``.  On the paper's families the bounds are exact:
+
+* Example 2.2 under Ω and Ω′ — the printed certain-answer sets are
+  reproduced with ``star_bound = 2`` (tests pin both sets);
+* the Corollary 4.2 / Proposition 4.3 reduction families — the minimal
+  solutions are exactly the valuation graphs over the two constants, with
+  no stars in any witness, so any ``star_bound ≥ 0`` is exact.
+
+In general the result is *sound up to the bound*: every reported
+counterexample is a genuine solution (so "not certain" verdicts are always
+correct), while "certain" verdicts quantify over the solutions within the
+bounds — increase ``star_bound``/quotient budgets to tighten.  When the
+paper's query Q has a star, answers that survive all unrollings up to the
+query automaton's state count survive all longer ones too (pigeonhole on
+the product automaton), which is why small bounds settle these families.
+
+By convention (matching the paper's usage in Corollary 4.2), when **no
+solution exists** every tuple is certain: ``CertainAnswers.no_solution`` is
+set and :meth:`CertainAnswers.is_certain` returns ``True`` for all tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+from repro.core.search import CandidateSearchConfig, candidate_solutions
+from repro.core.setting import DataExchangeSetting
+from repro.core.existence import ExistenceStatus, decide_existence
+from repro.errors import BoundExceeded
+from repro.graph.database import GraphDatabase
+from repro.graph.eval import evaluate_nre
+from repro.graph.nre import NRE
+from repro.relational.instance import RelationalInstance
+
+Node = Hashable
+Pair = tuple[Node, Node]
+
+
+@dataclass
+class CertainAnswers:
+    """The result of a certain-answer computation for a binary NRE query."""
+
+    answers: frozenset[Pair]
+    """The certain pairs over the source constants (empty if ``no_solution``)."""
+
+    no_solution: bool
+    """Whether ``Sol_Ω(I) = ∅`` — then *every* tuple is (vacuously) certain."""
+
+    solutions_examined: int
+    """How many distinct minimal solutions entered the intersection."""
+
+    method: str
+    """Which strategy produced the result, with its bounds."""
+
+    def is_certain(self, pair: Pair) -> bool:
+        """Whether ``pair`` is a certain answer (vacuously true if no solution)."""
+        return self.no_solution or pair in self.answers
+
+
+def certain_answers_nre(
+    setting: DataExchangeSetting,
+    instance: RelationalInstance,
+    query: NRE,
+    config: CandidateSearchConfig | None = None,
+) -> CertainAnswers:
+    """Compute the certain answers of the binary NRE ``query``.
+
+    Only pairs over the source active domain are reported (the paper's
+    query answering problem asks about tuples of constants).
+
+    Raises :class:`~repro.errors.BoundExceeded` when existence could not be
+    settled and no candidate solution was found — then nothing sound can be
+    said within the bounds.
+    """
+    cfg = config if config is not None else CandidateSearchConfig(star_bound=2)
+    existence = decide_existence(setting, instance, search_config=cfg)
+    if existence.status is ExistenceStatus.NOT_EXISTS:
+        return CertainAnswers(
+            answers=frozenset(),
+            no_solution=True,
+            solutions_examined=0,
+            method=f"no-solution({existence.method})",
+        )
+
+    domain = instance.active_domain()
+    intersection: set[Pair] | None = None
+    examined = 0
+    for solution in _solutions_for_intersection(setting, instance, cfg, existence):
+        answers = {
+            (u, v)
+            for u, v in evaluate_nre(solution, query)
+            if u in domain and v in domain
+        }
+        intersection = answers if intersection is None else intersection & answers
+        examined += 1
+        if not intersection:
+            break
+
+    if intersection is None:
+        raise BoundExceeded(
+            "no solution found within the search bounds although existence "
+            f"was {existence.status.value}; raise the bounds"
+        )
+    return CertainAnswers(
+        answers=frozenset(intersection),
+        no_solution=False,
+        solutions_examined=examined,
+        method=f"minimal-solutions(star_bound={cfg.star_bound}, n={examined})",
+    )
+
+
+def _solutions_for_intersection(
+    setting: DataExchangeSetting,
+    instance: RelationalInstance,
+    cfg: CandidateSearchConfig,
+    existence,
+) -> Iterable[GraphDatabase]:
+    """The existence witness first (guaranteed), then the minimal family."""
+    seen: set[frozenset] = set()
+    if existence.witness is not None:
+        seen.add(frozenset(existence.witness.edges()))
+        yield existence.witness
+    for candidate in candidate_solutions(setting, instance, cfg):
+        signature = frozenset(candidate.edges())
+        if signature in seen:
+            continue
+        seen.add(signature)
+        yield candidate
+
+
+def certain_answers_cnre(
+    setting: DataExchangeSetting,
+    instance: RelationalInstance,
+    query,
+    config: CandidateSearchConfig | None = None,
+) -> CertainAnswers:
+    """Certain answers of a full CNRE query (arbitrary arity).
+
+    Same machinery as :func:`certain_answers_nre` — CNRE queries are
+    conjunctions of monotone atoms, hence monotone, so the minimal-solution
+    intersection argument carries over verbatim.  Answers are projections
+    onto the query's output variables, restricted to tuples over the
+    source active domain.
+    """
+    from repro.graph.cnre import evaluate_cnre
+
+    cfg = config if config is not None else CandidateSearchConfig(star_bound=2)
+    existence = decide_existence(setting, instance, search_config=cfg)
+    if existence.status is ExistenceStatus.NOT_EXISTS:
+        return CertainAnswers(
+            answers=frozenset(),
+            no_solution=True,
+            solutions_examined=0,
+            method=f"no-solution({existence.method})",
+        )
+    domain = instance.active_domain()
+    intersection: set[tuple] | None = None
+    examined = 0
+    for solution in _solutions_for_intersection(setting, instance, cfg, existence):
+        answers = {
+            row
+            for row in evaluate_cnre(query, solution)
+            if all(value in domain for value in row)
+        }
+        intersection = answers if intersection is None else intersection & answers
+        examined += 1
+        if not intersection:
+            break
+    if intersection is None:
+        raise BoundExceeded(
+            "no solution found within the search bounds although existence "
+            f"was {existence.status.value}; raise the bounds"
+        )
+    return CertainAnswers(
+        answers=frozenset(intersection),
+        no_solution=False,
+        solutions_examined=examined,
+        method=f"minimal-solutions-cnre(star_bound={cfg.star_bound}, n={examined})",
+    )
+
+
+def is_certain_answer(
+    setting: DataExchangeSetting,
+    instance: RelationalInstance,
+    query: NRE,
+    pair: Pair,
+    config: CandidateSearchConfig | None = None,
+) -> bool:
+    """Decide whether ``pair ∈ cert_Ω(query, I)`` (bounded, see module doc).
+
+    Equivalent to ``certain_answers_nre(...).is_certain(pair)`` but stops at
+    the first counterexample solution.
+    """
+    counterexample = find_counterexample_solution(
+        setting, instance, query, pair, config
+    )
+    return counterexample is None
+
+
+def find_counterexample_solution(
+    setting: DataExchangeSetting,
+    instance: RelationalInstance,
+    query: NRE,
+    pair: Pair,
+    config: CandidateSearchConfig | None = None,
+) -> GraphDatabase | None:
+    """Return a solution G with ``pair ∉ ⟦query⟧_G``, or ``None``.
+
+    A returned graph is a machine-checked solution, so it *proves* the pair
+    is not certain.  ``None`` means no counterexample exists within the
+    bounds (and existence settled): the pair is certain up to the bounds,
+    exactly on the paper's families.
+    """
+    cfg = config if config is not None else CandidateSearchConfig(star_bound=2)
+    existence = decide_existence(setting, instance, search_config=cfg)
+    if existence.status is ExistenceStatus.NOT_EXISTS:
+        return None  # vacuously certain: there is no solution at all
+    found_any = existence.witness is not None
+    for solution in _solutions_for_intersection(setting, instance, cfg, existence):
+        found_any = True
+        if pair not in evaluate_nre(solution, query):
+            return solution
+    if not found_any:
+        raise BoundExceeded(
+            "existence unsettled and no candidate solutions within bounds"
+        )
+    return None

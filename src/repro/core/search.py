@@ -1,0 +1,287 @@
+"""Bounded enumeration of candidate solutions.
+
+Every solution G contains a homomorphic image of the chased pattern π
+(that is what makes π a universal representative for the constraint-free
+part of the setting).  The *minimal* solutions — the only ones that matter
+for certain answers of monotone queries, and sufficient witnesses for
+existence — are therefore obtained by:
+
+1. choosing, for every NRE edge of π, a concrete witness (union branches,
+   star unrollings up to ``star_bound`` — :mod:`repro.graph.witness`);
+2. choosing a *quotient*: which nulls collapse with each other or with
+   constants (egds force such identifications in solutions; the choices are
+   enumerated as set partitions of the nulls with an optional constant per
+   block);
+3. repairing constraint kinds that are always repairable: sameAs constraints
+   by saturation, general target tgds by a bounded chase;
+4. filtering by the full solution predicate.
+
+The enumeration is exponential (witness choices × partitions), which is the
+expected shape: the paper proves existence NP-hard (Theorem 4.1) and
+certain answers coNP-hard (Corollary 4.2), so *some* exponential lives here
+by necessity.  All knobs are explicit in :class:`CandidateSearchConfig`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Hashable, Iterator
+
+from repro.chase.egd_chase import chase_with_egds
+from repro.chase.pattern_chase import chase_pattern
+from repro.chase.sameas_chase import saturate_sameas
+from repro.chase.target_tgd_chase import chase_target_tgds
+from repro.core.setting import DataExchangeSetting
+from repro.core.solution import is_solution
+from repro.errors import BoundExceeded
+from repro.graph.database import GraphDatabase
+from repro.patterns.pattern import GraphPattern
+from repro.patterns.rep import enumerate_instantiations
+from repro.relational.instance import RelationalInstance
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class CandidateSearchConfig:
+    """Bounds for the candidate-solution enumeration."""
+
+    star_bound: int = 1
+    """Maximum star unrollings per star occurrence in edge witnesses."""
+
+    max_candidates: int | None = None
+    """Stop after yielding this many solutions (``None`` = unbounded)."""
+
+    max_instantiations: int | None = 512
+    """Cap on witness-choice combinations examined."""
+
+    max_quotients: int | None = 512
+    """Cap on null quotients examined per instantiation."""
+
+    tgd_rounds: int = 10
+    """Round budget for repairing general target tgds."""
+
+    quotient_nulls: bool = True
+    """Whether to enumerate null identifications at all (needed under egds)."""
+
+    prune_coarser: bool = True
+    """Skip quotients coarsening an accepted solution quotient.
+
+    Sound for certain answers and existence: the skipped solution is a
+    homomorphic image (identity on constants) of an accepted one, so its
+    answer set on constant tuples is a superset (monotonicity of NREs).
+    Automatically disabled when general target tgds are present.
+    """
+
+
+def _partitions(items: list[Node]) -> Iterator[list[list[Node]]]:
+    """Yield all set partitions of ``items`` (restricted-growth strings)."""
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partition in _partitions(rest):
+        for i, block in enumerate(partition):
+            yield partition[:i] + [[first] + block] + partition[i + 1 :]
+        yield [[first]] + partition
+
+
+def _quotient_maps(
+    null_nodes: list[Node],
+    constants: list[Node],
+    limit: int | None,
+) -> list[dict[Node, Node]]:
+    """Return maps sending each null-derived node to its representative.
+
+    Each set partition of the nulls becomes several maps: every block maps
+    either to its own first element (stays null-like) or to one constant.
+    The list is ordered from finest (identity) to coarsest, measured by the
+    number of identifications performed; the coarsening-pruning in
+    :func:`candidate_solutions` relies on this order.
+    """
+
+    def rank(mapping: dict[Node, Node]) -> int:
+        merged_away = sum(1 for node, target in mapping.items() if node != target)
+        into_constants = sum(1 for target in mapping.values() if target in constant_set)
+        return merged_away + into_constants
+
+    constant_set = set(constants)
+    maps: list[dict[Node, Node]] = []
+    for partition in _partitions(null_nodes):
+        per_block_choices = [[block[0]] + constants for block in partition]
+        for targets in itertools.product(*per_block_choices):
+            mapping: dict[Node, Node] = {}
+            for block, target in zip(partition, targets):
+                for member in block:
+                    mapping[member] = target
+            maps.append(mapping)
+            if limit is not None and len(maps) >= limit:
+                maps.sort(key=rank)
+                return maps
+    maps.sort(key=rank)
+    return maps
+
+
+def _coarsens(
+    finer: dict[Node, Node],
+    candidate: dict[Node, Node],
+    null_nodes: list[Node],
+    constants: set[Node],
+) -> bool:
+    """Whether ``candidate`` factors through ``finer`` (identifies at least
+    as much, and agrees on every constant ``finer`` already pinned).
+
+    When it does, the candidate's solution is a homomorphic image of the
+    finer one (identity on constants), so by monotonicity of NREs its
+    answer set on constant tuples is a superset — useless for certain-answer
+    intersections and redundant as an existence witness.
+    """
+    image: dict[Node, Node] = {}
+    for node in null_nodes:
+        finer_value = finer.get(node, node)
+        candidate_value = candidate.get(node, node)
+        if finer_value in constants:
+            if candidate_value != finer_value:
+                return False
+            continue
+        pinned = image.get(finer_value)
+        if pinned is None:
+            image[finer_value] = candidate_value
+        elif pinned != candidate_value:
+            return False
+    return True
+
+
+def _apply_quotient(graph: GraphDatabase, mapping: dict[Node, Node]) -> GraphDatabase:
+    result = GraphDatabase(alphabet=graph.alphabet)
+    for node in graph.nodes():
+        result.add_node(mapping.get(node, node))
+    for edge in graph.edges():
+        result.add_edge(
+            mapping.get(edge.source, edge.source),
+            edge.label,
+            mapping.get(edge.target, edge.target),
+        )
+    return result
+
+
+def chased_pattern_for(
+    setting: DataExchangeSetting, instance: RelationalInstance
+) -> GraphPattern | None:
+    """Chase the pattern (with egd steps when egds are present).
+
+    Returns ``None`` when the egd chase fails — then no solution exists and
+    the search space is empty.
+    """
+    if setting.egds():
+        result = chase_with_egds(
+            setting.st_tgds, setting.egds(), instance, alphabet=setting.alphabet
+        )
+        if result.failed:
+            return None
+        return result.expect_pattern()
+    return chase_pattern(
+        setting.st_tgds, instance, alphabet=setting.alphabet
+    ).expect_pattern()
+
+
+def candidate_solutions(
+    setting: DataExchangeSetting,
+    instance: RelationalInstance,
+    config: CandidateSearchConfig | None = None,
+) -> Iterator[GraphDatabase]:
+    """Yield distinct (bounded-)minimal solutions for ``instance`` under Ω.
+
+    Every yielded graph passes the full :func:`repro.core.solution.is_solution`
+    check, so consumers may rely on them being genuine solutions.
+    """
+    cfg = config if config is not None else CandidateSearchConfig()
+    pattern = chased_pattern_for(setting, instance)
+    if pattern is None:
+        return
+
+    sigma = setting.effective_alphabet()
+    constants = sorted(
+        (n for n in pattern.constants()), key=repr
+    )
+    seen: set[frozenset] = set()
+    solution_signatures: set[frozenset] = set()
+    yielded = 0
+    examined_instantiations = 0
+
+    for instantiation in enumerate_instantiations(
+        pattern, star_bound=cfg.star_bound, alphabet=sigma
+    ):
+        examined_instantiations += 1
+        if (
+            cfg.max_instantiations is not None
+            and examined_instantiations > cfg.max_instantiations
+        ):
+            return
+        null_nodes = sorted(
+            {
+                instantiation.assignment[null]
+                for null in pattern.nulls()
+            },
+            key=repr,
+        )
+        if cfg.quotient_nulls:
+            quotients = _quotient_maps(null_nodes, constants, cfg.max_quotients)
+        else:
+            quotients = [{}]
+        constant_set = set(constants)
+        # Pruning: once a quotient yields a solution, every coarser quotient
+        # of the same instantiation is a homomorphic image of it (identity
+        # on constants), hence answer-superset by monotonicity — skip it.
+        # Disabled when general target tgds are present (their bounded-chase
+        # repair does not commute with homomorphisms in general).
+        prune = cfg.prune_coarser and not setting.general_target_tgds()
+        accepted: list[dict[Node, Node]] = []
+        for mapping in quotients:
+            if prune and any(
+                _coarsens(done, mapping, null_nodes, constant_set)
+                for done in accepted
+            ):
+                continue
+            graph = _apply_quotient(instantiation.graph, mapping)
+            graph = _repair(graph, setting, cfg)
+            if graph is None:
+                continue
+            signature = frozenset(graph.edges()) | frozenset(
+                ("node", n) for n in graph.nodes()
+            )
+            if signature in seen:
+                if signature in solution_signatures:
+                    accepted.append(mapping)
+                continue
+            seen.add(signature)
+            if is_solution(instance, graph, setting):
+                solution_signatures.add(signature)
+                accepted.append(mapping)
+                yield graph
+                yielded += 1
+                if cfg.max_candidates is not None and yielded >= cfg.max_candidates:
+                    return
+
+
+def _repair(
+    graph: GraphDatabase,
+    setting: DataExchangeSetting,
+    cfg: CandidateSearchConfig,
+) -> GraphDatabase | None:
+    """Apply the always-repairable constraint kinds; ``None`` if repair fails."""
+    if setting.sameas_constraints():
+        graph = saturate_sameas(graph, list(setting.sameas_constraints()))
+    general = setting.general_target_tgds()
+    if general:
+        try:
+            result = chase_target_tgds(
+                graph, general, max_rounds=cfg.tgd_rounds, strict=True
+            )
+        except BoundExceeded:
+            return None
+        graph = result.expect_graph()
+        if setting.sameas_constraints():
+            graph = saturate_sameas(graph, list(setting.sameas_constraints()))
+    return graph

@@ -1,0 +1,198 @@
+"""Data exchange settings Ω = (R, Σ, M_st, M_t) — Definition 2.1.
+
+A :class:`DataExchangeSetting` bundles the relational source schema, the
+target alphabet, the s-t tgds, and the target constraints (egds, sameAs
+constraints, and/or general target tgds).  It also classifies itself into
+the syntactic fragments the paper's results speak about
+(:class:`SettingFragment`), which the existence and certain-answer engines
+use to pick complete algorithms where they exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
+
+from repro.errors import SchemaError
+from repro.graph.classes import alphabet_of, is_union_of_symbols
+from repro.graph.nre import Concat, Label, Union as NREUnion
+from repro.mappings.egd import TargetEgd
+from repro.mappings.sameas import SAME_AS_LABEL, SameAsConstraint
+from repro.mappings.stt import SourceToTargetTgd
+from repro.mappings.target_tgd import TargetTgd
+from repro.relational.schema import RelationalSchema
+
+TargetConstraint = Union[TargetEgd, SameAsConstraint, TargetTgd]
+
+
+@dataclass(frozen=True)
+class SettingFragment:
+    """Syntactic classification of a setting, per the paper's restrictions.
+
+    * ``heads_union_of_symbols`` — every s-t tgd head atom uses an NRE of
+      the form ``a`` or ``a + b + …`` (Theorem 4.1 restriction (iii));
+    * ``heads_single_symbols`` — stronger: every head atom is a bare symbol
+      (the Section 3.1 relational fragment);
+    * ``heads_existential_free`` — no existential variables in any head;
+    * ``egd_bodies_words`` — after distributing top-level unions, every egd
+      body atom is a concatenation of forward symbols (covers the SORE(·)
+      restriction (iv); distinctness of symbols is *not* required here);
+    * ``constraint kinds`` — which of egds / sameAs / general target tgds
+      are present.
+    """
+
+    heads_union_of_symbols: bool
+    heads_single_symbols: bool
+    heads_existential_free: bool
+    egd_bodies_words: bool
+    has_egds: bool
+    has_sameas: bool
+    has_general_tgds: bool
+
+    @property
+    def has_target_constraints(self) -> bool:
+        """Whether any target constraint is present."""
+        return self.has_egds or self.has_sameas or self.has_general_tgds
+
+    @property
+    def sat_encodable(self) -> bool:
+        """Whether the complete SAT-based existence procedure applies.
+
+        Requires union-of-symbols heads and word egd bodies, and no
+        constraint kinds other than egds.  In this fragment the bounded
+        search over the chased pattern's node set is *complete* (see
+        :mod:`repro.core.existence` for the argument).
+        """
+        return (
+            self.heads_union_of_symbols
+            and self.egd_bodies_words
+            and not self.has_sameas
+            and not self.has_general_tgds
+        )
+
+
+def _is_word(expr) -> bool:
+    """Whether ``expr`` is a non-empty concatenation of forward labels."""
+    if isinstance(expr, Label):
+        return True
+    if isinstance(expr, Concat):
+        return _is_word(expr.left) and _is_word(expr.right)
+    return False
+
+
+def _atom_is_word_after_union_split(expr) -> bool:
+    """Whether ``expr`` is a union of words (a single word included)."""
+    if isinstance(expr, NREUnion):
+        return _atom_is_word_after_union_split(expr.left) and (
+            _atom_is_word_after_union_split(expr.right)
+        )
+    return _is_word(expr)
+
+
+class DataExchangeSetting:
+    """Ω = (R, Σ, M_st, M_t), Definition 2.1 of the paper.
+
+    ``alphabet`` is the target schema Σ.  When sameAs constraints are
+    present, the *effective* alphabet (:meth:`effective_alphabet`) includes
+    the distinguished ``sameAs`` label, mirroring the paper's
+    ``Σ_ρ ∪ {sameAs}`` in Proposition 4.3.
+    """
+
+    def __init__(
+        self,
+        source_schema: RelationalSchema,
+        alphabet: Iterable[str],
+        st_tgds: Sequence[SourceToTargetTgd],
+        target_constraints: Sequence[TargetConstraint] = (),
+        name: str = "",
+    ):
+        self.source_schema = source_schema
+        self.alphabet = frozenset(alphabet)
+        self.st_tgds = tuple(st_tgds)
+        self.target_constraints = tuple(target_constraints)
+        self.name = name
+        self._validate()
+
+    def _validate(self) -> None:
+        for tgd in self.st_tgds:
+            tgd.body.validate(self.source_schema)
+            for expr in tgd.head.expressions():
+                unknown = alphabet_of(expr) - self.alphabet
+                if unknown:
+                    raise SchemaError(
+                        f"s-t tgd head uses labels outside Σ: {sorted(unknown)}"
+                    )
+        effective = self.effective_alphabet()
+        for constraint in self.target_constraints:
+            expressions = list(constraint.body.expressions())
+            if isinstance(constraint, TargetTgd):
+                expressions.extend(constraint.head.expressions())
+            for expr in expressions:
+                unknown = alphabet_of(expr) - effective
+                if unknown:
+                    raise SchemaError(
+                        f"target constraint uses labels outside Σ: {sorted(unknown)}"
+                    )
+
+    # ------------------------------------------------------------------ #
+    # Constraint accessors
+    # ------------------------------------------------------------------ #
+
+    def egds(self) -> tuple[TargetEgd, ...]:
+        """The egds among the target constraints."""
+        return tuple(c for c in self.target_constraints if isinstance(c, TargetEgd))
+
+    def sameas_constraints(self) -> tuple[SameAsConstraint, ...]:
+        """The sameAs constraints among the target constraints."""
+        return tuple(
+            c for c in self.target_constraints if isinstance(c, SameAsConstraint)
+        )
+
+    def general_target_tgds(self) -> tuple[TargetTgd, ...]:
+        """The target tgds that are not sameAs constraints."""
+        return tuple(
+            c
+            for c in self.target_constraints
+            if isinstance(c, TargetTgd) and not isinstance(c, SameAsConstraint)
+        )
+
+    def effective_alphabet(self) -> frozenset[str]:
+        """Σ, extended with ``sameAs`` when sameAs constraints are present."""
+        if self.sameas_constraints():
+            return self.alphabet | {SAME_AS_LABEL}
+        return self.alphabet
+
+    # ------------------------------------------------------------------ #
+    # Fragment classification
+    # ------------------------------------------------------------------ #
+
+    def fragment(self) -> SettingFragment:
+        """Classify the setting into the paper's syntactic fragments."""
+        head_exprs = [
+            atom.nre for tgd in self.st_tgds for atom in tgd.head.atoms
+        ]
+        heads_union = all(is_union_of_symbols(e) for e in head_exprs)
+        heads_single = all(isinstance(e, Label) for e in head_exprs)
+        heads_no_exist = all(not tgd.existentials for tgd in self.st_tgds)
+        egd_words = all(
+            _atom_is_word_after_union_split(atom.nre)
+            for egd in self.egds()
+            for atom in egd.body.atoms
+        )
+        return SettingFragment(
+            heads_union_of_symbols=heads_union,
+            heads_single_symbols=heads_single,
+            heads_existential_free=heads_no_exist,
+            egd_bodies_words=egd_words,
+            has_egds=bool(self.egds()),
+            has_sameas=bool(self.sameas_constraints()),
+            has_general_tgds=bool(self.general_target_tgds()),
+        )
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"DataExchangeSetting{label}(|R|={len(self.source_schema)}, "
+            f"|Σ|={len(self.alphabet)}, |M_st|={len(self.st_tgds)}, "
+            f"|M_t|={len(self.target_constraints)})"
+        )

@@ -1,0 +1,145 @@
+"""Universal representatives under target constraints (Section 5).
+
+Without target constraints, the chased pattern π is a universal
+representative: ``Sol_Ω(I) = Rep_Σ(π)`` [5].  With egds this breaks down in
+two independent ways, both made executable here:
+
+* a *successful* adapted chase does not imply a solution exists
+  (Example 5.2 — see :mod:`repro.core.existence` for the decision
+  procedures that close the gap);
+* **no** graph pattern can capture exactly the solutions
+  (Proposition 5.3): ``Rep_Σ`` is closed under adding nodes/edges to a
+  graph (homomorphisms survive extension), while satisfaction of a
+  non-trivially-firing egd is not.  :func:`non_universality_counterexample`
+  constructs, from any solution, an extension that stays in ``Rep_Σ(π)``
+  but violates an egd — the generic form of the paper's Figure 7.
+
+The fix the paper proposes — representing solutions as a *pair*
+(pattern, target constraints) — is :class:`UniversalRepresentative`:
+``G`` is represented iff π → G **and** G satisfies the constraints.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.chase.egd_chase import chase_with_egds
+from repro.chase.result import ChaseResult
+from repro.core.setting import DataExchangeSetting, TargetConstraint
+from repro.graph.database import GraphDatabase
+from repro.graph.witness import materialize_witness, witness_tree
+from repro.mappings.egd import TargetEgd
+from repro.patterns.homomorphism import has_homomorphism
+from repro.patterns.pattern import GraphPattern
+from repro.relational.instance import RelationalInstance
+from repro.relational.query import is_variable
+
+
+@dataclass
+class UniversalRepresentative:
+    """The (pattern, constraints) pair of Section 5's closing discussion.
+
+    Membership combines the homomorphism test with constraint satisfaction;
+    for settings whose egd chase succeeds, the adapted-chase pattern paired
+    with the setting's target constraints represents exactly the solutions
+    on the paper's examples (the general completeness question is the open
+    problem the paper states in its conclusions).
+    """
+
+    pattern: GraphPattern
+    constraints: tuple[TargetConstraint, ...]
+
+    def contains(self, graph: GraphDatabase) -> bool:
+        """Whether ``graph`` is represented: π → G and G ⊨ constraints."""
+        if not has_homomorphism(self.pattern, graph):
+            return False
+        return all(constraint.is_satisfied(graph) for constraint in self.constraints)
+
+
+def adapted_chase(
+    setting: DataExchangeSetting, instance: RelationalInstance
+) -> ChaseResult:
+    """Run the Section 5 adapted chase for ``setting`` (egds applied).
+
+    Convenience wrapper over :func:`repro.chase.egd_chase.chase_with_egds`
+    using the setting's s-t tgds and egds.
+    """
+    return chase_with_egds(
+        setting.st_tgds, setting.egds(), instance, alphabet=setting.alphabet
+    )
+
+
+def universal_representative(
+    setting: DataExchangeSetting, instance: RelationalInstance
+) -> UniversalRepresentative | None:
+    """Build the (pattern, constraints) representative, or ``None`` on failure.
+
+    ``None`` means the adapted chase failed, i.e. no solution exists.
+    """
+    result = adapted_chase(setting, instance)
+    if result.failed:
+        return None
+    return UniversalRepresentative(
+        pattern=result.expect_pattern(),
+        constraints=setting.target_constraints,
+    )
+
+
+def non_universality_counterexample(
+    solution: GraphDatabase,
+    egds: Sequence[TargetEgd],
+) -> GraphDatabase | None:
+    """Extend a solution into a hom-preserving egd violator (Prop. 5.3).
+
+    Given a solution ``G`` and a non-empty set of egds, returns ``G′ ⊇ G``
+    that violates some egd.  Since ``G ⊆ G′``, any homomorphism (from any
+    pattern) into G survives into G′; therefore no pattern π can satisfy
+    ``Sol_Ω(I) = Rep_Σ(π)`` — G′ would be in ``Rep_Σ(π)`` but is not a
+    solution.
+
+    The construction instantiates one egd's body with *fresh, pairwise
+    distinct* nodes (one per body variable; word witnesses get fresh
+    intermediates), so the equated pair lands on two distinct fresh nodes.
+    Returns ``None`` only when every egd's body forces its equated variables
+    to coincide syntactically (a trivial egd that cannot be violated).
+    """
+    fresh_ids = itertools.count()
+
+    def allocate() -> str:
+        return f"_x{next(fresh_ids)}"
+
+    for egd in egds:
+        extended = solution.copy()
+        assignment = {
+            variable: f"_x{next(fresh_ids)}" for variable in egd.body.variables()
+        }
+        if assignment[egd.left] == assignment[egd.right]:
+            continue
+        feasible = True
+        planned: list[tuple[object, str, object]] = []
+        for atom in egd.body.atoms:
+            source = (
+                assignment[atom.subject] if is_variable(atom.subject) else atom.subject
+            )
+            target = (
+                assignment[atom.object] if is_variable(atom.object) else atom.object
+            )
+            witness = witness_tree(atom.nre, source, target, fresh=allocate)
+            edges, canonical = materialize_witness(witness)
+            # The witness must not identify the two equated endpoints (e.g.
+            # an egd whose body admits only ε between them is unviolatable).
+            left_rep = canonical.get(assignment[egd.left])
+            right_rep = canonical.get(assignment[egd.right])
+            if left_rep is not None and left_rep == right_rep:
+                feasible = False
+                break
+            planned.extend(edges)
+        if not feasible:
+            continue
+        for source, lab, target in planned:
+            extended.add_edge(source, lab, target)
+        if not egd.is_satisfied(extended):
+            return extended
+    return None

@@ -1,0 +1,214 @@
+"""Product-automaton evaluation of NREs.
+
+An NRE is compiled, Thompson-style, into a nondeterministic finite automaton
+whose transitions are of four kinds:
+
+* ``eps`` — spontaneous;
+* ``fwd a`` — traverse a forward ``a``-edge of the graph;
+* ``bwd a`` — traverse an ``a``-edge backwards;
+* ``test A`` — a *nested test*: stay on the current node ``u`` provided some
+  node is reachable from ``u`` in the sub-automaton ``A`` (this implements
+  the ``[r]`` combinator of [5]).
+
+Evaluation is a BFS over the product of the graph and the automaton, which is
+the textbook PTIME algorithm for (nested) RPQs.  Nested tests are memoised
+per (automaton, node).
+
+This module is an independent implementation of the same semantics as
+:mod:`repro.graph.eval`; the two are differential-tested against each other
+in the property-based test suite.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.graph.database import GraphDatabase
+from repro.graph.nre import (
+    NRE,
+    Backward,
+    Concat,
+    Epsilon,
+    Label,
+    Nest,
+    Star,
+    Union,
+)
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A single automaton transition ``source --kind/payload--> target``."""
+
+    source: int
+    kind: str  # "eps" | "fwd" | "bwd" | "test"
+    payload: object  # label name for fwd/bwd, NREAutomaton for test, None for eps
+    target: int
+
+
+@dataclass
+class NREAutomaton:
+    """A Thompson-style NFA with one start and one accept state."""
+
+    start: int = 0
+    accept: int = 1
+    state_count: int = 2
+    transitions: list[Transition] = field(default_factory=list)
+    _outgoing: dict[int, list[Transition]] | None = field(default=None, repr=False)
+
+    def outgoing(self, state: int) -> list[Transition]:
+        """Return the transitions leaving ``state`` (indexed lazily)."""
+        if self._outgoing is None:
+            index: dict[int, list[Transition]] = {}
+            for transition in self.transitions:
+                index.setdefault(transition.source, []).append(transition)
+            self._outgoing = index
+        return self._outgoing.get(state, [])
+
+
+class _Builder:
+    """Accumulates states and transitions during compilation."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.transitions: list[Transition] = []
+
+    def fresh(self) -> int:
+        state = self.count
+        self.count += 1
+        return state
+
+    def add(self, source: int, kind: str, payload: object, target: int) -> None:
+        self.transitions.append(Transition(source, kind, payload, target))
+
+
+def _compile(expr: NRE, builder: _Builder) -> tuple[int, int]:
+    """Compile ``expr`` to a fragment, returning its (start, accept) states."""
+    start, accept = builder.fresh(), builder.fresh()
+    if isinstance(expr, Epsilon):
+        builder.add(start, "eps", None, accept)
+    elif isinstance(expr, Label):
+        builder.add(start, "fwd", expr.name, accept)
+    elif isinstance(expr, Backward):
+        builder.add(start, "bwd", expr.name, accept)
+    elif isinstance(expr, Union):
+        for part in (expr.left, expr.right):
+            sub_start, sub_accept = _compile(part, builder)
+            builder.add(start, "eps", None, sub_start)
+            builder.add(sub_accept, "eps", None, accept)
+    elif isinstance(expr, Concat):
+        left_start, left_accept = _compile(expr.left, builder)
+        right_start, right_accept = _compile(expr.right, builder)
+        builder.add(start, "eps", None, left_start)
+        builder.add(left_accept, "eps", None, right_start)
+        builder.add(right_accept, "eps", None, accept)
+    elif isinstance(expr, Star):
+        sub_start, sub_accept = _compile(expr.inner, builder)
+        builder.add(start, "eps", None, accept)
+        builder.add(start, "eps", None, sub_start)
+        builder.add(sub_accept, "eps", None, sub_start)
+        builder.add(sub_accept, "eps", None, accept)
+    elif isinstance(expr, Nest):
+        nested = compile_nre(expr.inner)
+        builder.add(start, "test", nested, accept)
+    else:  # pragma: no cover - exhaustive over the AST
+        raise TypeError(f"unknown NRE node {expr!r}")
+    return start, accept
+
+
+def compile_nre(expr: NRE) -> NREAutomaton:
+    """Compile an NRE into an :class:`NREAutomaton`.
+
+    Nested tests compile their bodies into separate sub-automata referenced
+    by ``test`` transitions, so the result is a tree of automata mirroring
+    the nesting structure of the expression.
+    """
+    builder = _Builder()
+    start, accept = _compile(expr, builder)
+    return NREAutomaton(
+        start=start,
+        accept=accept,
+        state_count=builder.count,
+        transitions=builder.transitions,
+    )
+
+
+class _Runner:
+    """Evaluates automata over one fixed graph, memoising nested tests."""
+
+    def __init__(self, graph: GraphDatabase):
+        self.graph = graph
+        self._test_cache: dict[tuple[int, Node], bool] = {}
+
+    def reachable(self, automaton: NREAutomaton, source: Node) -> frozenset[Node]:
+        """Return the nodes reachable from ``source`` through ``automaton``."""
+        start_config = (source, automaton.start)
+        seen: set[tuple[Node, int]] = {start_config}
+        queue: deque[tuple[Node, int]] = deque([start_config])
+        hits: set[Node] = set()
+        while queue:
+            node, state = queue.popleft()
+            if state == automaton.accept:
+                hits.add(node)
+            for transition in automaton.outgoing(state):
+                if transition.kind == "eps":
+                    nexts: tuple[tuple[Node, int], ...] = ((node, transition.target),)
+                elif transition.kind == "fwd":
+                    nexts = tuple(
+                        (succ, transition.target)
+                        for succ in self.graph.successors(node, transition.payload)  # type: ignore[arg-type]
+                    )
+                elif transition.kind == "bwd":
+                    nexts = tuple(
+                        (pred, transition.target)
+                        for pred in self.graph.predecessors(node, transition.payload)  # type: ignore[arg-type]
+                    )
+                else:  # "test"
+                    nested: NREAutomaton = transition.payload  # type: ignore[assignment]
+                    nexts = ((node, transition.target),) if self._test(nested, node) else ()
+                for config in nexts:
+                    if config not in seen:
+                        seen.add(config)
+                        queue.append(config)
+        return frozenset(hits)
+
+    def _test(self, nested: NREAutomaton, node: Node) -> bool:
+        key = (id(nested), node)
+        cached = self._test_cache.get(key)
+        if cached is None:
+            cached = bool(self.reachable(nested, node))
+            self._test_cache[key] = cached
+        return cached
+
+
+def evaluate_nre_automaton(
+    graph: GraphDatabase, expr: NRE
+) -> frozenset[tuple[Node, Node]]:
+    """Evaluate ``expr`` on ``graph`` via the product automaton.
+
+    Returns the same relation as :func:`repro.graph.eval.evaluate_nre`; the
+    two implementations share no code and serve as mutual oracles.
+    """
+    automaton = compile_nre(expr)
+    runner = _Runner(graph)
+    pairs: set[tuple[Node, Node]] = set()
+    for source in graph.nodes():
+        for target in runner.reachable(automaton, source):
+            pairs.add((source, target))
+    return frozenset(pairs)
+
+
+def automaton_reachable(
+    graph: GraphDatabase, expr: NRE, source: Node
+) -> frozenset[Node]:
+    """Single-source evaluation: ``{v | (source, v) ∈ ⟦expr⟧}`` via BFS.
+
+    Unlike the set-algebraic evaluator this touches only the part of the
+    product space reachable from ``source`` — the right tool for large
+    graphs with selective queries.
+    """
+    return _Runner(graph).reachable(compile_nre(expr), source)

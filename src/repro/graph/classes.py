@@ -1,0 +1,111 @@
+"""Structural classifiers for NREs.
+
+The paper's hardness results hold under syntactic restrictions which these
+predicates make checkable:
+
+* Theorem 4.1 restriction (iii): s-t tgd heads use only NREs of the form
+  ``a`` or ``a + b`` — :func:`is_single_symbol` / :func:`is_union_of_symbols`;
+* Theorem 4.1 restriction (iv): egd bodies use only ``a₁ · … · aₙ`` with
+  pairwise-distinct symbols, the class "SORE(·)" of [2] —
+  :func:`is_sore_concat`;
+* the Section 3.1 relational fragment: heads that are single symbols only.
+
+Also provided: :func:`alphabet_of` (the labels an NRE mentions),
+:func:`nesting_depth`, and :func:`is_star_free`.
+"""
+
+from __future__ import annotations
+
+from repro.graph.nre import (
+    NRE,
+    Backward,
+    Concat,
+    Epsilon,
+    Label,
+    Nest,
+    Star,
+    Union,
+)
+
+
+def alphabet_of(expr: NRE) -> frozenset[str]:
+    """Return the set of edge labels mentioned by ``expr`` (either direction)."""
+    labels: set[str] = set()
+    for node in expr.walk():
+        if isinstance(node, (Label, Backward)):
+            labels.add(node.name)
+    return frozenset(labels)
+
+
+def nesting_depth(expr: NRE) -> int:
+    """Return the maximal depth of ``[·]`` nesting (0 when nest-free)."""
+    if isinstance(expr, Nest):
+        return 1 + nesting_depth(expr.inner)
+    children = expr.children()
+    if not children:
+        return 0
+    return max(nesting_depth(child) for child in children)
+
+
+def is_star_free(expr: NRE) -> bool:
+    """Return whether ``expr`` contains no Kleene star."""
+    return not any(isinstance(node, Star) for node in expr.walk())
+
+
+def is_single_symbol(expr: NRE) -> bool:
+    """Return whether ``expr`` is a bare forward label ``a``.
+
+    This is the Section 3.1 fragment: with such heads the exchange setting
+    degenerates to relational data exchange over binary relations.
+    """
+    return isinstance(expr, Label)
+
+
+def is_union_of_symbols(expr: NRE) -> bool:
+    """Return whether ``expr`` is ``a₁ + … + aₙ`` with forward labels only.
+
+    Theorem 4.1's restriction (iii) allows heads of the form ``a`` or
+    ``a + b``; any union of bare symbols qualifies.
+    """
+    if isinstance(expr, Label):
+        return True
+    if isinstance(expr, Union):
+        return is_union_of_symbols(expr.left) and is_union_of_symbols(expr.right)
+    return False
+
+
+def is_sore_concat(expr: NRE) -> bool:
+    """Return whether ``expr`` is ``a₁ · … · aₙ`` with pairwise-distinct labels.
+
+    "SORE(·)" — single-occurrence regular expressions over concatenation —
+    is the class [2] to which the paper restricts egd bodies in Theorem 4.1's
+    restriction (iv).
+    """
+    symbols: list[str] = []
+
+    def collect(node: NRE) -> bool:
+        if isinstance(node, Label):
+            symbols.append(node.name)
+            return True
+        if isinstance(node, Concat):
+            return collect(node.left) and collect(node.right)
+        return False
+
+    if not collect(expr):
+        return False
+    return len(symbols) == len(set(symbols))
+
+
+def is_epsilon_free(expr: NRE) -> bool:
+    """Return whether ``expr`` contains no ε atom."""
+    return not any(isinstance(node, Epsilon) for node in expr.walk())
+
+
+def uses_backward(expr: NRE) -> bool:
+    """Return whether ``expr`` traverses any edge backwards."""
+    return any(isinstance(node, Backward) for node in expr.walk())
+
+
+def is_nest_free(expr: NRE) -> bool:
+    """Return whether ``expr`` is a plain RPQ (no ``[·]`` tests)."""
+    return nesting_depth(expr) == 0

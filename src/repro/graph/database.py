@@ -1,0 +1,231 @@
+"""Directed edge-labeled graph databases.
+
+An instance over a target schema (finite alphabet) Σ is a directed,
+edge-labeled graph ``G = (V, E)`` with ``V`` a finite set of node ids and
+``E ⊆ V × Σ × V`` (paper, Section 2).  Nodes are arbitrary hashable values;
+labels are strings.
+
+The class keeps forward and backward adjacency indexes per label so that NRE
+evaluation can traverse edges in both directions in O(degree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator
+
+from repro.errors import SchemaError
+
+Node = Hashable
+LabelName = str
+
+
+@dataclass(frozen=True, order=True)
+class Edge:
+    """A labeled edge ``(source, label, target)``."""
+
+    source: Node
+    label: LabelName
+    target: Node
+
+    def __str__(self) -> str:
+        return f"({self.source} -{self.label}-> {self.target})"
+
+
+class GraphDatabase:
+    """A finite directed edge-labeled graph with fast per-label adjacency.
+
+    ``alphabet`` optionally fixes the target schema Σ; when provided, adding
+    an edge with a label outside Σ raises :class:`~repro.errors.SchemaError`.
+    When omitted, the alphabet is open and grows with the edges.
+
+    >>> g = GraphDatabase(alphabet={"f", "h"})
+    >>> g.add_edge("c1", "f", "c2")
+    >>> g.has_edge("c1", "f", "c2")
+    True
+    >>> sorted(g.successors("c1", "f"))
+    ['c2']
+    """
+
+    def __init__(
+        self,
+        alphabet: Iterable[LabelName] | None = None,
+        nodes: Iterable[Node] = (),
+        edges: Iterable[tuple[Node, LabelName, Node]] = (),
+    ):
+        self._alphabet: frozenset[LabelName] | None = (
+            frozenset(alphabet) if alphabet is not None else None
+        )
+        self._nodes: set[Node] = set()
+        self._edges: set[Edge] = set()
+        # label -> node -> set of neighbours
+        self._fwd: dict[LabelName, dict[Node, set[Node]]] = {}
+        self._bwd: dict[LabelName, dict[Node, set[Node]]] = {}
+        for node in nodes:
+            self.add_node(node)
+        for source, lab, target in edges:
+            self.add_edge(source, lab, target)
+
+    @property
+    def alphabet(self) -> frozenset[LabelName]:
+        """The declared alphabet, or the set of labels in use if undeclared."""
+        if self._alphabet is not None:
+            return self._alphabet
+        return frozenset(self._fwd)
+
+    def add_node(self, node: Node) -> None:
+        """Add an isolated node (idempotent)."""
+        self._nodes.add(node)
+
+    def add_edge(self, source: Node, lab: LabelName, target: Node) -> None:
+        """Add the edge ``(source, lab, target)``; endpoints are auto-added."""
+        if self._alphabet is not None and lab not in self._alphabet:
+            raise SchemaError(f"label {lab!r} is not in the alphabet {sorted(self._alphabet)}")
+        self._nodes.add(source)
+        self._nodes.add(target)
+        self._edges.add(Edge(source, lab, target))
+        self._fwd.setdefault(lab, {}).setdefault(source, set()).add(target)
+        self._bwd.setdefault(lab, {}).setdefault(target, set()).add(source)
+
+    def remove_edge(self, source: Node, lab: LabelName, target: Node) -> None:
+        """Remove an edge if present; endpoints stay in the node set."""
+        edge = Edge(source, lab, target)
+        if edge in self._edges:
+            self._edges.remove(edge)
+            self._fwd[lab][source].discard(target)
+            self._bwd[lab][target].discard(source)
+
+    def has_edge(self, source: Node, lab: LabelName, target: Node) -> bool:
+        """Return whether the edge ``(source, lab, target)`` is present."""
+        return Edge(source, lab, target) in self._edges
+
+    def nodes(self) -> frozenset[Node]:
+        """Return the node set."""
+        return frozenset(self._nodes)
+
+    def edges(self) -> frozenset[Edge]:
+        """Return the edge set."""
+        return frozenset(self._edges)
+
+    def successors(self, node: Node, lab: LabelName) -> frozenset[Node]:
+        """Return ``{v | (node, lab, v) ∈ E}``."""
+        return frozenset(self._fwd.get(lab, {}).get(node, ()))
+
+    def predecessors(self, node: Node, lab: LabelName) -> frozenset[Node]:
+        """Return ``{u | (u, lab, node) ∈ E}``."""
+        return frozenset(self._bwd.get(lab, {}).get(node, ()))
+
+    def edges_with_label(self, lab: LabelName) -> frozenset[tuple[Node, Node]]:
+        """Return all ``(u, v)`` pairs with an edge labeled ``lab``."""
+        forward = self._fwd.get(lab, {})
+        return frozenset((u, v) for u, targets in forward.items() for v in targets)
+
+    def node_count(self) -> int:
+        """Return the number of nodes."""
+        return len(self._nodes)
+
+    def edge_count(self) -> int:
+        """Return the number of edges."""
+        return len(self._edges)
+
+    def copy(self) -> "GraphDatabase":
+        """Return an independent copy (same alphabet declaration)."""
+        clone = GraphDatabase(alphabet=self._alphabet)
+        clone._nodes = set(self._nodes)
+        for edge in self._edges:
+            clone.add_edge(edge.source, edge.label, edge.target)
+        return clone
+
+    def extended(
+        self, edges: Iterable[tuple[Node, LabelName, Node]]
+    ) -> "GraphDatabase":
+        """Return a copy with ``edges`` added (the original is untouched)."""
+        clone = self.copy()
+        for source, lab, target in edges:
+            clone.add_edge(source, lab, target)
+        return clone
+
+    def with_alphabet(self, alphabet: Iterable[LabelName]) -> "GraphDatabase":
+        """Return a copy whose declared alphabet is ``alphabet``.
+
+        Useful when a graph built over Σ must be re-read over Σ ∪ {sameAs}.
+        """
+        clone = GraphDatabase(alphabet=alphabet)
+        for node in self._nodes:
+            clone.add_node(node)
+        for edge in self._edges:
+            clone.add_edge(edge.source, edge.label, edge.target)
+        return clone
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._nodes
+
+    def __iter__(self) -> Iterator[Edge]:
+        return iter(sorted(self._edges, key=repr))
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GraphDatabase):
+            return NotImplemented
+        return self._nodes == other._nodes and self._edges == other._edges
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphDatabase(|V|={len(self._nodes)}, |E|={len(self._edges)}, "
+            f"Σ={sorted(map(str, self.alphabet))})"
+        )
+
+    def is_isomorphic_to(self, other: "GraphDatabase") -> bool:
+        """Decide label-preserving graph isomorphism by backtracking.
+
+        Exponential in the worst case; intended for the small graphs of the
+        paper's figures (≤ ~10 nodes), where it is instantaneous.
+        """
+        if self.node_count() != other.node_count() or self.edge_count() != other.edge_count():
+            return False
+
+        def signature(g: GraphDatabase, node: Node) -> tuple:
+            out = tuple(sorted((e.label) for e in g.edges() if e.source == node))
+            inc = tuple(sorted((e.label) for e in g.edges() if e.target == node))
+            return (out, inc)
+
+        mine = sorted(self._nodes, key=repr)
+        sig_self = {n: signature(self, n) for n in mine}
+        sig_other: dict[Node, tuple] = {n: signature(other, n) for n in other.nodes()}
+
+        def backtrack(index: int, mapping: dict[Node, Node], used: set[Node]) -> bool:
+            if index == len(mine):
+                return True
+            node = mine[index]
+            for candidate in other.nodes():
+                if candidate in used or sig_other[candidate] != sig_self[node]:
+                    continue
+                mapping[node] = candidate
+                used.add(candidate)
+                if _edges_consistent(self, other, mapping) and backtrack(
+                    index + 1, mapping, used
+                ):
+                    return True
+                del mapping[node]
+                used.remove(candidate)
+            return False
+
+        return backtrack(0, {}, set())
+
+
+def _edges_consistent(
+    g1: GraphDatabase, g2: GraphDatabase, mapping: dict[Node, Node]
+) -> bool:
+    """Check that the partial ``mapping`` preserves edges in both directions."""
+    for edge in g1.edges():
+        if edge.source in mapping and edge.target in mapping:
+            if not g2.has_edge(mapping[edge.source], edge.label, mapping[edge.target]):
+                return False
+    inverse = {v: k for k, v in mapping.items()}
+    for edge in g2.edges():
+        if edge.source in inverse and edge.target in inverse:
+            if not g1.has_edge(inverse[edge.source], edge.label, inverse[edge.target]):
+                return False
+    return True

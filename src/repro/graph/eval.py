@@ -1,0 +1,126 @@
+"""Recursive set-algebraic evaluation of NREs.
+
+``⟦r⟧_G`` is computed bottom-up as an explicit set of node pairs following
+the semantics of [5] (see :mod:`repro.graph.nre`).  The computation is
+polynomial: unions and compositions of binary relations, and a BFS-based
+reflexive-transitive closure for Kleene stars.
+
+This evaluator is deliberately simple and close to the definitions — it is
+the library's *reference* semantics.  The automaton evaluator in
+:mod:`repro.graph.automaton` is an independent implementation used for
+differential testing and for single-source queries on larger graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.graph.database import GraphDatabase
+from repro.graph.nre import (
+    NRE,
+    Backward,
+    Concat,
+    Epsilon,
+    Label,
+    Nest,
+    Star,
+    Union,
+)
+
+Node = Hashable
+PairSet = frozenset[tuple[Node, Node]]
+
+
+def _compose(left: PairSet, right: PairSet) -> PairSet:
+    """Relational composition ``left ; right``."""
+    by_source: dict[Node, set[Node]] = {}
+    for u, v in right:
+        by_source.setdefault(u, set()).add(v)
+    result: set[tuple[Node, Node]] = set()
+    for u, mid in left:
+        for v in by_source.get(mid, ()):
+            result.add((u, v))
+    return frozenset(result)
+
+
+def _closure(pairs: PairSet, nodes: frozenset[Node]) -> PairSet:
+    """Reflexive-transitive closure of ``pairs`` over ``nodes`` (BFS per node)."""
+    adjacency: dict[Node, set[Node]] = {}
+    for u, v in pairs:
+        adjacency.setdefault(u, set()).add(v)
+    result: set[tuple[Node, Node]] = {(n, n) for n in nodes}
+    for start in nodes:
+        frontier = [start]
+        seen = {start}
+        while frontier:
+            current = frontier.pop()
+            for nxt in adjacency.get(current, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+                    result.add((start, nxt))
+    return frozenset(result)
+
+
+def evaluate_nre(
+    graph: GraphDatabase,
+    expr: NRE,
+    _cache: dict[NRE, PairSet] | None = None,
+) -> PairSet:
+    """Return ``⟦expr⟧_G`` as a frozenset of node pairs.
+
+    Repeated subexpressions are evaluated once thanks to an internal cache
+    (NRE nodes are hashable values).
+
+    >>> g = GraphDatabase(edges=[("u", "a", "v"), ("v", "a", "w")])
+    >>> sorted(evaluate_nre(g, parse_nre("a . a")))  # doctest: +SKIP
+    [('u', 'w')]
+    """
+    cache: dict[NRE, PairSet] = _cache if _cache is not None else {}
+
+    def go(node: NRE) -> PairSet:
+        cached = cache.get(node)
+        if cached is not None:
+            return cached
+        if isinstance(node, Epsilon):
+            result: PairSet = frozenset((n, n) for n in graph.nodes())
+        elif isinstance(node, Label):
+            result = graph.edges_with_label(node.name)
+        elif isinstance(node, Backward):
+            result = frozenset((v, u) for u, v in graph.edges_with_label(node.name))
+        elif isinstance(node, Union):
+            result = go(node.left) | go(node.right)
+        elif isinstance(node, Concat):
+            result = _compose(go(node.left), go(node.right))
+        elif isinstance(node, Star):
+            result = _closure(go(node.inner), graph.nodes())
+        elif isinstance(node, Nest):
+            sources = {u for u, _ in go(node.inner)}
+            result = frozenset((u, u) for u in sources)
+        else:  # pragma: no cover - exhaustive over the AST
+            raise TypeError(f"unknown NRE node {node!r}")
+        cache[node] = result
+        return result
+
+    return go(expr)
+
+
+def nre_pairs(graph: GraphDatabase, expr: NRE) -> PairSet:
+    """Alias of :func:`evaluate_nre` (the name used throughout the docs)."""
+    return evaluate_nre(graph, expr)
+
+
+def nre_reachable(graph: GraphDatabase, expr: NRE, source: Node) -> frozenset[Node]:
+    """Return ``{v | (source, v) ∈ ⟦expr⟧_G}``."""
+    return frozenset(v for u, v in evaluate_nre(graph, expr) if u == source)
+
+
+def nre_holds(graph: GraphDatabase, expr: NRE, source: Node, target: Node) -> bool:
+    """Return whether ``(source, target) ∈ ⟦expr⟧_G``."""
+    return (source, target) in evaluate_nre(graph, expr)
+
+
+# Re-exported here to keep the doctest in evaluate_nre self-contained.
+from repro.graph.parser import parse_nre  # noqa: E402  (intentional tail import)
+
+__all__ = ["evaluate_nre", "nre_pairs", "nre_reachable", "nre_holds", "parse_nre"]

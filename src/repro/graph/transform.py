@@ -1,0 +1,127 @@
+"""Graph transformations: quotients, subgraphs, unions, renamings.
+
+Small algebra of operations on :class:`~repro.graph.database.GraphDatabase`
+used across the library (the candidate search applies quotients, the SAT
+encoder's completeness argument speaks about induced subgraphs) and by
+downstream users manipulating solutions as values.
+
+All operations are pure: they return new graphs and never mutate inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Mapping
+
+from repro.errors import SchemaError
+from repro.graph.database import GraphDatabase
+
+Node = Hashable
+
+
+def rename_nodes(
+    graph: GraphDatabase, mapping: Mapping[Node, Node]
+) -> GraphDatabase:
+    """Return ``graph`` with nodes renamed by ``mapping`` (identity default).
+
+    Non-injective mappings *quotient* the graph: edges between merged nodes
+    collapse.  This is exactly the operation solutions undergo when nulls
+    are identified.
+    """
+    result = GraphDatabase(alphabet=graph.alphabet)
+    for node in graph.nodes():
+        result.add_node(mapping.get(node, node))
+    for edge in graph.edges():
+        result.add_edge(
+            mapping.get(edge.source, edge.source),
+            edge.label,
+            mapping.get(edge.target, edge.target),
+        )
+    return result
+
+
+def induced_subgraph(graph: GraphDatabase, nodes: Iterable[Node]) -> GraphDatabase:
+    """Return the subgraph induced by ``nodes`` (edges with both ends kept).
+
+    The operation behind the SAT encoder's completeness argument: induced
+    subgraphs preserve egd satisfaction (NRE matches in the subgraph are
+    matches in the whole graph).
+    """
+    keep = set(nodes)
+    unknown = keep - set(graph.nodes())
+    if unknown:
+        raise SchemaError(f"nodes not in graph: {sorted(map(repr, unknown))}")
+    result = GraphDatabase(alphabet=graph.alphabet)
+    for node in keep:
+        result.add_node(node)
+    for edge in graph.edges():
+        if edge.source in keep and edge.target in keep:
+            result.add_edge(edge.source, edge.label, edge.target)
+    return result
+
+
+def union(left: GraphDatabase, right: GraphDatabase) -> GraphDatabase:
+    """Return the (node-sharing) union of two graphs.
+
+    Nodes with equal ids are identified — use :func:`disjoint_union` for
+    the coproduct.
+    """
+    result = GraphDatabase(alphabet=set(left.alphabet) | set(right.alphabet))
+    for graph in (left, right):
+        for node in graph.nodes():
+            result.add_node(node)
+        for edge in graph.edges():
+            result.add_edge(edge.source, edge.label, edge.target)
+    return result
+
+
+def disjoint_union(
+    left: GraphDatabase,
+    right: GraphDatabase,
+    tag_left: str = "L",
+    tag_right: str = "R",
+) -> GraphDatabase:
+    """Return the disjoint union; nodes become ``(tag, original)`` pairs."""
+    result = GraphDatabase(alphabet=set(left.alphabet) | set(right.alphabet))
+    for tag, graph in ((tag_left, left), (tag_right, right)):
+        for node in graph.nodes():
+            result.add_node((tag, node))
+        for edge in graph.edges():
+            result.add_edge((tag, edge.source), edge.label, (tag, edge.target))
+    return result
+
+
+def filter_edges(
+    graph: GraphDatabase, keep: Callable[[Node, str, Node], bool]
+) -> GraphDatabase:
+    """Return ``graph`` with only the edges satisfying ``keep`` (all nodes stay)."""
+    result = GraphDatabase(alphabet=graph.alphabet)
+    for node in graph.nodes():
+        result.add_node(node)
+    for edge in graph.edges():
+        if keep(edge.source, edge.label, edge.target):
+            result.add_edge(edge.source, edge.label, edge.target)
+    return result
+
+
+def reachable_subgraph(
+    graph: GraphDatabase, sources: Iterable[Node], labels: Iterable[str] | None = None
+) -> GraphDatabase:
+    """Return the subgraph induced by nodes forward-reachable from ``sources``.
+
+    ``labels`` optionally restricts which edge labels may be traversed;
+    the returned graph is induced on the reached node set (so it may also
+    contain non-traversed labels between reached nodes).
+    """
+    allowed = set(labels) if labels is not None else None
+    frontier = [s for s in sources if s in graph.nodes()]
+    reached: set[Node] = set(frontier)
+    while frontier:
+        current = frontier.pop()
+        for lab in graph.alphabet:
+            if allowed is not None and lab not in allowed:
+                continue
+            for nxt in graph.successors(current, lab):
+                if nxt not in reached:
+                    reached.add(nxt)
+                    frontier.append(nxt)
+    return induced_subgraph(graph, reached)

@@ -1,0 +1,252 @@
+"""Witness extraction: materialising NREs as concrete edge trees.
+
+Chased graph patterns carry NREs on their edges (Section 3.2 / Figure 3 of
+the paper).  To turn a pattern into an actual graph — a candidate solution —
+each NRE edge ``(u, r, v)`` must be *instantiated*: we choose a word (more
+precisely, a tree, because nested tests branch) in the language of ``r`` and
+materialise it with fresh intermediate nodes.
+
+A witness is a pair ``(edges, merges)``:
+
+* ``edges`` — concrete labeled edges over the endpoint nodes and fresh nodes;
+* ``merges`` — pairs of nodes that the choice forces to be equal (ε, a star
+  taken zero times, and node tests all connect their endpoints with the
+  empty word).
+
+The caller resolves ``merges`` with a union-find before adding the edges, so
+a single uniform representation covers every combinator.
+
+Two entry points:
+
+* :func:`witness_tree` — one canonical (shortest) witness, used for the
+  canonical instantiation of patterns;
+* :func:`enumerate_witnesses` — all witnesses with star repetitions bounded
+  by ``star_bound``, used by the minimal-solution enumeration behind the
+  certain-answer engine (see :mod:`repro.core.certain`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterator
+
+from repro.graph.nre import (
+    NRE,
+    Backward,
+    Concat,
+    Epsilon,
+    Label,
+    Nest,
+    Star,
+    Union,
+)
+
+Node = Hashable
+EdgeTriple = tuple[Node, str, Node]
+FreshFn = Callable[[], Node]
+
+
+@dataclass
+class WitnessTree:
+    """A concrete instantiation of one NRE edge.
+
+    ``edges`` may mention the designated ``start``/``end`` nodes plus fresh
+    nodes produced by the allocator; ``merges`` are equalities the caller
+    must apply (via union-find) for the witness to be valid.
+    """
+
+    start: Node
+    end: Node
+    edges: list[EdgeTriple] = field(default_factory=list)
+    merges: list[tuple[Node, Node]] = field(default_factory=list)
+
+    def all_nodes(self) -> frozenset[Node]:
+        """Return every node mentioned by the witness."""
+        nodes: set[Node] = {self.start, self.end}
+        for source, _, target in self.edges:
+            nodes.add(source)
+            nodes.add(target)
+        for left, right in self.merges:
+            nodes.add(left)
+            nodes.add(right)
+        return frozenset(nodes)
+
+
+def default_fresh_factory(prefix: str = "_w") -> FreshFn:
+    """Return an allocator producing ``_w0, _w1, ...`` fresh node names."""
+    counter = itertools.count()
+    return lambda: f"{prefix}{next(counter)}"
+
+
+def witness_cost(expr: NRE) -> int:
+    """Return the number of edges in the cheapest witness of ``expr``.
+
+    ε and stars cost nothing (zero repetitions), atoms cost one edge,
+    concatenations add up, unions take the cheaper branch, and nesting pays
+    for its branch.
+    """
+    if isinstance(expr, (Epsilon, Star)):
+        return 0
+    if isinstance(expr, (Label, Backward)):
+        return 1
+    if isinstance(expr, Union):
+        return min(witness_cost(expr.left), witness_cost(expr.right))
+    if isinstance(expr, Concat):
+        return witness_cost(expr.left) + witness_cost(expr.right)
+    if isinstance(expr, Nest):
+        return witness_cost(expr.inner)
+    raise TypeError(f"unknown NRE node {expr!r}")  # pragma: no cover
+
+
+def witness_tree(
+    expr: NRE,
+    start: Node,
+    end: Node,
+    fresh: FreshFn | None = None,
+) -> WitnessTree:
+    """Return one canonical (minimum-edge) witness for ``(start, end) ∈ ⟦expr⟧``.
+
+    The canonical choice takes every star zero times and every union's
+    cheaper branch (ties break left), i.e. a shortest derivation in the
+    language.  For Example 5.2's ``a·(b*+c*)·a`` from ``c1`` to ``c2`` this
+    produces exactly the Figure 6(b) graph ``c1 -a-> N -a-> c2``.
+    """
+    allocate = fresh if fresh is not None else default_fresh_factory()
+    witness = WitnessTree(start=start, end=end)
+    _build_canonical(expr, start, end, allocate, witness)
+    return witness
+
+
+def _build_canonical(
+    expr: NRE, start: Node, end: Node, fresh: FreshFn, out: WitnessTree
+) -> None:
+    if isinstance(expr, Epsilon):
+        out.merges.append((start, end))
+    elif isinstance(expr, Label):
+        out.edges.append((start, expr.name, end))
+    elif isinstance(expr, Backward):
+        out.edges.append((end, expr.name, start))
+    elif isinstance(expr, Union):
+        if witness_cost(expr.right) < witness_cost(expr.left):
+            _build_canonical(expr.right, start, end, fresh, out)
+        else:
+            _build_canonical(expr.left, start, end, fresh, out)
+    elif isinstance(expr, Concat):
+        middle = fresh()
+        _build_canonical(expr.left, start, middle, fresh, out)
+        _build_canonical(expr.right, middle, end, fresh, out)
+    elif isinstance(expr, Star):
+        out.merges.append((start, end))
+    elif isinstance(expr, Nest):
+        out.merges.append((start, end))
+        branch_end = fresh()
+        _build_canonical(expr.inner, start, branch_end, fresh, out)
+    else:  # pragma: no cover - exhaustive over the AST
+        raise TypeError(f"unknown NRE node {expr!r}")
+
+
+def enumerate_witnesses(
+    expr: NRE,
+    start: Node,
+    end: Node,
+    star_bound: int = 2,
+    fresh: FreshFn | None = None,
+) -> Iterator[WitnessTree]:
+    """Yield every witness of ``expr`` with ≤ ``star_bound`` star unrollings.
+
+    The enumeration covers all union branches and all star repetition counts
+    in ``0..star_bound`` (per star occurrence), so the number of witnesses is
+    exponential in the expression size — callers bound their consumption.
+    Fresh nodes drawn from one shared allocator are globally unique across
+    all yielded witnesses.
+    """
+    allocate = fresh if fresh is not None else default_fresh_factory()
+
+    def go(node: NRE, s: Node, e: Node) -> Iterator[tuple[list[EdgeTriple], list[tuple[Node, Node]]]]:
+        if isinstance(node, Epsilon):
+            yield [], [(s, e)]
+        elif isinstance(node, Label):
+            yield [(s, node.name, e)], []
+        elif isinstance(node, Backward):
+            yield [(e, node.name, s)], []
+        elif isinstance(node, Union):
+            yield from go(node.left, s, e)
+            yield from go(node.right, s, e)
+        elif isinstance(node, Concat):
+            middle = allocate()
+            for left_edges, left_merges in go(node.left, s, middle):
+                for right_edges, right_merges in go(node.right, middle, e):
+                    yield left_edges + right_edges, left_merges + right_merges
+        elif isinstance(node, Star):
+            # k = 0: endpoints coincide.
+            yield [], [(s, e)]
+            for repetitions in range(1, star_bound + 1):
+                waypoints = [s] + [allocate() for _ in range(repetitions - 1)] + [e]
+                segments = [
+                    go(node.inner, waypoints[i], waypoints[i + 1])
+                    for i in range(repetitions)
+                ]
+                for combo in itertools.product(*[list(seg) for seg in segments]):
+                    edges: list[EdgeTriple] = []
+                    merges: list[tuple[Node, Node]] = []
+                    for seg_edges, seg_merges in combo:
+                        edges.extend(seg_edges)
+                        merges.extend(seg_merges)
+                    yield edges, merges
+        elif isinstance(node, Nest):
+            branch_end = allocate()
+            for sub_edges, sub_merges in go(node.inner, s, branch_end):
+                yield sub_edges, sub_merges + [(s, e)]
+        else:  # pragma: no cover - exhaustive over the AST
+            raise TypeError(f"unknown NRE node {node!r}")
+
+    for edges, merges in go(expr, start, end):
+        yield WitnessTree(start=start, end=end, edges=list(edges), merges=list(merges))
+
+
+def materialize_witness(witness: WitnessTree) -> tuple[list[EdgeTriple], dict[Node, Node]]:
+    """Resolve a witness's merges and return rewritten edges.
+
+    Returns ``(edges, canonical)`` where ``canonical`` maps every node of the
+    witness to its merge-class representative and ``edges`` are the witness
+    edges with endpoints rewritten.  Representatives prefer the witness's
+    declared ``start``/``end`` endpoints over fresh nodes, so instantiation
+    never renames a pattern node away.
+    """
+    parent: dict[Node, Node] = {}
+
+    def find(node: Node) -> Node:
+        parent.setdefault(node, node)
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    def is_fresh(node: Node) -> bool:
+        # "_w" is this module's allocator prefix; "_t" is the target-tgd
+        # chase's.  Both denote invented intermediate nodes that must never
+        # shadow a real endpoint as a merge-class representative.
+        return isinstance(node, str) and (node.startswith("_w") or node.startswith("_t"))
+
+    def link(left: Node, right: Node) -> None:
+        root_left, root_right = find(left), find(right)
+        if root_left == root_right:
+            return
+        # Prefer non-fresh representatives so pattern endpoints survive.
+        if is_fresh(root_left) and not is_fresh(root_right):
+            parent[root_left] = root_right
+        else:
+            parent[root_right] = root_left
+
+    for node in witness.all_nodes():
+        find(node)
+    for left, right in witness.merges:
+        link(left, right)
+
+    canonical = {node: find(node) for node in witness.all_nodes()}
+    edges = [
+        (canonical[source], lab, canonical[target])
+        for source, lab, target in witness.edges
+    ]
+    return edges, canonical

@@ -1,0 +1,32 @@
+"""Serialization and rendering.
+
+* :mod:`repro.io.json_io` — JSON round-tripping for graphs, patterns,
+  instances, NREs, and settings;
+* :mod:`repro.io.dot` — Graphviz DOT export for graphs and patterns, used
+  to regenerate the paper's figures as images.
+"""
+
+from repro.io.json_io import (
+    graph_to_dict,
+    graph_from_dict,
+    pattern_to_dict,
+    pattern_from_dict,
+    instance_to_dict,
+    instance_from_dict,
+    nre_to_dict,
+    nre_from_dict,
+)
+from repro.io.dot import graph_to_dot, pattern_to_dot
+
+__all__ = [
+    "graph_to_dict",
+    "graph_from_dict",
+    "pattern_to_dict",
+    "pattern_from_dict",
+    "instance_to_dict",
+    "instance_from_dict",
+    "nre_to_dict",
+    "nre_from_dict",
+    "graph_to_dot",
+    "pattern_to_dot",
+]

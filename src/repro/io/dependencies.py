@@ -1,0 +1,183 @@
+"""Structural JSON serialization for queries, dependencies, and settings.
+
+Terms are tagged (``{"var": n}`` / ``{"const": v}``) so that constants with
+lowercase names survive the round trip — the concrete text syntax could not
+distinguish them.  Dependencies carry a ``kind`` discriminator, settings
+bundle schema, alphabet, and dependency lists; together with
+:mod:`repro.io.json_io` this makes every CLI input/output a plain JSON
+document.
+"""
+
+from __future__ import annotations
+
+from repro.core.setting import DataExchangeSetting, TargetConstraint
+from repro.errors import ParseError
+from repro.graph.cnre import CNREAtom, CNREQuery
+from repro.io.json_io import nre_from_dict, nre_to_dict
+from repro.mappings.egd import TargetEgd
+from repro.mappings.sameas import SameAsConstraint
+from repro.mappings.stt import SourceToTargetTgd
+from repro.mappings.target_tgd import TargetTgd
+from repro.relational.query import ConjunctiveQuery, RelationalAtom, Variable, is_variable
+from repro.relational.schema import RelationalSchema
+
+
+def _term_to_json(term: object) -> dict:
+    if is_variable(term):
+        return {"var": term.name}  # type: ignore[union-attr]
+    return {"const": term}
+
+
+def _term_from_json(data: dict) -> object:
+    if "var" in data:
+        return Variable(data["var"])
+    if "const" in data:
+        return data["const"]
+    raise ParseError(f"bad term {data!r}")
+
+
+def cq_to_dict(query: ConjunctiveQuery) -> dict:
+    """Serialise a relational conjunctive query."""
+    return {
+        "atoms": [
+            {"relation": atom.relation, "terms": [_term_to_json(t) for t in atom.terms]}
+            for atom in query.atoms
+        ],
+        "outputs": [v.name for v in query.outputs],
+    }
+
+
+def cq_from_dict(data: dict) -> ConjunctiveQuery:
+    """Rebuild a relational conjunctive query."""
+    atoms = [
+        RelationalAtom(
+            item["relation"], tuple(_term_from_json(t) for t in item["terms"])
+        )
+        for item in data["atoms"]
+    ]
+    outputs = [Variable(name) for name in data.get("outputs", [])]
+    return ConjunctiveQuery(atoms, outputs or None)
+
+
+def cnre_to_dict(query: CNREQuery) -> dict:
+    """Serialise a CNRE query."""
+    return {
+        "atoms": [
+            {
+                "subject": _term_to_json(atom.subject),
+                "nre": nre_to_dict(atom.nre),
+                "object": _term_to_json(atom.object),
+            }
+            for atom in query.atoms
+        ],
+        "outputs": [v.name for v in query.outputs],
+    }
+
+
+def cnre_from_dict(data: dict) -> CNREQuery:
+    """Rebuild a CNRE query."""
+    atoms = [
+        CNREAtom(
+            _term_from_json(item["subject"]),
+            nre_from_dict(item["nre"]),
+            _term_from_json(item["object"]),
+        )
+        for item in data["atoms"]
+    ]
+    outputs = [Variable(name) for name in data.get("outputs", [])]
+    return CNREQuery(atoms, outputs or None)
+
+
+def dependency_to_dict(dependency: object) -> dict:
+    """Serialise any dependency with a ``kind`` discriminator."""
+    if isinstance(dependency, SourceToTargetTgd):
+        return {
+            "kind": "st-tgd",
+            "name": dependency.name,
+            "body": cq_to_dict(dependency.body),
+            "head": cnre_to_dict(dependency.head),
+        }
+    if isinstance(dependency, TargetEgd):
+        return {
+            "kind": "egd",
+            "name": dependency.name,
+            "body": cnre_to_dict(dependency.body),
+            "left": dependency.left.name,
+            "right": dependency.right.name,
+        }
+    if isinstance(dependency, SameAsConstraint):
+        return {
+            "kind": "sameas",
+            "name": dependency.name,
+            "body": cnre_to_dict(dependency.body),
+            "left": dependency.left.name,
+            "right": dependency.right.name,
+        }
+    if isinstance(dependency, TargetTgd):
+        return {
+            "kind": "target-tgd",
+            "name": dependency.name,
+            "body": cnre_to_dict(dependency.body),
+            "head": cnre_to_dict(dependency.head),
+        }
+    raise ParseError(f"unknown dependency {dependency!r}")
+
+
+def dependency_from_dict(data: dict) -> object:
+    """Rebuild a dependency from its tagged dictionary."""
+    kind = data.get("kind")
+    name = data.get("name", "")
+    if kind == "st-tgd":
+        return SourceToTargetTgd(
+            cq_from_dict(data["body"]), cnre_from_dict(data["head"]), name=name
+        )
+    if kind == "egd":
+        return TargetEgd(
+            cnre_from_dict(data["body"]),
+            Variable(data["left"]),
+            Variable(data["right"]),
+            name=name,
+        )
+    if kind == "sameas":
+        return SameAsConstraint(
+            cnre_from_dict(data["body"]),
+            Variable(data["left"]),
+            Variable(data["right"]),
+            name=name,
+        )
+    if kind == "target-tgd":
+        return TargetTgd(
+            cnre_from_dict(data["body"]), cnre_from_dict(data["head"]), name=name
+        )
+    raise ParseError(f"unknown dependency kind {kind!r}")
+
+
+def setting_to_dict(setting: DataExchangeSetting) -> dict:
+    """Serialise a full data exchange setting Ω."""
+    return {
+        "name": setting.name,
+        "schema": [[s.name, s.arity] for s in setting.source_schema],
+        "alphabet": sorted(setting.alphabet),
+        "st_tgds": [dependency_to_dict(t) for t in setting.st_tgds],
+        "target_constraints": [
+            dependency_to_dict(c) for c in setting.target_constraints
+        ],
+    }
+
+
+def setting_from_dict(data: dict) -> DataExchangeSetting:
+    """Rebuild a data exchange setting Ω."""
+    schema = RelationalSchema()
+    for name, arity in data.get("schema", []):
+        schema.declare(name, arity)
+    st_tgds = [dependency_from_dict(t) for t in data.get("st_tgds", [])]
+    constraints: list[TargetConstraint] = [
+        dependency_from_dict(c) for c in data.get("target_constraints", [])
+    ]
+    return DataExchangeSetting(
+        schema,
+        data.get("alphabet", []),
+        st_tgds,  # type: ignore[arg-type]
+        constraints,
+        name=data.get("name", ""),
+    )

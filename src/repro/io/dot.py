@@ -1,0 +1,64 @@
+"""Graphviz DOT rendering of graphs and patterns.
+
+Used by the figure-regeneration benchmarks: each paper figure's graph or
+pattern can be exported as DOT text (``dot -Tpdf`` renders it).  Nulls are
+drawn as dashed circles, ``sameAs`` edges as dotted lines — matching the
+paper's visual conventions.
+"""
+
+from __future__ import annotations
+
+from repro.graph.database import GraphDatabase
+from repro.mappings.sameas import SAME_AS_LABEL
+from repro.patterns.pattern import GraphPattern, is_null
+
+
+def _quote(value: object) -> str:
+    text = str(value)
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def graph_to_dot(graph: GraphDatabase, name: str = "G") -> str:
+    """Render a graph database as DOT text.
+
+    >>> g = GraphDatabase(edges=[("u", "a", "v")])
+    >>> print(graph_to_dot(g))  # doctest: +NORMALIZE_WHITESPACE
+    digraph "G" {
+      rankdir=LR;
+      "u";
+      "v";
+      "u" -> "v" [label="a"];
+    }
+    """
+    lines = [f"digraph {_quote(name)} {{", "  rankdir=LR;"]
+    for node in sorted(graph.nodes(), key=repr):
+        attributes = ""
+        if is_null(node):
+            attributes = ' [style=dashed, label=' + _quote(node.label) + "]"
+        lines.append(f"  {_quote(node)}{attributes};")
+    for edge in sorted(graph.edges(), key=repr):
+        style = ", style=dotted" if edge.label == SAME_AS_LABEL else ""
+        lines.append(
+            f"  {_quote(edge.source)} -> {_quote(edge.target)} "
+            f"[label={_quote(edge.label)}{style}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def pattern_to_dot(pattern: GraphPattern, name: str = "pi") -> str:
+    """Render a graph pattern as DOT text (NREs become edge labels)."""
+    lines = [f"digraph {_quote(name)} {{", "  rankdir=LR;"]
+    for node in sorted(pattern.nodes(), key=repr):
+        attributes = ""
+        if is_null(node):
+            attributes = " [style=dashed, label=" + _quote(node.label) + "]"
+        lines.append(f"  {_quote(node)}{attributes};")
+    for edge in sorted(pattern.edges()):
+        lines.append(
+            f"  {_quote(edge.source)} -> {_quote(edge.target)} "
+            f"[label={_quote(edge.nre)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

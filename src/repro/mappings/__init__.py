@@ -1,0 +1,43 @@
+"""Schema mappings and target constraints.
+
+The four dependency classes of the paper (Section 2):
+
+* :class:`~repro.mappings.stt.SourceToTargetTgd` — s-t tgds
+  ``∀x̄. φ_R(x̄) → ∃ȳ. ψ_Σ(x̄, ȳ)`` with a relational CQ body and a CNRE head;
+* :class:`~repro.mappings.egd.TargetEgd` — target equality-generating
+  dependencies ``∀x̄. ψ_Σ(x̄) → x₁ = x₂``;
+* :class:`~repro.mappings.target_tgd.TargetTgd` — target tgds
+  ``∀x̄. φ_Σ(x̄) → ∃ȳ. ψ_Σ(x̄, ȳ)``;
+* :class:`~repro.mappings.sameas.SameAsConstraint` — the paper's relaxation
+  ``∀x̄. ψ_Σ(x̄) → (x₁, sameAs, x₂)``, a special case of target tgds.
+
+Each class knows how to check its own satisfaction against an
+``(instance, graph)`` pair or a graph, and how to enumerate violations
+(the chase consumes violations).  :mod:`repro.mappings.parser` provides a
+concrete syntax used in the scenario modules, docs, and tests.
+"""
+
+from repro.mappings.stt import SourceToTargetTgd
+from repro.mappings.egd import TargetEgd
+from repro.mappings.target_tgd import TargetTgd
+from repro.mappings.sameas import SameAsConstraint, SAME_AS_LABEL
+from repro.mappings.parser import (
+    parse_st_tgd,
+    parse_egd,
+    parse_target_tgd,
+    parse_sameas,
+    parse_cnre_atoms,
+)
+
+__all__ = [
+    "SourceToTargetTgd",
+    "TargetEgd",
+    "TargetTgd",
+    "SameAsConstraint",
+    "SAME_AS_LABEL",
+    "parse_st_tgd",
+    "parse_egd",
+    "parse_target_tgd",
+    "parse_sameas",
+    "parse_cnre_atoms",
+]

@@ -1,0 +1,170 @@
+"""Concrete syntax for dependencies.
+
+The syntax mirrors the paper's notation with ASCII punctuation::
+
+    s-t tgd     Flight(x1,x2,x3), Hotel(x1,x4) -> (x2, f.f*, y), (y, h, x4), (y, f.f*, x3)
+    egd         (x1, h, x3), (x2, h, x3) -> x1 = x2
+    target tgd  (x, a, y) -> (x, b, z), (z, c, y)
+    sameAs      (x1, h, x3), (x2, h, x3) -> (x1, sameAs, x2)
+
+CNRE atoms are written ``(subject, nre, object)`` where the NRE uses the
+syntax of :mod:`repro.graph.parser`.  Identifiers starting with a lowercase
+letter are variables; quoted strings and identifiers starting uppercase or
+with a digit are constants (node ids).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.graph.cnre import CNREAtom, CNREQuery
+from repro.graph.nre import Label
+from repro.graph.parser import parse_nre
+from repro.mappings.egd import TargetEgd
+from repro.mappings.sameas import SAME_AS_LABEL, SameAsConstraint
+from repro.mappings.stt import SourceToTargetTgd
+from repro.mappings.target_tgd import TargetTgd
+from repro.relational.parser import parse_cq
+from repro.relational.query import Variable
+
+
+def _split_top_level(text: str, separator: str) -> list[str]:
+    """Split ``text`` on ``separator`` occurrences outside (), [] and quotes."""
+    parts: list[str] = []
+    depth = 0
+    quote: str | None = None
+    current: list[str] = []
+    for char in text:
+        if quote is not None:
+            current.append(char)
+            if char == quote:
+                quote = None
+            continue
+        if char in "'\"":
+            quote = char
+            current.append(char)
+        elif char in "([":
+            depth += 1
+            current.append(char)
+        elif char in ")]":
+            depth -= 1
+            if depth < 0:
+                raise ParseError("unbalanced brackets", text)
+            current.append(char)
+        elif char == separator and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    if depth != 0 or quote is not None:
+        raise ParseError("unbalanced brackets or quotes", text)
+    parts.append("".join(current).strip())
+    return parts
+
+
+def _parse_term(text: str) -> object:
+    text = text.strip()
+    if not text:
+        raise ParseError("empty term in CNRE atom", text)
+    if text[0] in "'\"":
+        if len(text) < 2 or text[-1] != text[0]:
+            raise ParseError("unterminated quoted constant", text)
+        return text[1:-1]
+    if text[0].islower() or text[0] == "_":
+        return Variable(text)
+    return text  # uppercase or digit start: a node-id constant
+
+
+def _parse_cnre_atom(chunk: str) -> CNREAtom:
+    chunk = chunk.strip()
+    if not (chunk.startswith("(") and chunk.endswith(")")):
+        raise ParseError(f"CNRE atom must be parenthesised: {chunk!r}", chunk)
+    inner = chunk[1:-1]
+    parts = _split_top_level(inner, ",")
+    if len(parts) != 3:
+        raise ParseError(
+            f"CNRE atom needs exactly (subject, nre, object), got {len(parts)} parts",
+            chunk,
+        )
+    subject = _parse_term(parts[0])
+    expr = parse_nre(parts[1])
+    obj = _parse_term(parts[2])
+    return CNREAtom(subject, expr, obj)
+
+
+def parse_cnre_atoms(text: str) -> CNREQuery:
+    """Parse a comma-separated conjunction of ``(s, nre, o)`` atoms.
+
+    >>> q = parse_cnre_atoms("(x, f . f*, y), (y, h, z)")
+    >>> len(q.atoms)
+    2
+    """
+    chunks = _split_top_level(text, ",")
+    atoms = [_parse_cnre_atom(chunk) for chunk in chunks if chunk]
+    if not atoms:
+        raise ParseError("no CNRE atoms found", text)
+    return CNREQuery(atoms)
+
+
+def _split_arrow(text: str) -> tuple[str, str]:
+    pieces = text.split("->")
+    if len(pieces) != 2:
+        raise ParseError("dependency needs exactly one '->'", text)
+    return pieces[0].strip(), pieces[1].strip()
+
+
+def parse_st_tgd(text: str, name: str = "") -> SourceToTargetTgd:
+    """Parse an s-t tgd: relational body, CNRE head.
+
+    >>> tgd = parse_st_tgd("R(x), P(y) -> (x, a, y)")
+    >>> len(tgd.body.atoms), len(tgd.head.atoms)
+    (2, 1)
+    """
+    body_text, head_text = _split_arrow(text)
+    body = parse_cq(body_text)
+    head = parse_cnre_atoms(head_text)
+    return SourceToTargetTgd(body, head, name=name)
+
+
+def parse_egd(text: str, name: str = "") -> TargetEgd:
+    """Parse an egd: CNRE body, equality head ``x = y``.
+
+    >>> egd = parse_egd("(x1, h, x3), (x2, h, x3) -> x1 = x2")
+    >>> str(egd.left), str(egd.right)
+    ('x1', 'x2')
+    """
+    body_text, head_text = _split_arrow(text)
+    body = parse_cnre_atoms(body_text)
+    sides = head_text.split("=")
+    if len(sides) != 2:
+        raise ParseError("egd head must be 'x = y'", text)
+    left, right = _parse_term(sides[0]), _parse_term(sides[1])
+    if not isinstance(left, Variable) or not isinstance(right, Variable):
+        raise ParseError("egd equality sides must be variables", text)
+    return TargetEgd(body, left, right, name=name)
+
+
+def parse_target_tgd(text: str, name: str = "") -> TargetTgd:
+    """Parse a target tgd: CNRE body, CNRE head."""
+    body_text, head_text = _split_arrow(text)
+    body = parse_cnre_atoms(body_text)
+    head = parse_cnre_atoms(head_text)
+    return TargetTgd(body, head, name=name)
+
+
+def parse_sameas(text: str, name: str = "") -> SameAsConstraint:
+    """Parse a sameAs constraint: CNRE body, head ``(x, sameAs, y)``.
+
+    The head must be a single atom whose NRE is the bare ``sameAs`` label and
+    whose endpoints are body variables.
+    """
+    body_text, head_text = _split_arrow(text)
+    body = parse_cnre_atoms(body_text)
+    head = parse_cnre_atoms(head_text)
+    if len(head.atoms) != 1:
+        raise ParseError("sameAs head must be a single atom", text)
+    atom = head.atoms[0]
+    if atom.nre != Label(SAME_AS_LABEL):
+        raise ParseError(f"sameAs head label must be {SAME_AS_LABEL!r}", text)
+    if not isinstance(atom.subject, Variable) or not isinstance(atom.object, Variable):
+        raise ParseError("sameAs head endpoints must be variables", text)
+    return SameAsConstraint(body, atom.subject, atom.object, name=name)

@@ -1,0 +1,104 @@
+"""sameAs target constraints — the paper's RDF-inspired relaxation of egds.
+
+A sameAs constraint is ``∀x̄. (ψ_Σ(x̄) → (x₁, sameAs, x₂))`` (paper,
+Section 2): instead of *equating* x₁ and x₂ as an egd would, it requires a
+``sameAs``-labeled edge between them.  This makes the existence of solutions
+trivial (Section 4.2: any graph can be repaired by adding sameAs edges, even
+between constants) while certain answers stay coNP-hard (Proposition 4.3).
+
+The constraint is a special case of :class:`~repro.mappings.target_tgd.TargetTgd`
+(:meth:`SameAsConstraint.as_target_tgd` performs the embedding), but has a
+dedicated class because the chase treats it specially: violations are
+repaired by *adding one edge*, never by inventing nulls.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+from repro.errors import SchemaError
+from repro.graph.cnre import CNREAtom, CNREQuery, cnre_homomorphisms
+from repro.graph.database import GraphDatabase
+from repro.graph.nre import label
+from repro.mappings.target_tgd import TargetTgd
+from repro.relational.query import Variable
+
+Node = Hashable
+
+SAME_AS_LABEL = "sameAs"
+"""The distinguished edge label for sameAs constraints (cf. RDF/OWL sameAs)."""
+
+
+class SameAsConstraint:
+    """A constraint ``ψ_Σ(x̄) → (x₁, sameAs, x₂)``.
+
+    >>> from repro.mappings.parser import parse_sameas
+    >>> c = parse_sameas("(x1, h, x3), (x2, h, x3) -> (x1, sameAs, x2)")
+    >>> c.left.name, c.right.name
+    ('x1', 'x2')
+    """
+
+    def __init__(self, body: CNREQuery, left: Variable, right: Variable, name: str = ""):
+        body_vars = set(body.variables())
+        for var in (left, right):
+            if var not in body_vars:
+                raise SchemaError(f"sameAs head variable {var} not in body")
+        self.body = body
+        self.left = left
+        self.right = right
+        self.name = name
+
+    def violations(self, graph: GraphDatabase) -> Iterator[tuple[Node, Node]]:
+        """Yield pairs ``(h(x₁), h(x₂))`` lacking the required sameAs edge.
+
+        ``sameAs`` is read as implicitly reflexive (the RDF/OWL semantics):
+        a body match with ``h(x₁) = h(x₂)`` never demands an explicit
+        self-loop.  The paper's Figure 1(c) solution G3 carries sameAs edges
+        only between the *distinct* cities sharing a hotel, confirming this
+        reading.
+        """
+        seen: set[tuple[Node, Node]] = set()
+        for hom in cnre_homomorphisms(self.body, graph):
+            pair = (hom[self.left], hom[self.right])
+            if pair[0] == pair[1] or pair in seen:
+                continue
+            seen.add(pair)
+            if not graph.has_edge(pair[0], SAME_AS_LABEL, pair[1]):
+                yield pair
+
+    def is_satisfied(self, graph: GraphDatabase) -> bool:
+        """Return whether every firing of the body has its sameAs edge."""
+        for _ in self.violations(graph):
+            return False
+        return True
+
+    def as_target_tgd(self) -> TargetTgd:
+        """Embed the constraint into the target-tgd class (Section 4.2).
+
+        The embedding is literal: the resulting tgd demands a sameAs edge
+        for *every* body match, including reflexive ones — it does not
+        inherit this class's implicit-reflexivity reading.  Use it where
+        the strict Section 2 definition is wanted.
+        """
+        head = CNREQuery([CNREAtom(self.left, label(SAME_AS_LABEL), self.right)])
+        return TargetTgd(self.body, head, name=self.name or "sameAs")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SameAsConstraint):
+            return NotImplemented
+        return (
+            self.body == other.body
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.body, self.left, self.right))
+
+    def __str__(self) -> str:
+        body = " ∧ ".join(str(a) for a in self.body.atoms)
+        return f"{body} → ({self.left}, {SAME_AS_LABEL}, {self.right})"
+
+    def __repr__(self) -> str:
+        label_text = f" {self.name!r}" if self.name else ""
+        return f"SameAsConstraint{label_text}({self})"

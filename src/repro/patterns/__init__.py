@@ -1,0 +1,39 @@
+"""Graph patterns: universal representatives with nulls and NRE edges.
+
+A graph pattern π = (N, D) over Σ has nodes that are either constants
+(node ids from ``V``) or *labeled nulls*, and edges labeled by NREs
+(paper, Section 3.2, after [4, 5]).  Its semantics is the set
+``Rep_Σ(π)`` of graphs to which π maps homomorphically.
+
+* :class:`~repro.patterns.pattern.GraphPattern` — the data structure,
+  including null management and the merge operations the egd chase needs;
+* :mod:`repro.patterns.homomorphism` — backtracking search for
+  homomorphisms π → G (identity on constants, NRE-edge satisfaction);
+* :mod:`repro.patterns.rep` — ``Rep_Σ`` membership and canonical
+  instantiation of a pattern into a concrete graph.
+"""
+
+from repro.patterns.pattern import GraphPattern, Null, PatternEdge, is_null
+from repro.patterns.homomorphism import (
+    find_homomorphism,
+    all_homomorphisms,
+    has_homomorphism,
+)
+from repro.patterns.rep import (
+    in_rep,
+    canonical_instantiation,
+    enumerate_instantiations,
+)
+
+__all__ = [
+    "GraphPattern",
+    "Null",
+    "PatternEdge",
+    "is_null",
+    "find_homomorphism",
+    "all_homomorphisms",
+    "has_homomorphism",
+    "in_rep",
+    "canonical_instantiation",
+    "enumerate_instantiations",
+]

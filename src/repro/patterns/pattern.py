@@ -1,0 +1,215 @@
+"""The graph-pattern data structure.
+
+A pattern π = (N, D) has ``N ⊆ V ∪ 𝒩`` (constants union labeled nulls) and
+``D ⊆ N × NRE(Σ) × N`` (paper, Section 3.2).  Patterns are the output of the
+pattern chase and the carrier of the egd chase, which needs two mutations:
+
+* replacing a null by a constant, and
+* merging two nulls,
+
+both implemented here as :meth:`GraphPattern.substitute`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator
+
+from repro.errors import SchemaError
+from repro.graph.nre import NRE
+
+Node = Hashable
+
+
+@dataclass(frozen=True, order=True)
+class Null:
+    """A labeled null — a placeholder node invented by the chase.
+
+    Nulls compare by label, so ``Null("N1")`` in two patterns denotes the
+    same null.  The pattern's :meth:`GraphPattern.fresh_null` allocator
+    guarantees unique labels within one pattern.
+    """
+
+    label: str
+
+    def __str__(self) -> str:
+        return f"⊥{self.label}"
+
+
+def is_null(node: object) -> bool:
+    """Return whether ``node`` is a labeled null."""
+    return isinstance(node, Null)
+
+
+@dataclass(frozen=True)
+class PatternEdge:
+    """An NRE-labeled pattern edge ``(source, nre, target)``."""
+
+    source: Node
+    nre: NRE
+    target: Node
+
+    def __str__(self) -> str:
+        return f"({self.source}) -[{self.nre}]-> ({self.target})"
+
+    def sort_key(self) -> tuple[str, str, str]:
+        """A stable display/processing order (lexicographic on reprs)."""
+        return (repr(self.source), str(self.nre), repr(self.target))
+
+    def __lt__(self, other: object) -> bool:  # stable ordering for display
+        if not isinstance(other, PatternEdge):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+
+class GraphPattern:
+    """A graph pattern over an alphabet Σ.
+
+    >>> from repro.graph.parser import parse_nre
+    >>> pi = GraphPattern(alphabet={"f", "h"})
+    >>> n1 = pi.fresh_null()
+    >>> pi.add_edge("c1", parse_nre("f . f*"), n1)
+    >>> pi.add_edge(n1, parse_nre("h"), "hx")
+    >>> pi.node_count(), pi.edge_count()
+    (3, 2)
+    """
+
+    def __init__(
+        self,
+        alphabet: Iterable[str] | None = None,
+        edges: Iterable[tuple[Node, NRE, Node]] = (),
+        nodes: Iterable[Node] = (),
+    ):
+        self.alphabet: frozenset[str] | None = (
+            frozenset(alphabet) if alphabet is not None else None
+        )
+        self._nodes: set[Node] = set()
+        self._edges: set[PatternEdge] = set()
+        self._null_counter = itertools.count(1)
+        for node in nodes:
+            self.add_node(node)
+        for source, expr, target in edges:
+            self.add_edge(source, expr, target)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def fresh_null(self) -> Null:
+        """Allocate a null with a label unused in this pattern (``N1, N2, …``)."""
+        while True:
+            candidate = Null(f"N{next(self._null_counter)}")
+            if candidate not in self._nodes:
+                return candidate
+
+    def add_node(self, node: Node) -> None:
+        """Add a node (constant or null); idempotent."""
+        self._nodes.add(node)
+
+    def add_edge(self, source: Node, expr: NRE, target: Node) -> None:
+        """Add the pattern edge ``(source, expr, target)``; endpoints auto-added."""
+        if not isinstance(expr, NRE):
+            raise SchemaError(f"pattern edge label must be an NRE, got {expr!r}")
+        self._nodes.add(source)
+        self._nodes.add(target)
+        self._edges.add(PatternEdge(source, expr, target))
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+
+    def nodes(self) -> frozenset[Node]:
+        """Return all nodes (constants and nulls)."""
+        return frozenset(self._nodes)
+
+    def edges(self) -> frozenset[PatternEdge]:
+        """Return all NRE-labeled edges."""
+        return frozenset(self._edges)
+
+    def nulls(self) -> frozenset[Null]:
+        """Return the nulls of the pattern."""
+        return frozenset(n for n in self._nodes if is_null(n))
+
+    def constants(self) -> frozenset[Node]:
+        """Return the constant (non-null) nodes of the pattern."""
+        return frozenset(n for n in self._nodes if not is_null(n))
+
+    def node_count(self) -> int:
+        """Return the number of nodes."""
+        return len(self._nodes)
+
+    def edge_count(self) -> int:
+        """Return the number of edges."""
+        return len(self._edges)
+
+    def expressions(self) -> frozenset[NRE]:
+        """Return the distinct NREs used on edges."""
+        return frozenset(edge.nre for edge in self._edges)
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._nodes
+
+    def __iter__(self) -> Iterator[PatternEdge]:
+        return iter(sorted(self._edges))
+
+    # ------------------------------------------------------------------ #
+    # Mutation (for the egd chase)
+    # ------------------------------------------------------------------ #
+
+    def substitute(self, old: Node, new: Node) -> None:
+        """Replace node ``old`` by ``new`` everywhere (the egd chase step).
+
+        Used both to replace a null by a constant and to merge two nulls.
+        Replacing a constant by anything else is refused — that is exactly
+        the situation in which the chase *fails* (Section 5), and failure is
+        the caller's decision to make, not a silent rewrite.
+        """
+        if old not in self._nodes:
+            raise SchemaError(f"cannot substitute unknown node {old!r}")
+        if not is_null(old):
+            raise SchemaError(
+                f"refusing to substitute constant {old!r}; egd chase must fail instead"
+            )
+        if old == new:
+            return
+        self._nodes.discard(old)
+        self._nodes.add(new)
+        affected = [e for e in self._edges if e.source == old or e.target == old]
+        for edge in affected:
+            self._edges.discard(edge)
+            source = new if edge.source == old else edge.source
+            target = new if edge.target == old else edge.target
+            self._edges.add(PatternEdge(source, edge.nre, target))
+
+    def copy(self) -> "GraphPattern":
+        """Return an independent copy (null allocator restarts but skips
+        labels already present, so fresh nulls stay fresh)."""
+        clone = GraphPattern(alphabet=self.alphabet)
+        clone._nodes = set(self._nodes)
+        clone._edges = set(self._edges)
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # Equality / display
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GraphPattern):
+            return NotImplemented
+        return self._nodes == other._nodes and self._edges == other._edges
+
+    def __repr__(self) -> str:
+        return f"GraphPattern(|N|={len(self._nodes)}, |D|={len(self._edges)})"
+
+    def pretty(self) -> str:
+        """Return a multi-line human-readable rendering."""
+        lines = [f"GraphPattern over Σ={sorted(self.alphabet or [])}"]
+        for edge in sorted(self._edges):
+            lines.append(f"  {edge}")
+        isolated = self._nodes - {e.source for e in self._edges} - {
+            e.target for e in self._edges
+        }
+        for node in sorted(isolated, key=repr):
+            lines.append(f"  ({node})")
+        return "\n".join(lines)

@@ -1,0 +1,188 @@
+"""``Rep_Σ`` membership and instantiation of patterns into concrete graphs.
+
+``Rep_Σ(π)`` is the set of graphs G with π → G (paper, Section 3.2).
+Membership is just the homomorphism test.  The other direction — producing
+*some* G in ``Rep_Σ(π)`` — is *instantiation*: every NRE edge is replaced by
+a concrete witness tree (see :mod:`repro.graph.witness`), and the node
+identifications forced by the chosen witnesses are resolved by union-find.
+
+Instantiation underlies three results of the paper:
+
+* solutions always exist without target constraints (Section 3.2);
+* the constructive solution for sameAs settings (Section 4.2, steps i–iii);
+* the minimal-solution enumeration behind certain answers
+  (:mod:`repro.core.certain`), which needs *all* instantiations up to a
+  star-unrolling bound, not just the canonical one.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Hashable, Iterator
+
+from repro.errors import EvaluationError
+from repro.graph.database import GraphDatabase
+from repro.graph.witness import (
+    WitnessTree,
+    default_fresh_factory,
+    enumerate_witnesses,
+    witness_tree,
+)
+from repro.patterns.homomorphism import has_homomorphism
+from repro.patterns.pattern import GraphPattern, is_null
+
+Node = Hashable
+
+
+def in_rep(pattern: GraphPattern, graph: GraphDatabase) -> bool:
+    """Return whether ``graph ∈ Rep_Σ(pattern)`` (i.e. π → G)."""
+    return has_homomorphism(pattern, graph)
+
+
+@dataclass
+class Instantiation:
+    """A concrete graph built from a pattern, with its node mapping.
+
+    ``assignment`` maps every pattern node to its node in ``graph`` (the
+    mapping is a homomorphism π → graph by construction).
+    """
+
+    graph: GraphDatabase
+    assignment: dict[Node, Node]
+
+
+class _UnionFind:
+    """Union-find preferring constant representatives over nulls over fresh."""
+
+    def __init__(self) -> None:
+        self.parent: dict[Node, Node] = {}
+
+    def find(self, node: Node) -> Node:
+        self.parent.setdefault(node, node)
+        root = node
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[node] != root:
+            self.parent[node], node = root, self.parent[node]
+        return root
+
+    @staticmethod
+    def _rank(node: Node) -> int:
+        if isinstance(node, str) and node.startswith("_w"):
+            return 2  # fresh witness node: weakest
+        if is_null(node):
+            return 1
+        return 0  # constant: strongest
+
+    def union(self, left: Node, right: Node) -> bool:
+        """Merge the classes of ``left`` and ``right``.
+
+        Returns ``False`` when the merge would identify two distinct
+        constants — the caller treats that as an invalid instantiation.
+        """
+        root_left, root_right = self.find(left), self.find(right)
+        if root_left == root_right:
+            return True
+        rank_left, rank_right = self._rank(root_left), self._rank(root_right)
+        if rank_left == 0 and rank_right == 0:
+            return False
+        if rank_left <= rank_right:
+            self.parent[root_right] = root_left
+        else:
+            self.parent[root_left] = root_right
+        return True
+
+
+def _assemble(
+    pattern: GraphPattern,
+    witnesses: list[WitnessTree],
+    alphabet: frozenset[str] | None,
+) -> Instantiation | None:
+    """Combine per-edge witnesses into a graph, or ``None`` if merges clash."""
+    uf = _UnionFind()
+    for node in pattern.nodes():
+        uf.find(node)
+    for witness in witnesses:
+        for left, right in witness.merges:
+            if not uf.union(left, right):
+                return None
+
+    graph = GraphDatabase(alphabet=alphabet)
+    for node in pattern.nodes():
+        graph.add_node(_concrete(uf.find(node)))
+    for witness in witnesses:
+        for source, lab, target in witness.edges:
+            graph.add_edge(_concrete(uf.find(source)), lab, _concrete(uf.find(target)))
+    assignment = {node: _concrete(uf.find(node)) for node in pattern.nodes()}
+    return Instantiation(graph=graph, assignment=assignment)
+
+
+def _concrete(node: Node) -> Node:
+    """Nulls become node ids named after their label; constants pass through."""
+    if is_null(node):
+        return node.label
+    return node
+
+
+def canonical_instantiation(
+    pattern: GraphPattern,
+    star_bound: int = 2,
+    alphabet: frozenset[str] | None = None,
+) -> Instantiation:
+    """Build a concrete graph ``G`` with π → G.
+
+    Tries the canonical (shortest) witness for every edge first; if that
+    combination forces two distinct constants together (e.g. a ``f*`` edge
+    between two constants taken zero times), falls back to enumerating
+    witness combinations with up to ``star_bound`` star unrollings.
+
+    Raises :class:`~repro.errors.EvaluationError` when no combination within
+    the bound works (cannot happen for patterns produced by the chase from
+    satisfiable settings — see the module docstring of
+    :mod:`repro.core.existence`).
+    """
+    sigma = alphabet if alphabet is not None else pattern.alphabet
+    fresh = default_fresh_factory()
+    edges = sorted(pattern.edges())
+    canonical = [witness_tree(e.nre, e.source, e.target, fresh) for e in edges]
+    result = _assemble(pattern, canonical, sigma)
+    if result is not None:
+        return result
+    for instantiation in enumerate_instantiations(
+        pattern, star_bound=star_bound, alphabet=sigma
+    ):
+        return instantiation
+    raise EvaluationError(
+        f"no instantiation of the pattern within star bound {star_bound}"
+    )
+
+
+def enumerate_instantiations(
+    pattern: GraphPattern,
+    star_bound: int = 1,
+    alphabet: frozenset[str] | None = None,
+    limit: int | None = None,
+) -> Iterator[Instantiation]:
+    """Yield instantiations over all witness combinations within the bound.
+
+    Combinations whose forced merges would identify two distinct constants
+    are skipped.  The enumeration is the product of per-edge witness choices,
+    so it grows exponentially with the pattern size; ``limit`` truncates it.
+    """
+    sigma = alphabet if alphabet is not None else pattern.alphabet
+    fresh = default_fresh_factory()
+    edges = sorted(pattern.edges())
+    per_edge: list[list[WitnessTree]] = [
+        list(enumerate_witnesses(e.nre, e.source, e.target, star_bound, fresh))
+        for e in edges
+    ]
+    produced = 0
+    for combo in itertools.product(*per_edge):
+        instantiation = _assemble(pattern, list(combo), sigma)
+        if instantiation is None:
+            continue
+        yield instantiation
+        produced += 1
+        if limit is not None and produced >= limit:
+            return

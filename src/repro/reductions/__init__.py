@@ -1,0 +1,33 @@
+"""Executable complexity reductions (Section 4 of the paper).
+
+* :mod:`repro.reductions.three_sat` — Theorem 4.1: 3SAT ≤ existence of
+  solutions with target egds, including the decoding of solutions back to
+  valuations and round-trip verification helpers;
+* :mod:`repro.reductions.certain_hardness` — Corollary 4.2 (certain answers
+  with egds, query r_ρ = a·a) and Proposition 4.3 / Corollary 4.4 (certain
+  answers with sameAs constraints, query r′_ρ = sameAs).
+"""
+
+from repro.reductions.three_sat import (
+    ThreeSatReduction,
+    reduction_from_cnf,
+    valuation_graph,
+    decode_valuation,
+)
+from repro.reductions.certain_hardness import (
+    CertainHardnessInstance,
+    certain_egd_instance,
+    certain_sameas_instance,
+    expected_certain,
+)
+
+__all__ = [
+    "ThreeSatReduction",
+    "reduction_from_cnf",
+    "valuation_graph",
+    "decode_valuation",
+    "CertainHardnessInstance",
+    "certain_egd_instance",
+    "certain_sameas_instance",
+    "expected_certain",
+]

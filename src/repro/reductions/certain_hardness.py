@@ -1,0 +1,89 @@
+"""Corollary 4.2 and Proposition 4.3: certain answers are coNP-hard.
+
+Both constructions reuse the Theorem 4.1 reduction:
+
+* **Corollary 4.2 (egds)** — keep Ω_ρ and I_ρ, add the query
+  ``r_ρ = a·a``.  Claim: ``(c1, c2) ∈ cert_{Ω_ρ}(r_ρ, I_ρ)`` iff ρ is
+  *unsatisfiable*.  If ρ is unsatisfiable there is no solution, so every
+  tuple is (vacuously) certain; if ρ is satisfiable, a valuation graph is a
+  solution and it has no a·a path (its only ``a`` edge is c1 → c2 with no
+  continuation), so (c1, c2) is not certain.
+
+* **Proposition 4.3 (sameAs)** — replace every egd ``ψ → x = y`` by the
+  sameAs constraint ``ψ → (x, sameAs, y)`` (over Σ_ρ ∪ {sameAs}) and query
+  ``r′_ρ = sameAs``.  Solutions now always exist; a valuation graph for a
+  satisfying valuation needs *no* sameAs edge (no constraint body fires),
+  so (c1, c2) is certain iff every solution is forced to carry the edge —
+  iff ρ is unsatisfiable.  Corollary 4.4 follows because sameAs constraints
+  are target tgds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.setting import DataExchangeSetting
+from repro.graph.nre import NRE, concat, label
+from repro.mappings.sameas import SAME_AS_LABEL, SameAsConstraint
+from repro.reductions.three_sat import reduction_from_cnf
+from repro.relational.instance import RelationalInstance
+from repro.solver.cnf import CNF
+
+
+@dataclass
+class CertainHardnessInstance:
+    """A certain-answer hardness instance: setting, instance, query, tuple.
+
+    The claim field states the expected relationship, evaluated by the
+    benchmarks: ``certain iff formula unsatisfiable``.
+    """
+
+    setting: DataExchangeSetting
+    instance: RelationalInstance
+    query: NRE
+    tuple: tuple[str, str]
+    formula: CNF
+    kind: str  # "egd" (Corollary 4.2) or "sameas" (Proposition 4.3)
+
+
+def certain_egd_instance(formula: CNF) -> CertainHardnessInstance:
+    """Build the Corollary 4.2 instance for ``formula``: query r_ρ = a·a."""
+    reduction = reduction_from_cnf(formula)
+    return CertainHardnessInstance(
+        setting=reduction.setting,
+        instance=reduction.instance,
+        query=concat(label("a"), label("a")),
+        tuple=reduction.source_constants,
+        formula=formula,
+        kind="egd",
+    )
+
+
+def certain_sameas_instance(formula: CNF) -> CertainHardnessInstance:
+    """Build the Proposition 4.3 instance: sameAs constraints, query sameAs."""
+    reduction = reduction_from_cnf(formula)
+    constraints = [
+        SameAsConstraint(egd.body, egd.left, egd.right, name=f"sameas-{egd.name}")
+        for egd in reduction.setting.egds()
+    ]
+    setting = DataExchangeSetting(
+        reduction.setting.source_schema,
+        reduction.setting.alphabet,
+        reduction.setting.st_tgds,
+        constraints,
+        name=reduction.setting.name.replace("Omega_rho", "Omega'_rho"),
+    )
+    return CertainHardnessInstance(
+        setting=setting,
+        instance=reduction.instance,
+        query=label(SAME_AS_LABEL),
+        tuple=reduction.source_constants,
+        formula=formula,
+        kind="sameas",
+    )
+
+
+def expected_certain(instance: CertainHardnessInstance, satisfiable: bool) -> bool:
+    """The paper's claim: the tuple is certain iff the formula is unsat."""
+    del instance
+    return not satisfiable

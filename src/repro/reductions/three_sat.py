@@ -1,0 +1,169 @@
+"""Theorem 4.1: 3SAT reduces to existence-of-solutions with target egds.
+
+Given ρ = C₁ ∧ … ∧ C_k in 3CNF over x₁…x_n, the paper constructs
+Ω_ρ = (R_ρ, Σ_ρ, M_ρst, M_ρt) and the fixed instance I_ρ:
+
+* R_ρ = {R1/1, R2/1}; I_ρ = {R1(c1), R2(c2)};
+* Σ_ρ = {a, t1, f1, …, tn, fn};
+* M_ρst: the single s-t tgd
+  ``R1(x) ∧ R2(y) → (x, a, y) ∧ (x, t1+f1, x) ∧ … ∧ (x, tn+fn, x)``;
+* M_ρt: egds of two shapes —
+  (*)  ``(x, tⱼ·fⱼ·a, y) → x = y`` for each variable xⱼ
+       (a variable may not be both true and false), and
+  (**) ``(x, b_{i1}·b_{i2}·b_{i3}·a, y) → x = y`` for each clause C_i,
+       where b_{il} = t_{il} if x_{il} occurs *negatively* in C_i and
+       f_{il} otherwise (the self-loops that *falsify* the clause must not
+       coexist).
+
+Solutions for I_ρ under Ω_ρ exist iff ρ is satisfiable, and the solutions
+over {c1, c2} are exactly the valuation graphs (Figure 4 shows the one for
+the paper's ρ₀).  Note restriction (iv) of the theorem asks the egd words
+to have pairwise-distinct symbols; a clause with a repeated variable would
+repeat its symbol, so :func:`reduction_from_cnf` rejects clauses with
+duplicate variables (standard 3SAT normalisation removes them).
+
+The hardness is *query complexity*: I_ρ and R_ρ are fixed; only Σ_ρ and the
+dependencies grow with ρ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.setting import DataExchangeSetting
+from repro.errors import SchemaError
+from repro.graph.cnre import CNREAtom, CNREQuery
+from repro.graph.database import GraphDatabase
+from repro.graph.nre import concat, label, union
+from repro.mappings.egd import TargetEgd
+from repro.mappings.stt import SourceToTargetTgd
+from repro.relational.instance import RelationalInstance
+from repro.relational.query import ConjunctiveQuery, RelationalAtom, Variable
+from repro.relational.schema import RelationalSchema
+from repro.solver.cnf import CNF
+
+Valuation = dict[int, bool]
+
+
+def _true_label(j: int) -> str:
+    return f"t{j}"
+
+
+def _false_label(j: int) -> str:
+    return f"f{j}"
+
+
+@dataclass
+class ThreeSatReduction:
+    """The constructed setting/instance pair for one 3CNF formula."""
+
+    formula: CNF
+    setting: DataExchangeSetting
+    instance: RelationalInstance
+    variable_count: int
+
+    @property
+    def source_constants(self) -> tuple[str, str]:
+        """The two fixed constants (c1, c2) of I_ρ."""
+        return ("c1", "c2")
+
+
+def reduction_from_cnf(formula: CNF) -> ThreeSatReduction:
+    """Build Ω_ρ and I_ρ from a CNF formula (clauses of any width ≥ 1).
+
+    Raises :class:`~repro.errors.SchemaError` on clauses mentioning the
+    same variable twice — normalise the formula first (such clauses are
+    either tautological, then droppable, or collapse to shorter clauses).
+    """
+    n = formula.variable_count
+    alphabet = {"a"}
+    for j in range(1, n + 1):
+        alphabet.add(_true_label(j))
+        alphabet.add(_false_label(j))
+
+    schema = RelationalSchema()
+    schema.declare("R1", 1)
+    schema.declare("R2", 1)
+    instance = RelationalInstance(schema, {"R1": [("c1",)], "R2": [("c2",)]})
+
+    x, y = Variable("x"), Variable("y")
+    head_atoms = [CNREAtom(x, label("a"), y)]
+    for j in range(1, n + 1):
+        head_atoms.append(
+            CNREAtom(x, union(label(_true_label(j)), label(_false_label(j))), x)
+        )
+    st_tgd = SourceToTargetTgd(
+        ConjunctiveQuery(
+            [RelationalAtom("R1", (x,)), RelationalAtom("R2", (y,))]
+        ),
+        CNREQuery(head_atoms),
+        name="M_rho_st",
+    )
+
+    egds: list[TargetEgd] = []
+    # (*) one egd per variable: t_j and f_j self-loops may not coexist.
+    for j in range(1, n + 1):
+        body = CNREQuery(
+            [
+                CNREAtom(
+                    x,
+                    concat(label(_true_label(j)), label(_false_label(j)), label("a")),
+                    y,
+                )
+            ]
+        )
+        egds.append(TargetEgd(body, x, y, name=f"egd-var-{j}"))
+    # (**) one egd per clause: the three falsifying self-loops may not coexist.
+    for i, clause in enumerate(formula.clauses, start=1):
+        variables = [abs(lit) for lit in clause]
+        if len(set(variables)) != len(variables):
+            raise SchemaError(
+                f"clause {clause} repeats a variable; normalise the formula "
+                "(restriction (iv) needs pairwise-distinct egd symbols)"
+            )
+        falsifiers = [
+            label(_true_label(abs(lit))) if lit < 0 else label(_false_label(abs(lit)))
+            for lit in clause
+        ]
+        body = CNREQuery([CNREAtom(x, concat(*falsifiers, label("a")), y)])
+        egds.append(TargetEgd(body, x, y, name=f"egd-clause-{i}"))
+
+    setting = DataExchangeSetting(
+        schema, alphabet, [st_tgd], egds, name=f"Omega_rho(n={n},k={len(formula.clauses)})"
+    )
+    return ThreeSatReduction(
+        formula=formula, setting=setting, instance=instance, variable_count=n
+    )
+
+
+def valuation_graph(reduction: ThreeSatReduction, valuation: Valuation) -> GraphDatabase:
+    """The solution graph encoding ``valuation`` (the Figure 4 shape).
+
+    One ``a`` edge c1 → c2, plus the self-loop ``t_j`` or ``f_j`` on c1 for
+    every variable, according to the valuation.  It is a solution iff the
+    valuation satisfies the formula (the paper's "if" direction).
+    """
+    graph = GraphDatabase(alphabet=reduction.setting.alphabet)
+    c1, c2 = reduction.source_constants
+    graph.add_edge(c1, "a", c2)
+    for j in range(1, reduction.variable_count + 1):
+        chosen = _true_label(j) if valuation.get(j, False) else _false_label(j)
+        graph.add_edge(c1, chosen, c1)
+    return graph
+
+
+def decode_valuation(
+    reduction: ThreeSatReduction, solution: GraphDatabase
+) -> Valuation:
+    """Read the valuation off a solution graph's c1 self-loops.
+
+    Solutions encode *exactly one* of t_j/f_j per variable (the type-(*)
+    egds forbid both, the s-t tgd demands at least one); when a graph
+    carries both (it is then not a solution) the ``True`` reading wins, and
+    a missing pair decodes to ``False``.
+    """
+    c1 = reduction.source_constants[0]
+    valuation: Valuation = {}
+    for j in range(1, reduction.variable_count + 1):
+        valuation[j] = c1 in solution.successors(c1, _true_label(j))
+    return valuation

@@ -1,0 +1,34 @@
+"""Relational substrate: source schemas, instances, and conjunctive queries.
+
+This package implements the *source* side of the relational-to-graph data
+exchange setting of the paper (Section 2, "Source schemas and queries"):
+
+* :class:`~repro.relational.schema.RelationSymbol` and
+  :class:`~repro.relational.schema.RelationalSchema` — a finite collection of
+  relation symbols with fixed arities;
+* :class:`~repro.relational.instance.RelationalInstance` — a finite set of
+  tuples over the shared constant domain ``V`` for each symbol;
+* :class:`~repro.relational.query.ConjunctiveQuery` — conjunctions of
+  relational atoms over variables, with evaluation by backtracking joins in
+  :mod:`repro.relational.evaluate`;
+* :func:`~repro.relational.parser.parse_cq` — a small concrete syntax, e.g.
+  ``"Flight(x1, x2, x3), Hotel(x1, x4)"``.
+"""
+
+from repro.relational.schema import RelationSymbol, RelationalSchema
+from repro.relational.instance import RelationalInstance
+from repro.relational.query import RelationalAtom, ConjunctiveQuery
+from repro.relational.evaluate import evaluate_cq, cq_homomorphisms
+from repro.relational.parser import parse_cq, parse_atom
+
+__all__ = [
+    "RelationSymbol",
+    "RelationalSchema",
+    "RelationalInstance",
+    "RelationalAtom",
+    "ConjunctiveQuery",
+    "evaluate_cq",
+    "cq_homomorphisms",
+    "parse_cq",
+    "parse_atom",
+]

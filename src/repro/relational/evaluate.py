@@ -1,0 +1,118 @@
+"""Conjunctive-query evaluation by backtracking joins.
+
+The evaluator enumerates homomorphisms from the query body into the instance
+(the standard semantics of CQs).  Atoms are processed in an order chosen to
+bind variables early — a greedy "most-bound-first, then smallest-relation"
+heuristic — which keeps the search close to a left-deep join plan without
+building intermediate relations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.relational.instance import RelationalInstance
+from repro.relational.query import ConjunctiveQuery, RelationalAtom, Variable, is_variable
+
+Assignment = dict[Variable, object]
+
+
+def _atom_order(query: ConjunctiveQuery, instance: RelationalInstance) -> list[RelationalAtom]:
+    """Order atoms greedily: prefer atoms sharing variables with already
+    chosen atoms (bound variables prune the scan), tie-break on relation size.
+    """
+    remaining = list(query.atoms)
+    ordered: list[RelationalAtom] = []
+    bound: set[Variable] = set()
+    while remaining:
+        def score(atom: RelationalAtom) -> tuple[int, int]:
+            atom_vars = set(atom.variables())
+            unbound = len(atom_vars - bound)
+            return (unbound, len(instance.tuples(atom.relation)))
+
+        best = min(remaining, key=score)
+        remaining.remove(best)
+        ordered.append(best)
+        bound.update(best.variables())
+    return ordered
+
+
+def _match_atom(
+    atom: RelationalAtom,
+    instance: RelationalInstance,
+    assignment: Assignment,
+) -> Iterator[Assignment]:
+    """Yield extensions of ``assignment`` matching ``atom`` in ``instance``."""
+    for tup in instance.tuples(atom.relation):
+        extension: Assignment = {}
+        ok = True
+        for term, value in zip(atom.terms, tup):
+            if is_variable(term):
+                current = assignment.get(term, extension.get(term, _UNSET))
+                if current is _UNSET:
+                    extension[term] = value
+                elif current != value:
+                    ok = False
+                    break
+            elif term != value:
+                ok = False
+                break
+        if ok:
+            merged = dict(assignment)
+            merged.update(extension)
+            yield merged
+
+
+_UNSET = object()
+
+
+def cq_homomorphisms(
+    query: ConjunctiveQuery,
+    instance: RelationalInstance,
+    seed: Mapping[Variable, object] | None = None,
+) -> Iterator[Assignment]:
+    """Yield every homomorphism from ``query``'s body into ``instance``.
+
+    A homomorphism maps each body variable to a constant such that every atom
+    becomes a fact of the instance.  ``seed`` optionally pre-binds variables
+    (used when checking dependencies: the body match seeds the head check).
+
+    Homomorphisms are yielded as fresh dictionaries; mutating one does not
+    affect the enumeration.
+    """
+    query.validate(instance.schema)
+    ordered = _atom_order(query, instance)
+
+    def extend(index: int, assignment: Assignment) -> Iterator[Assignment]:
+        if index == len(ordered):
+            yield dict(assignment)
+            return
+        for extended in _match_atom(ordered[index], instance, assignment):
+            yield from extend(index + 1, extended)
+
+    initial: Assignment = dict(seed) if seed else {}
+    yield from extend(0, initial)
+
+
+def evaluate_cq(
+    query: ConjunctiveQuery,
+    instance: RelationalInstance,
+) -> frozenset[tuple]:
+    """Evaluate ``query`` on ``instance`` and return the set of answer tuples.
+
+    Each answer is the projection of a body homomorphism onto the query's
+    output variables, in their declared order.
+
+    >>> from repro.relational import RelationalSchema, RelationalInstance
+    >>> from repro.relational.parser import parse_cq
+    >>> schema = RelationalSchema()
+    >>> _ = schema.declare("E", 2)
+    >>> inst = RelationalInstance(schema, {"E": [("a", "b"), ("b", "c")]})
+    >>> q = parse_cq("E(x, y), E(y, z) -> (x, z)")
+    >>> sorted(evaluate_cq(q, inst))
+    [('a', 'c')]
+    """
+    answers = set()
+    for hom in cq_homomorphisms(query, instance):
+        answers.add(tuple(hom[v] for v in query.outputs))
+    return frozenset(answers)

@@ -1,0 +1,122 @@
+"""Relational instances: finite sets of tuples over the constant domain.
+
+An instance of a schema ``R`` associates to each relation symbol a finite set
+of tuples over the countably infinite constant domain ``V`` (paper,
+Section 2).  Constants are arbitrary hashable Python values; the paper's
+``c1``, ``hx`` etc. are plain strings in the scenario modules.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import SchemaError
+from repro.relational.schema import RelationSymbol, RelationalSchema
+
+Constant = object
+Tuple = tuple
+
+
+class RelationalInstance:
+    """A finite instance of a :class:`RelationalSchema`.
+
+    Tuples are stored per relation symbol as ``frozenset``-like sets of plain
+    Python tuples.  Arity conformance is checked on every insertion.
+
+    >>> schema = RelationalSchema()
+    >>> R = schema.declare("R", 1)
+    >>> instance = RelationalInstance(schema)
+    >>> instance.add("R", ("c1",))
+    >>> sorted(instance.tuples("R"))
+    [('c1',)]
+    """
+
+    def __init__(
+        self,
+        schema: RelationalSchema,
+        facts: Mapping[str, Iterable[Tuple]] | None = None,
+    ):
+        self.schema = schema
+        self._data: dict[str, set[Tuple]] = {symbol.name: set() for symbol in schema}
+        if facts:
+            for name, tuples in facts.items():
+                for tup in tuples:
+                    self.add(name, tup)
+
+    def _symbol(self, relation: str | RelationSymbol) -> RelationSymbol:
+        if isinstance(relation, RelationSymbol):
+            declared = self.schema.get(relation.name)
+            if declared != relation:
+                raise SchemaError(f"relation {relation} is not part of the schema")
+            return relation
+        return self.schema[relation]
+
+    def add(self, relation: str | RelationSymbol, values: Iterable[Constant]) -> None:
+        """Insert the tuple ``values`` into ``relation``.
+
+        Raises :class:`~repro.errors.SchemaError` on arity mismatch or on an
+        undeclared relation.
+        """
+        symbol = self._symbol(relation)
+        tup = tuple(values)
+        if len(tup) != symbol.arity:
+            raise SchemaError(
+                f"tuple {tup!r} has arity {len(tup)}, but {symbol} expects {symbol.arity}"
+            )
+        self._data[symbol.name].add(tup)
+
+    def add_all(self, relation: str | RelationSymbol, tuples: Iterable[Iterable[Constant]]) -> None:
+        """Insert every tuple from ``tuples`` into ``relation``."""
+        for tup in tuples:
+            self.add(relation, tup)
+
+    def tuples(self, relation: str | RelationSymbol) -> frozenset[Tuple]:
+        """Return the set of tuples currently stored for ``relation``."""
+        symbol = self._symbol(relation)
+        return frozenset(self._data[symbol.name])
+
+    def contains(self, relation: str | RelationSymbol, values: Iterable[Constant]) -> bool:
+        """Return whether the tuple ``values`` is present in ``relation``."""
+        symbol = self._symbol(relation)
+        return tuple(values) in self._data[symbol.name]
+
+    def active_domain(self) -> frozenset[Constant]:
+        """Return every constant mentioned anywhere in the instance."""
+        domain: set[Constant] = set()
+        for tuples in self._data.values():
+            for tup in tuples:
+                domain.update(tup)
+        return frozenset(domain)
+
+    def size(self) -> int:
+        """Return the total number of facts across all relations."""
+        return sum(len(tuples) for tuples in self._data.values())
+
+    def __len__(self) -> int:
+        return self.size()
+
+    def __iter__(self) -> Iterator[tuple[str, Tuple]]:
+        """Iterate over ``(relation_name, tuple)`` facts."""
+        for name, tuples in self._data.items():
+            for tup in sorted(tuples, key=repr):
+                yield name, tup
+
+    def copy(self) -> "RelationalInstance":
+        """Return an independent deep copy sharing the (immutable) schema."""
+        clone = RelationalInstance(self.schema)
+        for name, tuples in self._data.items():
+            clone._data[name] = set(tuples)
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationalInstance):
+            return NotImplemented
+        return self.schema == other.schema and self._data == other._data
+
+    def __repr__(self) -> str:
+        parts = []
+        for name, tuples in self._data.items():
+            if tuples:
+                facts = ", ".join(f"{name}{tup!r}" for tup in sorted(tuples, key=repr))
+                parts.append(facts)
+        return f"RelationalInstance({'; '.join(parts)})"

@@ -1,0 +1,117 @@
+"""Relational schemas: finite collections of relation symbols with arities.
+
+The paper (Section 2) defines a source schema ``R`` as a finite collection of
+relational symbols, each with a positive integer arity.  We mirror that
+definition exactly; no typing of attributes is needed because the shared
+domain ``V`` of constants is untyped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True, order=True)
+class RelationSymbol:
+    """A relation symbol with a name and a positive arity.
+
+    Instances are immutable and hashable, so they can key dictionaries and
+    populate sets.  Equality is structural: two symbols are the same exactly
+    when both the name and the arity coincide.
+
+    >>> Flight = RelationSymbol("Flight", 3)
+    >>> Flight.name, Flight.arity
+    ('Flight', 3)
+    """
+
+    name: str
+    arity: int
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"relation name must be a non-empty string, got {self.name!r}")
+        if not isinstance(self.arity, int) or self.arity < 1:
+            raise SchemaError(
+                f"relation {self.name!r} must have positive integer arity, got {self.arity!r}"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.name}/{self.arity}"
+
+
+class RelationalSchema:
+    """A finite collection of :class:`RelationSymbol` with unique names.
+
+    The schema behaves as a read-only mapping from names to symbols:
+
+    >>> schema = RelationalSchema([RelationSymbol("R", 1), RelationSymbol("P", 2)])
+    >>> schema["R"].arity
+    1
+    >>> "P" in schema
+    True
+    >>> len(schema)
+    2
+    """
+
+    def __init__(self, symbols: Iterable[RelationSymbol] = ()):
+        self._symbols: dict[str, RelationSymbol] = {}
+        for symbol in symbols:
+            self.add(symbol)
+
+    def add(self, symbol: RelationSymbol) -> None:
+        """Add ``symbol``; adding the same symbol twice is idempotent.
+
+        Raises :class:`~repro.errors.SchemaError` when a *different* symbol
+        with the same name is already present.
+        """
+        existing = self._symbols.get(symbol.name)
+        if existing is not None and existing != symbol:
+            raise SchemaError(
+                f"conflicting declarations for relation {symbol.name!r}: "
+                f"arity {existing.arity} vs {symbol.arity}"
+            )
+        self._symbols[symbol.name] = symbol
+
+    def declare(self, name: str, arity: int) -> RelationSymbol:
+        """Create, register, and return a symbol in one step."""
+        symbol = RelationSymbol(name, arity)
+        self.add(symbol)
+        return symbol
+
+    def __getitem__(self, name: str) -> RelationSymbol:
+        try:
+            return self._symbols[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {name!r}") from None
+
+    def get(self, name: str) -> RelationSymbol | None:
+        """Return the symbol named ``name`` or ``None`` when absent."""
+        return self._symbols.get(name)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._symbols
+
+    def __iter__(self) -> Iterator[RelationSymbol]:
+        return iter(self._symbols.values())
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def names(self) -> list[str]:
+        """Return the relation names in declaration order."""
+        return list(self._symbols)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationalSchema):
+            return NotImplemented
+        return set(self._symbols.values()) == set(other._symbols.values())
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._symbols.values()))
+
+    def __repr__(self) -> str:
+        body = ", ".join(str(s) for s in self)
+        return f"RelationalSchema({{{body}}})"

@@ -1,0 +1,79 @@
+"""The paper's worked examples and synthetic workload generators.
+
+* :mod:`repro.scenarios.flights` — the running Flight/Hotel example
+  (Example 2.2 with Figures 1 and 5, Example 3.1 with Figure 2,
+  Example 3.2 with Figure 3, Examples 5.1/5.4 with Figure 7);
+* :mod:`repro.scenarios.figures` — the remaining standalone gadgets:
+  Example 5.2 / Figure 6 (successful chase without solutions) and the
+  Figure 4 valuation graph of the Theorem 4.1 illustration;
+* :mod:`repro.scenarios.generators` — random Flight/Hotel instances and
+  random graphs/NREs for the scaling and differential benchmarks.
+"""
+
+from repro.scenarios.flights import (
+    flights_schema,
+    flights_instance,
+    flights_alphabet,
+    flights_st_tgd,
+    hotel_egd,
+    hotel_sameas,
+    setting_omega,
+    setting_omega_prime,
+    setting_no_constraints,
+    graph_g1,
+    graph_g2,
+    graph_g3,
+    example_query,
+    paper_answers_g1,
+    paper_answers_g2,
+    paper_certain_omega,
+    paper_certain_omega_prime,
+    figure5_expected_pattern,
+    figure7_graph,
+)
+from repro.scenarios.figures import (
+    example31_setting,
+    figure2_expected_graph,
+    example52_setting,
+    example52_instance,
+    figure6b_graph,
+    rho0_formula,
+    figure4_graph,
+)
+from repro.scenarios.generators import (
+    random_flights_instance,
+    random_graph,
+    random_nre,
+)
+
+__all__ = [
+    "flights_schema",
+    "flights_instance",
+    "flights_alphabet",
+    "flights_st_tgd",
+    "hotel_egd",
+    "hotel_sameas",
+    "setting_omega",
+    "setting_omega_prime",
+    "setting_no_constraints",
+    "graph_g1",
+    "graph_g2",
+    "graph_g3",
+    "example_query",
+    "paper_answers_g1",
+    "paper_answers_g2",
+    "paper_certain_omega",
+    "paper_certain_omega_prime",
+    "figure5_expected_pattern",
+    "figure7_graph",
+    "example31_setting",
+    "figure2_expected_graph",
+    "example52_setting",
+    "example52_instance",
+    "figure6b_graph",
+    "rho0_formula",
+    "figure4_graph",
+    "random_flights_instance",
+    "random_graph",
+    "random_nre",
+]

@@ -1,0 +1,127 @@
+"""Standalone gadgets: Example 3.1 / Figure 2, Example 5.2 / Figure 6,
+and the Theorem 4.1 illustration ρ₀ / Figure 4.
+"""
+
+from __future__ import annotations
+
+from repro.core.setting import DataExchangeSetting
+from repro.graph.database import GraphDatabase
+from repro.mappings.parser import parse_egd, parse_st_tgd
+from repro.patterns.pattern import Null
+from repro.relational.instance import RelationalInstance
+from repro.relational.schema import RelationalSchema
+from repro.scenarios.flights import flights_schema, hotel_egd
+from repro.solver.cnf import CNF
+
+
+def example31_setting() -> DataExchangeSetting:
+    """Example 3.1: the single-symbol fragment M′_st with the hotel egd.
+
+    M′_st : Flight(x1,x2,x3) ∧ Hotel(x1,x4) → ∃y. (x2,f,y) ∧ (y,h,x4) ∧ (y,f,x3)
+    """
+    st = parse_st_tgd(
+        "Flight(x1, x2, x3), Hotel(x1, x4) -> (x2, f, y), (y, h, x4), (y, f, x3)",
+        name="M'_st",
+    )
+    return DataExchangeSetting(
+        flights_schema(), {"f", "h"}, [st], [hotel_egd()], name="Example3.1"
+    )
+
+
+def figure2_expected_graph() -> GraphDatabase:
+    """Figure 2: the chased solution of Example 3.1 (up to null renaming).
+
+    The hotel egd merges the cities invented for the two hx stops into one
+    null (here ``NB``); hy's city stays separate (``NA``).  Five f edges,
+    two h edges, as drawn.
+    """
+    na, nb = Null("NA"), Null("NB")
+    return GraphDatabase(
+        alphabet={"f", "h"},
+        edges=[
+            ("c1", "f", na),
+            (na, "h", "hy"),
+            (na, "f", "c2"),
+            ("c1", "f", nb),
+            ("c3", "f", nb),
+            (nb, "h", "hx"),
+            (nb, "f", "c2"),
+        ],
+    )
+
+
+# --------------------------------------------------------------------- #
+# Example 5.2 / Figure 6: a successful chase with no solutions
+# --------------------------------------------------------------------- #
+
+
+def example52_setting() -> DataExchangeSetting:
+    """Example 5.2: Σ = {a, b, c}, one s-t tgd, one all-collapsing egd.
+
+    * s-t tgd:  R(x) ∧ P(y) → (x, a·(b*+c*)·a, y)
+    * egd:      (x, a+b+c, y) → x = y
+
+    The adapted chase succeeds (the composite NRE is opaque to egd
+    matching), yet no solution exists: the egd forces every edge of a
+    solution to be a self-loop, so no path can connect the distinct
+    constants c1 and c2 — the loop-collapse refutation of
+    :mod:`repro.core.existence` decides this exactly.
+    """
+    schema = RelationalSchema()
+    schema.declare("R", 1)
+    schema.declare("P", 1)
+    st = parse_st_tgd("R(x), P(y) -> (x, a . (b* + c*) . a, y)", name="st-5.2")
+    egd = parse_egd("(x, a + b + c, y) -> x = y", name="egd-5.2")
+    return DataExchangeSetting(schema, {"a", "b", "c"}, [st], [egd], name="Example5.2")
+
+
+def example52_instance() -> RelationalInstance:
+    """The instance {R(c1), P(c2)} of Example 5.2."""
+    setting_schema = example52_setting().source_schema
+    return RelationalInstance(
+        setting_schema, {"R": [("c1",)], "P": [("c2",)]}
+    )
+
+
+def figure6b_graph() -> GraphDatabase:
+    """Figure 6(b): the canonical instantiation c1 ─a→ N ─a→ c2.
+
+    It satisfies the s-t tgd (witnessing b*/c* zero times) but cannot be
+    repaired into a solution: the egd would merge the constants c1 and c2.
+    """
+    return GraphDatabase(
+        alphabet={"a", "b", "c"},
+        edges=[("c1", "a", "N"), ("N", "a", "c2")],
+    )
+
+
+# --------------------------------------------------------------------- #
+# Theorem 4.1 illustration: ρ₀ and Figure 4
+# --------------------------------------------------------------------- #
+
+
+def rho0_formula() -> CNF:
+    """ρ₀ = (x1 ∨ ¬x2 ∨ x3) ∧ (¬x1 ∨ x3 ∨ ¬x4) — the paper's example."""
+    cnf = CNF()
+    cnf.variable_count = 4
+    cnf.add_clause([1, -2, 3])
+    cnf.add_clause([-1, 3, -4])
+    return cnf
+
+
+def figure4_graph() -> GraphDatabase:
+    """Figure 4: the solution encoding v(x1)=v(x2)=true, v(x3)=v(x4)=false.
+
+    One ``a`` edge c1 → c2 plus the valuation's self-loops t1, t2, f3, f4
+    on c1.
+    """
+    return GraphDatabase(
+        alphabet={"a", "t1", "f1", "t2", "f2", "t3", "f3", "t4", "f4"},
+        edges=[
+            ("c1", "a", "c2"),
+            ("c1", "t1", "c1"),
+            ("c1", "t2", "c1"),
+            ("c1", "f3", "c1"),
+            ("c1", "f4", "c1"),
+        ],
+    )

@@ -1,0 +1,266 @@
+"""The paper's running example: flights, hotels, and one constraint two ways.
+
+Everything printed in Example 2.2 and its continuations is constructed here
+as code:
+
+* the source schema {Flight/3, Hotel/2} and the instance I;
+* the target alphabet Σ = {f, h} and the s-t tgd M_st;
+* the egd M_t and the sameAs variant M′_t, giving the two settings
+  Ω = (R, Σ, M_st, M_t) and Ω′ = (R, Σ, M_st, M′_t);
+* the Figure 1 solutions G1, G2 (under Ω) and G3 (under Ω′);
+* the query Q = f·f*[h]·f⁻·(f⁻)* and the answer/certain-answer sets the
+  paper prints for it;
+* the expected Figure 5 pattern (output of the adapted egd chase) and the
+  Figure 7 graph of Example 5.4.
+
+**Figure pinning.**  The paper's figure drawings are reconstructed from the
+machine-checkable facts stated in the text: G1/G2/G3 must be solutions under
+their settings, and ⟦Q⟧_G1 / ⟦Q⟧_G2 must equal the printed sets.  Where a
+drawing leaves one redundant edge ambiguous (G2's fifth f edge), we pick a
+placement and the tests pin the *semantic* facts, which are placement-
+independent.  Figure 7's graph is pinned by its two defining properties:
+the Figure 5 pattern maps into it homomorphically, yet the hotel egd is
+violated.
+"""
+
+from __future__ import annotations
+
+from repro.core.setting import DataExchangeSetting
+from repro.graph.database import GraphDatabase
+from repro.graph.nre import NRE
+from repro.graph.parser import parse_nre
+from repro.mappings.egd import TargetEgd
+from repro.mappings.parser import parse_egd, parse_sameas, parse_st_tgd
+from repro.mappings.sameas import SAME_AS_LABEL, SameAsConstraint
+from repro.mappings.stt import SourceToTargetTgd
+from repro.patterns.pattern import GraphPattern, Null
+from repro.relational.instance import RelationalInstance
+from repro.relational.schema import RelationalSchema
+
+
+def flights_schema() -> RelationalSchema:
+    """The source schema R = {Flight(flight_id, src, dest), Hotel(flight_id, hotel_id)}."""
+    schema = RelationalSchema()
+    schema.declare("Flight", 3)
+    schema.declare("Hotel", 2)
+    return schema
+
+
+def flights_instance() -> RelationalInstance:
+    """The instance I of Example 2.2 (two flights, three hotel stops)."""
+    return RelationalInstance(
+        flights_schema(),
+        {
+            "Flight": [("01", "c1", "c2"), ("02", "c3", "c2")],
+            "Hotel": [("01", "hx"), ("01", "hy"), ("02", "hx")],
+        },
+    )
+
+
+def flights_alphabet() -> frozenset[str]:
+    """The target schema Σ = {f, h}."""
+    return frozenset({"f", "h"})
+
+
+def flights_st_tgd() -> SourceToTargetTgd:
+    """M_st: each hotel stop lies in some city on a path from src to dest."""
+    return parse_st_tgd(
+        "Flight(x1, x2, x3), Hotel(x1, x4) -> "
+        "(x2, f . f*, y), (y, h, x4), (y, f . f*, x3)",
+        name="M_st",
+    )
+
+
+def hotel_egd() -> TargetEgd:
+    """M_t: a hotel is situated in exactly one city (as an egd)."""
+    return parse_egd("(x1, h, x3), (x2, h, x3) -> x1 = x2", name="M_t")
+
+
+def hotel_sameas() -> SameAsConstraint:
+    """M′_t: the same requirement expressed as a sameAs constraint."""
+    return parse_sameas(
+        "(x1, h, x3), (x2, h, x3) -> (x1, sameAs, x2)", name="M'_t"
+    )
+
+
+def setting_omega() -> DataExchangeSetting:
+    """Ω = (R, Σ, M_st, M_t) — the egd setting."""
+    return DataExchangeSetting(
+        flights_schema(),
+        flights_alphabet(),
+        [flights_st_tgd()],
+        [hotel_egd()],
+        name="Omega",
+    )
+
+
+def setting_omega_prime() -> DataExchangeSetting:
+    """Ω′ = (R, Σ, M_st, M′_t) — the sameAs setting."""
+    return DataExchangeSetting(
+        flights_schema(),
+        flights_alphabet(),
+        [flights_st_tgd()],
+        [hotel_sameas()],
+        name="OmegaPrime",
+    )
+
+
+def setting_no_constraints() -> DataExchangeSetting:
+    """(R, Σ, M_st, ∅) — the constraint-free setting of Example 3.2."""
+    return DataExchangeSetting(
+        flights_schema(),
+        flights_alphabet(),
+        [flights_st_tgd()],
+        [],
+        name="OmegaFree",
+    )
+
+
+# --------------------------------------------------------------------- #
+# Figure 1: the solutions G1, G2 (under Ω) and G3 (under Ω′)
+# --------------------------------------------------------------------- #
+
+
+def graph_g1() -> GraphDatabase:
+    """Figure 1(a): both hotels in the single intermediate city N."""
+    return GraphDatabase(
+        alphabet={"f", "h"},
+        edges=[
+            ("c1", "f", "N"),
+            ("c3", "f", "N"),
+            ("N", "f", "c2"),
+            ("N", "h", "hx"),
+            ("N", "h", "hy"),
+        ],
+    )
+
+
+def graph_g2() -> GraphDatabase:
+    """Figure 1(b): a two-stop itinerary through N1 then N2.
+
+    Both hotels sit in N2; the fifth f edge (N1 → c2) is the drawing's
+    redundant connection.  The structure is pinned by ⟦Q⟧_G2 matching the
+    paper's printed nine-pair set (see :func:`paper_answers_g2`).
+    """
+    return GraphDatabase(
+        alphabet={"f", "h"},
+        edges=[
+            ("c1", "f", "N1"),
+            ("c3", "f", "N1"),
+            ("N1", "f", "N2"),
+            ("N2", "f", "c2"),
+            ("N1", "f", "c2"),
+            ("N2", "h", "hx"),
+            ("N2", "h", "hy"),
+        ],
+    )
+
+
+def graph_g3() -> GraphDatabase:
+    """Figure 1(c): one city per trigger, hx's two cities linked by sameAs.
+
+    The dotted edges of the figure are the two ``sameAs`` edges between N1
+    and N3 (the cities both hosting hotel hx).
+    """
+    return GraphDatabase(
+        alphabet={"f", "h", SAME_AS_LABEL},
+        edges=[
+            ("c1", "f", "N1"),
+            ("N1", "f", "N2"),
+            ("N2", "f", "c2"),
+            ("c3", "f", "N3"),
+            ("N3", "f", "c2"),
+            ("N1", "h", "hx"),
+            ("N2", "h", "hy"),
+            ("N3", "h", "hx"),
+            ("N1", SAME_AS_LABEL, "N3"),
+            ("N3", SAME_AS_LABEL, "N1"),
+        ],
+    )
+
+
+# --------------------------------------------------------------------- #
+# The query Q and the paper's printed answer sets
+# --------------------------------------------------------------------- #
+
+
+def example_query() -> NRE:
+    """Q = (x1, f·f*[h]·f⁻·(f⁻)*, x2): pairs of cities reaching one hotel."""
+    return parse_nre("f . f*[h] . f- . (f-)*")
+
+
+def paper_answers_g1() -> frozenset[tuple[str, str]]:
+    """⟦Q⟧_G1 as printed in Example 2.2 (continued)."""
+    return frozenset(
+        {("c1", "c1"), ("c1", "c3"), ("c3", "c1"), ("c3", "c3")}
+    )
+
+
+def paper_answers_g2() -> frozenset[tuple[str, str]]:
+    """⟦Q⟧_G2 as printed in Example 2.2 (continued) — nine pairs."""
+    return frozenset(
+        {
+            ("c1", "c1"),
+            ("c1", "c3"),
+            ("c3", "c1"),
+            ("c3", "c3"),
+            ("c1", "N1"),
+            ("c3", "N1"),
+            ("N1", "c1"),
+            ("N1", "c3"),
+            ("N1", "N1"),
+        }
+    )
+
+
+def paper_certain_omega() -> frozenset[tuple[str, str]]:
+    """cert_Ω(Q, I) as printed: the four all-constant pairs."""
+    return frozenset(
+        {("c1", "c1"), ("c1", "c3"), ("c3", "c1"), ("c3", "c3")}
+    )
+
+
+def paper_certain_omega_prime() -> frozenset[tuple[str, str]]:
+    """cert_Ω′(Q, I) as printed: only the reflexive pairs survive."""
+    return frozenset({("c1", "c1"), ("c3", "c3")})
+
+
+# --------------------------------------------------------------------- #
+# Figure 5 (adapted-chase pattern) and Figure 7 (Example 5.4)
+# --------------------------------------------------------------------- #
+
+
+def figure5_expected_pattern() -> GraphPattern:
+    """The Figure 5 pattern: hx's two cities merged into one null.
+
+    Two nulls remain: ``NA`` hosting hx (reached from both c1 and c3) and
+    ``NB`` hosting hy (reached from c1 only); all five transport edges carry
+    ``f·f*``.  The concrete null labels differ from the chase's (which
+    allocates N1, N2, …); comparisons are up to null renaming.
+    """
+    ff = parse_nre("f . f*")
+    h = parse_nre("h")
+    na, nb = Null("NA"), Null("NB")
+    pattern = GraphPattern(alphabet={"f", "h"})
+    pattern.add_edge("c1", ff, na)
+    pattern.add_edge("c3", ff, na)
+    pattern.add_edge(na, h, "hx")
+    pattern.add_edge(na, ff, "c2")
+    pattern.add_edge("c1", ff, nb)
+    pattern.add_edge(nb, h, "hy")
+    pattern.add_edge(nb, ff, "c2")
+    return pattern
+
+
+def figure7_graph() -> GraphDatabase:
+    """Figure 7: in Rep of the Figure 5 pattern, yet violating the egd.
+
+    G1 extended with hotel edges from c2, so hx (and hy) now sit in two
+    distinct cities — the egd fires and fails, but the homomorphism from
+    the chased pattern (N ↦ N) is untouched.  This is the Example 5.4 /
+    Proposition 5.3 witness.
+    """
+    graph = graph_g1()
+    graph.add_edge("c2", "h", "hx")
+    graph.add_edge("c2", "h", "hy")
+    return graph

@@ -1,0 +1,34 @@
+"""SAT substrate: CNF formulas, a DPLL solver, and exchange encodings.
+
+The paper's Theorem 4.1 reduces 3SAT to the existence of solutions; running
+that reduction at scale — and deciding existence for the restricted fragment
+at all — needs a SAT solver, which is implemented here from scratch:
+
+* :mod:`repro.solver.cnf` — CNF formulas in DIMACS-style integer literals;
+* :mod:`repro.solver.dpll` — a DPLL solver with unit propagation, pure
+  literals, and a most-occurrences branching heuristic, plus a brute-force
+  model enumerator used as an oracle in tests;
+* :mod:`repro.solver.generators` — random k-CNF and planted-satisfiable
+  instance generators for the scaling benchmarks;
+* :mod:`repro.solver.encode` — the bounded-model encoding of
+  existence-of-solutions into CNF for the Theorem 4.1 fragment
+  (union-of-symbols heads, word egd bodies).
+"""
+
+from repro.solver.cnf import CNF, Clause, Literal
+from repro.solver.dpll import DPLLSolver, solve_cnf, enumerate_models
+from repro.solver.generators import random_kcnf, planted_kcnf
+from repro.solver.encode import encode_bounded_existence, decode_edge_model
+
+__all__ = [
+    "CNF",
+    "Clause",
+    "Literal",
+    "DPLLSolver",
+    "solve_cnf",
+    "enumerate_models",
+    "random_kcnf",
+    "planted_kcnf",
+    "encode_bounded_existence",
+    "decode_edge_model",
+]

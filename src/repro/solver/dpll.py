@@ -1,0 +1,171 @@
+"""A DPLL SAT solver.
+
+Implements the classic Davis–Putnam–Logemann–Loveland procedure with:
+
+* unit propagation to fixpoint,
+* pure-literal elimination,
+* branching on the variable with the most clause occurrences (ties broken
+  by index for determinism),
+* iterative deepening of nothing — plain recursion; formulas produced by the
+  exchange encodings and the benchmark sweeps stay small enough (hundreds of
+  variables) that a watched-literal scheme would be over-engineering.
+
+A brute-force :func:`enumerate_models` doubles as the oracle in the property
+tests: DPLL's sat/unsat verdict must agree with exhaustive enumeration on
+every random small formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.solver.cnf import CNF, Clause
+
+Model = dict[int, bool]
+
+
+@dataclass
+class SolverStats:
+    """Counters describing one solver run."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+
+
+class DPLLSolver:
+    """A reusable DPLL solver instance.
+
+    >>> cnf = CNF()
+    >>> x, y = cnf.new_variable(), cnf.new_variable()
+    >>> cnf.add_clause([x, y]); cnf.add_clause([-x]); cnf.add_clause([-y, x])
+    >>> DPLLSolver(cnf).solve() is None
+    True
+    """
+
+    def __init__(self, cnf: CNF):
+        self.cnf = cnf
+        self.stats = SolverStats()
+
+    def solve(self) -> Model | None:
+        """Return a satisfying model, or ``None`` when unsatisfiable.
+
+        The returned model assigns every variable of the formula (variables
+        untouched by the search are completed with ``False``).
+        """
+        result = self._search(list(self.cnf.clauses), {})
+        if result is None:
+            return None
+        for variable in range(1, self.cnf.variable_count + 1):
+            result.setdefault(variable, False)
+        return result
+
+    # ------------------------------------------------------------------ #
+
+    def _search(self, clauses: list[Clause], assignment: Model) -> Model | None:
+        simplified = self._propagate(clauses, assignment)
+        if simplified is None:
+            self.stats.conflicts += 1
+            return None
+        clauses = simplified
+        if not clauses:
+            return dict(assignment)
+
+        self._assign_pure_literals(clauses, assignment)
+        clauses = [c for c in clauses if not self._clause_true(c, assignment)]
+        if not clauses:
+            return dict(assignment)
+
+        variable = self._pick_branch_variable(clauses)
+        self.stats.decisions += 1
+        for value in (True, False):
+            trail = dict(assignment)
+            trail[variable] = value
+            result = self._search(clauses, trail)
+            if result is not None:
+                return result
+        return None
+
+    def _propagate(self, clauses: list[Clause], assignment: Model) -> list[Clause] | None:
+        """Unit-propagate; return simplified clauses or ``None`` on conflict."""
+        while True:
+            remaining: list[Clause] = []
+            unit: int | None = None
+            for clause in clauses:
+                status, reduced = self._reduce(clause, assignment)
+                if status == "true":
+                    continue
+                if status == "conflict":
+                    return None
+                if len(reduced) == 1 and unit is None:
+                    unit = reduced[0]
+                remaining.append(reduced)
+            if unit is None:
+                return remaining
+            assignment[abs(unit)] = unit > 0
+            self.stats.propagations += 1
+            clauses = remaining
+
+    @staticmethod
+    def _reduce(clause: Clause, assignment: Model) -> tuple[str, Clause]:
+        reduced: list[int] = []
+        for literal in clause:
+            value = assignment.get(abs(literal))
+            if value is None:
+                reduced.append(literal)
+            elif value == (literal > 0):
+                return "true", clause
+        if not reduced:
+            return "conflict", ()
+        return "open", tuple(reduced)
+
+    @staticmethod
+    def _clause_true(clause: Clause, assignment: Model) -> bool:
+        return any(
+            assignment.get(abs(literal)) == (literal > 0)
+            for literal in clause
+            if abs(literal) in assignment
+        )
+
+    @staticmethod
+    def _assign_pure_literals(clauses: list[Clause], assignment: Model) -> None:
+        polarity: dict[int, set[bool]] = {}
+        for clause in clauses:
+            for literal in clause:
+                variable = abs(literal)
+                if variable not in assignment:
+                    polarity.setdefault(variable, set()).add(literal > 0)
+        for variable, signs in polarity.items():
+            if len(signs) == 1:
+                assignment[variable] = next(iter(signs))
+
+    @staticmethod
+    def _pick_branch_variable(clauses: list[Clause]) -> int:
+        occurrences: dict[int, int] = {}
+        for clause in clauses:
+            for literal in clause:
+                occurrences[abs(literal)] = occurrences.get(abs(literal), 0) + 1
+        return min(occurrences, key=lambda v: (-occurrences[v], v))
+
+
+def solve_cnf(cnf: CNF) -> Model | None:
+    """One-shot convenience wrapper around :class:`DPLLSolver`."""
+    return DPLLSolver(cnf).solve()
+
+
+def enumerate_models(cnf: CNF, limit: int | None = None) -> Iterator[Model]:
+    """Yield every model of ``cnf`` by exhaustive enumeration.
+
+    Exponential in the variable count — strictly an oracle for tests and for
+    tiny formulas (≤ ~20 variables).
+    """
+    n = cnf.variable_count
+    produced = 0
+    for bits in range(1 << n):
+        model = {v: bool(bits >> (v - 1) & 1) for v in range(1, n + 1)}
+        if cnf.is_satisfied_by(model):
+            yield model
+            produced += 1
+            if limit is not None and produced >= limit:
+                return

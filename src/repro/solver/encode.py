@@ -1,0 +1,212 @@
+"""Bounded-model SAT encoding of existence-of-solutions.
+
+Applicable fragment (``SettingFragment.sat_encodable``): s-t tgd heads whose
+atoms are unions of forward symbols (``a`` / ``a + b + …``, Theorem 4.1
+restriction (iii)) and target constraints that are egds whose body atoms are
+unions of words over forward symbols (covering the SORE(·) restriction (iv)).
+
+**Completeness of the bounded search.**  Fix the node set ``N`` = constants
+of the chased pattern ∪ its nulls (one null per existential per trigger).
+If *any* solution G exists, pick for every trigger a head-witness
+assignment in G and let G′ be the subgraph of G induced by the image of N
+under those choices (constants map to themselves).  Head atoms are single
+edges between nodes of that image, so G′ still satisfies every s-t tgd;
+and egds are preserved under induced subgraphs (NREs are monotone, so a
+violating match in G′ is a violating match in G).  Hence G′ ⊆ N × Σ × N is
+a solution: searching graphs over ``N`` is complete for this fragment.
+That search is exactly a SAT instance over one Boolean per possible edge.
+
+Clauses:
+
+* for each s-t tgd trigger without existentials: one clause per head atom —
+  the disjunction of its symbol edges;
+* with existentials: one auxiliary selector per assignment of existentials
+  to nodes; selectors imply their atoms' clauses and at least one selector
+  must hold;
+* for each egd (after distributing unions into word combinations), each
+  assignment of body variables with distinct images for the equated pair,
+  and each placement of word-path intermediates: a blocking clause negating
+  the conjunction of edges along all paths.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Hashable, Sequence
+
+from repro.core.setting import DataExchangeSetting
+from repro.errors import NotSupportedError
+from repro.graph.database import GraphDatabase
+from repro.graph.nre import NRE, Concat, Label, Union
+from repro.mappings.egd import TargetEgd
+from repro.relational.instance import RelationalInstance
+from repro.relational.query import Variable, is_variable
+from repro.solver.cnf import CNF
+
+Node = Hashable
+
+
+def _symbols_of_union(expr: NRE) -> list[str]:
+    """Flatten ``a + b + …`` into its symbol list; raise outside the fragment."""
+    if isinstance(expr, Label):
+        return [expr.name]
+    if isinstance(expr, Union):
+        return _symbols_of_union(expr.left) + _symbols_of_union(expr.right)
+    raise NotSupportedError(f"head NRE {expr} is not a union of symbols")
+
+
+def _word_of(expr: NRE) -> list[str]:
+    """Flatten ``a₁ · … · aₙ`` into its label sequence; raise otherwise."""
+    if isinstance(expr, Label):
+        return [expr.name]
+    if isinstance(expr, Concat):
+        return _word_of(expr.left) + _word_of(expr.right)
+    raise NotSupportedError(f"egd NRE {expr} is not a word")
+
+
+def _words_of_atom(expr: NRE) -> list[list[str]]:
+    """Expand top-level unions into the list of alternative words."""
+    if isinstance(expr, Union):
+        return _words_of_atom(expr.left) + _words_of_atom(expr.right)
+    return [_word_of(expr)]
+
+
+def encode_bounded_existence(
+    setting: DataExchangeSetting,
+    instance: RelationalInstance,
+    nodes: Sequence[Node],
+) -> CNF:
+    """Encode "a solution over node set ``nodes`` exists" as CNF.
+
+    Edge variables are registered under the names ``("edge", u, a, v)``;
+    :func:`decode_edge_model` reads them back.  Raises
+    :class:`~repro.errors.NotSupportedError` outside the fragment.
+    """
+    if setting.sameas_constraints() or setting.general_target_tgds():
+        raise NotSupportedError(
+            "the SAT encoding covers egd-only settings (Theorem 4.1 fragment)"
+        )
+    node_list = list(nodes)
+    cnf = CNF()
+    edge_var: Callable[[Node, str, Node], int] = lambda u, a, v: cnf.variable(
+        ("edge", u, a, v)
+    )
+    # Pre-register all edge variables so decode sees a stable universe.
+    for u in node_list:
+        for a in sorted(setting.alphabet):
+            for v in node_list:
+                edge_var(u, a, v)
+
+    _encode_st_tgds(setting, instance, node_list, cnf, edge_var)
+    for egd in setting.egds():
+        _encode_egd(egd, node_list, cnf, edge_var)
+    return cnf
+
+
+def _encode_st_tgds(
+    setting: DataExchangeSetting,
+    instance: RelationalInstance,
+    nodes: list[Node],
+    cnf: CNF,
+    edge_var: Callable[[Node, str, Node], int],
+) -> None:
+    for tgd in setting.st_tgds:
+        atom_symbols = [
+            (atom.subject, _symbols_of_union(atom.nre), atom.object)
+            for atom in tgd.head.atoms
+        ]
+        for match in tgd.body_matches(instance):
+            base: dict[Variable, Node] = {v: match[v] for v in tgd.frontier}
+            if not tgd.existentials:
+                for subject, symbols, obj in atom_symbols:
+                    u = base[subject] if is_variable(subject) else subject
+                    v = base[obj] if is_variable(obj) else obj
+                    cnf.add_clause([edge_var(u, a, v) for a in symbols])
+                continue
+            selectors: list[int] = []
+            for values in itertools.product(nodes, repeat=len(tgd.existentials)):
+                selector = cnf.new_variable()
+                selectors.append(selector)
+                assignment = dict(base)
+                assignment.update(zip(tgd.existentials, values))
+                for subject, symbols, obj in atom_symbols:
+                    u = assignment[subject] if is_variable(subject) else subject
+                    v = assignment[obj] if is_variable(obj) else obj
+                    cnf.add_clause(
+                        [-selector] + [edge_var(u, a, v) for a in symbols]
+                    )
+            cnf.add_clause(selectors)
+
+
+def _encode_egd(
+    egd: TargetEgd,
+    nodes: list[Node],
+    cnf: CNF,
+    edge_var: Callable[[Node, str, Node], int],
+) -> None:
+    variables = list(egd.body.variables())
+    atom_alternatives = [
+        (atom.subject, _words_of_atom(atom.nre), atom.object)
+        for atom in egd.body.atoms
+    ]
+    for values in itertools.product(nodes, repeat=len(variables)):
+        assignment = dict(zip(variables, values))
+        if assignment[egd.left] == assignment[egd.right]:
+            continue
+        _block_violation(atom_alternatives, assignment, nodes, cnf, edge_var)
+
+
+def _block_violation(
+    atom_alternatives: list[tuple[object, list[list[str]], object]],
+    assignment: dict[Variable, Node],
+    nodes: list[Node],
+    cnf: CNF,
+    edge_var: Callable[[Node, str, Node], int],
+) -> None:
+    """Add clauses forbidding every simultaneous realisation of the atoms."""
+    per_atom_paths: list[list[list[int]]] = []
+    for subject, alternatives, obj in atom_alternatives:
+        u = assignment[subject] if is_variable(subject) else subject
+        v = assignment[obj] if is_variable(obj) else obj
+        paths: list[list[int]] = []
+        for word in alternatives:
+            inner = len(word) - 1
+            for mids in itertools.product(nodes, repeat=inner):
+                waypoints = [u, *mids, v]
+                paths.append(
+                    [
+                        edge_var(waypoints[i], word[i], waypoints[i + 1])
+                        for i in range(len(word))
+                    ]
+                )
+        per_atom_paths.append(paths)
+    for combination in itertools.product(*per_atom_paths):
+        literals = sorted({lit for path in combination for lit in path})
+        cnf.add_clause([-lit for lit in literals])
+
+
+def decode_edge_model(
+    cnf: CNF,
+    model: dict[int, bool],
+    alphabet: Sequence[str] | frozenset[str],
+    nodes: Sequence[Node],
+) -> GraphDatabase:
+    """Turn a model of an existence encoding back into a graph.
+
+    Edge variables are looked up by their registered names over the given
+    ``nodes`` × ``alphabet`` universe (no repr parsing — node ids may be
+    arbitrary objects, including labeled nulls).  Every node of the
+    universe is added, so isolated nodes survive into the witness.
+    """
+    graph = GraphDatabase(alphabet=set(alphabet))
+    for node in nodes:
+        graph.add_node(node)
+    for u in nodes:
+        for a in sorted(alphabet):
+            for v in nodes:
+                name = ("edge", u, a, v)
+                if not cnf.has_name(name):
+                    continue
+                if model.get(cnf.variable(name), False):
+                    graph.add_edge(u, a, v)
+    return graph

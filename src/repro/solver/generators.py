@@ -1,0 +1,89 @@
+"""Random CNF generators for the scaling benchmarks.
+
+The paper supplies no workloads (it is a theory paper), so the benchmark
+harness drives the Theorem 4.1 / Corollary 4.2 / Proposition 4.3 reductions
+with synthetic 3CNF families:
+
+* :func:`random_kcnf` — the uniform fixed-clause-length model: each clause
+  picks ``k`` distinct variables and random polarities.  Around the familiar
+  clause-to-variable ratio ≈ 4.27 (for k = 3) instances are hard and roughly
+  half are unsatisfiable, which exercises both sides of the reduction's iff;
+* :func:`planted_kcnf` — satisfiable-by-construction instances: a hidden
+  assignment is drawn first and every clause is required to contain at least
+  one literal it satisfies.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.solver.cnf import CNF
+
+
+def random_kcnf(
+    variables: int,
+    clauses: int,
+    k: int = 3,
+    rng: random.Random | None = None,
+) -> CNF:
+    """Return a uniform random k-CNF with ``variables`` vars, ``clauses`` clauses.
+
+    >>> cnf = random_kcnf(10, 42, rng=random.Random(0))
+    >>> cnf.variable_count, cnf.clause_count
+    (10, 42)
+    """
+    if k > variables:
+        raise ValueError(f"k={k} exceeds the number of variables {variables}")
+    generator = rng if rng is not None else random.Random()
+    cnf = CNF()
+    cnf.variable_count = variables
+    while cnf.clause_count < clauses:
+        chosen = generator.sample(range(1, variables + 1), k)
+        clause = [v if generator.random() < 0.5 else -v for v in chosen]
+        before = cnf.clause_count
+        cnf.add_clause(clause)
+        if cnf.clause_count == before:  # tautology was dropped; retry
+            continue
+    return cnf
+
+
+def planted_kcnf(
+    variables: int,
+    clauses: int,
+    k: int = 3,
+    rng: random.Random | None = None,
+) -> tuple[CNF, dict[int, bool]]:
+    """Return a satisfiable k-CNF together with its planted model."""
+    if k > variables:
+        raise ValueError(f"k={k} exceeds the number of variables {variables}")
+    generator = rng if rng is not None else random.Random()
+    planted = {v: generator.random() < 0.5 for v in range(1, variables + 1)}
+    cnf = CNF()
+    cnf.variable_count = variables
+    while cnf.clause_count < clauses:
+        chosen = generator.sample(range(1, variables + 1), k)
+        clause = [v if generator.random() < 0.5 else -v for v in chosen]
+        if not any(planted[abs(lit)] == (lit > 0) for lit in clause):
+            # Flip one literal so the planted assignment satisfies the clause.
+            index = generator.randrange(k)
+            clause[index] = -clause[index]
+        before = cnf.clause_count
+        cnf.add_clause(clause)
+        if cnf.clause_count == before:
+            continue
+    return cnf, planted
+
+
+def cnf_to_clause_list(cnf: CNF) -> list[tuple[int, ...]]:
+    """Return the clauses as plain tuples (convenience for the reductions)."""
+    return [tuple(clause) for clause in cnf.clauses]
+
+
+def clause_list_to_cnf(variables: int, clauses: Sequence[Sequence[int]]) -> CNF:
+    """Build a CNF from explicit clause lists (convenience for tests)."""
+    cnf = CNF()
+    cnf.variable_count = variables
+    for clause in clauses:
+        cnf.add_clause(clause)
+    return cnf

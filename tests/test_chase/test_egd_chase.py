@@ -1,0 +1,168 @@
+"""Unit tests for the Section 5 adapted chase with egds."""
+
+import pytest
+
+from repro.chase.egd_chase import (
+    chase_pattern_with_egds,
+    chase_with_egds,
+    pattern_symbol_view,
+)
+from repro.graph.nre import Label
+from repro.graph.parser import parse_nre
+from repro.mappings.parser import parse_egd, parse_st_tgd
+from repro.patterns.pattern import GraphPattern, Null
+from repro.relational.instance import RelationalInstance
+from repro.relational.schema import RelationalSchema
+from repro.scenarios.figures import example52_instance, example52_setting
+from repro.scenarios.flights import (
+    figure5_expected_pattern,
+    flights_instance,
+    hotel_egd,
+    flights_st_tgd,
+)
+
+
+class TestSymbolView:
+    def test_bare_symbols_become_edges(self):
+        pi = GraphPattern(edges=[("u", Label("a"), "v")])
+        view = pattern_symbol_view(pi)
+        assert view.has_edge("u", "a", "v")
+
+    def test_composite_nres_are_opaque(self):
+        pi = GraphPattern(edges=[("u", parse_nre("a . b"), "v")])
+        view = pattern_symbol_view(pi)
+        assert view.edge_count() == 0
+        assert view.nodes() == {"u", "v"}  # endpoints still visible
+
+    def test_nulls_are_view_nodes(self):
+        pi = GraphPattern()
+        n = pi.fresh_null()
+        pi.add_edge("u", Label("a"), n)
+        view = pattern_symbol_view(pi)
+        assert n in view.nodes()
+
+
+class TestFigure5:
+    """Example 5.1: the egd merges the two hx cities."""
+
+    def setup_method(self):
+        self.result = chase_with_egds(
+            [flights_st_tgd()], [hotel_egd()], flights_instance(), alphabet={"f", "h"}
+        )
+        self.pattern = self.result.expect_pattern()
+
+    def test_chase_succeeds(self):
+        assert self.result.succeeded
+
+    def test_two_nulls_remain(self):
+        assert len(self.pattern.nulls()) == 2
+
+    def test_seven_edges(self):
+        assert self.pattern.edge_count() == 7
+
+    def test_one_merge_performed(self):
+        assert self.result.stats.null_merges == 1
+
+    def test_matches_expected_figure5_up_to_null_renaming(self):
+        expected = figure5_expected_pattern()
+        # Compare structurally: relabel nulls by their hotel.
+        def shape(pattern):
+            edges = set()
+            hotel_of = {}
+            for e in pattern.edges():
+                if e.nre == Label("h"):
+                    hotel_of[e.source] = e.target
+            for e in pattern.edges():
+                source = hotel_of.get(e.source, e.source)
+                target = hotel_of.get(e.target, e.target)
+                edges.add((repr(source), str(e.nre), repr(target)))
+            return edges
+
+        assert shape(self.pattern) == shape(expected)
+
+
+class TestMergeRules:
+    def _pattern(self):
+        pi = GraphPattern(alphabet={"h"})
+        return pi
+
+    def test_null_merged_into_constant(self):
+        pi = self._pattern()
+        n = pi.fresh_null()
+        pi.add_edge("cityA", Label("h"), "hx")
+        pi.add_edge(n, Label("h"), "hx")
+        result = chase_pattern_with_egds(pi, [hotel_egd()])
+        assert result.succeeded
+        assert result.expect_pattern().nulls() == frozenset()
+        assert "cityA" in result.expect_pattern().nodes()
+
+    def test_two_nulls_merge_deterministically(self):
+        pi = self._pattern()
+        n1, n2 = pi.fresh_null(), pi.fresh_null()
+        pi.add_edge(n1, Label("h"), "hx")
+        pi.add_edge(n2, Label("h"), "hx")
+        result = chase_pattern_with_egds(pi, [hotel_egd()])
+        assert result.succeeded
+        assert result.expect_pattern().nulls() == {Null("N1")}
+
+    def test_constant_constant_fails(self):
+        pi = self._pattern()
+        pi.add_edge("cityA", Label("h"), "hx")
+        pi.add_edge("cityB", Label("h"), "hx")
+        result = chase_pattern_with_egds(pi, [hotel_egd()])
+        assert result.failed
+        assert set(result.failure_witness) == {"cityA", "cityB"}
+
+    def test_cascading_merges(self):
+        """Merging can trigger further merges through a second hotel."""
+        pi = self._pattern()
+        n1, n2, n3 = pi.fresh_null(), pi.fresh_null(), pi.fresh_null()
+        pi.add_edge(n1, Label("h"), "hx")
+        pi.add_edge(n2, Label("h"), "hx")
+        pi.add_edge(n2, Label("h"), "hy")
+        pi.add_edge(n3, Label("h"), "hy")
+        result = chase_pattern_with_egds(pi, [hotel_egd()])
+        assert result.succeeded
+        assert len(result.expect_pattern().nulls()) == 1
+        assert result.stats.null_merges == 2
+
+    def test_input_pattern_not_mutated(self):
+        pi = self._pattern()
+        n1, n2 = pi.fresh_null(), pi.fresh_null()
+        pi.add_edge(n1, Label("h"), "hx")
+        pi.add_edge(n2, Label("h"), "hx")
+        chase_pattern_with_egds(pi, [hotel_egd()])
+        assert len(pi.nulls()) == 2
+
+
+class TestExample52:
+    """The incompleteness gap: a successful chase, yet no solution."""
+
+    def test_chase_succeeds(self):
+        setting, instance = example52_setting(), example52_instance()
+        result = chase_with_egds(
+            setting.st_tgds, setting.egds(), instance, alphabet=setting.alphabet
+        )
+        assert result.succeeded  # the composite NRE is opaque to the egd
+
+    def test_pattern_is_single_opaque_edge(self):
+        setting, instance = example52_setting(), example52_instance()
+        result = chase_with_egds(
+            setting.st_tgds, setting.egds(), instance, alphabet=setting.alphabet
+        )
+        pattern = result.expect_pattern()
+        assert pattern.edge_count() == 1
+        assert pattern.nulls() == frozenset()
+
+
+class TestFailurePropagation:
+    def test_failure_from_st_output(self):
+        """egd on single-symbol edges between constants fails immediately."""
+        schema = RelationalSchema()
+        schema.declare("R", 2)
+        instance = RelationalInstance(schema, {"R": [("u", "v"), ("w", "v")]})
+        st = parse_st_tgd("R(x, y) -> (x, h, y)")
+        egd = parse_egd("(x1, h, z), (x2, h, z) -> x1 = x2")
+        result = chase_with_egds([st], [egd], instance)
+        assert result.failed
+        assert set(result.failure_witness) == {"u", "w"}

@@ -1,0 +1,101 @@
+"""Unit tests for the graph-pattern chase (Section 3.2)."""
+
+from repro.chase.pattern_chase import chase_pattern
+from repro.graph.nre import Label
+from repro.graph.parser import parse_nre
+from repro.mappings.parser import parse_st_tgd
+from repro.patterns.pattern import is_null
+from repro.relational.instance import RelationalInstance
+from repro.relational.schema import RelationalSchema
+from repro.scenarios.flights import flights_instance, flights_st_tgd
+
+
+class TestFigure3:
+    """The paper's Figure 3: three triggers ⇒ three nulls, nine edges."""
+
+    def setup_method(self):
+        self.result = chase_pattern(
+            [flights_st_tgd()], flights_instance(), alphabet={"f", "h"}
+        )
+        self.pattern = self.result.expect_pattern()
+
+    def test_shape(self):
+        assert len(self.pattern.nulls()) == 3
+        assert self.pattern.edge_count() == 9
+        assert self.pattern.constants() == {"c1", "c2", "c3", "hx", "hy"}
+
+    def test_trigger_count(self):
+        assert self.result.stats.st_applications == 3
+
+    def test_each_null_has_three_incident_edges(self):
+        for null in self.pattern.nulls():
+            incident = [
+                e
+                for e in self.pattern.edges()
+                if e.source == null or e.target == null
+            ]
+            assert len(incident) == 3
+
+    def test_hotel_edges_are_bare_symbols(self):
+        h_edges = [e for e in self.pattern.edges() if e.nre == Label("h")]
+        assert len(h_edges) == 3
+        assert {e.target for e in h_edges} == {"hx", "hy"}
+
+    def test_transport_edges_carry_ff_star(self):
+        ff = parse_nre("f . f*")
+        transport = [e for e in self.pattern.edges() if e.nre == ff]
+        assert len(transport) == 6
+
+    def test_deterministic(self):
+        again = chase_pattern(
+            [flights_st_tgd()], flights_instance(), alphabet={"f", "h"}
+        ).expect_pattern()
+        assert again == self.pattern
+
+
+class TestMechanics:
+    def _simple(self, facts, tgd_text):
+        schema = RelationalSchema()
+        schema.declare("R", 2)
+        instance = RelationalInstance(schema, {"R": facts})
+        return chase_pattern([parse_st_tgd(tgd_text)], instance)
+
+    def test_no_existentials_uses_constants_only(self):
+        result = self._simple([("u", "v")], "R(x, y) -> (x, a, y)")
+        pattern = result.expect_pattern()
+        assert pattern.nulls() == frozenset()
+        assert pattern.edge_count() == 1
+
+    def test_one_null_per_trigger(self):
+        result = self._simple([("u", "v"), ("u", "w")], "R(x, y) -> (x, a, z)")
+        assert len(result.expect_pattern().nulls()) == 2
+
+    def test_duplicate_triggers_fire_once(self):
+        result = self._simple([("u", "v")], "R(x, y) -> (x, a, z)")
+        result2 = self._simple([("u", "v")], "R(x, y) -> (x, a, z)")
+        assert result.stats.st_applications == result2.stats.st_applications == 1
+
+    def test_empty_instance_empty_pattern(self):
+        result = self._simple([], "R(x, y) -> (x, a, y)")
+        assert result.expect_pattern().node_count() == 0
+
+    def test_alphabet_inferred_from_heads(self):
+        result = self._simple([("u", "v")], "R(x, y) -> (x, a . b*, y)")
+        assert result.expect_pattern().alphabet == {"a", "b"}
+
+    def test_multiple_tgds(self):
+        schema = RelationalSchema()
+        schema.declare("R", 2)
+        instance = RelationalInstance(schema, {"R": [("u", "v")]})
+        tgds = [
+            parse_st_tgd("R(x, y) -> (x, a, y)"),
+            parse_st_tgd("R(x, y) -> (y, b, x)"),
+        ]
+        pattern = chase_pattern(tgds, instance).expect_pattern()
+        assert pattern.edge_count() == 2
+
+    def test_null_nodes_flagged(self):
+        result = self._simple([("u", "v")], "R(x, y) -> (x, a, z)")
+        pattern = result.expect_pattern()
+        null = next(iter(pattern.nulls()))
+        assert is_null(null)

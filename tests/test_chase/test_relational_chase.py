@@ -1,0 +1,106 @@
+"""Unit tests for the Section 3.1 relational chase (single-symbol heads)."""
+
+import pytest
+
+from repro.chase.relational_chase import chase_relational
+from repro.errors import NotSupportedError
+from repro.mappings.parser import parse_egd, parse_st_tgd
+from repro.patterns.pattern import is_null
+from repro.relational.instance import RelationalInstance
+from repro.relational.schema import RelationalSchema
+from repro.scenarios.figures import example31_setting, figure2_expected_graph
+from repro.scenarios.flights import flights_instance
+
+
+class TestFigure2:
+    def setup_method(self):
+        setting = example31_setting()
+        self.result = chase_relational(
+            setting.st_tgds, setting.egds(), flights_instance(), alphabet={"f", "h"}
+        )
+        self.graph = self.result.expect_graph()
+
+    def test_succeeds(self):
+        assert self.result.succeeded
+
+    def test_isomorphic_to_figure2(self):
+        assert self.graph.is_isomorphic_to(figure2_expected_graph())
+
+    def test_hx_cities_merged(self):
+        assert self.result.stats.null_merges == 1
+
+    def test_is_universal_solution(self):
+        """The chased graph is a solution for the fragment setting."""
+        from repro.core.solution import is_solution
+
+        assert is_solution(flights_instance(), self.graph, example31_setting())
+
+    def test_two_nulls_remain(self):
+        nulls = [n for n in self.graph.nodes() if is_null(n)]
+        assert len(nulls) == 2
+
+
+class TestFragmentGuard:
+    def test_star_head_rejected(self):
+        schema = RelationalSchema()
+        schema.declare("R", 2)
+        instance = RelationalInstance(schema, {"R": [("u", "v")]})
+        st = parse_st_tgd("R(x, y) -> (x, a . a*, y)")
+        with pytest.raises(NotSupportedError, match="single-symbol"):
+            chase_relational([st], [], instance)
+
+    def test_union_head_rejected(self):
+        schema = RelationalSchema()
+        schema.declare("R", 2)
+        instance = RelationalInstance(schema, {"R": [("u", "v")]})
+        st = parse_st_tgd("R(x, y) -> (x, a + b, y)")
+        with pytest.raises(NotSupportedError):
+            chase_relational([st], [], instance)
+
+
+class TestEgdsOnGraph:
+    def _run(self, facts, egd_texts):
+        schema = RelationalSchema()
+        schema.declare("R", 2)
+        instance = RelationalInstance(schema, {"R": facts})
+        st = parse_st_tgd("R(x, y) -> (x, a, z), (z, b, y)")
+        egds = [parse_egd(t) for t in egd_texts]
+        return chase_relational([st], egds, instance)
+
+    def test_no_egds_no_merges(self):
+        result = self._run([("u", "v"), ("u", "w")], [])
+        assert result.stats.null_merges == 0
+        assert result.expect_graph().edge_count() == 4
+
+    def test_merge_on_shared_target(self):
+        result = self._run(
+            [("u", "v"), ("w", "v")],
+            ["(x1, b, y), (x2, b, y) -> x1 = x2"],
+        )
+        assert result.succeeded
+        nulls = [n for n in result.expect_graph().nodes() if is_null(n)]
+        assert len(nulls) == 1
+
+    def test_constant_merge_fails(self):
+        result = self._run(
+            [("u", "v"), ("w", "v")],
+            ["(x1, a, y1), (x2, a, y2) -> x1 = x2"],
+        )
+        assert result.failed
+        assert set(result.failure_witness) == {"u", "w"}
+
+    def test_failure_means_no_solution_in_fragment(self):
+        """In the Section 3.1 fragment the chase is complete: failure ⇒
+        genuinely no solution (cross-checked by the SAT decision)."""
+        from repro.core.existence import ExistenceStatus, decide_existence
+        from repro.core.setting import DataExchangeSetting
+
+        schema = RelationalSchema()
+        schema.declare("R", 2)
+        instance = RelationalInstance(schema, {"R": [("u", "v"), ("w", "v")]})
+        st = parse_st_tgd("R(x, y) -> (x, a, y)")
+        egd = parse_egd("(x1, a, y), (x2, a, y) -> x1 = x2")
+        setting = DataExchangeSetting(schema, {"a"}, [st], [egd])
+        assert (
+            decide_existence(setting, instance).status is ExistenceStatus.NOT_EXISTS
+        )

@@ -1,0 +1,50 @@
+"""Unit tests for chase result/statistics containers."""
+
+import pytest
+
+from repro.chase.result import ChaseResult, ChaseStats
+from repro.graph.database import GraphDatabase
+from repro.patterns.pattern import GraphPattern
+
+
+class TestChaseStats:
+    def test_defaults_zero(self):
+        stats = ChaseStats()
+        assert stats.st_applications == 0
+        assert stats.null_merges == 0
+        assert stats.rounds == 0
+
+    def test_merge_sums_counters(self):
+        one = ChaseStats(st_applications=2, null_merges=1, rounds=3)
+        two = ChaseStats(st_applications=1, sameas_edges_added=5, rounds=1)
+        merged = one.merge(two)
+        assert merged.st_applications == 3
+        assert merged.null_merges == 1
+        assert merged.sameas_edges_added == 5
+
+    def test_merge_takes_max_rounds(self):
+        one = ChaseStats(rounds=3)
+        two = ChaseStats(rounds=7)
+        assert one.merge(two).rounds == 7
+
+
+class TestChaseResult:
+    def test_succeeded_flag(self):
+        assert ChaseResult().succeeded
+        assert not ChaseResult(failed=True).succeeded
+
+    def test_expect_pattern(self):
+        pattern = GraphPattern()
+        assert ChaseResult(pattern=pattern).expect_pattern() is pattern
+        with pytest.raises(ValueError):
+            ChaseResult(graph=GraphDatabase()).expect_pattern()
+
+    def test_expect_graph(self):
+        graph = GraphDatabase()
+        assert ChaseResult(graph=graph).expect_graph() is graph
+        with pytest.raises(ValueError):
+            ChaseResult(pattern=GraphPattern()).expect_graph()
+
+    def test_failure_witness_carried(self):
+        result = ChaseResult(failed=True, failure_witness=("c1", "c2"))
+        assert result.failure_witness == ("c1", "c2")

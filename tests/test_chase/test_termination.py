@@ -1,0 +1,86 @@
+"""Unit tests for weak acyclicity and its relation to chase termination."""
+
+import pytest
+
+from repro.chase.target_tgd_chase import chase_target_tgds
+from repro.chase.termination import (
+    dependency_graph,
+    is_weakly_acyclic,
+)
+from repro.errors import BoundExceeded
+from repro.graph.database import GraphDatabase
+from repro.mappings.parser import parse_target_tgd
+
+
+class TestDependencyGraph:
+    def test_regular_edges_for_copied_variables(self):
+        tgd = parse_target_tgd("(x, a, y) -> (x, b, y)")
+        graph = dependency_graph([tgd])
+        assert (("a", "src"), ("b", "src")) in graph.regular
+        assert (("a", "dst"), ("b", "dst")) in graph.regular
+        assert not graph.special
+
+    def test_special_edges_for_existentials(self):
+        tgd = parse_target_tgd("(x, a, y) -> (y, a, z)")
+        graph = dependency_graph([tgd])
+        # y flows from (a, dst) into (a, src) — regular — and triggers the
+        # fresh z at (a, dst) — special.
+        assert (("a", "dst"), ("a", "src")) in graph.regular
+        assert (("a", "dst"), ("a", "dst")) in graph.special
+
+    def test_non_frontier_body_variables_inert(self):
+        tgd = parse_target_tgd("(x, a, y) -> (x, b, x)")
+        graph = dependency_graph([tgd])
+        # y never reaches the head: no edges out of (a, dst).
+        assert not any(p == ("a", "dst") for p, _ in graph.all_edges())
+
+
+class TestWeakAcyclicity:
+    def test_transitivity_is_weakly_acyclic(self):
+        tgd = parse_target_tgd("(x, a, y), (y, a, z) -> (x, a, z)")
+        assert is_weakly_acyclic([tgd])
+
+    def test_value_inventing_loop_is_not(self):
+        tgd = parse_target_tgd("(x, a, y) -> (y, a, z)")
+        assert not is_weakly_acyclic([tgd])
+
+    def test_invention_into_fresh_relation_is_acyclic(self):
+        tgd = parse_target_tgd("(x, a, y) -> (y, b, z)")
+        assert is_weakly_acyclic([tgd])
+
+    def test_two_tgd_cycle_detected(self):
+        # Individually acyclic, jointly a special cycle a→b→a.
+        one = parse_target_tgd("(x, a, y) -> (y, b, z)")
+        two = parse_target_tgd("(x, b, y) -> (y, a, z)")
+        assert is_weakly_acyclic([one])
+        assert is_weakly_acyclic([two])
+        assert not is_weakly_acyclic([one, two])
+
+    def test_empty_set_is_weakly_acyclic(self):
+        assert is_weakly_acyclic([])
+
+    def test_composite_nre_over_approximates(self):
+        """A star in the head makes the analysis conservative but sound:
+        here it reports a (spurious or not) special cycle."""
+        tgd = parse_target_tgd("(x, a, y) -> (y, a . a*, z)")
+        assert not is_weakly_acyclic([tgd])
+
+
+class TestTerminationCorrelation:
+    """Weakly acyclic sets chase to a fixpoint; the flagged one diverges."""
+
+    def test_weakly_acyclic_chase_terminates(self):
+        tgd = parse_target_tgd("(x, a, y), (y, a, z) -> (x, a, z)")
+        chain = GraphDatabase(
+            edges=[(str(i), "a", str(i + 1)) for i in range(6)]
+        )
+        result = chase_target_tgds(chain, [tgd], max_rounds=50)
+        assert tgd.is_satisfied(result.expect_graph())
+
+    def test_non_weakly_acyclic_chase_diverges(self):
+        tgd = parse_target_tgd("(x, a, y) -> (y, a, z)")
+        assert not is_weakly_acyclic([tgd])
+        with pytest.raises(BoundExceeded):
+            chase_target_tgds(
+                GraphDatabase(edges=[("u", "a", "v")]), [tgd], max_rounds=8
+            )

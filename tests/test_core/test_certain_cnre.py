@@ -1,0 +1,77 @@
+"""Unit tests for certain answers of full CNRE queries."""
+
+import pytest
+
+from repro.core.certain import certain_answers_cnre, certain_answers_nre
+from repro.core.search import CandidateSearchConfig
+from repro.graph.cnre import CNREAtom, CNREQuery
+from repro.graph.parser import parse_nre
+from repro.relational.query import Variable
+
+
+CFG = CandidateSearchConfig(star_bound=2)
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestAgainstBinaryEngine:
+    def test_single_atom_matches_nre_engine(self, omega, instance, query_q):
+        """A one-atom CNRE must agree with the binary NRE engine."""
+        query = CNREQuery([CNREAtom(X, query_q, Y)])
+        cnre_result = certain_answers_cnre(omega, instance, query, config=CFG)
+        nre_result = certain_answers_nre(omega, instance, query_q, config=CFG)
+        assert cnre_result.answers == nre_result.answers
+
+    def test_omega_prime_agreement(self, omega_prime, instance, query_q):
+        query = CNREQuery([CNREAtom(X, query_q, Y)])
+        cnre_result = certain_answers_cnre(omega_prime, instance, query, config=CFG)
+        nre_result = certain_answers_nre(omega_prime, instance, query_q, config=CFG)
+        assert cnre_result.answers == nre_result.answers
+
+
+class TestConjunctions:
+    def test_join_query(self, omega, instance):
+        """x and y both fly (with connections) into the same city z ∈ dom."""
+        ff = parse_nre("f . f*")
+        query = CNREQuery(
+            [CNREAtom(X, ff, Z), CNREAtom(Y, ff, Z)], outputs=(X, Y)
+        )
+        result = certain_answers_cnre(omega, instance, query, config=CFG)
+        # c1 and c3 both reach c2 in every solution.
+        assert ("c1", "c3") in result.answers
+        assert ("c3", "c1") in result.answers
+        assert ("c1", "c1") in result.answers
+
+    def test_ternary_outputs(self, omega, instance):
+        ff = parse_nre("f . f*")
+        query = CNREQuery(
+            [CNREAtom(X, ff, Z), CNREAtom(Y, ff, Z)], outputs=(X, Y, Z)
+        )
+        result = certain_answers_cnre(omega, instance, query, config=CFG)
+        assert ("c1", "c3", "c2") in result.answers
+
+    def test_unsatisfiable_conjunction_empty(self, omega, instance):
+        h = parse_nre("h")
+        # A hotel of a hotel: no solution has h-edges out of hotel nodes.
+        query = CNREQuery([CNREAtom(X, h, Y), CNREAtom(Y, h, Z)])
+        result = certain_answers_cnre(omega, instance, query, config=CFG)
+        assert result.answers == frozenset()
+
+    def test_no_solution_vacuous(self):
+        from repro.core.setting import DataExchangeSetting
+        from repro.mappings.parser import parse_egd, parse_st_tgd
+        from repro.relational.instance import RelationalInstance
+        from repro.relational.schema import RelationalSchema
+
+        schema = RelationalSchema()
+        schema.declare("R", 2)
+        instance = RelationalInstance(schema, {"R": [("u", "v"), ("w", "v")]})
+        setting = DataExchangeSetting(
+            schema,
+            {"h"},
+            [parse_st_tgd("R(x, y) -> (x, h, y)")],
+            [parse_egd("(x1, h, z), (x2, h, z) -> x1 = x2")],
+        )
+        query = CNREQuery([CNREAtom(X, parse_nre("h"), Y)])
+        result = certain_answers_cnre(setting, instance, query, config=CFG)
+        assert result.no_solution
+        assert result.is_certain(("anything",))

@@ -1,0 +1,139 @@
+"""Unit tests for the existence-of-solutions strategy stack."""
+
+import pytest
+
+from repro.core.existence import (
+    ExistenceStatus,
+    collapsing_labels,
+    decide_existence,
+    loop_collapse_refutation,
+)
+from repro.core.setting import DataExchangeSetting
+from repro.core.solution import is_solution
+from repro.mappings.parser import parse_egd, parse_sameas, parse_st_tgd
+from repro.relational.instance import RelationalInstance
+from repro.relational.schema import RelationalSchema
+from repro.scenarios.figures import example52_instance, example52_setting
+
+
+def make(st_texts, constraints, alphabet, facts, relations=(("R", 2),)):
+    schema = RelationalSchema()
+    for name, arity in relations:
+        schema.declare(name, arity)
+    instance = RelationalInstance(schema, facts)
+    setting = DataExchangeSetting(
+        schema, set(alphabet), [parse_st_tgd(t) for t in st_texts], constraints
+    )
+    return setting, instance
+
+
+class TestTrivialCases:
+    def test_no_constraints_always_exists(self, omega_free, instance):
+        result = decide_existence(omega_free, instance)
+        assert result.status is ExistenceStatus.EXISTS
+        assert result.method == "pattern-instantiation"
+        assert is_solution(instance, result.witness, omega_free)
+
+    def test_sameas_always_exists(self, omega_prime, instance):
+        result = decide_existence(omega_prime, instance)
+        assert result.status is ExistenceStatus.EXISTS
+        assert result.method == "sameas-construction"
+        assert is_solution(instance, result.witness, omega_prime)
+
+
+class TestEgdStrategies:
+    def test_paper_omega_exists_via_search(self, omega, instance):
+        result = decide_existence(omega, instance)
+        assert result.status is ExistenceStatus.EXISTS
+        assert result.method == "candidate-search"
+        assert is_solution(instance, result.witness, omega)
+
+    def test_chase_failure_refutes(self):
+        setting, instance = make(
+            ["R(x, y) -> (x, h, y)"],
+            [parse_egd("(x1, h, z), (x2, h, z) -> x1 = x2")],
+            {"h"},
+            {"R": [("u", "v"), ("w", "v")]},
+        )
+        result = decide_existence(setting, instance)
+        assert result.status is ExistenceStatus.NOT_EXISTS
+        # Both the chase and the SAT decision are sound here; the chase
+        # runs first in the strategy stack.
+        assert result.method == "chase-failure"
+
+    def test_sat_decides_positive(self):
+        setting, instance = make(
+            ["R(x, y) -> (x, a + b, y)"],
+            [parse_egd("(s, a, t) -> s = t")],
+            {"a", "b"},
+            {"R": [("u", "v")]},
+        )
+        result = decide_existence(setting, instance)
+        assert result.status is ExistenceStatus.EXISTS
+        assert result.method == "sat-bounded-complete"
+        assert result.witness.has_edge("u", "b", "v")
+
+    def test_sat_decides_negative(self):
+        # Both branches collapse: no solution.
+        setting, instance = make(
+            ["R(x, y) -> (x, a + b, y)"],
+            [
+                parse_egd("(s, a, t) -> s = t"),
+                parse_egd("(s, b, t) -> s = t"),
+            ],
+            {"a", "b"},
+            {"R": [("u", "v")]},
+        )
+        result = decide_existence(setting, instance)
+        assert result.status is ExistenceStatus.NOT_EXISTS
+        assert result.method in ("sat-bounded-complete", "loop-collapse")
+
+
+class TestLoopCollapse:
+    def test_example52_refuted(self):
+        setting, instance = example52_setting(), example52_instance()
+        result = decide_existence(setting, instance)
+        assert result.status is ExistenceStatus.NOT_EXISTS
+        assert result.method == "loop-collapse"
+
+    def test_collapsing_labels_detected(self):
+        setting = example52_setting()
+        assert collapsing_labels(setting) == {"a", "b", "c"}
+
+    def test_refutation_text_names_constants(self):
+        setting, instance = example52_setting(), example52_instance()
+        refutation = loop_collapse_refutation(setting, instance)
+        assert refutation is not None
+        assert "'c1'" in refutation and "'c2'" in refutation
+
+    def test_inconclusive_when_label_uncovered(self):
+        setting, instance = make(
+            ["R(x, y) -> (x, a, y)"],
+            [parse_egd("(s, b, t) -> s = t")],  # a is not collapsed
+            {"a", "b"},
+            {"R": [("u", "v")]},
+        )
+        assert loop_collapse_refutation(setting, instance) is None
+
+    def test_inconclusive_when_heads_unifiable(self):
+        # All labels collapse but the head only connects x to itself.
+        setting, instance = make(
+            ["R(x, y) -> (x, a, x)"],
+            [parse_egd("(s, a, t) -> s = t")],
+            {"a"},
+            {"R": [("u", "v")]},
+        )
+        assert loop_collapse_refutation(setting, instance) is None
+        result = decide_existence(setting, instance)
+        assert result.status is ExistenceStatus.EXISTS
+
+
+class TestWitnessVerification:
+    def test_every_exists_result_carries_verified_witness(
+        self, omega, omega_prime, omega_free, instance
+    ):
+        for setting in (omega, omega_prime, omega_free):
+            result = decide_existence(setting, instance)
+            assert result.status is ExistenceStatus.EXISTS
+            assert result.witness is not None
+            assert is_solution(instance, result.witness, setting)

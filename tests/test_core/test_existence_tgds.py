@@ -1,0 +1,94 @@
+"""Existence for settings with general target tgds (strategy 4)."""
+
+import pytest
+
+from repro.core.existence import ExistenceStatus, decide_existence
+from repro.core.search import CandidateSearchConfig
+from repro.core.setting import DataExchangeSetting
+from repro.core.solution import is_solution
+from repro.mappings.parser import parse_egd, parse_st_tgd, parse_target_tgd
+from repro.relational.instance import RelationalInstance
+from repro.relational.schema import RelationalSchema
+
+
+def make(st_texts, constraint_list, alphabet, facts):
+    schema = RelationalSchema()
+    schema.declare("R", 2)
+    instance = RelationalInstance(schema, {"R": facts})
+    setting = DataExchangeSetting(
+        schema, set(alphabet), [parse_st_tgd(t) for t in st_texts], constraint_list
+    )
+    return setting, instance
+
+
+class TestGeneralTgdsOnly:
+    def test_repairable_tgd_setting_exists(self):
+        setting, instance = make(
+            ["R(x, y) -> (x, a, y)"],
+            [parse_target_tgd("(x, a, y) -> (y, b, z)")],
+            {"a", "b"},
+            [("u", "v")],
+        )
+        result = decide_existence(setting, instance)
+        assert result.status is ExistenceStatus.EXISTS
+        assert result.method == "candidate-search"
+        assert is_solution(instance, result.witness, setting)
+
+    def test_transitive_closure_tgd(self):
+        setting, instance = make(
+            ["R(x, y) -> (x, a, y)"],
+            [parse_target_tgd("(x, a, y), (y, a, z) -> (x, a, z)")],
+            {"a"},
+            [("1", "2"), ("2", "3"), ("3", "4")],
+        )
+        result = decide_existence(setting, instance)
+        assert result.status is ExistenceStatus.EXISTS
+        assert result.witness.has_edge("1", "a", "4")
+
+    def test_diverging_tgd_yields_unknown(self):
+        """A non-weakly-acyclic tgd defeats the bounded repair: the engine
+        must answer UNKNOWN, never a false negative."""
+        setting, instance = make(
+            ["R(x, y) -> (x, a, y)"],
+            [parse_target_tgd("(x, a, y) -> (y, a, z)")],
+            {"a"},
+            [("u", "v")],
+        )
+        result = decide_existence(
+            setting, instance, search_config=CandidateSearchConfig(star_bound=1, tgd_rounds=5)
+        )
+        assert result.status is ExistenceStatus.UNKNOWN
+        assert result.method == "bounds-exhausted"
+
+
+class TestMixedConstraints:
+    def test_egds_plus_tgds_found_by_search(self):
+        setting, instance = make(
+            ["R(x, y) -> (x, a, y)"],
+            [
+                parse_target_tgd("(x, a, y) -> (y, b, z)"),
+                parse_egd("(s, b, t), (u, b, t) -> s = u"),
+            ],
+            {"a", "b"},
+            [("u", "v")],
+        )
+        result = decide_existence(setting, instance)
+        assert result.status is ExistenceStatus.EXISTS
+        assert is_solution(instance, result.witness, setting)
+
+    def test_sameas_plus_tgds(self):
+        from repro.mappings.parser import parse_sameas
+
+        setting, instance = make(
+            ["R(x, y) -> (x, a, y)"],
+            [
+                parse_target_tgd("(x, a, y) -> (y, b, z)"),
+                parse_sameas("(s, a, t), (u, a, t) -> (s, sameAs, u)"),
+            ],
+            {"a", "b"},
+            [("u", "v"), ("w", "v")],
+        )
+        result = decide_existence(setting, instance)
+        assert result.status is ExistenceStatus.EXISTS
+        assert is_solution(instance, result.witness, setting)
+        assert result.witness.has_edge("u", "sameAs", "w")

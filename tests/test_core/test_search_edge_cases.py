@@ -1,0 +1,75 @@
+"""Edge-case tests for the candidate search bounds and switches."""
+
+import pytest
+
+from repro.core.search import CandidateSearchConfig, candidate_solutions
+from repro.core.setting import DataExchangeSetting
+from repro.mappings.parser import parse_st_tgd
+from repro.relational.instance import RelationalInstance
+from repro.relational.schema import RelationalSchema
+from repro.scenarios.flights import flights_instance, setting_no_constraints, setting_omega
+
+
+class TestBounds:
+    def test_max_instantiations_truncates(self):
+        setting = setting_no_constraints()
+        instance = flights_instance()
+        tight = CandidateSearchConfig(
+            star_bound=1, max_instantiations=2, quotient_nulls=False
+        )
+        assert len(list(candidate_solutions(setting, instance, tight))) <= 2
+
+    def test_quotient_nulls_disabled(self):
+        """Without quotients, the egd setting still finds solutions when
+        witness merges alone satisfy the egd — here they don't fully, so
+        the count drops relative to the quotiented search."""
+        setting = setting_omega()
+        instance = flights_instance()
+        with_quotients = CandidateSearchConfig(star_bound=1)
+        without = CandidateSearchConfig(star_bound=1, quotient_nulls=False)
+        count_with = len(list(candidate_solutions(setting, instance, with_quotients)))
+        count_without = len(list(candidate_solutions(setting, instance, without)))
+        assert count_without <= count_with
+
+    def test_star_bound_zero(self):
+        """star_bound=0 keeps only zero-unrolling witnesses; f·f* still
+        yields its mandatory single step."""
+        setting = setting_no_constraints()
+        instance = flights_instance()
+        cfg = CandidateSearchConfig(star_bound=0, quotient_nulls=False)
+        solutions = list(candidate_solutions(setting, instance, cfg))
+        assert len(solutions) == 1  # one witness combination only
+
+    def test_max_candidates_zero_like_one(self):
+        setting = setting_no_constraints()
+        instance = flights_instance()
+        cfg = CandidateSearchConfig(star_bound=1, max_candidates=1)
+        assert len(list(candidate_solutions(setting, instance, cfg))) == 1
+
+
+class TestDegenerateSettings:
+    def test_empty_instance(self):
+        schema = RelationalSchema()
+        schema.declare("R", 2)
+        instance = RelationalInstance(schema)
+        setting = DataExchangeSetting(
+            schema, {"a"}, [parse_st_tgd("R(x, y) -> (x, a, y)")], []
+        )
+        solutions = list(candidate_solutions(setting, instance))
+        # The empty graph is the unique minimal solution.
+        assert len(solutions) == 1
+        assert solutions[0].edge_count() == 0
+
+    def test_no_nulls_single_quotient(self):
+        """Patterns without nulls (existential-free heads) search exactly
+        the witness combinations."""
+        schema = RelationalSchema()
+        schema.declare("R", 2)
+        instance = RelationalInstance(schema, {"R": [("u", "v")]})
+        setting = DataExchangeSetting(
+            schema, {"a", "b"}, [parse_st_tgd("R(x, y) -> (x, a + b, y)")], []
+        )
+        solutions = list(candidate_solutions(setting, instance))
+        assert len(solutions) == 2  # one per union branch
+        edge_labels = {next(iter(s.edges())).label for s in solutions}
+        assert edge_labels == {"a", "b"}

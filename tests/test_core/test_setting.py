@@ -1,0 +1,135 @@
+"""Unit tests for data exchange settings and fragment classification."""
+
+import pytest
+
+from repro.core.setting import DataExchangeSetting
+from repro.errors import SchemaError
+from repro.mappings.parser import parse_egd, parse_sameas, parse_st_tgd, parse_target_tgd
+from repro.relational.schema import RelationalSchema
+
+
+@pytest.fixture
+def schema():
+    s = RelationalSchema()
+    s.declare("R", 2)
+    return s
+
+
+def make(schema, st_texts, constraints=(), alphabet=("a", "b")):
+    return DataExchangeSetting(
+        schema, set(alphabet), [parse_st_tgd(t) for t in st_texts], list(constraints)
+    )
+
+
+class TestValidation:
+    def test_head_labels_must_be_in_alphabet(self, schema):
+        with pytest.raises(SchemaError, match="outside"):
+            make(schema, ["R(x, y) -> (x, zzz, y)"])
+
+    def test_body_relations_must_be_in_schema(self, schema):
+        with pytest.raises(SchemaError):
+            make(schema, ["Nope(x, y) -> (x, a, y)"])
+
+    def test_constraint_labels_checked(self, schema):
+        with pytest.raises(SchemaError, match="outside"):
+            make(
+                schema,
+                ["R(x, y) -> (x, a, y)"],
+                [parse_egd("(x, zzz, y) -> x = y")],
+            )
+
+    def test_sameas_label_implicitly_allowed(self, schema):
+        setting = make(
+            schema,
+            ["R(x, y) -> (x, a, y)"],
+            [parse_sameas("(x, a, z), (y, a, z) -> (x, sameAs, y)")],
+        )
+        assert "sameAs" in setting.effective_alphabet()
+        assert "sameAs" not in setting.alphabet
+
+
+class TestAccessors:
+    def test_constraint_partition(self, schema):
+        egd = parse_egd("(x, a, y) -> x = y")
+        sameas = parse_sameas("(x, a, z), (y, a, z) -> (x, sameAs, y)")
+        tgd = parse_target_tgd("(x, a, y) -> (y, b, z)")
+        setting = make(schema, ["R(x, y) -> (x, a, y)"], [egd, sameas, tgd])
+        assert setting.egds() == (egd,)
+        assert setting.sameas_constraints() == (sameas,)
+        assert setting.general_target_tgds() == (tgd,)
+
+    def test_sameas_not_reported_as_general_tgd(self, schema):
+        sameas = parse_sameas("(x, a, z), (y, a, z) -> (x, sameAs, y)")
+        setting = make(schema, ["R(x, y) -> (x, a, y)"], [sameas])
+        assert setting.general_target_tgds() == ()
+
+
+class TestFragment:
+    def test_single_symbol_heads(self, schema):
+        fragment = make(schema, ["R(x, y) -> (x, a, y)"]).fragment()
+        assert fragment.heads_single_symbols
+        assert fragment.heads_union_of_symbols
+        assert fragment.heads_existential_free
+
+    def test_union_heads(self, schema):
+        fragment = make(schema, ["R(x, y) -> (x, a + b, x)"]).fragment()
+        assert not fragment.heads_single_symbols
+        assert fragment.heads_union_of_symbols
+
+    def test_star_heads(self, schema):
+        fragment = make(schema, ["R(x, y) -> (x, a . a*, y)"]).fragment()
+        assert not fragment.heads_union_of_symbols
+
+    def test_existentials_detected(self, schema):
+        fragment = make(schema, ["R(x, y) -> (x, a, z)"]).fragment()
+        assert not fragment.heads_existential_free
+
+    def test_word_egds(self, schema):
+        fragment = make(
+            schema,
+            ["R(x, y) -> (x, a, y)"],
+            [parse_egd("(s, a . b, t) -> s = t")],
+        ).fragment()
+        assert fragment.egd_bodies_words
+        assert fragment.has_egds
+
+    def test_union_of_words_egds_still_encodable(self, schema):
+        fragment = make(
+            schema,
+            ["R(x, y) -> (x, a, y)"],
+            [parse_egd("(s, a + b, t) -> s = t")],
+        ).fragment()
+        assert fragment.egd_bodies_words
+
+    def test_star_egd_not_word(self, schema):
+        fragment = make(
+            schema,
+            ["R(x, y) -> (x, a, y)"],
+            [parse_egd("(s, a*, t) -> s = t")],
+        ).fragment()
+        assert not fragment.egd_bodies_words
+        assert not fragment.sat_encodable
+
+    def test_sat_encodable_requires_egds_only(self, schema):
+        sameas = parse_sameas("(x, a, z), (y, a, z) -> (x, sameAs, y)")
+        egd = parse_egd("(s, a, t) -> s = t")
+        both = make(schema, ["R(x, y) -> (x, a, y)"], [egd, sameas]).fragment()
+        assert not both.sat_encodable
+        only_egd = make(schema, ["R(x, y) -> (x, a, y)"], [egd]).fragment()
+        assert only_egd.sat_encodable
+
+    def test_reduction_setting_is_sat_encodable(self):
+        from repro.reductions.three_sat import reduction_from_cnf
+        from repro.scenarios.figures import rho0_formula
+
+        fragment = reduction_from_cnf(rho0_formula()).setting.fragment()
+        assert fragment.sat_encodable
+        assert fragment.heads_union_of_symbols
+
+    def test_paper_omega_not_sat_encodable(self):
+        from repro.scenarios.flights import setting_omega
+
+        fragment = setting_omega().fragment()
+        assert not fragment.sat_encodable  # f·f* heads
+        assert fragment.has_egds
+        assert fragment.has_target_constraints

@@ -1,0 +1,92 @@
+"""Unit tests for the solution predicate — pinning the paper's Figure 1."""
+
+from repro.core.solution import is_solution, solution_violations
+from repro.graph.database import GraphDatabase
+from repro.scenarios.flights import figure7_graph
+
+
+class TestFigure1:
+    def test_g1_solves_omega(self, instance, omega, g1):
+        assert is_solution(instance, g1, omega)
+
+    def test_g2_solves_omega(self, instance, omega, g2):
+        assert is_solution(instance, g2, omega)
+
+    def test_g3_solves_omega_prime(self, instance, omega_prime, g3):
+        assert is_solution(instance, g3, omega_prime)
+
+    def test_g3_violates_omega(self, instance, omega, g3):
+        """G3 keeps hx in two cities — the egd reading rejects it."""
+        assert not is_solution(instance, g3, omega)
+        report = solution_violations(instance, g3, omega)
+        assert report.egd_violations
+
+    def test_g1_also_solves_omega_prime(self, instance, omega_prime, g1):
+        """With both hotels in one city, no sameAs edge is demanded."""
+        assert is_solution(
+            instance, g1.with_alphabet({"f", "h", "sameAs"}), omega_prime
+        )
+
+    def test_empty_graph_violates_st_tgds(self, instance, omega):
+        assert not is_solution(instance, GraphDatabase(alphabet={"f", "h"}), omega)
+
+    def test_figure7_not_a_solution(self, instance, omega):
+        assert not is_solution(instance, figure7_graph(), omega)
+
+
+class TestReport:
+    def test_ok_report(self, instance, omega, g1):
+        report = solution_violations(instance, g1, omega)
+        assert report.ok
+        assert "solution" in report.summary()
+
+    def test_st_violation_reported(self, instance, omega):
+        g = GraphDatabase(alphabet={"f", "h"})
+        report = solution_violations(instance, g, omega)
+        assert report.st_tgd_violations
+        assert "s-t tgd" in report.summary()
+
+    def test_first_only_stops_early(self, instance, omega):
+        g = GraphDatabase(alphabet={"f", "h"})
+        report = solution_violations(instance, g, omega, first_only=True)
+        assert len(report.st_tgd_violations) == 1
+
+    def test_full_scan_counts_all(self, instance, omega):
+        g = GraphDatabase(alphabet={"f", "h"})
+        report = solution_violations(instance, g, omega)
+        assert len(report.st_tgd_violations) == 3  # one per trigger
+
+    def test_sameas_violation_reported(self, instance, omega_prime):
+        # Satisfy the s-t tgds but omit the required sameAs edges.
+        g = GraphDatabase(
+            alphabet={"f", "h", "sameAs"},
+            edges=[
+                ("c1", "f", "N1"), ("N1", "h", "hx"), ("N1", "f", "c2"),
+                ("c1", "f", "N2"), ("N2", "h", "hy"), ("N2", "f", "c2"),
+                ("c3", "f", "N3"), ("N3", "h", "hx"), ("N3", "f", "c2"),
+            ],
+        )
+        report = solution_violations(instance, g, omega_prime)
+        assert report.sameas_violations
+        assert not report.st_tgd_violations
+
+    def test_tgd_violation_reported(self):
+        from repro.core.setting import DataExchangeSetting
+        from repro.mappings.parser import parse_st_tgd, parse_target_tgd
+        from repro.relational.instance import RelationalInstance
+        from repro.relational.schema import RelationalSchema
+
+        schema = RelationalSchema()
+        schema.declare("R", 2)
+        instance = RelationalInstance(schema, {"R": [("u", "v")]})
+        setting = DataExchangeSetting(
+            schema,
+            {"a", "b"},
+            [parse_st_tgd("R(x, y) -> (x, a, y)")],
+            [parse_target_tgd("(x, a, y) -> (y, b, z)")],
+        )
+        g = GraphDatabase(alphabet={"a", "b"}, edges=[("u", "a", "v")])
+        report = solution_violations(instance, g, setting)
+        assert report.tgd_violations
+        g.add_edge("v", "b", "w")
+        assert is_solution(instance, g, setting)

@@ -1,0 +1,117 @@
+"""Unit tests for the tractable-fragment certain-answer algorithm."""
+
+import random
+
+import pytest
+
+from repro.core.certain import certain_answers_nre
+from repro.core.search import CandidateSearchConfig
+from repro.core.setting import DataExchangeSetting
+from repro.core.tractable import certain_answers_tractable, in_tractable_fragment
+from repro.errors import NotSupportedError
+from repro.graph.parser import parse_nre
+from repro.mappings.parser import parse_egd, parse_st_tgd
+from repro.relational.instance import RelationalInstance
+from repro.relational.schema import RelationalSchema
+from repro.scenarios.figures import example31_setting
+from repro.scenarios.flights import flights_instance, setting_omega
+from repro.scenarios.generators import random_flights_instance
+
+
+class TestFragmentGuard:
+    def test_example31_is_in_fragment(self):
+        assert in_tractable_fragment(example31_setting())
+
+    def test_star_heads_not_in_fragment(self):
+        assert not in_tractable_fragment(setting_omega())
+
+    def test_outside_fragment_raises(self):
+        with pytest.raises(NotSupportedError):
+            certain_answers_tractable(
+                setting_omega(), flights_instance(), parse_nre("f")
+            )
+
+
+class TestNaiveEvaluation:
+    def test_certain_answers_on_example31(self):
+        setting = example31_setting()
+        instance = flights_instance()
+        # Two-hop: src --f--> city --f--> dest.
+        result = certain_answers_tractable(setting, instance, parse_nre("f . f"))
+        assert ("c1", "c2") in result.answers
+        assert ("c3", "c2") in result.answers
+        assert result.method == "naive-evaluation(universal-solution)"
+        assert result.solutions_examined == 1
+
+    def test_null_answers_filtered(self):
+        setting = example31_setting()
+        instance = flights_instance()
+        result = certain_answers_tractable(setting, instance, parse_nre("f"))
+        # Single f hops always involve an invented city (a null): the
+        # null-free projection keeps no pair.
+        assert result.answers == frozenset()
+
+    def test_same_hotel_pairs(self):
+        """Cities-of-the-same-hotel pairs must match the paper's semantics."""
+        setting = example31_setting()
+        instance = flights_instance()
+        # f to a city that has a hotel, then f⁻ back to any source of it —
+        # the single-hop analogue of the paper's query Q.
+        result = certain_answers_tractable(
+            setting, instance, parse_nre("f[h] . f-")
+        )
+        # Source cities reaching a shared hotel city: c1 and c3 share hx.
+        assert ("c1", "c3") in result.answers
+        assert ("c3", "c1") in result.answers
+        assert ("c1", "c1") in result.answers
+
+    def test_chase_failure_gives_no_solution(self):
+        schema = RelationalSchema()
+        schema.declare("R", 2)
+        instance = RelationalInstance(schema, {"R": [("u", "v"), ("w", "v")]})
+        setting = DataExchangeSetting(
+            schema,
+            {"h"},
+            [parse_st_tgd("R(x, y) -> (x, h, y)")],
+            [parse_egd("(x1, h, z), (x2, h, z) -> x1 = x2")],
+        )
+        result = certain_answers_tractable(setting, instance, parse_nre("h"))
+        assert result.no_solution
+        assert result.is_certain(("anything", "whatever"))
+
+
+class TestAgreementWithGeneralEngine:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_instances_agree(self, seed):
+        """Naive evaluation must match the exponential engine's verdicts."""
+        rng = random.Random(seed)
+        instance = random_flights_instance(
+            rng.randint(1, 3), cities=3, hotels=2, rng=rng
+        )
+        setting = example31_setting()
+        query = parse_nre("f . f")
+        fast = certain_answers_tractable(setting, instance, query)
+        slow = certain_answers_nre(
+            setting, instance, query,
+            config=CandidateSearchConfig(star_bound=1),
+        )
+        assert fast.no_solution == slow.no_solution
+        if not fast.no_solution:
+            domain = instance.active_domain()
+            fast_on_domain = {
+                p for p in fast.answers if p[0] in domain and p[1] in domain
+            }
+            assert fast_on_domain == slow.answers
+
+    def test_example22_flavour(self):
+        instance = flights_instance()
+        setting = example31_setting()
+        query = parse_nre("f . f")
+        fast = certain_answers_tractable(setting, instance, query)
+        slow = certain_answers_nre(
+            setting, instance, query, config=CandidateSearchConfig(star_bound=1)
+        )
+        domain = instance.active_domain()
+        assert {
+            p for p in fast.answers if p[0] in domain and p[1] in domain
+        } == slow.answers

@@ -1,0 +1,99 @@
+"""Unit tests for universal representatives under constraints (Section 5)."""
+
+from repro.core.universal import (
+    UniversalRepresentative,
+    adapted_chase,
+    non_universality_counterexample,
+    universal_representative,
+)
+from repro.core.solution import is_solution
+from repro.core.setting import DataExchangeSetting
+from repro.mappings.parser import parse_egd, parse_st_tgd
+from repro.patterns.homomorphism import has_homomorphism
+from repro.relational.instance import RelationalInstance
+from repro.relational.schema import RelationalSchema
+from repro.scenarios.flights import figure7_graph, graph_g1, graph_g2
+
+
+class TestAdaptedChase:
+    def test_produces_figure5_pattern(self, omega, instance):
+        result = adapted_chase(omega, instance)
+        assert result.succeeded
+        assert len(result.expect_pattern().nulls()) == 2
+
+    def test_failure_propagates(self):
+        schema = RelationalSchema()
+        schema.declare("R", 2)
+        instance = RelationalInstance(schema, {"R": [("u", "v"), ("w", "v")]})
+        setting = DataExchangeSetting(
+            schema,
+            {"h"},
+            [parse_st_tgd("R(x, y) -> (x, h, y)")],
+            [parse_egd("(x1, h, z), (x2, h, z) -> x1 = x2")],
+        )
+        assert universal_representative(setting, instance) is None
+
+
+class TestRepresentativePair:
+    def test_contains_solutions(self, omega, instance):
+        representative = universal_representative(omega, instance)
+        assert representative.contains(graph_g1())
+        assert representative.contains(graph_g2())
+
+    def test_rejects_figure7(self, omega, instance):
+        """The (pattern, egds) pair rejects the Example 5.4 graph that a
+        bare pattern would wrongly accept."""
+        representative = universal_representative(omega, instance)
+        fig7 = figure7_graph()
+        assert has_homomorphism(representative.pattern, fig7)  # bare pattern accepts
+        assert not representative.contains(fig7)  # the pair rejects
+
+    def test_rejects_non_homomorphic_graph(self, omega, instance):
+        from repro.graph.database import GraphDatabase
+
+        representative = universal_representative(omega, instance)
+        assert not representative.contains(GraphDatabase(alphabet={"f", "h"}))
+
+
+class TestProposition53:
+    def test_counterexample_from_g1(self, omega, instance):
+        """From any solution, an extension kills solution-hood but keeps
+        every pattern homomorphism — so no bare pattern is universal."""
+        counterexample = non_universality_counterexample(
+            graph_g1(), list(omega.egds())
+        )
+        assert counterexample is not None
+        assert not is_solution(instance, counterexample, omega)
+        result = adapted_chase(omega, instance)
+        assert has_homomorphism(result.expect_pattern(), counterexample)
+
+    def test_counterexample_extends_input(self, omega):
+        counterexample = non_universality_counterexample(
+            graph_g1(), list(omega.egds())
+        )
+        for edge in graph_g1().edges():
+            assert counterexample.has_edge(edge.source, edge.label, edge.target)
+
+    def test_unviolatable_egd_returns_none(self):
+        # Body relates x to itself only: (x, ε, y) → x = y cannot be violated.
+        from repro.graph.cnre import CNREAtom, CNREQuery
+        from repro.graph.nre import epsilon
+        from repro.mappings.egd import TargetEgd
+        from repro.relational.query import Variable
+
+        x, y = Variable("x"), Variable("y")
+        egd = TargetEgd(CNREQuery([CNREAtom(x, epsilon(), y)]), x, y)
+        assert non_universality_counterexample(graph_g1(), [egd]) is None
+
+    def test_empty_egd_set_returns_none(self):
+        assert non_universality_counterexample(graph_g1(), []) is None
+
+    def test_counterexample_with_word_egd(self):
+        from repro.graph.database import GraphDatabase
+        from repro.mappings.parser import parse_egd as pe
+
+        solution = GraphDatabase(alphabet={"a", "b"}, edges=[("u", "a", "u")])
+        egd = pe("(x, a . b, y) -> x = y")
+        counterexample = non_universality_counterexample(solution, [egd])
+        assert counterexample is not None
+        assert not egd.is_satisfied(counterexample)

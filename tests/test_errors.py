@@ -1,0 +1,49 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    BoundExceeded,
+    ChaseFailure,
+    EvaluationError,
+    NotSupportedError,
+    ParseError,
+    ReproError,
+    SchemaError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [SchemaError, ParseError, EvaluationError, ChaseFailure,
+         BoundExceeded, NotSupportedError],
+    )
+    def test_all_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(ReproError):
+            raise SchemaError("x")
+
+
+class TestParseError:
+    def test_position_embedded_in_message(self):
+        error = ParseError("bad token", text="a + + b", position=4)
+        assert "position 4" in str(error)
+        assert error.position == 4
+        assert error.text == "a + + b"
+
+    def test_position_optional(self):
+        error = ParseError("oops")
+        assert error.position is None
+        assert "oops" in str(error)
+
+
+class TestChaseFailure:
+    def test_carries_constants(self):
+        failure = ChaseFailure("constants clash", constants=("c1", "c2"))
+        assert failure.constants == ("c1", "c2")
+
+    def test_constants_optional(self):
+        assert ChaseFailure("generic").constants is None

@@ -1,0 +1,100 @@
+"""Unit tests for the product-automaton NRE evaluator."""
+
+import pytest
+
+from repro.graph.automaton import (
+    automaton_reachable,
+    compile_nre,
+    evaluate_nre_automaton,
+)
+from repro.graph.database import GraphDatabase
+from repro.graph.eval import evaluate_nre
+from repro.graph.parser import parse_nre
+
+
+@pytest.fixture
+def chain():
+    return GraphDatabase(
+        edges=[("u", "a", "v"), ("v", "a", "w"), ("w", "b", "x"), ("u", "b", "x")]
+    )
+
+
+class TestCompilation:
+    def test_label_compiles_to_two_states(self):
+        automaton = compile_nre(parse_nre("a"))
+        assert automaton.state_count == 2
+        assert len(automaton.transitions) == 1
+        assert automaton.transitions[0].kind == "fwd"
+
+    def test_backward_kind(self):
+        automaton = compile_nre(parse_nre("a-"))
+        assert automaton.transitions[0].kind == "bwd"
+
+    def test_nest_compiles_sub_automaton(self):
+        automaton = compile_nre(parse_nre("[a]"))
+        kinds = {t.kind for t in automaton.transitions}
+        assert kinds == {"test"}
+
+    def test_outgoing_index(self):
+        automaton = compile_nre(parse_nre("a + b"))
+        assert automaton.outgoing(automaton.start)
+        assert automaton.outgoing(automaton.accept) == []
+
+
+class TestAgreementWithReference:
+    """The automaton evaluator must agree with the set-algebraic one."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a",
+            "a-",
+            "()",
+            "a . a",
+            "a + b",
+            "a*",
+            "(a + b)*",
+            "[a]",
+            "a[b]",
+            "b . b-",
+            "a . (b* + a*) . b",
+            "f . f*[h] . f- . (f-)*",
+        ],
+    )
+    def test_same_relation(self, chain, text):
+        expr = parse_nre(text)
+        assert evaluate_nre_automaton(chain, expr) == evaluate_nre(chain, expr)
+
+    def test_on_paper_graphs(self):
+        from repro.scenarios.flights import example_query, graph_g1, graph_g2
+
+        q = example_query()
+        for graph in (graph_g1(), graph_g2()):
+            assert evaluate_nre_automaton(graph, q) == evaluate_nre(graph, q)
+
+
+class TestSingleSource:
+    def test_reachable_from_source(self, chain):
+        assert automaton_reachable(chain, parse_nre("a . a"), "u") == {"w"}
+
+    def test_reachable_star_includes_self(self, chain):
+        assert "u" in automaton_reachable(chain, parse_nre("a*"), "u")
+
+    def test_reachable_empty(self, chain):
+        assert automaton_reachable(chain, parse_nre("zzz"), "u") == frozenset()
+
+    def test_reachable_only_touches_reachable_space(self):
+        g = GraphDatabase(
+            edges=[("u", "a", "v")] + [(f"m{i}", "a", f"m{i+1}") for i in range(50)]
+        )
+        assert automaton_reachable(g, parse_nre("a"), "u") == {"v"}
+
+
+class TestNestMemoisation:
+    def test_repeated_tests_memoised(self):
+        # A graph where the same nested test is relevant at many nodes.
+        edges = [(f"n{i}", "a", f"n{i+1}") for i in range(20)]
+        edges += [(f"n{i}", "h", "hotel") for i in range(0, 20, 2)]
+        g = GraphDatabase(edges=edges)
+        expr = parse_nre("a*[h]")
+        assert evaluate_nre_automaton(g, expr) == evaluate_nre(g, expr)

@@ -1,0 +1,118 @@
+"""Unit tests for the NRE structural classifiers."""
+
+from repro.graph.classes import (
+    alphabet_of,
+    is_epsilon_free,
+    is_nest_free,
+    is_single_symbol,
+    is_sore_concat,
+    is_star_free,
+    is_union_of_symbols,
+    nesting_depth,
+    uses_backward,
+)
+from repro.graph.parser import parse_nre
+
+
+class TestAlphabetOf:
+    def test_forward_and_backward_collected(self):
+        assert alphabet_of(parse_nre("a . b- + c*")) == {"a", "b", "c"}
+
+    def test_epsilon_has_empty_alphabet(self):
+        assert alphabet_of(parse_nre("()")) == frozenset()
+
+    def test_nested_labels_collected(self):
+        assert alphabet_of(parse_nre("a[h]")) == {"a", "h"}
+
+
+class TestNestingDepth:
+    def test_flat(self):
+        assert nesting_depth(parse_nre("a . b*")) == 0
+
+    def test_single(self):
+        assert nesting_depth(parse_nre("a[h]")) == 1
+
+    def test_double(self):
+        assert nesting_depth(parse_nre("a[b[c]]")) == 2
+
+    def test_parallel_nests_take_max(self):
+        assert nesting_depth(parse_nre("[a] . [b[c]]")) == 2
+
+
+class TestStarFree:
+    def test_star_free(self):
+        assert is_star_free(parse_nre("a . b + c-"))
+
+    def test_not_star_free(self):
+        assert not is_star_free(parse_nre("a . b*"))
+
+    def test_star_inside_nest_detected(self):
+        assert not is_star_free(parse_nre("a[b*]"))
+
+
+class TestSingleSymbol:
+    def test_bare_label(self):
+        assert is_single_symbol(parse_nre("f"))
+
+    def test_backward_is_not(self):
+        assert not is_single_symbol(parse_nre("f-"))
+
+    def test_concat_is_not(self):
+        assert not is_single_symbol(parse_nre("f . f"))
+
+
+class TestUnionOfSymbols:
+    def test_single(self):
+        assert is_union_of_symbols(parse_nre("a"))
+
+    def test_pair(self):
+        assert is_union_of_symbols(parse_nre("t1 + f1"))
+
+    def test_triple(self):
+        assert is_union_of_symbols(parse_nre("a + b + c"))
+
+    def test_union_with_concat_rejected(self):
+        assert not is_union_of_symbols(parse_nre("a + b . c"))
+
+    def test_star_rejected(self):
+        assert not is_union_of_symbols(parse_nre("a*"))
+
+
+class TestSoreConcat:
+    def test_single_label(self):
+        assert is_sore_concat(parse_nre("a"))
+
+    def test_word_with_distinct_symbols(self):
+        assert is_sore_concat(parse_nre("t1 . f1 . a"))
+
+    def test_repeated_symbol_rejected(self):
+        assert not is_sore_concat(parse_nre("a . a"))
+
+    def test_union_rejected(self):
+        assert not is_sore_concat(parse_nre("a + b"))
+
+    def test_backward_rejected(self):
+        assert not is_sore_concat(parse_nre("a . b-"))
+
+    def test_paper_egd_bodies_are_sore(self):
+        # Theorem 4.1's egds: t_j · f_j · a and b1 · b2 · b3 · a.
+        assert is_sore_concat(parse_nre("t2 . f2 . a"))
+        assert is_sore_concat(parse_nre("f1 . t2 . f3 . a"))
+
+
+class TestMisc:
+    def test_epsilon_free(self):
+        assert is_epsilon_free(parse_nre("a . b"))
+        # ε is elided inside concatenations by the smart constructor …
+        assert is_epsilon_free(parse_nre("a . ()"))
+        # … but survives where it is meaningful.
+        assert not is_epsilon_free(parse_nre("()"))
+        assert not is_epsilon_free(parse_nre("a + ()"))
+
+    def test_uses_backward(self):
+        assert uses_backward(parse_nre("a-"))
+        assert not uses_backward(parse_nre("a"))
+
+    def test_nest_free(self):
+        assert is_nest_free(parse_nre("a*"))
+        assert not is_nest_free(parse_nre("a[h]"))

@@ -1,0 +1,120 @@
+"""Unit tests for CNRE queries (conjunctions of NREs with variables)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.graph.cnre import CNREAtom, CNREQuery, cnre_homomorphisms, evaluate_cnre
+from repro.graph.database import GraphDatabase
+from repro.graph.parser import parse_nre
+from repro.relational.query import Variable
+
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+@pytest.fixture
+def hotels():
+    """Two cities sharing a hotel, one separate."""
+    return GraphDatabase(
+        edges=[
+            ("city1", "h", "hx"),
+            ("city2", "h", "hx"),
+            ("city3", "h", "hy"),
+            ("city1", "f", "city2"),
+        ]
+    )
+
+
+class TestQueryStructure:
+    def test_default_outputs(self):
+        q = CNREQuery([CNREAtom(X, parse_nre("a"), Y)])
+        assert q.outputs == (X, Y)
+
+    def test_explicit_outputs(self):
+        q = CNREQuery([CNREAtom(X, parse_nre("a"), Y)], outputs=(Y,))
+        assert q.outputs == (Y,)
+
+    def test_unknown_output_rejected(self):
+        with pytest.raises(SchemaError):
+            CNREQuery([CNREAtom(X, parse_nre("a"), Y)], outputs=(Z,))
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(SchemaError):
+            CNREQuery([])
+
+    def test_variables_ordered(self):
+        q = CNREQuery(
+            [CNREAtom(X, parse_nre("a"), Y), CNREAtom(Y, parse_nre("b"), Z)]
+        )
+        assert q.variables() == (X, Y, Z)
+
+    def test_constants_collected(self):
+        q = CNREQuery([CNREAtom(X, parse_nre("a"), "c1")])
+        assert q.constants() == {"c1"}
+
+    def test_expressions_deduplicated(self):
+        a = parse_nre("a")
+        q = CNREQuery([CNREAtom(X, a, Y), CNREAtom(Y, a, Z)])
+        assert q.expressions() == (a,)
+
+
+class TestEvaluation:
+    def test_single_atom(self, hotels):
+        q = CNREQuery([CNREAtom(X, parse_nre("h"), Y)])
+        assert len(evaluate_cnre(q, hotels)) == 3
+
+    def test_join_on_shared_variable(self, hotels):
+        # The hotel egd body: two cities with the same hotel.
+        q = CNREQuery(
+            [CNREAtom(X, parse_nre("h"), Z), CNREAtom(Y, parse_nre("h"), Z)],
+            outputs=(X, Y),
+        )
+        answers = evaluate_cnre(q, hotels)
+        assert ("city1", "city2") in answers
+        assert ("city2", "city1") in answers
+        assert ("city1", "city3") not in answers
+        assert ("city3", "city3") in answers  # x = y allowed
+
+    def test_constant_subject(self, hotels):
+        q = CNREQuery([CNREAtom("city1", parse_nre("h"), Y)], outputs=(Y,))
+        assert evaluate_cnre(q, hotels) == {("hx",)}
+
+    def test_constant_object(self, hotels):
+        q = CNREQuery([CNREAtom(X, parse_nre("h"), "hy")], outputs=(X,))
+        assert evaluate_cnre(q, hotels) == {("city3",)}
+
+    def test_repeated_variable_in_atom(self, hotels):
+        loop_graph = GraphDatabase(edges=[("n", "a", "n"), ("n", "a", "m")])
+        q = CNREQuery([CNREAtom(X, parse_nre("a"), X)], outputs=(X,))
+        assert evaluate_cnre(q, loop_graph) == {("n",)}
+
+    def test_star_atom(self, hotels):
+        q = CNREQuery([CNREAtom(X, parse_nre("f*"), Y)])
+        answers = evaluate_cnre(q, hotels)
+        assert ("city1", "city2") in answers
+        assert ("hx", "hx") in answers  # reflexive from star
+
+    def test_unsatisfiable_conjunction(self, hotels):
+        q = CNREQuery(
+            [CNREAtom(X, parse_nre("h"), Y), CNREAtom(Y, parse_nre("h"), X)]
+        )
+        assert evaluate_cnre(q, hotels) == frozenset()
+
+
+class TestHomomorphisms:
+    def test_seed_pins_variable(self, hotels):
+        q = CNREQuery(
+            [CNREAtom(X, parse_nre("h"), Z), CNREAtom(Y, parse_nre("h"), Z)]
+        )
+        homs = list(cnre_homomorphisms(q, hotels, seed={X: "city1"}))
+        assert all(h[X] == "city1" for h in homs)
+        assert {h[Y] for h in homs} == {"city1", "city2"}
+
+    def test_seed_eliminates_all(self, hotels):
+        q = CNREQuery([CNREAtom(X, parse_nre("h"), Y)])
+        assert list(cnre_homomorphisms(q, hotels, seed={X: "hx"})) == []
+
+    def test_full_seed_checks_membership(self, hotels):
+        q = CNREQuery([CNREAtom(X, parse_nre("h"), Y)])
+        homs = list(cnre_homomorphisms(q, hotels, seed={X: "city1", Y: "hx"}))
+        assert len(homs) == 1

@@ -1,0 +1,65 @@
+"""Unit tests for bounded NRE containment/equivalence."""
+
+from repro.graph.language import (
+    contained_in_bounded,
+    equivalent_bounded,
+    semantically_contained,
+    separating_word,
+)
+from repro.graph.parser import parse_nre
+
+
+class TestBoundedContainment:
+    def test_atom_in_union(self):
+        assert contained_in_bounded(parse_nre("a"), parse_nre("a + b"))
+
+    def test_union_not_in_atom(self):
+        assert not contained_in_bounded(parse_nre("a + b"), parse_nre("a"))
+        assert separating_word(parse_nre("a + b"), parse_nre("a")) == ("b",)
+
+    def test_plus_contained_in_star(self):
+        assert contained_in_bounded(parse_nre("a . a*"), parse_nre("a*"))
+
+    def test_star_not_in_plus(self):
+        # ε separates: a* accepts it, a·a* does not.
+        assert separating_word(parse_nre("a*"), parse_nre("a . a*")) == ()
+
+    def test_concat_ordering_matters(self):
+        assert not contained_in_bounded(parse_nre("a . b"), parse_nre("b . a"))
+
+    def test_reflexive(self):
+        expr = parse_nre("a . (b* + c*) . a")
+        assert contained_in_bounded(expr, expr)
+
+
+class TestBoundedEquivalence:
+    def test_union_commutes(self):
+        assert equivalent_bounded(parse_nre("a + b"), parse_nre("b + a"))
+
+    def test_star_unfolding(self):
+        assert equivalent_bounded(parse_nre("a*"), parse_nre("() + a . a*"))
+
+    def test_distribution(self):
+        assert equivalent_bounded(
+            parse_nre("a . (b + c)"), parse_nre("a . b + a . c")
+        )
+
+    def test_non_equivalent(self):
+        assert not equivalent_bounded(parse_nre("a*"), parse_nre("a . a*"))
+
+
+class TestSemanticContainment:
+    def test_atom_in_union(self):
+        assert semantically_contained(parse_nre("a"), parse_nre("a + b"))
+
+    def test_backward_handled(self):
+        assert semantically_contained(parse_nre("a-"), parse_nre("a- + b"))
+        assert not semantically_contained(parse_nre("a-"), parse_nre("a"))
+
+    def test_nest_weaker_than_nothing(self):
+        # r·[t] ⊆ r (the test only filters).
+        assert semantically_contained(parse_nre("a[b]"), parse_nre("a"))
+        assert not semantically_contained(parse_nre("a"), parse_nre("a[b]"))
+
+    def test_epsilon_in_star(self):
+        assert semantically_contained(parse_nre("()"), parse_nre("a*"))

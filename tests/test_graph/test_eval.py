@@ -1,0 +1,127 @@
+"""Unit tests for the reference (set-algebraic) NRE evaluator."""
+
+import pytest
+
+from repro.graph.database import GraphDatabase
+from repro.graph.eval import evaluate_nre, nre_holds, nre_reachable
+from repro.graph.parser import parse_nre
+
+
+@pytest.fixture
+def chain():
+    """u ─a→ v ─a→ w ─b→ x, plus u ─b→ x."""
+    return GraphDatabase(
+        edges=[("u", "a", "v"), ("v", "a", "w"), ("w", "b", "x"), ("u", "b", "x")]
+    )
+
+
+class TestAtoms:
+    def test_label(self, chain):
+        assert evaluate_nre(chain, parse_nre("a")) == {("u", "v"), ("v", "w")}
+
+    def test_backward(self, chain):
+        assert evaluate_nre(chain, parse_nre("a-")) == {("v", "u"), ("w", "v")}
+
+    def test_epsilon_is_identity(self, chain):
+        result = evaluate_nre(chain, parse_nre("()"))
+        assert result == {(n, n) for n in chain.nodes()}
+
+    def test_missing_label_empty(self, chain):
+        assert evaluate_nre(chain, parse_nre("zzz")) == frozenset()
+
+
+class TestCombinators:
+    def test_concat(self, chain):
+        assert evaluate_nre(chain, parse_nre("a . a")) == {("u", "w")}
+
+    def test_concat_mixed_direction(self, chain):
+        # u -b-> x, then back along b: x's b-predecessors are u and w.
+        assert evaluate_nre(chain, parse_nre("b . b-")) == {
+            ("u", "u"),
+            ("u", "w"),
+            ("w", "w"),
+            ("w", "u"),
+        }
+
+    def test_union(self, chain):
+        expected = evaluate_nre(chain, parse_nre("a")) | evaluate_nre(
+            chain, parse_nre("b")
+        )
+        assert evaluate_nre(chain, parse_nre("a + b")) == expected
+
+    def test_star_includes_reflexive_pairs(self, chain):
+        result = evaluate_nre(chain, parse_nre("a*"))
+        assert ("x", "x") in result  # every node, even ones with no a-edges
+        assert ("u", "w") in result
+
+    def test_star_zero_one_many(self):
+        g = GraphDatabase(edges=[("1", "a", "2"), ("2", "a", "3"), ("3", "a", "4")])
+        result = evaluate_nre(g, parse_nre("a*"))
+        assert ("1", "4") in result
+        assert ("1", "1") in result
+        assert ("4", "1") not in result
+
+    def test_nest_selects_nodes_with_witness(self, chain):
+        result = evaluate_nre(chain, parse_nre("[a]"))
+        assert result == {("u", "u"), ("v", "v")}
+
+    def test_nest_is_a_filter_in_context(self, chain):
+        # a-step to a node that has an outgoing b edge.
+        result = evaluate_nre(chain, parse_nre("a[b]"))
+        assert result == {("v", "w")}
+
+    def test_nested_nest(self):
+        g = GraphDatabase(
+            edges=[("u", "a", "v"), ("v", "b", "w"), ("w", "c", "z")]
+        )
+        # a-step to a node with a b-path to a node with a c-edge
+        assert evaluate_nre(g, parse_nre("a[b[c]]")) == {("u", "v")}
+
+    def test_star_of_union(self, chain):
+        result = evaluate_nre(chain, parse_nre("(a + b)*"))
+        assert ("u", "x") in result
+        assert ("u", "w") in result
+
+
+class TestCycles:
+    def test_cycle_star(self):
+        g = GraphDatabase(edges=[("1", "a", "2"), ("2", "a", "1")])
+        result = evaluate_nre(g, parse_nre("a*"))
+        assert result == {("1", "1"), ("1", "2"), ("2", "1"), ("2", "2")}
+
+    def test_self_loop(self):
+        g = GraphDatabase(edges=[("1", "a", "1")])
+        assert evaluate_nre(g, parse_nre("a . a . a")) == {("1", "1")}
+
+
+class TestHelpers:
+    def test_nre_reachable(self, chain):
+        assert nre_reachable(chain, parse_nre("a . a"), "u") == {"w"}
+
+    def test_nre_holds(self, chain):
+        assert nre_holds(chain, parse_nre("a"), "u", "v")
+        assert not nre_holds(chain, parse_nre("a"), "v", "u")
+
+    def test_cache_shared_between_subexpressions(self, chain):
+        cache = {}
+        evaluate_nre(chain, parse_nre("a . a"), _cache=cache)
+        assert parse_nre("a") in cache
+
+
+class TestPaperSemantics:
+    def test_example22_query_on_g1(self):
+        from repro.scenarios.flights import example_query, graph_g1, paper_answers_g1
+
+        assert evaluate_nre(graph_g1(), example_query()) == paper_answers_g1()
+
+    def test_example22_query_on_g2(self):
+        from repro.scenarios.flights import example_query, graph_g2, paper_answers_g2
+
+        assert evaluate_nre(graph_g2(), example_query()) == paper_answers_g2()
+
+    def test_ff_star_is_nonempty_path(self):
+        g = GraphDatabase(edges=[("c1", "f", "N"), ("N", "f", "c2")])
+        result = evaluate_nre(g, parse_nre("f . f*"))
+        assert ("c1", "N") in result
+        assert ("c1", "c2") in result
+        assert ("c1", "c1") not in result  # f·f* needs at least one step

@@ -1,0 +1,124 @@
+"""Unit tests for the NRE language toolkit."""
+
+import pytest
+
+from repro.graph.language import (
+    enumerate_words,
+    is_empty_language,
+    language_is_finite,
+    matches_word,
+    shortest_word_length,
+)
+from repro.graph.parser import parse_nre
+
+
+class TestMatchesWord:
+    def test_single_label(self):
+        assert matches_word(parse_nre("a"), ("a",))
+        assert not matches_word(parse_nre("a"), ("b",))
+        assert not matches_word(parse_nre("a"), ())
+
+    def test_epsilon(self):
+        assert matches_word(parse_nre("()"), ())
+        assert not matches_word(parse_nre("()"), ("a",))
+
+    def test_concat(self):
+        assert matches_word(parse_nre("a . b"), ("a", "b"))
+        assert not matches_word(parse_nre("a . b"), ("b", "a"))
+
+    def test_union(self):
+        expr = parse_nre("a + b")
+        assert matches_word(expr, ("a",))
+        assert matches_word(expr, ("b",))
+        assert not matches_word(expr, ("a", "b"))
+
+    def test_star(self):
+        expr = parse_nre("a*")
+        for k in range(4):
+            assert matches_word(expr, ("a",) * k)
+        assert not matches_word(expr, ("a", "b"))
+
+    def test_paper_gadget(self):
+        expr = parse_nre("a . (b* + c*) . a")
+        assert matches_word(expr, ("a", "a"))
+        assert matches_word(expr, ("a", "b", "b", "a"))
+        assert matches_word(expr, ("a", "c", "a"))
+        assert not matches_word(expr, ("a", "b", "c", "a"))
+
+    def test_sore_word(self):
+        expr = parse_nre("t1 . f1 . a")
+        assert matches_word(expr, ("t1", "f1", "a"))
+        assert not matches_word(expr, ("t1", "a"))
+
+    def test_nested_test_on_chain(self):
+        # [h] on a chain: the chain has no h edge, so the test fails.
+        assert not matches_word(parse_nre("a[h] . b"), ("a", "b"))
+
+
+class TestEmptiness:
+    def test_never_empty(self):
+        for text in ("a", "()", "a + b", "a . b", "a*", "[a]"):
+            assert not is_empty_language(parse_nre(text))
+
+    def test_type_checked(self):
+        with pytest.raises(TypeError):
+            is_empty_language("not an NRE")  # type: ignore[arg-type]
+
+
+class TestShortestWord:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("a", 1),
+            ("()", 0),
+            ("a*", 0),
+            ("a . b", 2),
+            ("a + b . c", 1),
+            ("b . c + a", 1),
+            ("a . (b* + c*) . a", 2),
+            ("f . f*", 1),
+            ("[a . b]", 2),  # the nest branch still costs its edges
+        ],
+    )
+    def test_lengths(self, text, expected):
+        assert shortest_word_length(parse_nre(text)) == expected
+
+
+class TestFiniteness:
+    def test_star_free_is_finite(self):
+        assert language_is_finite(parse_nre("a . (b + c)"))
+
+    def test_star_is_infinite(self):
+        assert not language_is_finite(parse_nre("a*"))
+
+    def test_star_of_epsilon_is_finite(self):
+        from repro.graph.nre import Star, Epsilon
+
+        # The smart constructor collapses ε* to ε; build Star(ε) raw.
+        assert language_is_finite(Star(Epsilon()))
+
+    def test_nested_star_detected(self):
+        assert not language_is_finite(parse_nre("a . (b + c*)"))
+
+
+class TestEnumerateWords:
+    def test_finite_language_complete(self):
+        words = set(enumerate_words(parse_nre("a . (b + c)"), max_length=3))
+        assert words == {("a", "b"), ("a", "c")}
+
+    def test_star_words_up_to_bound(self):
+        words = set(enumerate_words(parse_nre("a*"), max_length=3))
+        assert words == {(), ("a",), ("a", "a"), ("a", "a", "a")}
+
+    def test_nondecreasing_length(self):
+        lengths = [len(w) for w in enumerate_words(parse_nre("a + a . a"), 4)]
+        assert lengths == sorted(lengths)
+
+    def test_backward_rejected(self):
+        with pytest.raises(ValueError):
+            list(enumerate_words(parse_nre("a-"), 2))
+
+    def test_every_enumerated_word_matches(self):
+        expr = parse_nre("a . (b* + c*) . a")
+        for word in enumerate_words(expr, max_length=4):
+            assert matches_word(expr, word)

@@ -1,0 +1,124 @@
+"""Unit tests for graph transformations."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.graph.database import GraphDatabase
+from repro.graph.transform import (
+    disjoint_union,
+    filter_edges,
+    induced_subgraph,
+    reachable_subgraph,
+    rename_nodes,
+    union,
+)
+
+
+@pytest.fixture
+def diamond():
+    return GraphDatabase(
+        edges=[("s", "a", "l"), ("s", "a", "r"), ("l", "b", "t"), ("r", "b", "t")]
+    )
+
+
+class TestRename:
+    def test_injective_rename(self, diamond):
+        renamed = rename_nodes(diamond, {"s": "start", "t": "top"})
+        assert renamed.has_edge("start", "a", "l")
+        assert renamed.has_edge("l", "b", "top")
+        assert "s" not in renamed.nodes()
+
+    def test_quotient_collapses(self, diamond):
+        merged = rename_nodes(diamond, {"r": "l"})
+        assert merged.node_count() == 3
+        assert merged.edge_count() == 2  # parallel edges collapse
+
+    def test_input_untouched(self, diamond):
+        rename_nodes(diamond, {"s": "x"})
+        assert "s" in diamond.nodes()
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges_only(self, diamond):
+        sub = induced_subgraph(diamond, ["s", "l", "t"])
+        assert sub.has_edge("s", "a", "l")
+        assert sub.has_edge("l", "b", "t")
+        assert sub.edge_count() == 2
+
+    def test_isolated_kept(self, diamond):
+        sub = induced_subgraph(diamond, ["s", "t"])
+        assert sub.nodes() == {"s", "t"}
+        assert sub.edge_count() == 0
+
+    def test_unknown_node_rejected(self, diamond):
+        with pytest.raises(SchemaError):
+            induced_subgraph(diamond, ["ghost"])
+
+    def test_egd_preservation(self, diamond):
+        """The encoder's argument: induced subgraphs preserve egds."""
+        from repro.mappings.parser import parse_egd
+
+        egd = parse_egd("(x, a, y), (z, a, y) -> x = z")
+        full = GraphDatabase(edges=[("u", "a", "m"), ("w", "a", "m")])
+        assert not egd.is_satisfied(full)
+        # Any induced subgraph of an egd-SATISFYING graph stays satisfying.
+        good = GraphDatabase(edges=[("u", "a", "m"), ("u", "a", "n")])
+        assert egd.is_satisfied(good)
+        for keep in (["u", "m"], ["u", "n"], ["u"], ["m", "n"]):
+            assert egd.is_satisfied(induced_subgraph(good, keep))
+
+
+class TestUnions:
+    def test_shared_union(self):
+        left = GraphDatabase(edges=[("u", "a", "v")])
+        right = GraphDatabase(edges=[("v", "b", "w")])
+        combined = union(left, right)
+        assert combined.node_count() == 3
+        assert combined.edge_count() == 2
+
+    def test_disjoint_union_tags(self):
+        left = GraphDatabase(edges=[("u", "a", "v")])
+        right = GraphDatabase(edges=[("u", "a", "v")])
+        combined = disjoint_union(left, right)
+        assert combined.node_count() == 4
+        assert combined.has_edge(("L", "u"), "a", ("L", "v"))
+        assert combined.has_edge(("R", "u"), "a", ("R", "v"))
+
+    def test_alphabets_merge(self):
+        left = GraphDatabase(alphabet={"a"})
+        right = GraphDatabase(alphabet={"b"})
+        assert union(left, right).alphabet == {"a", "b"}
+
+
+class TestFilterAndReach:
+    def test_filter_edges(self, diamond):
+        only_a = filter_edges(diamond, lambda u, lab, v: lab == "a")
+        assert only_a.edge_count() == 2
+        assert only_a.node_count() == diamond.node_count()
+
+    def test_reachable_subgraph(self):
+        g = GraphDatabase(
+            edges=[("s", "a", "m"), ("m", "a", "t"), ("x", "a", "y")]
+        )
+        reached = reachable_subgraph(g, ["s"])
+        assert reached.nodes() == {"s", "m", "t"}
+
+    def test_reachable_with_label_restriction(self):
+        g = GraphDatabase(edges=[("s", "a", "m"), ("m", "b", "t")])
+        reached = reachable_subgraph(g, ["s"], labels=["a"])
+        assert reached.nodes() == {"s", "m"}
+
+    def test_sources_not_in_graph_ignored(self):
+        g = GraphDatabase(edges=[("u", "a", "v")])
+        assert reachable_subgraph(g, ["ghost"]).node_count() == 0
+
+
+class TestSemanticInteraction:
+    def test_monotone_queries_shrink_on_subgraphs(self, diamond):
+        from repro.graph.eval import evaluate_nre
+        from repro.graph.parser import parse_nre
+
+        expr = parse_nre("a . b")
+        full_answers = evaluate_nre(diamond, expr)
+        sub = induced_subgraph(diamond, ["s", "l", "t"])
+        assert evaluate_nre(sub, expr) <= full_answers

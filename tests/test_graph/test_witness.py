@@ -1,0 +1,143 @@
+"""Unit tests for witness extraction and materialisation."""
+
+from repro.graph.database import GraphDatabase
+from repro.graph.eval import nre_holds
+from repro.graph.parser import parse_nre
+from repro.graph.witness import (
+    default_fresh_factory,
+    enumerate_witnesses,
+    materialize_witness,
+    witness_tree,
+)
+
+
+def realize(witness) -> tuple[GraphDatabase, object, object]:
+    """Materialise a witness into a graph and return (graph, start, end)."""
+    edges, canonical = materialize_witness(witness)
+    graph = GraphDatabase()
+    graph.add_node(canonical[witness.start])
+    graph.add_node(canonical[witness.end])
+    for source, lab, target in edges:
+        graph.add_edge(source, lab, target)
+    return graph, canonical[witness.start], canonical[witness.end]
+
+
+class TestCanonicalWitness:
+    def test_label(self):
+        w = witness_tree(parse_nre("a"), "s", "e")
+        assert w.edges == [("s", "a", "e")]
+        assert w.merges == []
+
+    def test_backward(self):
+        w = witness_tree(parse_nre("a-"), "s", "e")
+        assert w.edges == [("e", "a", "s")]
+
+    def test_epsilon_merges_endpoints(self):
+        w = witness_tree(parse_nre("()"), "s", "e")
+        assert w.merges == [("s", "e")]
+
+    def test_star_taken_zero_times(self):
+        w = witness_tree(parse_nre("a*"), "s", "e")
+        assert w.edges == []
+        assert w.merges == [("s", "e")]
+
+    def test_union_takes_left(self):
+        w = witness_tree(parse_nre("a + b"), "s", "e")
+        assert w.edges == [("s", "a", "e")]
+
+    def test_concat_introduces_fresh_middle(self):
+        w = witness_tree(parse_nre("a . b"), "s", "e")
+        assert len(w.edges) == 2
+        middles = {n for e in w.edges for n in (e[0], e[2])} - {"s", "e"}
+        assert len(middles) == 1
+
+    def test_nest_branches_and_merges(self):
+        w = witness_tree(parse_nre("[h]"), "s", "e")
+        assert ("s", "e") in w.merges
+        assert len(w.edges) == 1
+        assert w.edges[0][0] == "s"
+        assert w.edges[0][1] == "h"
+
+    def test_figure6b_shape(self):
+        """a·(b*+c*)·a from c1 to c2 materialises as c1 -a-> N -a-> c2."""
+        w = witness_tree(parse_nre("a . (b* + c*) . a"), "c1", "c2")
+        graph, start, end = realize(w)
+        assert start == "c1" and end == "c2"
+        assert graph.edge_count() == 2
+        assert all(e.label == "a" for e in graph.edges())
+
+
+class TestWitnessValidity:
+    """Every materialised witness must actually satisfy its NRE."""
+
+    def check(self, text, star_bound=2, limit=50):
+        expr = parse_nre(text)
+        count = 0
+        for w in enumerate_witnesses(expr, "s", "e", star_bound=star_bound):
+            graph, start, end = realize(w)
+            assert nre_holds(graph, expr, start, end), f"witness failed for {text}"
+            count += 1
+            if count >= limit:
+                break
+        assert count > 0
+
+    def test_label(self):
+        self.check("a")
+
+    def test_union(self):
+        self.check("a + b")
+
+    def test_concat(self):
+        self.check("a . b . c")
+
+    def test_star(self):
+        self.check("a*")
+
+    def test_star_of_concat(self):
+        self.check("(a . b)*")
+
+    def test_nest(self):
+        self.check("a[h]")
+
+    def test_backward_mix(self):
+        self.check("a . b- . c")
+
+    def test_paper_head(self):
+        self.check("f . f*")
+
+    def test_paper_gadget(self):
+        self.check("a . (b* + c*) . a")
+
+
+class TestEnumeration:
+    def test_star_counts(self):
+        ws = list(enumerate_witnesses(parse_nre("a*"), "s", "e", star_bound=3))
+        # k = 0, 1, 2, 3 repetitions
+        assert len(ws) == 4
+
+    def test_union_counts(self):
+        ws = list(enumerate_witnesses(parse_nre("a + b"), "s", "e", star_bound=0))
+        assert len(ws) == 2
+
+    def test_fresh_nodes_unique_across_witnesses(self):
+        ws = list(enumerate_witnesses(parse_nre("a . b"), "s", "e", star_bound=1))
+        fresh = [
+            n
+            for w in ws
+            for n in w.all_nodes()
+            if isinstance(n, str) and n.startswith("_w")
+        ]
+        assert len(fresh) == len(set(fresh))
+
+
+class TestMaterialize:
+    def test_endpoints_preferred_over_fresh(self):
+        w = witness_tree(parse_nre("a . b*"), "s", "e")
+        edges, canonical = materialize_witness(w)
+        # b* taken zero times merges the fresh middle with e; e must survive.
+        assert canonical[w.end] == "e"
+        assert ("s", "a", "e") in edges
+
+    def test_fresh_factory_prefix(self):
+        fresh = default_fresh_factory("_q")
+        assert fresh().startswith("_q")

@@ -1,0 +1,217 @@
+"""End-to-end integration: the whole paper, section by section.
+
+Each test narrates one section of the paper through the public API only
+(imports from ``repro``, not from submodules), acting simultaneously as an
+integration test across all subsystems and as executable documentation.
+"""
+
+import repro
+from repro import (
+    DataExchangeSetting,
+    ExistenceStatus,
+    GraphDatabase,
+    RelationalInstance,
+    RelationalSchema,
+    certain_answers_nre,
+    chase_pattern,
+    chase_relational,
+    chase_with_egds,
+    decide_existence,
+    evaluate_nre,
+    has_homomorphism,
+    is_certain_answer,
+    is_solution,
+    parse_egd,
+    parse_nre,
+    parse_sameas,
+    parse_st_tgd,
+    solve_with_sameas,
+    universal_representative,
+)
+from repro.core.search import CandidateSearchConfig
+
+
+def build_flights():
+    schema = RelationalSchema()
+    schema.declare("Flight", 3)
+    schema.declare("Hotel", 2)
+    instance = RelationalInstance(
+        schema,
+        {
+            "Flight": [("01", "c1", "c2"), ("02", "c3", "c2")],
+            "Hotel": [("01", "hx"), ("01", "hy"), ("02", "hx")],
+        },
+    )
+    st = parse_st_tgd(
+        "Flight(x1, x2, x3), Hotel(x1, x4) -> "
+        "(x2, f . f*, y), (y, h, x4), (y, f . f*, x3)"
+    )
+    egd = parse_egd("(x1, h, x3), (x2, h, x3) -> x1 = x2")
+    sameas = parse_sameas("(x1, h, x3), (x2, h, x3) -> (x1, sameAs, x2)")
+    omega = DataExchangeSetting(schema, {"f", "h"}, [st], [egd])
+    omega_prime = DataExchangeSetting(schema, {"f", "h"}, [st], [sameas])
+    return schema, instance, omega, omega_prime
+
+
+class TestSection2ProblemSetting:
+    """Example 2.2: the setting, its solutions, and the query Q."""
+
+    def test_full_example(self):
+        _, instance, omega, omega_prime = build_flights()
+
+        g1 = GraphDatabase(
+            alphabet={"f", "h"},
+            edges=[
+                ("c1", "f", "N"), ("c3", "f", "N"), ("N", "f", "c2"),
+                ("N", "h", "hx"), ("N", "h", "hy"),
+            ],
+        )
+        assert is_solution(instance, g1, omega)
+
+        q = parse_nre("f . f*[h] . f- . (f-)*")
+        assert evaluate_nre(g1, q) == {
+            ("c1", "c1"), ("c1", "c3"), ("c3", "c1"), ("c3", "c3")
+        }
+
+        cfg = CandidateSearchConfig(star_bound=2)
+        cert = certain_answers_nre(omega, instance, q, config=cfg)
+        assert cert.answers == {
+            ("c1", "c1"), ("c1", "c3"), ("c3", "c1"), ("c3", "c3")
+        }
+        cert_prime = certain_answers_nre(omega_prime, instance, q, config=cfg)
+        assert cert_prime.answers == {("c1", "c1"), ("c3", "c3")}
+
+
+class TestSection3Background:
+    def test_relational_fragment(self):
+        """Example 3.1: single-symbol heads chase to a concrete graph."""
+        schema, instance, omega, _ = build_flights()
+        st_prime = parse_st_tgd(
+            "Flight(x1, x2, x3), Hotel(x1, x4) -> (x2, f, y), (y, h, x4), (y, f, x3)"
+        )
+        result = chase_relational([st_prime], list(omega.egds()), instance)
+        graph = result.expect_graph()
+        assert result.succeeded
+        fragment_setting = DataExchangeSetting(
+            schema, {"f", "h"}, [st_prime], list(omega.egds())
+        )
+        assert is_solution(instance, graph, fragment_setting)
+
+    def test_graph_fragment_universal_representative(self):
+        """Example 3.2: the chased pattern represents all solutions."""
+        _, instance, omega, _ = build_flights()
+        pattern = chase_pattern(
+            omega.st_tgds, instance, alphabet={"f", "h"}
+        ).expect_pattern()
+        assert len(pattern.nulls()) == 3
+        assert pattern.edge_count() == 9
+        g1 = GraphDatabase(
+            alphabet={"f", "h"},
+            edges=[
+                ("c1", "f", "N"), ("c3", "f", "N"), ("N", "f", "c2"),
+                ("N", "h", "hx"), ("N", "h", "hy"),
+            ],
+        )
+        assert has_homomorphism(pattern, g1)
+
+
+class TestSection4Complexity:
+    def test_theorem41_and_corollary42(self):
+        """The reductions, run end to end on ρ₀ and an unsat variant."""
+        from repro.reductions import (
+            certain_egd_instance,
+            certain_sameas_instance,
+            reduction_from_cnf,
+        )
+        from repro.solver import CNF
+
+        rho0 = CNF()
+        rho0.variable_count = 4
+        rho0.add_clause([1, -2, 3])
+        rho0.add_clause([-1, 3, -4])
+        reduction = reduction_from_cnf(rho0)
+        assert decide_existence(
+            reduction.setting, reduction.instance
+        ).status is ExistenceStatus.EXISTS
+
+        hard = certain_egd_instance(rho0)
+        assert not is_certain_answer(
+            hard.setting, hard.instance, hard.query, hard.tuple,
+            config=CandidateSearchConfig(star_bound=1),
+        )
+
+        soft = certain_sameas_instance(rho0)
+        assert decide_existence(
+            soft.setting, soft.instance
+        ).status is ExistenceStatus.EXISTS
+        assert not is_certain_answer(
+            soft.setting, soft.instance, soft.query, soft.tuple,
+            config=CandidateSearchConfig(star_bound=1),
+        )
+
+    def test_section42_sameas_construction(self):
+        _, instance, _, omega_prime = build_flights()
+        result = solve_with_sameas(
+            omega_prime.st_tgds,
+            omega_prime.sameas_constraints(),
+            instance,
+            alphabet={"f", "h"},
+        )
+        assert is_solution(instance, result.expect_graph(), omega_prime)
+
+
+class TestSection5UniversalSolutions:
+    def test_adapted_chase_and_incompleteness(self):
+        """Examples 5.1, 5.2, 5.4 via the public API."""
+        schema, instance, omega, _ = build_flights()
+
+        # Example 5.1: the adapted chase merges the hx cities.
+        result = chase_with_egds(
+            omega.st_tgds, omega.egds(), instance, alphabet={"f", "h"}
+        )
+        assert result.succeeded
+        assert len(result.expect_pattern().nulls()) == 2
+
+        # Example 5.2: success of the chase does not imply existence.
+        gadget_schema = RelationalSchema()
+        gadget_schema.declare("R", 1)
+        gadget_schema.declare("P", 1)
+        gadget_instance = RelationalInstance(
+            gadget_schema, {"R": [("c1",)], "P": [("c2",)]}
+        )
+        gadget = DataExchangeSetting(
+            gadget_schema,
+            {"a", "b", "c"},
+            [parse_st_tgd("R(x), P(y) -> (x, a . (b* + c*) . a, y)")],
+            [parse_egd("(x, a + b + c, y) -> x = y")],
+        )
+        chase_result = chase_with_egds(
+            gadget.st_tgds, gadget.egds(), gadget_instance, alphabet=gadget.alphabet
+        )
+        assert chase_result.succeeded
+        existence = decide_existence(gadget, gadget_instance)
+        assert existence.status is ExistenceStatus.NOT_EXISTS
+
+        # Proposition 5.3 remedy: (pattern, constraints) pairs.
+        representative = universal_representative(omega, instance)
+        g1 = GraphDatabase(
+            alphabet={"f", "h"},
+            edges=[
+                ("c1", "f", "N"), ("c3", "f", "N"), ("N", "f", "c2"),
+                ("N", "h", "hx"), ("N", "h", "hy"),
+            ],
+        )
+        assert representative.contains(g1)
+        bad = g1.copy()
+        bad.add_edge("c2", "h", "hx")
+        assert has_homomorphism(representative.pattern, bad)
+        assert not representative.contains(bad)
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None

@@ -1,0 +1,126 @@
+"""End-to-end tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import load_document, main
+
+
+@pytest.fixture
+def document_path(tmp_path):
+    path = tmp_path / "flights.json"
+    assert main(["demo", "-o", str(path)]) == 0
+    return str(path)
+
+
+class TestDemo:
+    def test_demo_to_stdout(self, capsys):
+        assert main(["demo"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "setting" in data and "instance" in data
+
+    def test_demo_document_loads(self, document_path):
+        setting, instance = load_document(document_path)
+        assert setting.name == "Omega"
+        assert instance.size() == 5
+
+
+class TestChase:
+    def test_pretty_output(self, document_path, capsys):
+        assert main(["chase", document_path]) == 0
+        out = capsys.readouterr().out
+        assert "3 trigger(s), 1 merge(s)" in out
+        assert "f . f*" in out
+
+    def test_json_output(self, document_path, capsys):
+        assert main(["chase", document_path, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["edges"]) == 7
+
+    def test_failing_chase_exit_code(self, tmp_path, capsys):
+        from repro.core.setting import DataExchangeSetting
+        from repro.io.dependencies import setting_to_dict
+        from repro.io.json_io import instance_to_dict
+        from repro.mappings.parser import parse_egd, parse_st_tgd
+        from repro.relational.instance import RelationalInstance
+        from repro.relational.schema import RelationalSchema
+
+        schema = RelationalSchema()
+        schema.declare("R", 2)
+        instance = RelationalInstance(schema, {"R": [("u", "v"), ("w", "v")]})
+        setting = DataExchangeSetting(
+            schema,
+            {"h"},
+            [parse_st_tgd("R(x, y) -> (x, h, y)")],
+            [parse_egd("(x1, h, z), (x2, h, z) -> x1 = x2")],
+        )
+        path = tmp_path / "failing.json"
+        path.write_text(
+            json.dumps(
+                {"setting": setting_to_dict(setting), "instance": instance_to_dict(instance)}
+            )
+        )
+        assert main(["chase", str(path)]) == 1
+        assert "no solution exists" in capsys.readouterr().out
+
+
+class TestExists:
+    def test_exists_exit_zero(self, document_path, capsys):
+        assert main(["exists", document_path]) == 0
+        assert "status: exists" in capsys.readouterr().out
+
+    def test_witness_printed(self, document_path, capsys):
+        assert main(["exists", document_path, "--witness"]) == 0
+        out = capsys.readouterr().out
+        assert '"edges"' in out
+
+
+class TestCertain:
+    def test_paper_certain_answers(self, document_path, capsys):
+        code = main(["certain", document_path, "f . f*[h] . f- . (f-)*",
+                     "--star-bound", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "c1  c3" in out
+        assert "c3  c1" in out
+
+    def test_empty_answer_set(self, document_path, capsys):
+        assert main(["certain", document_path, "h . h"]) == 0
+        assert "(no certain answers)" in capsys.readouterr().out
+
+    def test_pair_mode_certain(self, document_path, capsys):
+        code = main(["certain", document_path, "f . f*[h] . f- . (f-)*",
+                     "--pair", "c1", "c3"])
+        assert code == 0
+        assert "is a certain answer" in capsys.readouterr().out
+
+    def test_pair_mode_counterexample(self, document_path, capsys):
+        code = main(["certain", document_path, "f . f*[h] . f- . (f-)*",
+                     "--pair", "c1", "c2"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "NOT certain" in out
+        assert '"edges"' in out
+
+
+class TestRender:
+    def test_graph_render(self, tmp_path, capsys):
+        from repro.io.json_io import graph_to_dict
+        from repro.scenarios.flights import graph_g1
+
+        path = tmp_path / "g1.json"
+        path.write_text(json.dumps(graph_to_dict(graph_g1())))
+        assert main(["render", str(path), "--name", "G1"]) == 0
+        out = capsys.readouterr().out
+        assert 'digraph "G1"' in out
+        assert "->" in out
+
+    def test_pattern_render(self, tmp_path, capsys):
+        from repro.io.json_io import pattern_to_dict
+        from repro.scenarios.flights import figure5_expected_pattern
+
+        path = tmp_path / "fig5.json"
+        path.write_text(json.dumps(pattern_to_dict(figure5_expected_pattern())))
+        assert main(["render", str(path), "--name", "fig5"]) == 0
+        assert 'digraph "fig5"' in capsys.readouterr().out

@@ -1,0 +1,94 @@
+"""Unit tests for dependency/setting JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import ParseError
+from repro.io.dependencies import (
+    cnre_from_dict,
+    cnre_to_dict,
+    cq_from_dict,
+    cq_to_dict,
+    dependency_from_dict,
+    dependency_to_dict,
+    setting_from_dict,
+    setting_to_dict,
+)
+from repro.mappings.parser import parse_egd, parse_sameas, parse_st_tgd, parse_target_tgd
+from repro.relational.parser import parse_cq
+from repro.mappings.parser import parse_cnre_atoms
+from repro.scenarios.flights import setting_omega, setting_omega_prime
+
+
+class TestQueryRoundTrips:
+    def test_cq(self):
+        q = parse_cq("Flight(x1, x2, x3), Hotel(x1, x4) -> (x2, x3)")
+        assert cq_from_dict(cq_to_dict(q)) == q
+
+    def test_cq_with_lowercase_constant(self):
+        """The structural encoding keeps lowercase constants constant."""
+        q = parse_cq("R('c1', y)")
+        back = cq_from_dict(cq_to_dict(q))
+        assert back.atoms[0].terms[0] == "c1"
+        assert back == q
+
+    def test_cnre(self):
+        q = parse_cnre_atoms("(x, f . f*[h], y), (y, h, z)")
+        assert cnre_from_dict(cnre_to_dict(q)) == q
+
+    def test_json_round(self):
+        q = parse_cnre_atoms("(x, a + b, y)")
+        assert cnre_from_dict(json.loads(json.dumps(cnre_to_dict(q)))) == q
+
+
+class TestDependencyRoundTrips:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: parse_st_tgd("R(x, y) -> (x, a . a*, z), (z, b, y)", name="t"),
+            lambda: parse_egd("(x, a . b, y) -> x = y", name="e"),
+            lambda: parse_sameas("(x, a, z), (y, a, z) -> (x, sameAs, y)", name="s"),
+            lambda: parse_target_tgd("(x, a, y) -> (y, b, z)", name="g"),
+        ],
+    )
+    def test_round_trip(self, factory):
+        dependency = factory()
+        back = dependency_from_dict(dependency_to_dict(dependency))
+        assert back == dependency
+        assert back.name == dependency.name
+
+    def test_kind_discrimination(self):
+        egd = parse_egd("(x, a, y) -> x = y")
+        sameas = parse_sameas("(x, a, z), (y, a, z) -> (x, sameAs, y)")
+        assert dependency_to_dict(egd)["kind"] == "egd"
+        assert dependency_to_dict(sameas)["kind"] == "sameas"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ParseError):
+            dependency_from_dict({"kind": "mystery"})
+
+
+class TestSettingRoundTrips:
+    def test_omega(self):
+        setting = setting_omega()
+        back = setting_from_dict(setting_to_dict(setting))
+        assert back.alphabet == setting.alphabet
+        assert back.st_tgds == setting.st_tgds
+        assert back.target_constraints == setting.target_constraints
+        assert back.source_schema == setting.source_schema
+
+    def test_omega_prime_via_json(self):
+        setting = setting_omega_prime()
+        text = json.dumps(setting_to_dict(setting))
+        back = setting_from_dict(json.loads(text))
+        assert back.sameas_constraints() == setting.sameas_constraints()
+
+    def test_reduction_setting(self):
+        from repro.reductions.three_sat import reduction_from_cnf
+        from repro.scenarios.figures import rho0_formula
+
+        setting = reduction_from_cnf(rho0_formula()).setting
+        back = setting_from_dict(setting_to_dict(setting))
+        assert back.egds() == setting.egds()
+        assert back.alphabet == setting.alphabet

@@ -1,0 +1,46 @@
+"""Unit tests for DOT rendering."""
+
+from repro.graph.database import GraphDatabase
+from repro.graph.parser import parse_nre
+from repro.io.dot import graph_to_dot, pattern_to_dot
+from repro.patterns.pattern import GraphPattern
+from repro.scenarios.flights import figure5_expected_pattern, graph_g3
+
+
+class TestGraphToDot:
+    def test_structure(self):
+        g = GraphDatabase(edges=[("u", "a", "v")])
+        dot = graph_to_dot(g)
+        assert dot.startswith('digraph "G" {')
+        assert '"u" -> "v" [label="a"];' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_sameas_is_dotted(self):
+        dot = graph_to_dot(graph_g3())
+        assert "style=dotted" in dot
+
+    def test_null_nodes_dashed(self):
+        from repro.patterns.pattern import Null
+
+        g = GraphDatabase(edges=[("c1", "f", Null("N1"))])
+        assert "style=dashed" in graph_to_dot(g)
+
+    def test_quoting(self):
+        g = GraphDatabase(edges=[('we"ird', "a", "v")])
+        dot = graph_to_dot(g)
+        assert '\\"' in dot
+
+    def test_custom_name(self):
+        assert 'digraph "Figure1"' in graph_to_dot(GraphDatabase(), name="Figure1")
+
+
+class TestPatternToDot:
+    def test_nre_labels_rendered(self):
+        pi = GraphPattern(edges=[("c1", parse_nre("f . f*"), "c2")])
+        dot = pattern_to_dot(pi)
+        assert "f . f*" in dot
+
+    def test_figure5_renders(self):
+        dot = pattern_to_dot(figure5_expected_pattern(), name="fig5")
+        assert 'digraph "fig5"' in dot
+        assert dot.count("->") == 7

@@ -1,0 +1,81 @@
+"""Unit tests for JSON serialization round-trips."""
+
+import json
+
+from repro.graph.parser import parse_nre
+from repro.io.json_io import (
+    graph_from_dict,
+    graph_to_dict,
+    instance_from_dict,
+    instance_to_dict,
+    nre_from_dict,
+    nre_to_dict,
+    pattern_from_dict,
+    pattern_to_dict,
+)
+from repro.patterns.pattern import GraphPattern, Null
+from repro.scenarios.flights import flights_instance, graph_g3
+
+
+class TestGraphRoundTrip:
+    def test_simple(self):
+        g = graph_g3()
+        assert graph_from_dict(graph_to_dict(g)) == g
+
+    def test_json_serialisable(self):
+        text = json.dumps(graph_to_dict(graph_g3()))
+        assert graph_from_dict(json.loads(text)) == graph_g3()
+
+    def test_isolated_nodes_survive(self):
+        from repro.graph.database import GraphDatabase
+
+        g = GraphDatabase(nodes=["alone"], edges=[("u", "a", "v")])
+        assert graph_from_dict(graph_to_dict(g)) == g
+
+    def test_null_nodes_round_trip(self):
+        from repro.graph.database import GraphDatabase
+
+        g = GraphDatabase(edges=[("c1", "f", Null("N1"))])
+        back = graph_from_dict(graph_to_dict(g))
+        assert Null("N1") in back.nodes()
+        assert "N1" not in back.nodes()  # stays a Null, not a string
+
+
+class TestNreRoundTrip:
+    def test_all_constructors(self):
+        for text in ("()", "a", "a-", "a + b", "a . b", "a*", "[a . b]",
+                     "f . f*[h] . f- . (f-)*"):
+            expr = parse_nre(text)
+            assert nre_from_dict(nre_to_dict(expr)) == expr
+
+    def test_json_serialisable(self):
+        expr = parse_nre("a . (b* + c*) . a")
+        text = json.dumps(nre_to_dict(expr))
+        assert nre_from_dict(json.loads(text)) == expr
+
+
+class TestPatternRoundTrip:
+    def test_with_nulls_and_nres(self):
+        pi = GraphPattern(alphabet={"f", "h"})
+        n = pi.fresh_null()
+        pi.add_edge("c1", parse_nre("f . f*"), n)
+        pi.add_edge(n, parse_nre("h"), "hx")
+        back = pattern_from_dict(pattern_to_dict(pi))
+        assert back == pi
+
+    def test_figure5(self):
+        from repro.scenarios.flights import figure5_expected_pattern
+
+        pattern = figure5_expected_pattern()
+        assert pattern_from_dict(pattern_to_dict(pattern)) == pattern
+
+
+class TestInstanceRoundTrip:
+    def test_flights(self):
+        instance = flights_instance()
+        assert instance_from_dict(instance_to_dict(instance)) == instance
+
+    def test_json_serialisable(self):
+        instance = flights_instance()
+        text = json.dumps(instance_to_dict(instance))
+        assert instance_from_dict(json.loads(text)) == instance

@@ -1,0 +1,86 @@
+"""Unit tests for target egds."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.graph.cnre import CNREAtom, CNREQuery
+from repro.graph.database import GraphDatabase
+from repro.graph.parser import parse_nre
+from repro.mappings.egd import TargetEgd
+from repro.mappings.parser import parse_egd
+from repro.relational.query import Variable
+
+
+class TestConstruction:
+    def test_equality_variables_must_be_in_body(self):
+        body = CNREQuery([CNREAtom(Variable("x"), parse_nre("a"), Variable("y"))])
+        with pytest.raises(SchemaError):
+            TargetEgd(body, Variable("x"), Variable("z"))
+
+    def test_parse_roundtrip(self):
+        egd = parse_egd("(x1, h, x3), (x2, h, x3) -> x1 = x2")
+        assert egd.left == Variable("x1")
+        assert egd.right == Variable("x2")
+        assert len(egd.body.atoms) == 2
+
+
+class TestSatisfaction:
+    def test_satisfied_when_unique(self):
+        egd = parse_egd("(x1, h, x3), (x2, h, x3) -> x1 = x2")
+        g = GraphDatabase(edges=[("city", "h", "hx"), ("city", "h", "hy")])
+        assert egd.is_satisfied(g)
+
+    def test_violated_by_shared_target(self):
+        egd = parse_egd("(x1, h, x3), (x2, h, x3) -> x1 = x2")
+        g = GraphDatabase(edges=[("a", "h", "hx"), ("b", "h", "hx")])
+        assert not egd.is_satisfied(g)
+        assert set(egd.violations(g)) == {("a", "b"), ("b", "a")}
+
+    def test_violations_deduplicated(self):
+        egd = parse_egd("(x1, h, x3), (x2, h, x3) -> x1 = x2")
+        g = GraphDatabase(
+            edges=[("a", "h", "hx"), ("b", "h", "hx"), ("a", "h", "hy"), ("b", "h", "hy")]
+        )
+        # (a, b) fires through both hx and hy but is reported once.
+        assert sorted(egd.violations(g)) == [("a", "b"), ("b", "a")]
+
+    def test_empty_graph_vacuously_satisfied(self):
+        egd = parse_egd("(x, a, y) -> x = y")
+        assert egd.is_satisfied(GraphDatabase())
+
+    def test_word_body(self):
+        egd = parse_egd("(x, t1 . f1 . a, y) -> x = y")
+        violating = GraphDatabase(
+            edges=[("n", "t1", "n"), ("n", "f1", "n"), ("n", "a", "m")]
+        )
+        ok = GraphDatabase(edges=[("n", "t1", "n"), ("n", "a", "m")])
+        assert not egd.is_satisfied(violating)
+        assert egd.is_satisfied(ok)
+
+    def test_union_body_collapses_all_symbols(self):
+        egd = parse_egd("(x, a + b, y) -> x = y")
+        assert not egd.is_satisfied(GraphDatabase(edges=[("u", "b", "v")]))
+        assert egd.is_satisfied(GraphDatabase(edges=[("u", "b", "u")]))
+
+    def test_star_body(self):
+        egd = parse_egd("(x, a*, y) -> x = y")
+        # a* relates distinct nodes iff there is a nonempty a-path.
+        assert not egd.is_satisfied(GraphDatabase(edges=[("u", "a", "v")]))
+        assert egd.is_satisfied(GraphDatabase(edges=[("u", "b", "v")]))
+
+
+class TestPaperEgd:
+    def test_hotel_egd_on_figure1(self):
+        from repro.scenarios.flights import graph_g1, graph_g2, hotel_egd
+
+        assert hotel_egd().is_satisfied(graph_g1())
+        assert hotel_egd().is_satisfied(graph_g2())
+
+    def test_hotel_egd_on_figure7(self):
+        from repro.scenarios.flights import figure7_graph, hotel_egd
+
+        assert not hotel_egd().is_satisfied(figure7_graph())
+
+    def test_str(self):
+        egd = parse_egd("(x, a, y) -> x = y")
+        assert "x = y" in str(egd)

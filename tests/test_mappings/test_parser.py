@@ -1,0 +1,111 @@
+"""Unit tests for the dependency parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.graph.nre import Label
+from repro.mappings.parser import (
+    parse_cnre_atoms,
+    parse_egd,
+    parse_sameas,
+    parse_st_tgd,
+    parse_target_tgd,
+)
+from repro.relational.query import Variable
+
+
+class TestCnreAtoms:
+    def test_single_atom(self):
+        q = parse_cnre_atoms("(x, a, y)")
+        assert len(q.atoms) == 1
+        assert q.atoms[0].nre == Label("a")
+
+    def test_multiple_atoms(self):
+        q = parse_cnre_atoms("(x, f . f*, y), (y, h, z)")
+        assert len(q.atoms) == 2
+
+    def test_complex_nre_with_nesting(self):
+        q = parse_cnre_atoms("(x, f . f*[h] . f- . (f-)*, y)")
+        assert len(q.atoms) == 1
+
+    def test_constants_in_atoms(self):
+        q = parse_cnre_atoms("('c1', a, y)")
+        assert q.atoms[0].subject == "c1"
+
+    def test_uppercase_constant(self):
+        q = parse_cnre_atoms("(Paris, a, y)")
+        assert q.atoms[0].subject == "Paris"
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ParseError):
+            parse_cnre_atoms("(x, y)")
+
+    def test_unparenthesised_rejected(self):
+        with pytest.raises(ParseError):
+            parse_cnre_atoms("x, a, y")
+
+    def test_unbalanced_rejected(self):
+        with pytest.raises(ParseError):
+            parse_cnre_atoms("(x, a, y")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParseError):
+            parse_cnre_atoms("")
+
+
+class TestStTgd:
+    def test_paper_mst(self):
+        tgd = parse_st_tgd(
+            "Flight(x1, x2, x3), Hotel(x1, x4) -> "
+            "(x2, f . f*, y), (y, h, x4), (y, f . f*, x3)"
+        )
+        assert len(tgd.body.atoms) == 2
+        assert len(tgd.head.atoms) == 3
+        assert tgd.existentials == (Variable("y"),)
+
+    def test_two_arrows_rejected(self):
+        with pytest.raises(ParseError):
+            parse_st_tgd("R(x) -> (x, a, y) -> (y, b, z)")
+
+    def test_name_stored(self):
+        tgd = parse_st_tgd("R(x) -> (x, a, x)", name="my-tgd")
+        assert tgd.name == "my-tgd"
+
+
+class TestEgdParse:
+    def test_basic(self):
+        egd = parse_egd("(x, a, y) -> x = y")
+        assert egd.left == Variable("x")
+
+    def test_constant_side_rejected(self):
+        with pytest.raises(ParseError):
+            parse_egd("(x, a, y) -> x = C1")
+
+    def test_missing_equality_rejected(self):
+        with pytest.raises(ParseError):
+            parse_egd("(x, a, y) -> x")
+
+
+class TestTargetTgdParse:
+    def test_basic(self):
+        tgd = parse_target_tgd("(x, a, y) -> (x, b, z)")
+        assert tgd.existentials == (Variable("z"),)
+
+
+class TestSameAsParse:
+    def test_basic(self):
+        c = parse_sameas("(x, h, z), (y, h, z) -> (x, sameAs, y)")
+        assert c.left == Variable("x")
+        assert c.right == Variable("y")
+
+    def test_wrong_label_rejected(self):
+        with pytest.raises(ParseError):
+            parse_sameas("(x, h, z), (y, h, z) -> (x, equals, y)")
+
+    def test_multi_atom_head_rejected(self):
+        with pytest.raises(ParseError):
+            parse_sameas("(x, h, z) -> (x, sameAs, z), (z, sameAs, x)")
+
+    def test_constant_head_rejected(self):
+        with pytest.raises(ParseError):
+            parse_sameas("(x, h, z) -> (x, sameAs, C1)")

@@ -1,0 +1,78 @@
+"""Unit tests for sameAs constraints."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.graph.database import GraphDatabase
+from repro.mappings.parser import parse_sameas
+from repro.mappings.sameas import SAME_AS_LABEL
+from repro.relational.query import Variable
+
+
+@pytest.fixture
+def hotel_sameas():
+    return parse_sameas("(x1, h, x3), (x2, h, x3) -> (x1, sameAs, x2)")
+
+
+class TestSatisfaction:
+    def test_violated_without_edge(self, hotel_sameas):
+        g = GraphDatabase(edges=[("a", "h", "hx"), ("b", "h", "hx")])
+        assert not hotel_sameas.is_satisfied(g)
+        assert set(hotel_sameas.violations(g)) == {("a", "b"), ("b", "a")}
+
+    def test_satisfied_with_both_directions(self, hotel_sameas):
+        g = GraphDatabase(
+            edges=[
+                ("a", "h", "hx"),
+                ("b", "h", "hx"),
+                ("a", SAME_AS_LABEL, "b"),
+                ("b", SAME_AS_LABEL, "a"),
+            ]
+        )
+        assert hotel_sameas.is_satisfied(g)
+
+    def test_one_direction_not_enough(self, hotel_sameas):
+        g = GraphDatabase(
+            edges=[("a", "h", "hx"), ("b", "h", "hx"), ("a", SAME_AS_LABEL, "b")]
+        )
+        assert not hotel_sameas.is_satisfied(g)
+        assert list(hotel_sameas.violations(g)) == [("b", "a")]
+
+    def test_reflexive_matches_never_violate(self, hotel_sameas):
+        """The RDF reading: no sameAs self-loops are demanded (Figure 1(c))."""
+        g = GraphDatabase(edges=[("a", "h", "hx")])
+        assert hotel_sameas.is_satisfied(g)
+
+    def test_constants_can_be_related(self, hotel_sameas):
+        """The paper's point: sameAs can relate two constants, where an egd
+        would have to fail."""
+        g = GraphDatabase(
+            edges=[
+                ("c1", "h", "hx"),
+                ("c2", "h", "hx"),
+                ("c1", SAME_AS_LABEL, "c2"),
+                ("c2", SAME_AS_LABEL, "c1"),
+            ]
+        )
+        assert hotel_sameas.is_satisfied(g)
+
+
+class TestStructure:
+    def test_head_variables_checked(self):
+        with pytest.raises(SchemaError):
+            parse_sameas("(x1, h, x3) -> (x1, sameAs, zz)")
+
+    def test_as_target_tgd(self, hotel_sameas):
+        tgd = hotel_sameas.as_target_tgd()
+        assert tgd.frontier == (Variable("x1"), Variable("x2"))
+        assert tgd.existentials == ()
+        g = GraphDatabase(edges=[("a", "h", "hx"), ("b", "h", "hx")])
+        assert not tgd.is_satisfied(g)
+
+    def test_str(self, hotel_sameas):
+        assert "sameAs" in str(hotel_sameas)
+
+    def test_paper_g3_satisfies(self):
+        from repro.scenarios.flights import graph_g3, hotel_sameas as factory
+
+        assert factory().is_satisfied(graph_g3())

@@ -1,0 +1,59 @@
+"""Unit tests for general target tgds."""
+
+from repro.graph.database import GraphDatabase
+from repro.mappings.parser import parse_target_tgd
+from repro.relational.query import Variable
+
+
+class TestFrontier:
+    def test_frontier_inferred(self):
+        tgd = parse_target_tgd("(x, a, y) -> (y, b, z)")
+        assert tgd.frontier == (Variable("y"),)
+        assert tgd.existentials == (Variable("z"),)
+
+    def test_full_frontier(self):
+        tgd = parse_target_tgd("(x, a, y) -> (y, b, x)")
+        assert set(tgd.frontier) == {Variable("x"), Variable("y")}
+        assert tgd.existentials == ()
+
+
+class TestSatisfaction:
+    def test_satisfied(self):
+        tgd = parse_target_tgd("(x, a, y) -> (y, b, z)")
+        g = GraphDatabase(edges=[("u", "a", "v"), ("v", "b", "w")])
+        assert tgd.is_satisfied(g)
+
+    def test_violated(self):
+        tgd = parse_target_tgd("(x, a, y) -> (y, b, z)")
+        g = GraphDatabase(edges=[("u", "a", "v")])
+        assert not tgd.is_satisfied(g)
+        violations = list(tgd.violations(g))
+        assert len(violations) == 1
+        assert violations[0][Variable("y")] == "v"
+
+    def test_vacuous_on_empty_graph(self):
+        tgd = parse_target_tgd("(x, a, y) -> (y, b, z)")
+        assert tgd.is_satisfied(GraphDatabase())
+
+    def test_transitivity_style_tgd(self):
+        tgd = parse_target_tgd("(x, a, y), (y, a, z) -> (x, a, z)")
+        closed = GraphDatabase(
+            edges=[("1", "a", "2"), ("2", "a", "3"), ("1", "a", "3"),
+                   ("2", "a", "2"), ("3", "a", "3"), ("1", "a", "1")]
+        )
+        # Not transitively closed: 1→2→3 but no 1→3.
+        open_graph = GraphDatabase(edges=[("1", "a", "2"), ("2", "a", "3")])
+        assert not tgd.is_satisfied(open_graph)
+        del closed  # full closure checked in the chase tests
+
+    def test_star_in_body(self):
+        tgd = parse_target_tgd("(x, a . a*, y) -> (x, fast, y)")
+        g = GraphDatabase(
+            edges=[("1", "a", "2"), ("2", "a", "3"), ("1", "fast", "2"),
+                   ("2", "fast", "3"), ("1", "fast", "3")]
+        )
+        assert tgd.is_satisfied(g)
+
+    def test_str_mentions_existentials(self):
+        tgd = parse_target_tgd("(x, a, y) -> (y, b, z)")
+        assert "∃z" in str(tgd)

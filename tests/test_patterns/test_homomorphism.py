@@ -1,0 +1,124 @@
+"""Unit tests for pattern → graph homomorphism search."""
+
+import pytest
+
+from repro.graph.database import GraphDatabase
+from repro.graph.parser import parse_nre
+from repro.patterns.homomorphism import (
+    all_homomorphisms,
+    find_homomorphism,
+    has_homomorphism,
+)
+from repro.patterns.pattern import GraphPattern
+
+
+@pytest.fixture
+def simple_pattern():
+    """c1 ─[f·f*]→ ⊥N ─[h]→ hx."""
+    pi = GraphPattern(alphabet={"f", "h"})
+    n = pi.fresh_null()
+    pi.add_edge("c1", parse_nre("f . f*"), n)
+    pi.add_edge(n, parse_nre("h"), "hx")
+    return pi
+
+
+class TestConstantsPinned:
+    def test_constant_must_exist_in_graph(self, simple_pattern):
+        g = GraphDatabase(edges=[("other", "f", "N"), ("N", "h", "hx")])
+        assert not has_homomorphism(simple_pattern, g)
+
+    def test_identity_on_constants(self, simple_pattern):
+        g = GraphDatabase(edges=[("c1", "f", "N"), ("N", "h", "hx")])
+        hom = find_homomorphism(simple_pattern, g)
+        assert hom is not None
+        assert hom["c1"] == "c1"
+        assert hom["hx"] == "hx"
+
+
+class TestNullAssignment:
+    def test_null_mapped_to_witnessing_node(self, simple_pattern):
+        g = GraphDatabase(edges=[("c1", "f", "mid"), ("mid", "h", "hx")])
+        hom = find_homomorphism(simple_pattern, g)
+        null = next(iter(simple_pattern.nulls()))
+        assert hom[null] == "mid"
+
+    def test_null_may_map_to_constant_node(self):
+        pi = GraphPattern()
+        n = pi.fresh_null()
+        pi.add_edge("c1", parse_nre("a"), n)
+        g = GraphDatabase(edges=[("c1", "a", "c1")])
+        hom = find_homomorphism(pi, g)
+        assert hom[n] == "c1"
+
+    def test_two_nulls_may_share_image(self):
+        pi = GraphPattern()
+        n1, n2 = pi.fresh_null(), pi.fresh_null()
+        pi.add_edge("c1", parse_nre("a"), n1)
+        pi.add_edge("c1", parse_nre("a"), n2)
+        g = GraphDatabase(edges=[("c1", "a", "only")])
+        hom = find_homomorphism(pi, g)
+        assert hom[n1] == hom[n2] == "only"
+
+    def test_all_homomorphisms_enumerated(self):
+        pi = GraphPattern()
+        n = pi.fresh_null()
+        pi.add_edge("c1", parse_nre("a"), n)
+        g = GraphDatabase(edges=[("c1", "a", "v1"), ("c1", "a", "v2")])
+        images = {hom[n] for hom in all_homomorphisms(pi, g)}
+        assert images == {"v1", "v2"}
+
+
+class TestEdgeSatisfaction:
+    def test_star_edge_satisfied_by_long_path(self, simple_pattern):
+        g = GraphDatabase(
+            edges=[
+                ("c1", "f", "m1"),
+                ("m1", "f", "m2"),
+                ("m2", "f", "m3"),
+                ("m3", "h", "hx"),
+            ]
+        )
+        assert has_homomorphism(simple_pattern, g)
+
+    def test_missing_edge_blocks(self, simple_pattern):
+        g = GraphDatabase(edges=[("c1", "f", "mid")])  # no h edge anywhere
+        assert not has_homomorphism(simple_pattern, g)
+
+    def test_edge_between_constants(self):
+        pi = GraphPattern(edges=[("c1", parse_nre("a . a"), "c2")])
+        good = GraphDatabase(edges=[("c1", "a", "m"), ("m", "a", "c2")])
+        bad = GraphDatabase(edges=[("c1", "a", "c2")], nodes=["c1", "c2"])
+        assert has_homomorphism(pi, good)
+        assert not has_homomorphism(pi, bad)
+
+    def test_empty_pattern_maps_into_anything(self):
+        pi = GraphPattern()
+        g = GraphDatabase(edges=[("u", "a", "v")])
+        assert has_homomorphism(pi, g)
+
+
+class TestPaperFacts:
+    def test_figure5_pattern_into_g1(self):
+        from repro.scenarios.flights import figure5_expected_pattern, graph_g1
+
+        assert has_homomorphism(figure5_expected_pattern(), graph_g1())
+
+    def test_figure5_pattern_into_figure7(self):
+        """Example 5.4: the hom survives into the egd-violating graph."""
+        from repro.scenarios.flights import figure5_expected_pattern, figure7_graph
+
+        assert has_homomorphism(figure5_expected_pattern(), figure7_graph())
+
+    def test_figure3_pattern_into_g2(self):
+        from repro.chase.pattern_chase import chase_pattern
+        from repro.scenarios.flights import (
+            flights_instance,
+            graph_g2,
+            setting_no_constraints,
+        )
+
+        setting = setting_no_constraints()
+        pattern = chase_pattern(
+            setting.st_tgds, flights_instance(), alphabet=setting.alphabet
+        ).expect_pattern()
+        assert has_homomorphism(pattern, graph_g2())

@@ -1,0 +1,130 @@
+"""Unit tests for the graph-pattern data structure."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.graph.parser import parse_nre
+from repro.patterns.pattern import GraphPattern, Null, PatternEdge, is_null
+
+
+class TestNull:
+    def test_equality_by_label(self):
+        assert Null("N1") == Null("N1")
+        assert Null("N1") != Null("N2")
+
+    def test_is_null(self):
+        assert is_null(Null("N1"))
+        assert not is_null("N1")  # the string is a constant
+
+    def test_str(self):
+        assert str(Null("N1")) == "⊥N1"
+
+
+class TestConstruction:
+    def test_add_edge_adds_endpoints(self):
+        pi = GraphPattern()
+        pi.add_edge("c1", parse_nre("a"), "c2")
+        assert pi.nodes() == {"c1", "c2"}
+        assert pi.edge_count() == 1
+
+    def test_edge_label_must_be_nre(self):
+        pi = GraphPattern()
+        with pytest.raises(SchemaError):
+            pi.add_edge("c1", "a", "c2")  # type: ignore[arg-type]
+
+    def test_fresh_null_labels_increase(self):
+        pi = GraphPattern()
+        assert pi.fresh_null() == Null("N1")
+        assert pi.fresh_null() == Null("N2")
+
+    def test_fresh_null_skips_taken_labels(self):
+        pi = GraphPattern()
+        pi.add_node(Null("N1"))
+        assert pi.fresh_null() == Null("N2")
+
+    def test_nulls_and_constants_partition_nodes(self):
+        pi = GraphPattern()
+        n = pi.fresh_null()
+        pi.add_edge("c1", parse_nre("a"), n)
+        assert pi.nulls() == {n}
+        assert pi.constants() == {"c1"}
+
+    def test_expressions(self):
+        pi = GraphPattern()
+        ff = parse_nre("f . f*")
+        pi.add_edge("c1", ff, "c2")
+        pi.add_edge("c2", ff, "c1")
+        assert pi.expressions() == {ff}
+
+
+class TestSubstitute:
+    def test_null_to_constant(self):
+        pi = GraphPattern()
+        n = pi.fresh_null()
+        pi.add_edge("c1", parse_nre("a"), n)
+        pi.substitute(n, "c2")
+        assert pi.nodes() == {"c1", "c2"}
+        edges = list(pi.edges())
+        assert edges[0].target == "c2"
+
+    def test_null_to_null_merge(self):
+        pi = GraphPattern()
+        n1, n2 = pi.fresh_null(), pi.fresh_null()
+        pi.add_edge(n1, parse_nre("a"), n2)
+        pi.substitute(n2, n1)
+        assert pi.nodes() == {n1}
+        assert list(pi.edges())[0] == PatternEdge(n1, parse_nre("a"), n1)
+
+    def test_substituting_constant_refused(self):
+        pi = GraphPattern()
+        pi.add_edge("c1", parse_nre("a"), "c2")
+        with pytest.raises(SchemaError, match="fail instead"):
+            pi.substitute("c1", "c2")
+
+    def test_substituting_unknown_node_refused(self):
+        pi = GraphPattern()
+        with pytest.raises(SchemaError):
+            pi.substitute(Null("ghost"), "c1")
+
+    def test_self_substitution_noop(self):
+        pi = GraphPattern()
+        n = pi.fresh_null()
+        pi.add_edge("c1", parse_nre("a"), n)
+        pi.substitute(n, n)
+        assert n in pi.nodes()
+
+    def test_merge_collapses_parallel_edges(self):
+        pi = GraphPattern()
+        n1, n2 = pi.fresh_null(), pi.fresh_null()
+        a = parse_nre("a")
+        pi.add_edge("c1", a, n1)
+        pi.add_edge("c1", a, n2)
+        pi.substitute(n2, n1)
+        assert pi.edge_count() == 1
+
+
+class TestCopyEquality:
+    def test_copy_is_independent(self):
+        pi = GraphPattern()
+        n = pi.fresh_null()
+        pi.add_edge("c1", parse_nre("a"), n)
+        clone = pi.copy()
+        clone.substitute(n, "c1")
+        assert n in pi.nodes()
+
+    def test_copy_fresh_nulls_stay_fresh(self):
+        pi = GraphPattern()
+        pi.fresh_null()  # N1 allocated but unused
+        pi.add_node(Null("N2"))
+        clone = pi.copy()
+        assert clone.fresh_null() not in clone.nodes()
+
+    def test_equality(self):
+        one = GraphPattern(edges=[("c1", parse_nre("a"), "c2")])
+        two = GraphPattern(edges=[("c1", parse_nre("a"), "c2")])
+        assert one == two
+
+    def test_pretty_lists_edges(self):
+        pi = GraphPattern(alphabet={"a"}, edges=[("c1", parse_nre("a"), "c2")])
+        text = pi.pretty()
+        assert "c1" in text and "a" in text

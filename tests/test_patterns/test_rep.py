@@ -1,0 +1,118 @@
+"""Unit tests for Rep_Σ membership and pattern instantiation."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.graph.database import GraphDatabase
+from repro.graph.parser import parse_nre
+from repro.patterns.homomorphism import has_homomorphism
+from repro.patterns.pattern import GraphPattern
+from repro.patterns.rep import (
+    canonical_instantiation,
+    enumerate_instantiations,
+    in_rep,
+)
+
+
+@pytest.fixture
+def hotel_pattern():
+    pi = GraphPattern(alphabet={"f", "h"})
+    n = pi.fresh_null()
+    pi.add_edge("c1", parse_nre("f . f*"), n)
+    pi.add_edge(n, parse_nre("h"), "hx")
+    pi.add_edge(n, parse_nre("f . f*"), "c2")
+    return pi
+
+
+class TestInRep:
+    def test_membership_positive(self, hotel_pattern):
+        g = GraphDatabase(
+            edges=[("c1", "f", "N"), ("N", "h", "hx"), ("N", "f", "c2")]
+        )
+        assert in_rep(hotel_pattern, g)
+
+    def test_membership_negative(self, hotel_pattern):
+        g = GraphDatabase(edges=[("c1", "f", "N")], nodes=["hx", "c2"])
+        assert not in_rep(hotel_pattern, g)
+
+
+class TestCanonicalInstantiation:
+    def test_result_is_in_rep(self, hotel_pattern):
+        inst = canonical_instantiation(hotel_pattern)
+        assert in_rep(hotel_pattern, inst.graph)
+
+    def test_assignment_is_homomorphism(self, hotel_pattern):
+        inst = canonical_instantiation(hotel_pattern)
+        for node in hotel_pattern.nodes():
+            assert node in inst.assignment
+
+    def test_constants_survive(self, hotel_pattern):
+        inst = canonical_instantiation(hotel_pattern)
+        assert inst.assignment["c1"] == "c1"
+        assert inst.assignment["hx"] == "hx"
+
+    def test_star_between_constants_falls_back(self):
+        """f* between distinct constants cannot take zero steps."""
+        pi = GraphPattern(edges=[("c1", parse_nre("f*"), "c2")])
+        inst = canonical_instantiation(pi)
+        assert in_rep(pi, inst.graph)
+        assert inst.graph.edge_count() >= 1
+
+    def test_unsatisfiable_within_bound_raises(self):
+        """ε between distinct constants has no witness at any bound."""
+        pi = GraphPattern(edges=[("c1", parse_nre("()"), "c2")])
+        with pytest.raises(EvaluationError):
+            canonical_instantiation(pi, star_bound=2)
+
+    def test_nulls_become_plain_nodes(self, hotel_pattern):
+        inst = canonical_instantiation(hotel_pattern)
+        null = next(iter(hotel_pattern.nulls()))
+        assert inst.assignment[null] == null.label
+
+
+class TestEnumerateInstantiations:
+    def test_all_results_in_rep(self, hotel_pattern):
+        count = 0
+        for inst in enumerate_instantiations(hotel_pattern, star_bound=1):
+            assert in_rep(hotel_pattern, inst.graph)
+            count += 1
+        assert count > 1  # multiple star unrollings
+
+    def test_limit_respected(self, hotel_pattern):
+        results = list(
+            enumerate_instantiations(hotel_pattern, star_bound=2, limit=3)
+        )
+        assert len(results) == 3
+
+    def test_clashing_merges_skipped(self):
+        """a* between two constants: the k=0 witness must be dropped."""
+        pi = GraphPattern(edges=[("c1", parse_nre("a*"), "c2")])
+        for inst in enumerate_instantiations(pi, star_bound=2):
+            assert inst.assignment["c1"] == "c1"
+            assert inst.assignment["c2"] == "c2"
+            assert inst.graph.edge_count() >= 1
+
+    def test_empty_pattern_yields_empty_graph(self):
+        pi = GraphPattern()
+        pi.add_node("c1")
+        results = list(enumerate_instantiations(pi))
+        assert len(results) == 1
+        assert results[0].graph.nodes() == {"c1"}
+
+    def test_figure3_pattern_instantiations_solve_free_setting(self):
+        """Every instantiation of the chased pattern solves the
+        constraint-free setting (Section 3.2's guarantee)."""
+        from repro.chase.pattern_chase import chase_pattern
+        from repro.core.solution import is_solution
+        from repro.scenarios.flights import flights_instance, setting_no_constraints
+
+        setting = setting_no_constraints()
+        instance = flights_instance()
+        pattern = chase_pattern(
+            setting.st_tgds, instance, alphabet=setting.alphabet
+        ).expect_pattern()
+        checked = 0
+        for inst in enumerate_instantiations(pattern, star_bound=1, limit=16):
+            assert is_solution(instance, inst.graph, setting)
+            checked += 1
+        assert checked == 16

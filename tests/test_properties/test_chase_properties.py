@@ -1,0 +1,130 @@
+"""Property-based tests for the chase engines on random Flight/Hotel data.
+
+Invariants:
+
+* the pattern chase always produces a pattern whose canonical instantiation
+  solves the constraint-free setting;
+* the egd chase never fails on the hotel scenario (only nulls get merged)
+  and its output pattern satisfies "one city per hotel" on the symbol view;
+* the relational chase (Example 3.1 fragment) produces a genuine solution
+  whenever it succeeds, and agrees with the egd-pattern chase on the number
+  of surviving nulls;
+* the sameAs construction always returns a verified solution.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.chase.egd_chase import chase_with_egds, pattern_symbol_view
+from repro.chase.pattern_chase import chase_pattern
+from repro.chase.relational_chase import chase_relational
+from repro.chase.sameas_chase import solve_with_sameas
+from repro.core.solution import is_solution
+from repro.patterns.rep import canonical_instantiation
+from repro.scenarios.figures import example31_setting
+from repro.scenarios.flights import (
+    hotel_egd,
+    hotel_sameas,
+    flights_st_tgd,
+    setting_no_constraints,
+    setting_omega_prime,
+)
+from repro.scenarios.generators import random_flights_instance
+
+
+@st.composite
+def flight_instances(draw):
+    seed = draw(st.integers(min_value=0, max_value=100_000))
+    flights = draw(st.integers(min_value=1, max_value=5))
+    cities = draw(st.integers(min_value=2, max_value=4))
+    hotels = draw(st.integers(min_value=1, max_value=3))
+    return random_flights_instance(
+        flights, cities, hotels, rng=random.Random(seed)
+    )
+
+
+class TestPatternChase:
+    @settings(max_examples=30, deadline=None)
+    @given(flight_instances())
+    def test_canonical_instantiation_solves(self, instance):
+        setting = setting_no_constraints()
+        pattern = chase_pattern(
+            setting.st_tgds, instance, alphabet=setting.alphabet
+        ).expect_pattern()
+        solution = canonical_instantiation(pattern, star_bound=2).graph
+        assert is_solution(instance, solution, setting)
+
+    @settings(max_examples=30, deadline=None)
+    @given(flight_instances())
+    def test_one_null_per_trigger(self, instance):
+        result = chase_pattern([flights_st_tgd()], instance, alphabet={"f", "h"})
+        assert len(result.expect_pattern().nulls()) == result.stats.st_applications
+
+
+class TestEgdChase:
+    @settings(max_examples=30, deadline=None)
+    @given(flight_instances())
+    def test_never_fails_on_flights(self, instance):
+        """Hotel cities are always nulls here, so merging cannot clash."""
+        result = chase_with_egds(
+            [flights_st_tgd()], [hotel_egd()], instance, alphabet={"f", "h"}
+        )
+        assert result.succeeded
+
+    @settings(max_examples=30, deadline=None)
+    @given(flight_instances())
+    def test_output_satisfies_egd_on_symbol_view(self, instance):
+        result = chase_with_egds(
+            [flights_st_tgd()], [hotel_egd()], instance, alphabet={"f", "h"}
+        )
+        view = pattern_symbol_view(result.expect_pattern())
+        assert hotel_egd().is_satisfied(view)
+
+    @settings(max_examples=30, deadline=None)
+    @given(flight_instances())
+    def test_merges_bounded_by_initial_nulls(self, instance):
+        result = chase_with_egds(
+            [flights_st_tgd()], [hotel_egd()], instance, alphabet={"f", "h"}
+        )
+        assert result.stats.null_merges <= result.stats.st_applications
+
+
+class TestRelationalChase:
+    @settings(max_examples=30, deadline=None)
+    @given(flight_instances())
+    def test_chased_graph_is_solution(self, instance):
+        setting = example31_setting()
+        result = chase_relational(
+            setting.st_tgds, setting.egds(), instance, alphabet=setting.alphabet
+        )
+        assert result.succeeded  # cities are nulls: merging never clashes
+        assert is_solution(instance, result.expect_graph(), setting)
+
+    @settings(max_examples=30, deadline=None)
+    @given(flight_instances())
+    def test_null_count_matches_pattern_chase(self, instance):
+        """Both chase styles merge the same hotel-city classes."""
+        from repro.patterns.pattern import is_null
+
+        setting31 = example31_setting()
+        graph_result = chase_relational(
+            setting31.st_tgds, setting31.egds(), instance, alphabet={"f", "h"}
+        )
+        pattern_result = chase_with_egds(
+            [flights_st_tgd()], [hotel_egd()], instance, alphabet={"f", "h"}
+        )
+        graph_nulls = sum(
+            1 for n in graph_result.expect_graph().nodes() if is_null(n)
+        )
+        assert graph_nulls == len(pattern_result.expect_pattern().nulls())
+
+
+class TestSameAsConstruction:
+    @settings(max_examples=30, deadline=None)
+    @given(flight_instances())
+    def test_always_produces_solution(self, instance):
+        result = solve_with_sameas(
+            [flights_st_tgd()], [hotel_sameas()], instance, alphabet={"f", "h"}
+        )
+        assert is_solution(instance, result.expect_graph(), setting_omega_prime())

@@ -1,0 +1,111 @@
+"""Property-based tests for the NRE engines.
+
+Two families of properties:
+
+* **differential**: the set-algebraic evaluator and the product-automaton
+  evaluator implement the same semantics, on random graphs × random NREs;
+* **algebraic laws** of the NRE algebra (union/concat monotonicity,
+  distributivity of composition over union, star unfolding, nest
+  characterisation), each checked semantically on random graphs.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.automaton import evaluate_nre_automaton
+from repro.graph.database import GraphDatabase
+from repro.graph.eval import evaluate_nre
+from repro.graph.nre import concat, epsilon, label, nest, star, union
+from repro.scenarios.generators import random_graph, random_nre
+
+ALPHABET = ("a", "b", "c")
+
+
+@st.composite
+def graphs(draw, max_nodes=6, max_edges=12):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    nodes = draw(st.integers(min_value=1, max_value=max_nodes))
+    edges = draw(st.integers(min_value=0, max_value=max_edges))
+    return random_graph(nodes, edges, alphabet=ALPHABET, rng=random.Random(seed))
+
+
+@st.composite
+def nres(draw, max_depth=3):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    depth = draw(st.integers(min_value=0, max_value=max_depth))
+    return random_nre(depth=depth, alphabet=ALPHABET, rng=random.Random(seed))
+
+
+class TestDifferential:
+    @settings(max_examples=150, deadline=None)
+    @given(graphs(), nres())
+    def test_two_evaluators_agree(self, graph, expr):
+        assert evaluate_nre(graph, expr) == evaluate_nre_automaton(graph, expr)
+
+
+class TestAlgebraicLaws:
+    @settings(max_examples=60, deadline=None)
+    @given(graphs(), nres(max_depth=2), nres(max_depth=2))
+    def test_union_is_set_union(self, graph, r1, r2):
+        assert evaluate_nre(graph, union(r1, r2)) == evaluate_nre(
+            graph, r1
+        ) | evaluate_nre(graph, r2)
+
+    @settings(max_examples=60, deadline=None)
+    @given(graphs(), nres(max_depth=2))
+    def test_epsilon_identity_of_concat(self, graph, expr):
+        assert evaluate_nre(graph, concat(epsilon(), expr)) == evaluate_nre(graph, expr)
+
+    @settings(max_examples=60, deadline=None)
+    @given(graphs(), nres(max_depth=2), nres(max_depth=2), nres(max_depth=2))
+    def test_concat_distributes_over_union(self, graph, r, s, t):
+        left = evaluate_nre(graph, concat(r, union(s, t)))
+        right = evaluate_nre(graph, union(concat(r, s), concat(r, t)))
+        assert left == right
+
+    @settings(max_examples=60, deadline=None)
+    @given(graphs(), nres(max_depth=2))
+    def test_star_unfolding(self, graph, expr):
+        """r* = ε + r·r* (as relations)."""
+        star_rel = evaluate_nre(graph, star(expr))
+        unfolded = evaluate_nre(graph, union(epsilon(), concat(expr, star(expr))))
+        assert star_rel == unfolded
+
+    @settings(max_examples=60, deadline=None)
+    @given(graphs(), nres(max_depth=2))
+    def test_star_contains_epsilon_and_r(self, graph, expr):
+        star_rel = evaluate_nre(graph, star(expr))
+        assert evaluate_nre(graph, epsilon()) <= star_rel
+        assert evaluate_nre(graph, expr) <= star_rel
+
+    @settings(max_examples=60, deadline=None)
+    @given(graphs(), nres(max_depth=2))
+    def test_nest_characterisation(self, graph, expr):
+        """⟦[r]⟧ = {(u, u) | ∃v. (u, v) ∈ ⟦r⟧}."""
+        nested = evaluate_nre(graph, nest(expr))
+        sources = {u for u, _ in evaluate_nre(graph, expr)}
+        assert nested == {(u, u) for u in sources}
+
+    @settings(max_examples=60, deadline=None)
+    @given(graphs(), nres(max_depth=2))
+    def test_idempotent_union(self, graph, expr):
+        assert evaluate_nre(graph, union(expr, expr)) == evaluate_nre(graph, expr)
+
+
+class TestMonotonicity:
+    """The property the certain-answer engine relies on (see core.certain)."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(graphs(max_nodes=5, max_edges=8), nres(), st.integers(0, 10_000))
+    def test_answers_grow_under_extension(self, graph, expr, seed):
+        rng = random.Random(seed)
+        extended = graph.copy()
+        node_pool = sorted(graph.nodes(), key=repr) + ["fresh1", "fresh2"]
+        for _ in range(3):
+            extended.add_edge(
+                rng.choice(node_pool), rng.choice(ALPHABET), rng.choice(node_pool)
+            )
+        before = evaluate_nre(graph, expr)
+        after = evaluate_nre(extended, expr)
+        assert before <= after

@@ -1,0 +1,72 @@
+"""Property-based round-trip tests for the JSON serialization layer."""
+
+import json
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.io.json_io import (
+    graph_from_dict,
+    graph_to_dict,
+    nre_from_dict,
+    nre_to_dict,
+)
+from repro.scenarios.generators import random_graph, random_nre
+
+
+@st.composite
+def graphs(draw):
+    seed = draw(st.integers(min_value=0, max_value=100_000))
+    nodes = draw(st.integers(min_value=1, max_value=8))
+    edges = draw(st.integers(min_value=0, max_value=20))
+    return random_graph(nodes, edges, rng=random.Random(seed))
+
+
+@st.composite
+def nres(draw):
+    seed = draw(st.integers(min_value=0, max_value=100_000))
+    depth = draw(st.integers(min_value=0, max_value=4))
+    return random_nre(depth=depth, rng=random.Random(seed))
+
+
+class TestGraphRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(graphs())
+    def test_dict_round_trip(self, graph):
+        assert graph_from_dict(graph_to_dict(graph)) == graph
+
+    @settings(max_examples=60, deadline=None)
+    @given(graphs())
+    def test_json_text_round_trip(self, graph):
+        text = json.dumps(graph_to_dict(graph))
+        assert graph_from_dict(json.loads(text)) == graph
+
+    @settings(max_examples=60, deadline=None)
+    @given(graphs())
+    def test_serialization_is_deterministic(self, graph):
+        assert json.dumps(graph_to_dict(graph)) == json.dumps(graph_to_dict(graph))
+
+
+class TestNreRoundTrip:
+    @settings(max_examples=150, deadline=None)
+    @given(nres())
+    def test_dict_round_trip(self, expr):
+        assert nre_from_dict(nre_to_dict(expr)) == expr
+
+    @settings(max_examples=100, deadline=None)
+    @given(nres())
+    def test_text_syntax_round_trip(self, expr):
+        """str() output re-parses to the same AST (parser ↔ printer)."""
+        from repro.graph.parser import parse_nre
+
+        assert parse_nre(str(expr)) == expr
+
+    @settings(max_examples=60, deadline=None)
+    @given(nres())
+    def test_semantics_preserved(self, expr):
+        """The round-tripped NRE evaluates identically on a fixed graph."""
+        from repro.graph.eval import evaluate_nre
+
+        graph = random_graph(5, 12, rng=random.Random(7))
+        back = nre_from_dict(nre_to_dict(expr))
+        assert evaluate_nre(graph, back) == evaluate_nre(graph, expr)

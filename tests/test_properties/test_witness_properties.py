@@ -1,0 +1,90 @@
+"""Property-based tests: every witness really witnesses its NRE.
+
+The soundness of pattern instantiation — and therefore of the existence
+witnesses and the certain-answer counterexamples — rests on this invariant:
+materialising any enumerated witness of ``r`` into a graph yields
+``(start, end) ∈ ⟦r⟧``.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.database import GraphDatabase
+from repro.graph.eval import nre_holds
+from repro.graph.witness import (
+    enumerate_witnesses,
+    materialize_witness,
+    witness_tree,
+)
+from repro.scenarios.generators import random_nre
+
+ALPHABET = ("a", "b", "c")
+
+
+@st.composite
+def nres(draw, max_depth=3):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    depth = draw(st.integers(min_value=0, max_value=max_depth))
+    return random_nre(depth=depth, alphabet=ALPHABET, rng=random.Random(seed))
+
+
+def materialise_to_graph(witness):
+    edges, canonical = materialize_witness(witness)
+    graph = GraphDatabase()
+    graph.add_node(canonical[witness.start])
+    graph.add_node(canonical[witness.end])
+    for source, lab, target in edges:
+        graph.add_edge(source, lab, target)
+    return graph, canonical[witness.start], canonical[witness.end]
+
+
+class TestWitnessSoundness:
+    @settings(max_examples=120, deadline=None)
+    @given(nres())
+    def test_canonical_witness_holds(self, expr):
+        witness = witness_tree(expr, "start", "end")
+        graph, s, e = materialise_to_graph(witness)
+        assert nre_holds(graph, expr, s, e)
+
+    @settings(max_examples=60, deadline=None)
+    @given(nres(max_depth=2), st.integers(min_value=0, max_value=2))
+    def test_enumerated_witnesses_hold(self, expr, star_bound):
+        count = 0
+        for witness in enumerate_witnesses(expr, "start", "end", star_bound):
+            graph, s, e = materialise_to_graph(witness)
+            assert nre_holds(graph, expr, s, e)
+            count += 1
+            if count >= 25:
+                break
+        assert count >= 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(nres(max_depth=2))
+    def test_canonical_is_first_in_some_enumeration(self, expr):
+        """The canonical witness's edge count is minimal among a sample."""
+        canonical = witness_tree(expr, "s", "e")
+        sample = []
+        for witness in enumerate_witnesses(expr, "s", "e", star_bound=1):
+            sample.append(len(witness.edges))
+            if len(sample) >= 20:
+                break
+        assert len(canonical.edges) <= min(sample)
+
+
+class TestMaterialise:
+    @settings(max_examples=80, deadline=None)
+    @given(nres(max_depth=3))
+    def test_endpoints_never_renamed_to_fresh(self, expr):
+        witness = witness_tree(expr, "start", "end")
+        _, canonical = materialize_witness(witness)
+        assert canonical["start"] in ("start", "end")
+        assert canonical["end"] in ("start", "end")
+
+    @settings(max_examples=80, deadline=None)
+    @given(nres(max_depth=3))
+    def test_canonical_map_is_idempotent(self, expr):
+        witness = witness_tree(expr, "start", "end")
+        _, canonical = materialize_witness(witness)
+        for node, representative in canonical.items():
+            assert canonical[representative] == representative

@@ -1,0 +1,104 @@
+"""Unit tests for CQ evaluation (backtracking joins)."""
+
+import pytest
+
+from repro.relational.evaluate import cq_homomorphisms, evaluate_cq
+from repro.relational.instance import RelationalInstance
+from repro.relational.parser import parse_cq
+from repro.relational.query import Variable
+from repro.relational.schema import RelationalSchema
+
+
+@pytest.fixture
+def graph_instance():
+    schema = RelationalSchema()
+    schema.declare("E", 2)
+    return RelationalInstance(
+        schema, {"E": [("a", "b"), ("b", "c"), ("c", "a"), ("b", "b")]}
+    )
+
+
+class TestEvaluateCq:
+    def test_single_atom_scan(self, graph_instance):
+        q = parse_cq("E(x, y)")
+        assert len(evaluate_cq(q, graph_instance)) == 4
+
+    def test_two_hop_join(self, graph_instance):
+        q = parse_cq("E(x, y), E(y, z) -> (x, z)")
+        answers = evaluate_cq(q, graph_instance)
+        assert ("a", "c") in answers
+        assert ("a", "b") in answers  # via b's self-loop
+        assert ("c", "b") in answers
+
+    def test_projection_deduplicates(self, graph_instance):
+        q = parse_cq("E(x, y) -> (x)")
+        assert evaluate_cq(q, graph_instance) == {("a",), ("b",), ("c",)}
+
+    def test_repeated_variable_forces_loop(self, graph_instance):
+        q = parse_cq("E(x, x) -> (x)")
+        assert evaluate_cq(q, graph_instance) == {("b",)}
+
+    def test_constant_in_atom(self, graph_instance):
+        q = parse_cq("E('a', y) -> (y)")
+        assert evaluate_cq(q, graph_instance) == {("b",)}
+
+    def test_triangle(self, graph_instance):
+        q = parse_cq("E(x, y), E(y, z), E(z, x) -> (x, y, z)")
+        answers = evaluate_cq(q, graph_instance)
+        assert ("a", "b", "c") in answers
+        assert ("b", "b", "b") in answers
+
+    def test_two_way_cycle_through_self_loop(self, graph_instance):
+        q = parse_cq("E(x, y), E(y, x), E('a', x) -> (x)")
+        # from a only b is reachable; the mutual edge requirement is met by
+        # b's self-loop (x = y = b) and by nothing else.
+        assert evaluate_cq(q, graph_instance) == {("b",)}
+
+    def test_empty_result(self, graph_instance):
+        q = parse_cq("E('c', y), E(y, 'c') -> (y)")
+        # c's only successor is a, and E(a, c) is absent.
+        assert evaluate_cq(q, graph_instance) == frozenset()
+
+    def test_cross_product_without_shared_variables(self):
+        schema = RelationalSchema()
+        schema.declare("R", 1)
+        schema.declare("P", 1)
+        instance = RelationalInstance(
+            schema, {"R": [("r1",), ("r2",)], "P": [("p1",)]}
+        )
+        q = parse_cq("R(x), P(y)")
+        assert len(evaluate_cq(q, instance)) == 2
+
+
+class TestHomomorphisms:
+    def test_all_homs_yielded(self, graph_instance):
+        q = parse_cq("E(x, y)")
+        homs = list(cq_homomorphisms(q, graph_instance))
+        assert len(homs) == 4
+
+    def test_seed_restricts(self, graph_instance):
+        q = parse_cq("E(x, y)")
+        x = Variable("x")
+        homs = list(cq_homomorphisms(q, graph_instance, seed={x: "a"}))
+        assert len(homs) == 1
+        assert homs[0][Variable("y")] == "b"
+
+    def test_seed_with_impossible_value(self, graph_instance):
+        q = parse_cq("E(x, y)")
+        homs = list(
+            cq_homomorphisms(q, graph_instance, seed={Variable("x"): "zzz"})
+        )
+        assert homs == []
+
+    def test_homs_are_fresh_dicts(self, graph_instance):
+        q = parse_cq("E(x, y)")
+        homs = list(cq_homomorphisms(q, graph_instance))
+        homs[0][Variable("x")] = "mutated"
+        assert homs[1][Variable("x")] != "mutated" or len(set(map(id, homs))) == len(homs)
+
+    def test_schema_validation_happens(self, graph_instance):
+        from repro.errors import SchemaError
+
+        q = parse_cq("Nope(x)")
+        with pytest.raises(SchemaError):
+            list(cq_homomorphisms(q, graph_instance))

@@ -1,0 +1,84 @@
+"""Unit tests for the CQ/atom parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.relational.parser import parse_atom, parse_cq
+from repro.relational.query import Variable
+
+
+class TestParseAtom:
+    def test_simple(self):
+        atom = parse_atom("Flight(x1, x2, x3)")
+        assert atom.relation == "Flight"
+        assert atom.terms == (Variable("x1"), Variable("x2"), Variable("x3"))
+
+    def test_quoted_constant(self):
+        atom = parse_atom("R('c1', x)")
+        assert atom.terms == ("c1", Variable("x"))
+
+    def test_double_quoted_constant(self):
+        atom = parse_atom('R("hello world", x)')
+        assert atom.terms == ("hello world", Variable("x"))
+
+    def test_uppercase_bare_constant(self):
+        atom = parse_atom("R(Paris, x)")
+        assert atom.terms == ("Paris", Variable("x"))
+
+    def test_numeric_constant(self):
+        atom = parse_atom("R(42)")
+        assert atom.terms == ("42",)
+
+    def test_lowercase_is_variable(self):
+        atom = parse_atom("R(city)")
+        assert atom.terms == (Variable("city"),)
+
+    def test_relation_must_start_uppercase(self):
+        with pytest.raises(ParseError):
+            parse_atom("flight(x)")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("R(x) extra")
+
+    def test_unclosed_paren_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("R(x")
+
+
+class TestParseCq:
+    def test_multi_atom(self):
+        q = parse_cq("Flight(x1, x2, x3), Hotel(x1, x4)")
+        assert len(q.atoms) == 2
+        assert len(q.outputs) == 4  # x1..x4, all free by default
+
+    def test_output_clause(self):
+        q = parse_cq("E(x, y), E(y, z) -> (x, z)")
+        assert [v.name for v in q.outputs] == ["x", "z"]
+
+    def test_whitespace_insensitive(self):
+        assert parse_cq("E(x,y)") == parse_cq("E( x , y )")
+
+    def test_output_must_be_variable(self):
+        with pytest.raises(ParseError):
+            parse_cq("E(x, y) -> (Paris)")
+
+    def test_trailing_after_outputs_rejected(self):
+        with pytest.raises(ParseError):
+            parse_cq("E(x, y) -> (x) junk")
+
+    def test_stray_character_rejected(self):
+        with pytest.raises(ParseError):
+            parse_cq("E(x, y) & E(y, z)")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse_cq("")
+
+    def test_parse_error_reports_position(self):
+        try:
+            parse_cq("flight(x)")
+        except ParseError as error:
+            assert error.position is not None
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")

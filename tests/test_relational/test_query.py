@@ -1,0 +1,98 @@
+"""Unit tests for conjunctive-query structure."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.query import (
+    ConjunctiveQuery,
+    RelationalAtom,
+    Variable,
+    is_variable,
+)
+from repro.relational.schema import RelationalSchema
+
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_is_variable(self):
+        assert is_variable(X)
+        assert not is_variable("c1")
+
+    def test_str(self):
+        assert str(X) == "x"
+
+
+class TestRelationalAtom:
+    def test_variables_in_order_without_duplicates(self):
+        atom = RelationalAtom("R", (X, Y, X))
+        assert atom.variables() == (X, Y)
+
+    def test_constants(self):
+        atom = RelationalAtom("R", (X, "c1"))
+        assert atom.constants() == {"c1"}
+
+    def test_str(self):
+        assert str(RelationalAtom("R", (X, Y))) == "R(x, y)"
+
+
+class TestConjunctiveQuery:
+    def test_default_outputs_are_all_variables(self):
+        q = ConjunctiveQuery([RelationalAtom("R", (X, Y))])
+        assert q.outputs == (X, Y)
+
+    def test_explicit_outputs(self):
+        q = ConjunctiveQuery([RelationalAtom("R", (X, Y))], outputs=(Y,))
+        assert q.outputs == (Y,)
+
+    def test_output_not_in_body_rejected(self):
+        with pytest.raises(SchemaError, match="not in query body"):
+            ConjunctiveQuery([RelationalAtom("R", (X,))], outputs=(Z,))
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(SchemaError):
+            ConjunctiveQuery([])
+
+    def test_variables_across_atoms(self):
+        q = ConjunctiveQuery(
+            [RelationalAtom("R", (X, Y)), RelationalAtom("S", (Y, Z))]
+        )
+        assert q.variables() == (X, Y, Z)
+
+    def test_constants_across_atoms(self):
+        q = ConjunctiveQuery(
+            [RelationalAtom("R", (X, "a")), RelationalAtom("S", ("b", X))]
+        )
+        assert q.constants() == {"a", "b"}
+
+    def test_validate_accepts_conforming(self):
+        schema = RelationalSchema()
+        schema.declare("R", 2)
+        ConjunctiveQuery([RelationalAtom("R", (X, Y))]).validate(schema)
+
+    def test_validate_rejects_bad_arity(self):
+        schema = RelationalSchema()
+        schema.declare("R", 1)
+        q = ConjunctiveQuery([RelationalAtom("R", (X, Y))])
+        with pytest.raises(SchemaError):
+            q.validate(schema)
+
+    def test_validate_rejects_unknown_relation(self):
+        q = ConjunctiveQuery([RelationalAtom("R", (X,))])
+        with pytest.raises(SchemaError):
+            q.validate(RelationalSchema())
+
+    def test_equality_and_hash(self):
+        one = ConjunctiveQuery([RelationalAtom("R", (X,))])
+        two = ConjunctiveQuery([RelationalAtom("R", (X,))])
+        assert one == two
+        assert hash(one) == hash(two)
+
+    def test_str_shows_body_and_outputs(self):
+        q = ConjunctiveQuery([RelationalAtom("R", (X, Y))], outputs=(X,))
+        assert str(q) == "R(x, y) -> (x)"

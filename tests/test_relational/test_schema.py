@@ -1,0 +1,98 @@
+"""Unit tests for relational schemas and relation symbols."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.schema import RelationSymbol, RelationalSchema
+
+
+class TestRelationSymbol:
+    def test_name_and_arity(self):
+        symbol = RelationSymbol("Flight", 3)
+        assert symbol.name == "Flight"
+        assert symbol.arity == 3
+
+    def test_str(self):
+        assert str(RelationSymbol("R", 1)) == "R/1"
+
+    def test_equality_is_structural(self):
+        assert RelationSymbol("R", 2) == RelationSymbol("R", 2)
+        assert RelationSymbol("R", 2) != RelationSymbol("R", 3)
+        assert RelationSymbol("R", 2) != RelationSymbol("S", 2)
+
+    def test_hashable(self):
+        assert len({RelationSymbol("R", 2), RelationSymbol("R", 2)}) == 1
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSymbol("", 1)
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSymbol("R", 0)
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSymbol("R", -1)
+
+    def test_non_integer_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSymbol("R", "two")  # type: ignore[arg-type]
+
+
+class TestRelationalSchema:
+    def test_declare_and_lookup(self):
+        schema = RelationalSchema()
+        symbol = schema.declare("R", 2)
+        assert schema["R"] is symbol
+
+    def test_contains(self):
+        schema = RelationalSchema([RelationSymbol("R", 1)])
+        assert "R" in schema
+        assert "S" not in schema
+
+    def test_len_and_iter(self):
+        schema = RelationalSchema()
+        schema.declare("R", 1)
+        schema.declare("S", 2)
+        assert len(schema) == 2
+        assert [s.name for s in schema] == ["R", "S"]
+
+    def test_get_missing_returns_none(self):
+        assert RelationalSchema().get("R") is None
+
+    def test_getitem_missing_raises(self):
+        with pytest.raises(SchemaError, match="unknown relation"):
+            RelationalSchema()["R"]
+
+    def test_redeclaration_same_arity_is_idempotent(self):
+        schema = RelationalSchema()
+        schema.declare("R", 2)
+        schema.declare("R", 2)
+        assert len(schema) == 1
+
+    def test_redeclaration_conflicting_arity_raises(self):
+        schema = RelationalSchema()
+        schema.declare("R", 2)
+        with pytest.raises(SchemaError, match="conflicting"):
+            schema.declare("R", 3)
+
+    def test_names_in_declaration_order(self):
+        schema = RelationalSchema()
+        schema.declare("Zeta", 1)
+        schema.declare("Alpha", 1)
+        assert schema.names() == ["Zeta", "Alpha"]
+
+    def test_equality_ignores_order(self):
+        one = RelationalSchema([RelationSymbol("R", 1), RelationSymbol("S", 2)])
+        two = RelationalSchema([RelationSymbol("S", 2), RelationSymbol("R", 1)])
+        assert one == two
+
+    def test_hash_consistent_with_equality(self):
+        one = RelationalSchema([RelationSymbol("R", 1)])
+        two = RelationalSchema([RelationSymbol("R", 1)])
+        assert hash(one) == hash(two)
+
+    def test_repr_mentions_symbols(self):
+        schema = RelationalSchema([RelationSymbol("R", 1)])
+        assert "R/1" in repr(schema)

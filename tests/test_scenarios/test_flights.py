@@ -1,0 +1,109 @@
+"""Scenario tests: every machine-checkable fact of the running example."""
+
+from repro.core.solution import is_solution
+from repro.graph.eval import evaluate_nre
+from repro.scenarios.flights import (
+    example_query,
+    figure5_expected_pattern,
+    figure7_graph,
+    flights_alphabet,
+    flights_instance,
+    flights_schema,
+    flights_st_tgd,
+    graph_g1,
+    graph_g2,
+    graph_g3,
+    hotel_egd,
+    hotel_sameas,
+    paper_answers_g1,
+    paper_answers_g2,
+    paper_certain_omega,
+    paper_certain_omega_prime,
+    setting_omega,
+    setting_omega_prime,
+)
+
+
+class TestSourceData:
+    def test_schema(self):
+        schema = flights_schema()
+        assert schema["Flight"].arity == 3
+        assert schema["Hotel"].arity == 2
+
+    def test_instance_facts(self):
+        instance = flights_instance()
+        assert instance.tuples("Flight") == {("01", "c1", "c2"), ("02", "c3", "c2")}
+        assert instance.tuples("Hotel") == {("01", "hx"), ("01", "hy"), ("02", "hx")}
+
+    def test_alphabet(self):
+        assert flights_alphabet() == {"f", "h"}
+
+
+class TestMappings:
+    def test_st_tgd_shape(self):
+        tgd = flights_st_tgd()
+        assert len(tgd.body.atoms) == 2
+        assert len(tgd.head.atoms) == 3
+        assert [v.name for v in tgd.existentials] == ["y"]
+
+    def test_egd_and_sameas_share_body(self):
+        assert hotel_egd().body == hotel_sameas().body
+
+    def test_settings_differ_only_in_constraints(self):
+        omega, omega_prime = setting_omega(), setting_omega_prime()
+        assert omega.st_tgds == omega_prime.st_tgds
+        assert omega.egds() and not omega_prime.egds()
+        assert omega_prime.sameas_constraints() and not omega.sameas_constraints()
+
+
+class TestFigure1Graphs:
+    def test_shapes(self):
+        assert graph_g1().edge_count() == 5
+        assert graph_g2().edge_count() == 7
+        assert graph_g3().edge_count() == 10  # 5 f + 3 h + 2 sameAs
+
+    def test_solutionhood_matrix(self):
+        instance = flights_instance()
+        omega, omega_prime = setting_omega(), setting_omega_prime()
+        wide = {"f", "h", "sameAs"}
+        assert is_solution(instance, graph_g1(), omega)
+        assert is_solution(instance, graph_g2(), omega)
+        assert is_solution(instance, graph_g3(), omega_prime)
+        assert not is_solution(instance, graph_g3(), omega)
+        assert is_solution(instance, graph_g1().with_alphabet(wide), omega_prime)
+
+    def test_g3_sameas_edges_between_hx_cities(self):
+        g3 = graph_g3()
+        assert g3.has_edge("N1", "sameAs", "N3")
+        assert g3.has_edge("N3", "sameAs", "N1")
+
+
+class TestQueryAnswers:
+    def test_printed_answer_sets(self):
+        q = example_query()
+        assert evaluate_nre(graph_g1(), q) == paper_answers_g1()
+        assert evaluate_nre(graph_g2(), q) == paper_answers_g2()
+
+    def test_common_pairs_are_the_certain_ones(self):
+        """The paper: exactly four pairs are common to ⟦Q⟧_G1 and ⟦Q⟧_G2."""
+        common = paper_answers_g1() & paper_answers_g2()
+        assert common == paper_certain_omega()
+
+    def test_certain_sets_nested(self):
+        """cert_Ω′ ⊆ cert_Ω (sameAs is weaker than the egd)."""
+        assert paper_certain_omega_prime() < paper_certain_omega()
+
+
+class TestFigure5And7:
+    def test_figure5_shape(self):
+        pattern = figure5_expected_pattern()
+        assert pattern.edge_count() == 7
+        assert len(pattern.nulls()) == 2
+
+    def test_figure7_properties(self):
+        """Pinned exactly by the two Example 5.4 facts."""
+        from repro.patterns.homomorphism import has_homomorphism
+
+        fig7 = figure7_graph()
+        assert has_homomorphism(figure5_expected_pattern(), fig7)
+        assert not hotel_egd().is_satisfied(fig7)

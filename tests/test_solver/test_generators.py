@@ -1,0 +1,63 @@
+"""Unit tests for the random CNF generators."""
+
+import random
+
+import pytest
+
+from repro.solver.generators import (
+    clause_list_to_cnf,
+    cnf_to_clause_list,
+    planted_kcnf,
+    random_kcnf,
+)
+
+
+class TestRandomKcnf:
+    def test_shape(self):
+        cnf = random_kcnf(10, 30, rng=random.Random(0))
+        assert cnf.variable_count == 10
+        assert cnf.clause_count == 30
+        assert all(len(clause) == 3 for clause in cnf.clauses)
+
+    def test_variables_in_range(self):
+        cnf = random_kcnf(5, 20, rng=random.Random(1))
+        assert all(1 <= abs(lit) <= 5 for clause in cnf.clauses for lit in clause)
+
+    def test_distinct_variables_per_clause(self):
+        cnf = random_kcnf(6, 40, rng=random.Random(2))
+        for clause in cnf.clauses:
+            variables = [abs(lit) for lit in clause]
+            assert len(set(variables)) == 3
+
+    def test_k_parameter(self):
+        cnf = random_kcnf(5, 10, k=2, rng=random.Random(3))
+        assert all(len(clause) == 2 for clause in cnf.clauses)
+
+    def test_k_larger_than_n_rejected(self):
+        with pytest.raises(ValueError):
+            random_kcnf(2, 5, k=3)
+
+    def test_deterministic_with_seed(self):
+        one = random_kcnf(8, 20, rng=random.Random(42))
+        two = random_kcnf(8, 20, rng=random.Random(42))
+        assert one.clauses == two.clauses
+
+
+class TestPlantedKcnf:
+    def test_planted_model_satisfies(self):
+        cnf, model = planted_kcnf(10, 40, rng=random.Random(0))
+        assert cnf.is_satisfied_by(model)
+
+    def test_shape(self):
+        cnf, _ = planted_kcnf(10, 40, rng=random.Random(0))
+        assert cnf.clause_count == 40
+
+    def test_k_larger_than_n_rejected(self):
+        with pytest.raises(ValueError):
+            planted_kcnf(2, 5, k=3)
+
+
+class TestConversions:
+    def test_round_trip(self):
+        cnf = clause_list_to_cnf(3, [(1, -2), (2, 3)])
+        assert cnf_to_clause_list(cnf) == [(1, -2), (2, 3)]
