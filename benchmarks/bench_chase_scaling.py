@@ -43,6 +43,8 @@ def run_sweep():
                 f"{plain.stats.st_applications} triggers, "
                 f"{egd.stats.null_merges} merges, "
                 f"{sameas.stats.sameas_edges_added} sameAs, "
+                f"{egd.stats.rounds + sameas.stats.rounds} rounds, "
+                f"{egd.stats.index_hits + sameas.stats.index_hits} idx hits, "
                 f"{elapsed_ms:.0f} ms",
             )
         )

@@ -16,8 +16,27 @@ The public API re-exported here covers the common workflow:
    :func:`solve_with_sameas`), decide existence (:func:`decide_existence`),
    and answer queries (:func:`certain_answers_nre`, :func:`evaluate_nre`).
 
-See ``examples/quickstart.py`` for the end-to-end tour and DESIGN.md for
-the architecture.
+All chase variants share the indexed delta engine of :mod:`repro.engine`
+(:class:`TriggerMatcher`): trigger matching is answered from hash indexes
+maintained incrementally by :class:`GraphDatabase` and
+:class:`RelationalInstance`, and fixpoint rounds only re-match the part of
+the target changed since the previous round.
+
+>>> import repro
+>>> schema = repro.RelationalSchema()
+>>> _ = schema.declare("Flight", 3)
+>>> _ = schema.declare("Hotel", 2)
+>>> instance = repro.RelationalInstance(schema, {
+...     "Flight": [("01", "c1", "c2")], "Hotel": [("01", "hx")]})
+>>> tgd = repro.parse_st_tgd(
+...     "Flight(x1, x2, x3), Hotel(x1, x4) -> (x2, f, y), (y, h, x4)")
+>>> result = repro.chase_pattern([tgd], instance, alphabet={"f", "h"})
+>>> result.expect_pattern().edge_count()
+2
+
+See ``examples/quickstart.py`` for the end-to-end tour,
+``README.md`` for the project overview, and ``docs/ARCHITECTURE.md`` for
+the package-by-package map onto the paper.
 """
 
 from repro.errors import (
@@ -74,6 +93,8 @@ from repro.chase import (
     solve_with_sameas,
     chase_target_tgds,
 )
+from repro.chase.result import ChaseStats
+from repro.engine import TriggerMatcher, is_simple_query
 from repro.core import (
     DataExchangeSetting,
     is_solution,
@@ -125,6 +146,9 @@ __all__ = [
     "parse_target_tgd",
     "parse_sameas",
     "ChaseResult",
+    "ChaseStats",
+    "TriggerMatcher",
+    "is_simple_query",
     "chase_pattern",
     "chase_relational",
     "chase_with_egds",

@@ -24,7 +24,11 @@ reading under which the paper's examples behave exactly as printed:
 
 The engine chases egds to a fixpoint (each step strictly decreases the node
 count, so termination is immediate) with a deterministic violation order so
-results are reproducible.
+results are reproducible.  Violations are tracked by an incremental
+:class:`~repro.engine.delta.EgdViolationQueue` over the pattern's symbol
+view: each merge renames the surviving violations and re-matches only the
+triggers routed through the merged node, instead of rescanning the whole
+pattern every round as the seed implementation did.
 """
 
 from __future__ import annotations
@@ -33,11 +37,12 @@ from typing import Hashable, Iterable, Sequence
 
 from repro.chase.pattern_chase import chase_pattern
 from repro.chase.result import ChaseResult, ChaseStats
+from repro.engine.delta import EgdViolationQueue, run_egd_fixpoint
 from repro.graph.database import GraphDatabase
 from repro.graph.nre import Label
 from repro.mappings.egd import TargetEgd
 from repro.mappings.stt import SourceToTargetTgd
-from repro.patterns.pattern import GraphPattern, is_null
+from repro.patterns.pattern import GraphPattern
 from repro.relational.instance import RelationalInstance
 
 Node = Hashable
@@ -58,22 +63,6 @@ def pattern_symbol_view(pattern: GraphPattern) -> GraphDatabase:
         if isinstance(edge.nre, Label):
             view.add_edge(edge.source, edge.nre.name, edge.target)
     return view
-
-
-def _first_violation(
-    egds: Sequence[TargetEgd], pattern: GraphPattern
-) -> tuple[TargetEgd, Node, Node] | None:
-    """Return the lexicographically first egd violation on the pattern."""
-    view = pattern_symbol_view(pattern)
-    best: tuple[TargetEgd, Node, Node] | None = None
-    best_key: tuple[str, str] | None = None
-    for egd in egds:
-        for left, right in egd.violations(view):
-            key = tuple(sorted((repr(left), repr(right))))
-            if best_key is None or key < best_key:
-                best_key = key  # type: ignore[assignment]
-                best = (egd, left, right)
-    return best
 
 
 def chase_with_egds(
@@ -107,28 +96,8 @@ def chase_pattern_with_egds(
 def _egd_fixpoint(
     pattern: GraphPattern, egds: list[TargetEgd], stats: ChaseStats
 ) -> ChaseResult:
-    while True:
-        stats.rounds += 1
-        violation = _first_violation(egds, pattern)
-        if violation is None:
-            return ChaseResult(pattern=pattern, stats=stats)
-        _, left, right = violation
-        stats.egd_firings += 1
-        left_null, right_null = is_null(left), is_null(right)
-        if not left_null and not right_null:
-            # (i) two constants: the chase fails — no solution exists.
-            return ChaseResult(
-                pattern=pattern,
-                failed=True,
-                failure_witness=(left, right),
-                stats=stats,
-            )
-        if left_null and not right_null:
-            pattern.substitute(left, right)  # (ii) null := constant
-        elif right_null and not left_null:
-            pattern.substitute(right, left)  # (ii) symmetric
-        else:
-            # (iii) two nulls: replace the later-labeled one, deterministically.
-            older, newer = sorted((left, right))
-            pattern.substitute(newer, older)
-        stats.null_merges += 1
+    queue = EgdViolationQueue(egds, pattern_symbol_view(pattern), stats)
+    failed, witness = run_egd_fixpoint(queue, stats, apply=pattern.substitute)
+    return ChaseResult(
+        pattern=pattern, failed=failed, failure_witness=witness, stats=stats
+    )

@@ -53,8 +53,10 @@ def chase_pattern(
     stats = ChaseStats()
 
     for tgd in tgds:
-        # Deterministic trigger order keeps null labels reproducible.
-        matches = sorted(tgd.body_matches(instance), key=lambda m: sorted(
+        # Deterministic trigger order keeps null labels reproducible.  Body
+        # matching runs on the source instance's first-column hash index
+        # (see repro.relational.evaluate); ``stats`` records the hits.
+        matches = sorted(tgd.body_matches(instance, stats=stats), key=lambda m: sorted(
             (v.name, repr(m[v])) for v in m
         ))
         # Oblivious chase with duplicate-trigger suppression: two body

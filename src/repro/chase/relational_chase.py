@@ -18,12 +18,13 @@ from __future__ import annotations
 from typing import Hashable, Iterable, Sequence
 
 from repro.chase.result import ChaseResult, ChaseStats
+from repro.engine.delta import EgdViolationQueue, run_egd_fixpoint
 from repro.errors import NotSupportedError
 from repro.graph.classes import is_single_symbol
 from repro.graph.database import GraphDatabase
 from repro.mappings.egd import TargetEgd
 from repro.mappings.stt import SourceToTargetTgd
-from repro.patterns.pattern import Null, is_null
+from repro.patterns.pattern import Null
 from repro.relational.instance import RelationalInstance
 from repro.relational.query import Variable, is_variable
 
@@ -63,7 +64,7 @@ def chase_relational(
 
     for tgd in tgds:
         matches = sorted(
-            tgd.body_matches(instance),
+            tgd.body_matches(instance, stats=stats),
             key=lambda m: sorted((v.name, repr(m[v])) for v in m),
         )
         fired: set[tuple] = set()
@@ -92,53 +93,15 @@ def chase_relational(
 def _egd_fixpoint_on_graph(
     graph: GraphDatabase, egds: list[TargetEgd], stats: ChaseStats
 ) -> ChaseResult:
-    """Apply egd merge steps directly on a graph with null nodes."""
-    while True:
-        stats.rounds += 1
-        violation = _first_graph_violation(egds, graph)
-        if violation is None:
-            return ChaseResult(graph=graph, stats=stats)
-        left, right = violation
-        stats.egd_firings += 1
-        left_null, right_null = is_null(left), is_null(right)
-        if not left_null and not right_null:
-            return ChaseResult(
-                graph=graph,
-                failed=True,
-                failure_witness=(left, right),
-                stats=stats,
-            )
-        if left_null and not right_null:
-            graph = _rename_node(graph, left, right)
-        elif right_null and not left_null:
-            graph = _rename_node(graph, right, left)
-        else:
-            older, newer = sorted((left, right))
-            graph = _rename_node(graph, newer, older)
-        stats.null_merges += 1
+    """Apply egd merge steps directly on a graph with null nodes.
 
-
-def _first_graph_violation(
-    egds: list[TargetEgd], graph: GraphDatabase
-) -> tuple[Node, Node] | None:
-    best: tuple[Node, Node] | None = None
-    best_key: tuple[str, str] | None = None
-    for egd in egds:
-        for left, right in egd.violations(graph):
-            key = tuple(sorted((repr(left), repr(right))))
-            if best_key is None or key < best_key:
-                best_key = key  # type: ignore[assignment]
-                best = (left, right)
-    return best
-
-
-def _rename_node(graph: GraphDatabase, old: Node, new: Node) -> GraphDatabase:
-    """Return a copy of ``graph`` with ``old`` renamed to ``new``."""
-    renamed = GraphDatabase(alphabet=graph.alphabet)
-    for node in graph.nodes():
-        renamed.add_node(new if node == old else node)
-    for edge in graph.edges():
-        source = new if edge.source == old else edge.source
-        target = new if edge.target == old else edge.target
-        renamed.add_edge(source, edge.label, target)
-    return renamed
+    The graph is the chase's own freshly materialised output, so merges
+    rename it in place (O(degree) per merge via the incident-edge indexes)
+    while an :class:`~repro.engine.delta.EgdViolationQueue` keeps the
+    violation set current instead of rescanning per round.
+    """
+    queue = EgdViolationQueue(egds, graph, stats)
+    failed, witness = run_egd_fixpoint(queue, stats)
+    return ChaseResult(
+        graph=graph, failed=failed, failure_witness=witness, stats=stats
+    )

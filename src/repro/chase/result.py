@@ -43,8 +43,36 @@ class ChaseStats:
     rounds: int = 0
     """Fixpoint iterations of the outer loop."""
 
+    index_hits: int = 0
+    """How many trigger-matching steps were answered from a hash index
+    (adjacency / first-column lookups) instead of a full scan."""
+
+    @property
+    def triggers_fired(self) -> int:
+        """Total dependency firings of any kind, for benchmark reporting.
+
+        >>> ChaseStats(st_applications=2, egd_firings=1).triggers_fired
+        3
+        """
+        return (
+            self.st_applications
+            + self.egd_firings
+            + self.tgd_applications
+            + self.sameas_edges_added
+        )
+
     def merge(self, other: "ChaseStats") -> "ChaseStats":
-        """Return the component-wise sum of two stat records."""
+        """Return the component-wise sum of two stat records.
+
+        ``rounds`` takes the maximum (parallel phases report their longest
+        fixpoint), every counter adds up.
+
+        >>> a = ChaseStats(st_applications=1, rounds=2)
+        >>> b = ChaseStats(egd_firings=3, rounds=1)
+        >>> merged = a.merge(b)
+        >>> merged.st_applications, merged.egd_firings, merged.rounds
+        (1, 3, 2)
+        """
         return ChaseStats(
             st_applications=self.st_applications + other.st_applications,
             egd_firings=self.egd_firings + other.egd_firings,
@@ -52,6 +80,7 @@ class ChaseStats:
             sameas_edges_added=self.sameas_edges_added + other.sameas_edges_added,
             tgd_applications=self.tgd_applications + other.tgd_applications,
             rounds=max(self.rounds, other.rounds),
+            index_hits=self.index_hits + other.index_hits,
         )
 
 
@@ -75,17 +104,39 @@ class ChaseResult:
 
     @property
     def succeeded(self) -> bool:
-        """Whether the chase ran to completion without failing."""
+        """Whether the chase ran to completion without failing.
+
+        >>> ChaseResult(graph=GraphDatabase()).succeeded
+        True
+        >>> ChaseResult(failed=True, failure_witness=("c1", "c2")).succeeded
+        False
+        """
         return not self.failed
 
     def expect_pattern(self) -> GraphPattern:
-        """Return the produced pattern, asserting the run made one."""
+        """Return the produced pattern, asserting the run made one.
+
+        >>> ChaseResult(pattern=GraphPattern()).expect_pattern()
+        GraphPattern(|N|=0, |D|=0)
+        >>> ChaseResult(graph=GraphDatabase()).expect_pattern()
+        Traceback (most recent call last):
+            ...
+        ValueError: this chase run produced no pattern
+        """
         if self.pattern is None:
             raise ValueError("this chase run produced no pattern")
         return self.pattern
 
     def expect_graph(self) -> GraphDatabase:
-        """Return the produced graph, asserting the run made one."""
+        """Return the produced graph, asserting the run made one.
+
+        >>> ChaseResult(graph=GraphDatabase()).expect_graph()
+        GraphDatabase(|V|=0, |E|=0, Σ=[])
+        >>> ChaseResult(pattern=GraphPattern()).expect_graph()
+        Traceback (most recent call last):
+            ...
+        ValueError: this chase run produced no graph
+        """
         if self.graph is None:
             raise ValueError("this chase run produced no graph")
         return self.graph

@@ -13,6 +13,14 @@ bodies that themselves mention ``sameAs``, so saturation repeats until no
 violation remains.  It terminates because the node set is fixed and each
 round adds at least one of at most ``|V|²`` possible sameAs edges.
 
+Saturation runs **semi-naively**: every body match found in one round is
+repaired immediately, so a match that is still violated in a later round
+must use at least one edge added since this constraint was last evaluated.
+Each constraint therefore remembers the graph version it last saw and
+re-matches only through the journal delta
+(:meth:`~repro.engine.matcher.TriggerMatcher.delta_matches`); constraints
+with composite-NRE bodies keep the full per-round scan.
+
 The key contrast with egds (the paper's point): sameAs edges may be added
 *between two constants*, so the constant/constant conflict that makes the
 egd chase fail simply cannot arise.
@@ -24,6 +32,7 @@ from typing import Iterable, Sequence
 
 from repro.chase.pattern_chase import chase_pattern
 from repro.chase.result import ChaseResult, ChaseStats
+from repro.engine.matcher import TriggerMatcher
 from repro.graph.database import GraphDatabase
 from repro.mappings.sameas import SAME_AS_LABEL, SameAsConstraint
 from repro.mappings.stt import SourceToTargetTgd
@@ -44,12 +53,20 @@ def saturate_sameas(
     sigma = set(graph.alphabet) | {SAME_AS_LABEL}
     result = graph.with_alphabet(sigma)
     counters = stats if stats is not None else ChaseStats()
+    matcher = TriggerMatcher(result, counters)
+    last_seen = [None] * len(constraints)  # graph version at last evaluation
     changed = True
     while changed:
         changed = False
         counters.rounds += 1
-        for constraint in constraints:
-            for left, right in list(constraint.violations(result)):
+        for index, constraint in enumerate(constraints):
+            since, last_seen[index] = last_seen[index], result.version
+            if since is None:
+                homs = matcher.matches(constraint.body)
+            else:
+                homs = matcher.delta_matches(constraint.body, since)
+            pending = list(constraint.violations_among(result, homs))
+            for left, right in pending:
                 result.add_edge(left, SAME_AS_LABEL, right)
                 counters.sameas_edges_added += 1
                 changed = True

@@ -13,6 +13,15 @@ Head instantiation materialises each head atom's NRE through its canonical
 witness (see :mod:`repro.graph.witness`): a head atom ``(x, f·f*, y)`` adds a
 single ``f`` edge on the shortest-derivation reading.  For the bare-symbol
 heads of sameAs constraints this is exactly "add the edge".
+
+Trigger collection is **semi-naive**: every violation found in a round is
+fired in that round, which satisfies its head; since the graph only grows,
+a violation in round N+1 must be a body match using at least one edge
+added during round N.  Rounds after the first therefore match bodies only
+against the edge delta (:meth:`~repro.engine.matcher.TriggerMatcher.delta_matches`);
+bodies with composite NREs keep the full scan.  Within a round, triggers
+fire in a canonical sorted order, so fresh-node allocation is reproducible
+across runs.
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ import itertools
 from typing import Hashable, Iterable, Sequence
 
 from repro.chase.result import ChaseResult, ChaseStats
+from repro.engine.matcher import TriggerMatcher
 from repro.errors import BoundExceeded
 from repro.graph.database import GraphDatabase
 from repro.graph.witness import enumerate_witnesses, materialize_witness, witness_tree
@@ -52,15 +62,30 @@ def chase_target_tgds(
     current = graph.with_alphabet(labels)
     stats = ChaseStats()
     fresh_ids = itertools.count()
+    matcher = TriggerMatcher(current, stats)
+    last_version: int | None = None  # None = no round collected yet
 
     for _ in range(max_rounds):
         stats.rounds += 1
-        violations: list[tuple[TargetTgd, dict[Variable, Node]]] = []
-        for tgd in dependencies:
-            violations.extend((tgd, hom) for hom in tgd.violations(current))
+        collect_version = current.version
+        violations: list[tuple[int, TargetTgd, dict[Variable, Node]]] = []
+        for position, tgd in enumerate(dependencies):
+            if last_version is None:
+                candidates = matcher.matches(tgd.body)
+            else:
+                candidates = matcher.delta_matches(tgd.body, last_version)
+            for hom in tgd.violations_among(current, candidates, matcher):
+                violations.append((position, tgd, hom))
+        last_version = collect_version
         if not violations:
             return ChaseResult(graph=current, stats=stats)
-        for tgd, hom in violations:
+        violations.sort(
+            key=lambda item: (
+                item[0],
+                sorted((v.name, repr(item[2][v])) for v in item[2]),
+            )
+        )
+        for _, tgd, hom in violations:
             _apply(current, tgd, hom, fresh_ids)
             stats.tgd_applications += 1
 

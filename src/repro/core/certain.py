@@ -14,7 +14,11 @@ monotone Q:
 
 Minimal solutions are enumerated by :mod:`repro.core.search` (witness
 choices for the chased pattern's NRE edges × null quotients), bounded by
-``star_bound``.  On the paper's families the bounds are exact:
+``star_bound``.  Every candidate is validated through the constraint
+``violations`` checks, which run on the shared indexed
+:class:`~repro.engine.matcher.TriggerMatcher` — the enumeration examines
+many candidate graphs, so the indexed fast path compounds here.  On the
+paper's families the bounds are exact:
 
 * Example 2.2 under Ω and Ω′ — the printed certain-answer sets are
   reproduced with ``star_bound = 2`` (tests pin both sets);

@@ -64,7 +64,11 @@ def adapted_chase(
     """Run the Section 5 adapted chase for ``setting`` (egds applied).
 
     Convenience wrapper over :func:`repro.chase.egd_chase.chase_with_egds`
-    using the setting's s-t tgds and egds.
+    using the setting's s-t tgds and egds.  The run executes on the
+    indexed delta engine (:mod:`repro.engine`): egd violations are
+    maintained incrementally across merge steps, and the returned
+    :class:`~repro.chase.result.ChaseResult` carries the engine's
+    ``index_hits`` / ``triggers_fired`` counters in ``result.stats``.
     """
     return chase_with_egds(
         setting.st_tgds, setting.egds(), instance, alphabet=setting.alphabet

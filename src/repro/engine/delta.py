@@ -1,0 +1,199 @@
+"""Incremental violation maintenance for egd fixpoints.
+
+The seed egd chases recomputed *every* violation from scratch after each
+merge step — O(full trigger search) per merge, the dominant cost
+``benchmarks/bench_chase_scaling.py`` exposes.  :class:`EgdViolationQueue`
+keeps the violation set of a set of egds up to date across merges instead:
+
+* the initial set is computed once with the indexed
+  :class:`~repro.engine.matcher.TriggerMatcher`;
+* when a merge renames ``old`` to ``new``, surviving violations are renamed
+  in place (a homomorphism survives a node rename, so no rescan is needed
+  to keep them) and the only *new* violations possible are those routed
+  through an edge rewritten onto ``new`` — exactly what
+  :meth:`~repro.engine.matcher.TriggerMatcher.matches_touching` enumerates.
+
+Egds whose bodies use composite NREs are handled by recomputation on every
+query (the seed behaviour), so the queue's answers — and therefore the
+chase's observable results — are identical to a full rescan; the fig1–fig7
+equivalence tests in ``tests/test_engine`` assert exactly that.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import TYPE_CHECKING, Hashable, Sequence
+
+from repro.engine.matcher import TriggerMatcher, is_simple_query
+from repro.graph.database import GraphDatabase
+from repro.patterns.pattern import is_null
+
+if TYPE_CHECKING:  # annotation-only imports; avoids an import cycle
+    from repro.chase.result import ChaseStats
+    from repro.mappings.egd import TargetEgd
+
+Node = Hashable
+Pair = tuple[Node, Node]
+PairKey = tuple[str, str]
+
+
+class EgdViolationQueue:
+    """The violation set of some egds over a mutable graph, merge-aware.
+
+    ``view`` is the graph the egd bodies are matched on (a pattern's symbol
+    view, or a concrete chased graph); the queue mutates it through
+    :meth:`merge`, so callers hand over ownership of the view.
+
+    >>> from repro.mappings.parser import parse_egd
+    >>> g = GraphDatabase(edges=[("a", "h", "hx"), ("b", "h", "hx")])
+    >>> queue = EgdViolationQueue([parse_egd(
+    ...     "(x1, h, x3), (x2, h, x3) -> x1 = x2")], g)
+    >>> sorted(queue.first_violation())
+    ['a', 'b']
+    >>> _ = queue.merge("b", "a")
+    >>> queue.first_violation() is None
+    True
+    """
+
+    def __init__(
+        self,
+        egds: "Sequence[TargetEgd]",
+        view: GraphDatabase,
+        stats: "ChaseStats | None" = None,
+    ):
+        self.view = view
+        self.matcher = TriggerMatcher(view, stats)
+        self._simple = [egd for egd in egds if is_simple_query(egd.body)]
+        self._fallback = [egd for egd in egds if not is_simple_query(egd.body)]
+        # Violation identity is the *unordered node pair* (reprs are used
+        # only for ordering, like the seed's violation selection, so nodes
+        # with colliding reprs cannot coalesce two distinct violations).
+        self._pairs: dict[frozenset, tuple[Pair, PairKey]] = {}
+        # node -> identities of maintained pairs mentioning it, so a merge
+        # only touches the violations of the merged node, not the whole set.
+        self._by_node: dict[Node, set[frozenset]] = {}
+        # min-heap over (order key, seq, identity) with lazy deletion:
+        # popped entries whose identity left _pairs are skipped on peek.
+        self._heap: list[tuple[PairKey, int, frozenset]] = []
+        self._seq = itertools.count()
+        self._repr_cache: dict[Node, str] = {}
+        for egd in self._simple:
+            for hom in self.matcher.matches(egd.body):
+                self._consider(hom[egd.left], hom[egd.right])
+
+    def _repr(self, node: Node) -> str:
+        cached = self._repr_cache.get(node)
+        if cached is None:
+            cached = self._repr_cache[node] = repr(node)
+        return cached
+
+    def _key(self, left: Node, right: Node) -> PairKey:
+        """The deterministic order key the chase uses to pick violations."""
+        left_repr, right_repr = self._repr(left), self._repr(right)
+        if left_repr <= right_repr:
+            return (left_repr, right_repr)
+        return (right_repr, left_repr)
+
+    def _consider(self, left: Node, right: Node) -> None:
+        if left != right:
+            identity = frozenset((left, right))
+            if identity not in self._pairs:
+                key = self._key(left, right)
+                self._pairs[identity] = ((left, right), key)
+                self._by_node.setdefault(left, set()).add(identity)
+                self._by_node.setdefault(right, set()).add(identity)
+                heapq.heappush(self._heap, (key, next(self._seq), identity))
+
+    def _discard(self, identity: frozenset) -> None:
+        entry = self._pairs.pop(identity, None)
+        if entry is not None:
+            for node in entry[0]:
+                identities = self._by_node.get(node)
+                if identities is not None:
+                    identities.discard(identity)
+
+    def first_violation(self) -> Pair | None:
+        """Return the violation with the least order key, or ``None``.
+
+        Maintained violations of simple-bodied egds are read from the
+        queue; composite-bodied egds are re-matched on the current view
+        (their bodies are opaque to delta reasoning).
+        """
+        while self._heap and self._heap[0][2] not in self._pairs:
+            heapq.heappop(self._heap)  # lazily drop entries a merge resolved
+        best_key: PairKey | None = None
+        best: Pair | None = None
+        if self._heap:
+            best_key = self._heap[0][0]
+            best = self._pairs[self._heap[0][2]][0]
+        for egd in self._fallback:
+            for left, right in egd.violations(self.view):
+                key = self._key(left, right)
+                if best_key is None or key < best_key:
+                    best_key, best = key, (left, right)
+        return best
+
+    def merge(self, old: Node, new: Node) -> None:
+        """Record the merge ``old ↦ new``: rename the view and the queue.
+
+        Renames the view's node in place, rewrites the maintained pairs
+        (dropping those the merge resolved), and re-matches each simple egd
+        through the rewritten edges to pick up any violations the merge
+        *created* (cascading merges).
+        """
+        self.view.rename_node(old, new)
+        for identity in list(self._by_node.get(old, ())):
+            (left, right), _ = self._pairs[identity]
+            self._discard(identity)
+            left = new if left == old else left
+            right = new if right == old else right
+            self._consider(left, right)
+        self._by_node.pop(old, None)
+        for egd in self._simple:
+            for hom in self.matcher.matches_touching(egd.body, new):
+                self._consider(hom[egd.left], hom[egd.right])
+
+
+def run_egd_fixpoint(queue, stats, apply=None) -> tuple[bool, tuple[Node, Node] | None]:
+    """Drive ``queue`` to its fixpoint with the paper's merge rules.
+
+    The one egd-step loop shared by the pattern chase (Section 5) and the
+    graph-level relational chase (Section 3.1): pick the least violation;
+    two constants fail the chase, a null merges into a constant, and of
+    two nulls the later-sorted one merges into the earlier.  ``apply`` is
+    invoked with ``(old, new)`` before the queue's own view is renamed
+    (the pattern chase substitutes on the pattern there); ``stats`` gets
+    the rounds/egd_firings/null_merges accounting.
+
+    Returns ``(failed, failure_witness)``.
+
+    >>> from repro.chase.result import ChaseStats
+    >>> from repro.mappings.parser import parse_egd
+    >>> g = GraphDatabase(edges=[("a", "h", "hx"), ("b", "h", "hx")])
+    >>> egd = parse_egd("(x1, h, x3), (x2, h, x3) -> x1 = x2")
+    >>> run_egd_fixpoint(EgdViolationQueue([egd], g), ChaseStats())
+    (True, ('a', 'b'))
+    """
+    while True:
+        stats.rounds += 1
+        violation = queue.first_violation()
+        if violation is None:
+            return False, None
+        left, right = violation
+        stats.egd_firings += 1
+        left_null, right_null = is_null(left), is_null(right)
+        if not left_null and not right_null:
+            # (i) two constants: the chase fails — no solution exists.
+            return True, (left, right)
+        if left_null and not right_null:
+            old, new = left, right  # (ii) null := constant
+        elif right_null and not left_null:
+            old, new = right, left  # (ii) symmetric
+        else:
+            # (iii) two nulls: replace the later-labeled one, deterministically.
+            new, old = sorted((left, right))
+        if apply is not None:
+            apply(old, new)
+        queue.merge(old, new)
+        stats.null_merges += 1

@@ -1,0 +1,303 @@
+"""Indexed trigger matching over graph databases.
+
+Every chase variant repeats one operation: find the homomorphisms of a
+dependency body into the current target graph (the *triggers*).  The seed
+implementation re-evaluated each body NRE into an explicit pair set and
+scanned it per backtracking step — correct, but it re-scans the whole
+graph on every fixpoint round.  :class:`TriggerMatcher` replaces those
+nested-loop scans with one shared core that
+
+* answers bound positions from the graph's hash indexes
+  (``successors`` / ``predecessors`` / ``has_edge``) instead of filtering a
+  materialised pair set — *index hits*, counted into
+  :class:`~repro.chase.result.ChaseStats`;
+* supports **semi-naive (delta) iteration**: :meth:`TriggerMatcher.delta_matches`
+  enumerates only the homomorphisms that use at least one edge added since a
+  recorded graph version, and :meth:`TriggerMatcher.matches_touching` only
+  those through a given node — which is exactly the part of the trigger
+  space a chase round or a merge step can have changed.
+
+The fast paths apply to *simple* queries — every atom a bare forward or
+backward label, which covers all dependency bodies of the paper's figures
+and benchmarks.  Composite NREs (stars, unions, nesting) fall back to the
+reference evaluator :func:`repro.graph.cnre.cnre_homomorphisms`, so the
+matcher is always sound and complete, never just fast.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable, Iterable, Iterator, Mapping, Sequence
+
+from repro.graph.cnre import CNREAtom, CNREQuery, cnre_homomorphisms
+from repro.graph.database import Edge, GraphDatabase
+from repro.graph.nre import Backward, Label
+from repro.relational.query import Variable, is_variable
+
+if TYPE_CHECKING:  # import only for annotations: chase.result imports graph
+    from repro.chase.result import ChaseStats
+
+Node = Hashable
+Assignment = dict[Variable, Node]
+
+_UNSET = object()
+
+
+def is_simple_query(query: CNREQuery) -> bool:
+    """Return whether every atom of ``query`` is a bare (backward) label.
+
+    Simple queries are eligible for the indexed and delta fast paths; all
+    others take the reference CNRE evaluator.
+
+    >>> from repro.graph.parser import parse_nre
+    >>> x, y = Variable("x"), Variable("y")
+    >>> is_simple_query(CNREQuery([CNREAtom(x, parse_nre("h"), y)]))
+    True
+    >>> is_simple_query(CNREQuery([CNREAtom(x, parse_nre("a . b*"), y)]))
+    False
+    """
+    return all(isinstance(atom.nre, (Label, Backward)) for atom in query.atoms)
+
+
+def _edge_view(atom: CNREAtom) -> tuple[object, str, object]:
+    """Return ``(source_term, label, target_term)`` in *edge orientation*.
+
+    A backward atom ``(x, a⁻, y)`` matches the edge ``(h(y), a, h(x))``, so
+    its terms swap sides.
+    """
+    if isinstance(atom.nre, Label):
+        return atom.subject, atom.nre.name, atom.object
+    if isinstance(atom.nre, Backward):
+        return atom.object, atom.nre.name, atom.subject
+    raise TypeError(f"not a simple atom: {atom}")
+
+
+class TriggerMatcher:
+    """Shared indexed trigger-matching core for the chase engines.
+
+    Construct one per (mutable) graph; the matcher holds no copies, so
+    every call sees the graph's current state.  An optional
+    :class:`~repro.chase.result.ChaseStats` accumulates ``index_hits``.
+
+    >>> g = GraphDatabase(edges=[("c1", "h", "hx"), ("c2", "h", "hx")])
+    >>> x1, x2, x3 = Variable("x1"), Variable("x2"), Variable("x3")
+    >>> body = CNREQuery([
+    ...     CNREAtom(x1, Label("h"), x3), CNREAtom(x2, Label("h"), x3)])
+    >>> matcher = TriggerMatcher(g)
+    >>> sorted((h[x1], h[x2]) for h in matcher.matches(body))
+    [('c1', 'c1'), ('c1', 'c2'), ('c2', 'c1'), ('c2', 'c2')]
+    """
+
+    def __init__(self, graph: GraphDatabase, stats: "ChaseStats | None" = None):
+        self.graph = graph
+        self.stats = stats
+
+    # ------------------------------------------------------------------ #
+    # Full enumeration
+    # ------------------------------------------------------------------ #
+
+    def matches(
+        self,
+        query: CNREQuery,
+        seed: Mapping[Variable, Node] | None = None,
+    ) -> Iterator[Assignment]:
+        """Yield every homomorphism of ``query`` into the graph.
+
+        ``seed`` pre-binds variables (dependency bodies seeding head
+        checks).  Simple queries run on the indexed join; composite ones
+        delegate to the reference evaluator.
+
+        >>> g = GraphDatabase(edges=[("u", "a", "v")])
+        >>> x, y = Variable("x"), Variable("y")
+        >>> q = CNREQuery([CNREAtom(x, Label("a"), y)])
+        >>> [h[y] for h in TriggerMatcher(g).matches(q, seed={x: "u"})]
+        ['v']
+        """
+        if not is_simple_query(query):
+            yield from cnre_homomorphisms(query, self.graph, seed=seed)
+            return
+        initial: Assignment = dict(seed) if seed else {}
+        yield from self._join(list(query.atoms), initial)
+
+    # ------------------------------------------------------------------ #
+    # Delta enumeration (semi-naive iteration)
+    # ------------------------------------------------------------------ #
+
+    def delta_matches(self, query: CNREQuery, since: int) -> Iterator[Assignment]:
+        """Yield the homomorphisms using at least one edge added after ``since``.
+
+        ``since`` is a graph :attr:`~repro.graph.database.GraphDatabase.version`
+        read earlier.  For simple queries the result is *exactly* the set of
+        homomorphisms that did not exist at that version (each simple atom's
+        edge is determined by the assignment, so a match through a new edge
+        cannot have existed before).  Composite queries fall back to full
+        enumeration, which is a sound superset.
+
+        >>> g = GraphDatabase(edges=[("u", "a", "v")])
+        >>> v0 = g.version
+        >>> g.add_edge("v", "a", "w")
+        >>> x, y = Variable("x"), Variable("y")
+        >>> q = CNREQuery([CNREAtom(x, Label("a"), y)])
+        >>> [(h[x], h[y]) for h in TriggerMatcher(g).delta_matches(q, v0)]
+        [('v', 'w')]
+        """
+        if not is_simple_query(query):
+            yield from self.matches(query)
+            return
+        yield from self._seeded_by_edges(query, self.graph.edges_since(since))
+
+    def matches_touching(self, query: CNREQuery, node: Node) -> Iterator[Assignment]:
+        """Yield the homomorphisms using at least one edge incident to ``node``.
+
+        After a merge step renames a node, every *newly created* trigger
+        must route through one of the merged node's rewritten edges — so
+        this is the complete re-match set for an egd engine.  Composite
+        queries fall back to full enumeration.
+
+        >>> g = GraphDatabase(edges=[("c1", "h", "hx"), ("c2", "h", "hy")])
+        >>> x1, x2, x3 = Variable("x1"), Variable("x2"), Variable("x3")
+        >>> body = CNREQuery([
+        ...     CNREAtom(x1, Label("h"), x3), CNREAtom(x2, Label("h"), x3)])
+        >>> homs = TriggerMatcher(g).matches_touching(body, "hy")
+        >>> sorted((h[x1], h[x3]) for h in homs)
+        [('c2', 'hy')]
+        """
+        if not is_simple_query(query):
+            yield from self.matches(query)
+            return
+        yield from self._seeded_by_edges(query, self.graph.incident_edges(node))
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _seeded_by_edges(
+        self, query: CNREQuery, edges: Iterable[Edge]
+    ) -> Iterator[Assignment]:
+        """Enumerate homomorphisms with some atom pinned to one of ``edges``."""
+        edge_list = [e for e in edges if self.graph.has_edge(e.source, e.label, e.target)]
+        if not edge_list:
+            return
+        variables = query.variables()
+        seen: set[tuple] = set()
+        atoms = list(query.atoms)
+        for pinned_index, atom in enumerate(atoms):
+            source_term, lab, target_term = _edge_view(atom)
+            rest = atoms[:pinned_index] + atoms[pinned_index + 1 :]
+            # The join order depends only on which atom is pinned, not on
+            # the concrete edge — compute it once per pinned atom.
+            ordered_rest = self._order(rest, set(atom.variables()))
+            for edge in edge_list:
+                if edge.label != lab:
+                    continue
+                assignment: Assignment = {}
+                if not _bind(assignment, source_term, edge.source):
+                    continue
+                if not _bind(assignment, target_term, edge.target):
+                    continue
+                for hom in self._run_join(ordered_rest, assignment):
+                    key = tuple(hom[v] for v in variables)
+                    if key not in seen:
+                        seen.add(key)
+                        yield hom
+
+    def _join(self, atoms: Sequence[CNREAtom], assignment: Assignment) -> Iterator[Assignment]:
+        """Backtracking join over simple atoms, bound positions via indexes."""
+        yield from self._run_join(self._order(atoms, set(assignment)), assignment)
+
+    def _run_join(
+        self, ordered: Sequence[CNREAtom], assignment: Assignment
+    ) -> Iterator[Assignment]:
+        """The join proper, over an already-ordered atom sequence."""
+
+        def extend(index: int, current: Assignment) -> Iterator[Assignment]:
+            if index == len(ordered):
+                yield dict(current)
+                return
+            atom = ordered[index]
+            source_term, lab, target_term = _edge_view(atom)
+            for u, v in self._candidates(source_term, lab, target_term, current):
+                added: list[Variable] = []
+                if _bind(current, source_term, u, added) and _bind(
+                    current, target_term, v, added
+                ):
+                    yield from extend(index + 1, current)
+                for var in added:
+                    del current[var]
+
+        yield from extend(0, assignment)
+
+    def _order(
+        self, atoms: Sequence[CNREAtom], bound: set[Variable]
+    ) -> list[CNREAtom]:
+        """Greedy join order: most-bound atoms first, then smallest label."""
+        remaining = list(atoms)
+        ordered: list[CNREAtom] = []
+        bound = set(bound)
+        while remaining:
+
+            def score(atom: CNREAtom) -> tuple[int, int]:
+                unbound = sum(
+                    1
+                    for term in (atom.subject, atom.object)
+                    if is_variable(term) and term not in bound
+                )
+                return (unbound, self.graph.label_count(_edge_view(atom)[1]))
+
+            best = min(remaining, key=score)
+            remaining.remove(best)
+            ordered.append(best)
+            bound.update(best.variables())
+        return ordered
+
+    def _candidates(
+        self,
+        source_term: object,
+        lab: str,
+        target_term: object,
+        assignment: Assignment,
+    ) -> Iterator[tuple[Node, Node]]:
+        """Candidate ``(source, target)`` edge endpoints for one atom."""
+        graph, stats = self.graph, self.stats
+        source = _value(source_term, assignment)
+        target = _value(target_term, assignment)
+        if source is not _UNSET and target is not _UNSET:
+            if stats is not None:
+                stats.index_hits += 1
+            if graph.has_edge(source, lab, target):
+                yield (source, target)
+        elif source is not _UNSET:
+            if stats is not None:
+                stats.index_hits += 1
+            for v in graph.successors(source, lab):
+                yield (source, v)
+        elif target is not _UNSET:
+            if stats is not None:
+                stats.index_hits += 1
+            for u in graph.predecessors(target, lab):
+                yield (u, target)
+        else:
+            yield from graph.iter_label_pairs(lab)
+
+
+def _value(term: object, assignment: Assignment) -> object:
+    if is_variable(term):
+        return assignment.get(term, _UNSET)
+    return term
+
+
+def _bind(
+    assignment: Assignment,
+    term: object,
+    value: Node,
+    added: list[Variable] | None = None,
+) -> bool:
+    """Bind ``term`` to ``value`` in ``assignment``; False on a clash."""
+    if not is_variable(term):
+        return term == value
+    current = assignment.get(term, _UNSET)
+    if current is _UNSET:
+        assignment[term] = value
+        if added is not None:
+            added.append(term)
+        return True
+    return current == value

@@ -6,7 +6,17 @@ edge-labeled graph ``G = (V, E)`` with ``V`` a finite set of node ids and
 labels are strings.
 
 The class keeps forward and backward adjacency indexes per label so that NRE
-evaluation can traverse edges in both directions in O(degree).
+evaluation can traverse edges in both directions in O(degree).  On top of
+those it maintains, incrementally on every insertion:
+
+* any-label incident-edge indexes (``edges_from`` / ``edges_to`` /
+  ``incident_edges``) so the chase engine can find every edge touching a
+  node in O(degree) — the key operation when a merge step renames a node;
+* an append-only *edge journal* (``version`` / ``edges_since``) recording
+  the order in which edges were added, which is what makes semi-naive
+  (delta) chase iteration possible: a fixpoint round only re-matches
+  triggers against the edges added since the round before
+  (:mod:`repro.engine.matcher`).
 """
 
 from __future__ import annotations
@@ -61,6 +71,13 @@ class GraphDatabase:
         # label -> node -> set of neighbours
         self._fwd: dict[LabelName, dict[Node, set[Node]]] = {}
         self._bwd: dict[LabelName, dict[Node, set[Node]]] = {}
+        # node -> incident edges, any label (for merges and delta matching)
+        self._out_edges: dict[Node, set[Edge]] = {}
+        self._in_edges: dict[Node, set[Edge]] = {}
+        # label -> number of edges, so join ordering reads sizes in O(1)
+        self._label_counts: dict[LabelName, int] = {}
+        # Append-only log of edge insertions; len() is the graph version.
+        self._journal: list[Edge] = []
         for node in nodes:
             self.add_node(node)
         for source, lab, target in edges:
@@ -83,9 +100,16 @@ class GraphDatabase:
             raise SchemaError(f"label {lab!r} is not in the alphabet {sorted(self._alphabet)}")
         self._nodes.add(source)
         self._nodes.add(target)
-        self._edges.add(Edge(source, lab, target))
+        edge = Edge(source, lab, target)
+        if edge in self._edges:
+            return
+        self._edges.add(edge)
         self._fwd.setdefault(lab, {}).setdefault(source, set()).add(target)
         self._bwd.setdefault(lab, {}).setdefault(target, set()).add(source)
+        self._out_edges.setdefault(source, set()).add(edge)
+        self._in_edges.setdefault(target, set()).add(edge)
+        self._label_counts[lab] = self._label_counts.get(lab, 0) + 1
+        self._journal.append(edge)
 
     def remove_edge(self, source: Node, lab: LabelName, target: Node) -> None:
         """Remove an edge if present; endpoints stay in the node set."""
@@ -94,6 +118,9 @@ class GraphDatabase:
             self._edges.remove(edge)
             self._fwd[lab][source].discard(target)
             self._bwd[lab][target].discard(source)
+            self._out_edges[source].discard(edge)
+            self._in_edges[target].discard(edge)
+            self._label_counts[lab] -= 1
 
     def has_edge(self, source: Node, lab: LabelName, target: Node) -> bool:
         """Return whether the edge ``(source, lab, target)`` is present."""
@@ -119,6 +146,134 @@ class GraphDatabase:
         """Return all ``(u, v)`` pairs with an edge labeled ``lab``."""
         forward = self._fwd.get(lab, {})
         return frozenset((u, v) for u, targets in forward.items() for v in targets)
+
+    def iter_label_pairs(self, lab: LabelName) -> Iterator[tuple[Node, Node]]:
+        """Iterate the ``(u, v)`` pairs labeled ``lab`` without copying.
+
+        Reads the live adjacency index: do not add or remove ``lab``
+        edges while consuming it (use :meth:`edges_with_label` for a
+        snapshot).
+
+        >>> g = GraphDatabase(edges=[("u", "a", "v")])
+        >>> list(g.iter_label_pairs("a"))
+        [('u', 'v')]
+        """
+        for u, targets in self._fwd.get(lab, {}).items():
+            for v in targets:
+                yield (u, v)
+
+    def has_successor(self, node: Node, lab: LabelName) -> bool:
+        """Return whether ``node`` has any outgoing ``lab`` edge (no copying).
+
+        >>> g = GraphDatabase(edges=[("u", "a", "v")])
+        >>> g.has_successor("u", "a"), g.has_successor("v", "a")
+        (True, False)
+        """
+        return bool(self._fwd.get(lab, {}).get(node))
+
+    def has_predecessor(self, node: Node, lab: LabelName) -> bool:
+        """Return whether ``node`` has any incoming ``lab`` edge (no copying).
+
+        >>> g = GraphDatabase(edges=[("u", "a", "v")])
+        >>> g.has_predecessor("v", "a"), g.has_predecessor("u", "a")
+        (True, False)
+        """
+        return bool(self._bwd.get(lab, {}).get(node))
+
+    def label_count(self, lab: LabelName) -> int:
+        """Return the number of edges labeled ``lab``, from an O(1) counter.
+
+        >>> g = GraphDatabase(edges=[("u", "a", "v"), ("v", "a", "w")])
+        >>> g.label_count("a"), g.label_count("b")
+        (2, 0)
+        """
+        return self._label_counts.get(lab, 0)
+
+    def edges_from(self, node: Node) -> frozenset[Edge]:
+        """Return every edge whose source is ``node`` (any label).
+
+        >>> g = GraphDatabase(edges=[("u", "a", "v"), ("w", "b", "u")])
+        >>> [str(e) for e in g.edges_from("u")]
+        ['(u -a-> v)']
+        """
+        return frozenset(self._out_edges.get(node, ()))
+
+    def edges_to(self, node: Node) -> frozenset[Edge]:
+        """Return every edge whose target is ``node`` (any label).
+
+        >>> g = GraphDatabase(edges=[("u", "a", "v"), ("w", "b", "u")])
+        >>> [str(e) for e in g.edges_to("u")]
+        ['(w -b-> u)']
+        """
+        return frozenset(self._in_edges.get(node, ()))
+
+    def incident_edges(self, node: Node) -> frozenset[Edge]:
+        """Return every edge touching ``node`` as source or target.
+
+        >>> g = GraphDatabase(edges=[("u", "a", "v"), ("w", "b", "u")])
+        >>> len(g.incident_edges("u"))
+        2
+        """
+        return self.edges_from(node) | self.edges_to(node)
+
+    @property
+    def version(self) -> int:
+        """A counter that increases with every edge insertion.
+
+        ``edges_since(version)`` later returns exactly the edges inserted
+        after the version was read — the delta the semi-naive chase rounds
+        re-match against.
+
+        >>> g = GraphDatabase()
+        >>> v = g.version
+        >>> g.add_edge("u", "a", "v")
+        >>> g.version == v + 1
+        True
+        """
+        return len(self._journal)
+
+    def edges_since(self, version: int) -> list[Edge]:
+        """Return the edges inserted after ``version`` was read, in order.
+
+        Entries removed again via :meth:`remove_edge` are *not* expunged
+        from the journal; consumers that only use the result to seed
+        trigger matching are unaffected (a stale seed matches nothing).
+
+        >>> g = GraphDatabase(edges=[("u", "a", "v")])
+        >>> v = g.version
+        >>> g.add_edge("v", "a", "w")
+        >>> [str(e) for e in g.edges_since(v)]
+        ['(v -a-> w)']
+        """
+        return self._journal[version:]
+
+    def rename_node(self, old: Node, new: Node) -> frozenset[Edge]:
+        """Rename ``old`` to ``new`` in place, rewriting incident edges.
+
+        Returns the rewritten edges (as they read *after* the rename) so
+        that callers can re-match triggers against exactly the part of the
+        graph that changed.  Unlike the copy-based approach this is
+        O(degree(old)), not O(|E|).  Renaming a node onto itself or an
+        unknown node is a no-op.
+
+        >>> g = GraphDatabase(edges=[("u", "a", "x"), ("w", "b", "x")])
+        >>> sorted(str(e) for e in g.rename_node("x", "y"))
+        ['(u -a-> y)', '(w -b-> y)']
+        >>> g.has_edge("u", "a", "x")
+        False
+        """
+        if old == new or old not in self._nodes:
+            return frozenset()
+        rewritten: set[Edge] = set()
+        for edge in list(self.incident_edges(old)):
+            self.remove_edge(edge.source, edge.label, edge.target)
+            source = new if edge.source == old else edge.source
+            target = new if edge.target == old else edge.target
+            self.add_edge(source, edge.label, target)
+            rewritten.add(Edge(source, edge.label, target))
+        self._nodes.discard(old)
+        self._nodes.add(new)
+        return frozenset(rewritten)
 
     def node_count(self) -> int:
         """Return the number of nodes."""

@@ -54,8 +54,12 @@ def graph_homomorphisms(
             return [node]
         result = []
         for candidate in target_nodes:
-            if all(target.successors(candidate, lab) for lab in out_labels[node]) and all(
-                target.predecessors(candidate, lab) for lab in in_labels[node]
+            # Degree compatibility straight off the adjacency indexes —
+            # no successor/predecessor sets are materialised.
+            if all(
+                target.has_successor(candidate, lab) for lab in out_labels[node]
+            ) and all(
+                target.has_predecessor(candidate, lab) for lab in in_labels[node]
             ):
                 result.append(candidate)
         return sorted(result, key=repr)

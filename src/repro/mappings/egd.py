@@ -10,8 +10,9 @@ from __future__ import annotations
 
 from typing import Hashable, Iterator
 
+from repro.engine.matcher import TriggerMatcher
 from repro.errors import SchemaError
-from repro.graph.cnre import CNREQuery, cnre_homomorphisms
+from repro.graph.cnre import CNREQuery
 from repro.graph.database import GraphDatabase
 from repro.relational.query import Variable
 
@@ -41,10 +42,11 @@ class TargetEgd:
         """Yield pairs ``(h(x₁), h(x₂))`` with ``h(x₁) ≠ h(x₂)``.
 
         Each yielded pair is a witness that the egd fires and is violated;
-        the egd chase consumes these to decide merges.
+        the egd chase consumes these to decide merges.  Matching runs on
+        the shared indexed :class:`~repro.engine.matcher.TriggerMatcher`.
         """
         seen: set[tuple[Node, Node]] = set()
-        for hom in cnre_homomorphisms(self.body, graph):
+        for hom in TriggerMatcher(graph).matches(self.body):
             left_value, right_value = hom[self.left], hom[self.right]
             if left_value != right_value:
                 pair = (left_value, right_value)

@@ -16,8 +16,9 @@ from __future__ import annotations
 
 from typing import Hashable, Iterator
 
+from repro.engine.matcher import TriggerMatcher
 from repro.errors import SchemaError
-from repro.graph.cnre import CNREAtom, CNREQuery, cnre_homomorphisms
+from repro.graph.cnre import CNREAtom, CNREQuery
 from repro.graph.database import GraphDatabase
 from repro.graph.nre import label
 from repro.mappings.target_tgd import TargetTgd
@@ -57,8 +58,20 @@ class SameAsConstraint:
         only between the *distinct* cities sharing a hotel, confirming this
         reading.
         """
+        yield from self.violations_among(graph, TriggerMatcher(graph).matches(self.body))
+
+    def violations_among(
+        self, graph: GraphDatabase, homs: Iterator[dict[Variable, Node]]
+    ) -> Iterator[tuple[Node, Node]]:
+        """Filter a stream of body homomorphisms down to violated pairs.
+
+        This is the single definition of the constraint's violation
+        semantics (implicit reflexivity, pair dedup, satisfaction check);
+        :meth:`violations` feeds it the full trigger set, while the
+        semi-naive chase feeds it a delta-restricted one.
+        """
         seen: set[tuple[Node, Node]] = set()
-        for hom in cnre_homomorphisms(self.body, graph):
+        for hom in homs:
             pair = (hom[self.left], hom[self.right])
             if pair[0] == pair[1] or pair in seen:
                 continue

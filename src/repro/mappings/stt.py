@@ -10,14 +10,18 @@ existential.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterator
+from typing import TYPE_CHECKING, Hashable, Iterator
 
+from repro.engine.matcher import TriggerMatcher
 from repro.errors import SchemaError
-from repro.graph.cnre import CNREQuery, cnre_homomorphisms
+from repro.graph.cnre import CNREQuery
 from repro.graph.database import GraphDatabase
 from repro.relational.evaluate import cq_homomorphisms
 from repro.relational.instance import RelationalInstance
 from repro.relational.query import ConjunctiveQuery, Variable
+
+if TYPE_CHECKING:  # annotation-only import; avoids an import cycle
+    from repro.chase.result import ChaseStats
 
 Node = Hashable
 
@@ -53,9 +57,15 @@ class SourceToTargetTgd:
                 f"found constants {sorted(map(repr, head.constants()))}"
             )
 
-    def body_matches(self, instance: RelationalInstance) -> Iterator[dict[Variable, Node]]:
-        """Yield homomorphisms of the body into the source instance."""
-        yield from cq_homomorphisms(self.body, instance)
+    def body_matches(
+        self, instance: RelationalInstance, stats: "ChaseStats | None" = None
+    ) -> Iterator[dict[Variable, Node]]:
+        """Yield homomorphisms of the body into the source instance.
+
+        ``stats`` optionally records index hits into a
+        :class:`~repro.chase.result.ChaseStats`.
+        """
+        yield from cq_homomorphisms(self.body, instance, stats=stats)
 
     def head_satisfied(
         self,
@@ -64,7 +74,7 @@ class SourceToTargetTgd:
     ) -> bool:
         """Return whether ∃ȳ. ψ holds in ``graph`` under ``frontier_values``."""
         seed = {v: frontier_values[v] for v in self.frontier}
-        for _ in cnre_homomorphisms(self.head, graph, seed=seed):
+        for _ in TriggerMatcher(graph).matches(self.head, seed=seed):
             return True
         return False
 

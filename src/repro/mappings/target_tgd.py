@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from typing import Hashable, Iterator
 
-from repro.graph.cnre import CNREQuery, cnre_homomorphisms
+from repro.engine.matcher import TriggerMatcher
+from repro.graph.cnre import CNREQuery
 from repro.graph.database import GraphDatabase
 from repro.relational.query import Variable
 
@@ -37,11 +38,33 @@ class TargetTgd:
         )
 
     def violations(self, graph: GraphDatabase) -> Iterator[dict[Variable, Node]]:
-        """Yield body homomorphisms whose head has no extension in ``graph``."""
-        for hom in cnre_homomorphisms(self.body, graph):
+        """Yield body homomorphisms whose head has no extension in ``graph``.
+
+        Matching runs on the shared indexed
+        :class:`~repro.engine.matcher.TriggerMatcher`.
+        """
+        matcher = TriggerMatcher(graph)
+        yield from self.violations_among(graph, matcher.matches(self.body), matcher)
+
+    def violations_among(
+        self,
+        graph: GraphDatabase,
+        homs: Iterator[dict[Variable, Node]],
+        matcher: TriggerMatcher | None = None,
+    ) -> Iterator[dict[Variable, Node]]:
+        """Filter a stream of body homomorphisms down to the violations.
+
+        This is the single definition of the tgd's violation semantics
+        (frontier projection seeding an existential head check);
+        :meth:`violations` feeds it the full trigger set, while the
+        semi-naive chase feeds it a delta-restricted one together with its
+        own matcher.
+        """
+        matcher = matcher if matcher is not None else TriggerMatcher(graph)
+        for hom in homs:
             seed = {v: hom[v] for v in self.frontier}
             satisfied = False
-            for _ in cnre_homomorphisms(self.head, graph, seed=seed):
+            for _ in matcher.matches(self.head, seed=seed):
                 satisfied = True
                 break
             if not satisfied:

@@ -54,8 +54,16 @@ class PatternEdge:
         return f"({self.source}) -[{self.nre}]-> ({self.target})"
 
     def sort_key(self) -> tuple[str, str, str]:
-        """A stable display/processing order (lexicographic on reprs)."""
-        return (repr(self.source), str(self.nre), repr(self.target))
+        """A stable display/processing order (lexicographic on reprs).
+
+        Computed once per edge and cached — edges are immutable, and the
+        chase sorts edge sets repeatedly for deterministic output.
+        """
+        cached = self.__dict__.get("_sort_key")
+        if cached is None:
+            cached = (repr(self.source), str(self.nre), repr(self.target))
+            object.__setattr__(self, "_sort_key", cached)
+        return cached
 
     def __lt__(self, other: object) -> bool:  # stable ordering for display
         if not isinstance(other, PatternEdge):
@@ -86,6 +94,9 @@ class GraphPattern:
         )
         self._nodes: set[Node] = set()
         self._edges: set[PatternEdge] = set()
+        # node -> incident edges; keeps substitute() at O(degree), which
+        # the delta-chase engine relies on for fast merge steps.
+        self._touching: dict[Node, set[PatternEdge]] = {}
         self._null_counter = itertools.count(1)
         for node in nodes:
             self.add_node(node)
@@ -113,7 +124,10 @@ class GraphPattern:
             raise SchemaError(f"pattern edge label must be an NRE, got {expr!r}")
         self._nodes.add(source)
         self._nodes.add(target)
-        self._edges.add(PatternEdge(source, expr, target))
+        edge = PatternEdge(source, expr, target)
+        self._edges.add(edge)
+        self._touching.setdefault(source, set()).add(edge)
+        self._touching.setdefault(target, set()).add(edge)
 
     # ------------------------------------------------------------------ #
     # Inspection
@@ -175,12 +189,15 @@ class GraphPattern:
             return
         self._nodes.discard(old)
         self._nodes.add(new)
-        affected = [e for e in self._edges if e.source == old or e.target == old]
+        affected = list(self._touching.pop(old, ()))
         for edge in affected:
             self._edges.discard(edge)
+            for endpoint in (edge.source, edge.target):
+                if endpoint != old:
+                    self._touching.get(endpoint, set()).discard(edge)
             source = new if edge.source == old else edge.source
             target = new if edge.target == old else edge.target
-            self._edges.add(PatternEdge(source, edge.nre, target))
+            self.add_edge(source, edge.nre, target)
 
     def copy(self) -> "GraphPattern":
         """Return an independent copy (null allocator restarts but skips
@@ -188,6 +205,7 @@ class GraphPattern:
         clone = GraphPattern(alphabet=self.alphabet)
         clone._nodes = set(self._nodes)
         clone._edges = set(self._edges)
+        clone._touching = {node: set(edges) for node, edges in self._touching.items()}
         return clone
 
     # ------------------------------------------------------------------ #

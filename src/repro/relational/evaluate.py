@@ -5,14 +5,23 @@ The evaluator enumerates homomorphisms from the query body into the instance
 bind variables early — a greedy "most-bound-first, then smallest-relation"
 heuristic — which keeps the search close to a left-deep join plan without
 building intermediate relations.
+
+When an atom's first position is already bound, the candidate tuples are
+read from the instance's first-column hash index
+(:meth:`~repro.relational.instance.RelationalInstance.tuples_with_first`)
+instead of scanning the whole relation; an optional
+:class:`~repro.chase.result.ChaseStats` records those index hits.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping
+from typing import TYPE_CHECKING, Iterator, Mapping
 
 from repro.relational.instance import RelationalInstance
 from repro.relational.query import ConjunctiveQuery, RelationalAtom, Variable, is_variable
+
+if TYPE_CHECKING:  # annotation-only import; avoids an import cycle
+    from repro.chase.result import ChaseStats
 
 Assignment = dict[Variable, object]
 
@@ -28,7 +37,7 @@ def _atom_order(query: ConjunctiveQuery, instance: RelationalInstance) -> list[R
         def score(atom: RelationalAtom) -> tuple[int, int]:
             atom_vars = set(atom.variables())
             unbound = len(atom_vars - bound)
-            return (unbound, len(instance.tuples(atom.relation)))
+            return (unbound, instance.count(atom.relation))
 
         best = min(remaining, key=score)
         remaining.remove(best)
@@ -41,9 +50,25 @@ def _match_atom(
     atom: RelationalAtom,
     instance: RelationalInstance,
     assignment: Assignment,
+    stats: "ChaseStats | None" = None,
 ) -> Iterator[Assignment]:
-    """Yield extensions of ``assignment`` matching ``atom`` in ``instance``."""
-    for tup in instance.tuples(atom.relation):
+    """Yield extensions of ``assignment`` matching ``atom`` in ``instance``.
+
+    Uses the first-column index when the atom's first position is a
+    constant or an already-bound variable.
+    """
+    first = atom.terms[0] if atom.terms else None
+    if first is not None and not is_variable(first):
+        candidates = instance.tuples_with_first(atom.relation, first)
+        if stats is not None:
+            stats.index_hits += 1
+    elif first is not None and first in assignment:
+        candidates = instance.tuples_with_first(atom.relation, assignment[first])
+        if stats is not None:
+            stats.index_hits += 1
+    else:
+        candidates = instance.iter_tuples(atom.relation)
+    for tup in candidates:
         extension: Assignment = {}
         ok = True
         for term, value in zip(atom.terms, tup):
@@ -70,15 +95,20 @@ def cq_homomorphisms(
     query: ConjunctiveQuery,
     instance: RelationalInstance,
     seed: Mapping[Variable, object] | None = None,
+    stats: "ChaseStats | None" = None,
 ) -> Iterator[Assignment]:
     """Yield every homomorphism from ``query``'s body into ``instance``.
 
     A homomorphism maps each body variable to a constant such that every atom
     becomes a fact of the instance.  ``seed`` optionally pre-binds variables
     (used when checking dependencies: the body match seeds the head check).
+    ``stats`` optionally records index hits into a
+    :class:`~repro.chase.result.ChaseStats`.
 
     Homomorphisms are yielded as fresh dictionaries; mutating one does not
-    affect the enumeration.
+    affect the enumeration.  The enumeration reads the instance's live
+    storage — materialise it (``list(...)``) before inserting new facts
+    into the instance, as the chase engines do.
     """
     query.validate(instance.schema)
     ordered = _atom_order(query, instance)
@@ -87,7 +117,7 @@ def cq_homomorphisms(
         if index == len(ordered):
             yield dict(assignment)
             return
-        for extended in _match_atom(ordered[index], instance, assignment):
+        for extended in _match_atom(ordered[index], instance, assignment, stats):
             yield from extend(index + 1, extended)
 
     initial: Assignment = dict(seed) if seed else {}

@@ -16,6 +16,8 @@ from repro.relational.schema import RelationSymbol, RelationalSchema
 Constant = object
 Tuple = tuple
 
+_EMPTY: frozenset = frozenset()
+
 
 class RelationalInstance:
     """A finite instance of a :class:`RelationalSchema`.
@@ -38,6 +40,11 @@ class RelationalInstance:
     ):
         self.schema = schema
         self._data: dict[str, set[Tuple]] = {symbol.name: set() for symbol in schema}
+        # relation -> first-column value -> tuples; maintained on insert so
+        # join steps with a bound first position read O(matches), not O(n).
+        self._by_first: dict[str, dict[Constant, set[Tuple]]] = {
+            symbol.name: {} for symbol in schema
+        }
         if facts:
             for name, tuples in facts.items():
                 for tup in tuples:
@@ -64,6 +71,8 @@ class RelationalInstance:
                 f"tuple {tup!r} has arity {len(tup)}, but {symbol} expects {symbol.arity}"
             )
         self._data[symbol.name].add(tup)
+        if tup:
+            self._by_first[symbol.name].setdefault(tup[0], set()).add(tup)
 
     def add_all(self, relation: str | RelationSymbol, tuples: Iterable[Iterable[Constant]]) -> None:
         """Insert every tuple from ``tuples`` into ``relation``."""
@@ -74,6 +83,54 @@ class RelationalInstance:
         """Return the set of tuples currently stored for ``relation``."""
         symbol = self._symbol(relation)
         return frozenset(self._data[symbol.name])
+
+    def iter_tuples(self, relation: str | RelationSymbol) -> Iterator[Tuple]:
+        """Iterate the tuples of ``relation`` without materialising a copy.
+
+        The iterator reads the live storage: do not insert into
+        ``relation`` while consuming it (use :meth:`tuples` for a
+        snapshot).
+
+        >>> schema = RelationalSchema()
+        >>> _ = schema.declare("R", 2)
+        >>> inst = RelationalInstance(schema, {"R": [("a", "b")]})
+        >>> list(inst.iter_tuples("R"))
+        [('a', 'b')]
+        """
+        symbol = self._symbol(relation)
+        return iter(self._data[symbol.name])
+
+    def tuples_with_first(
+        self, relation: str | RelationSymbol, value: Constant
+    ) -> "frozenset[Tuple] | set[Tuple]":
+        """Return the tuples of ``relation`` whose first column is ``value``.
+
+        Served from an index maintained on insertion — the fast path of
+        the trigger-matching joins when the first position is bound.  The
+        returned set is a live view of the index bucket: iterate it, but
+        do not insert into ``relation`` while doing so (and never mutate
+        the returned set itself).
+
+        >>> schema = RelationalSchema()
+        >>> _ = schema.declare("R", 2)
+        >>> inst = RelationalInstance(schema, {"R": [("a", "b"), ("c", "d")]})
+        >>> sorted(inst.tuples_with_first("R", "a"))
+        [('a', 'b')]
+        """
+        symbol = self._symbol(relation)
+        return self._by_first[symbol.name].get(value, _EMPTY)
+
+    def count(self, relation: str | RelationSymbol) -> int:
+        """Return the number of tuples in ``relation`` (no copying).
+
+        >>> schema = RelationalSchema()
+        >>> _ = schema.declare("R", 1)
+        >>> inst = RelationalInstance(schema, {"R": [("a",), ("b",)]})
+        >>> inst.count("R")
+        2
+        """
+        symbol = self._symbol(relation)
+        return len(self._data[symbol.name])
 
     def contains(self, relation: str | RelationSymbol, values: Iterable[Constant]) -> bool:
         """Return whether the tuple ``values`` is present in ``relation``."""
@@ -106,6 +163,8 @@ class RelationalInstance:
         clone = RelationalInstance(self.schema)
         for name, tuples in self._data.items():
             clone._data[name] = set(tuples)
+        for name, index in self._by_first.items():
+            clone._by_first[name] = {value: set(tups) for value, tups in index.items()}
         return clone
 
     def __eq__(self, other: object) -> bool:

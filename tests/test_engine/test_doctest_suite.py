@@ -1,0 +1,35 @@
+"""Doctest wiring: the public-API examples run as part of tier-1.
+
+``python -m pytest --doctest-modules src/repro/engine`` runs the same
+examples standalone (and CI does); this module keeps them in the default
+``python -m pytest`` collection so documentation rot fails the build.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.chase.result
+import repro.engine
+import repro.engine.delta
+import repro.engine.matcher
+import repro.graph.database
+import repro.relational.instance
+
+MODULES = [
+    repro,
+    repro.engine,
+    repro.engine.matcher,
+    repro.engine.delta,
+    repro.chase.result,
+    repro.graph.database,
+    repro.relational.instance,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0
+    assert result.attempted > 0, f"{module.__name__} has no runnable examples"

@@ -1,12 +1,27 @@
 """Every shipped example must run cleanly and print its headline facts."""
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+REPO = pathlib.Path(__file__).resolve().parents[2]
+EXAMPLES = REPO / "examples"
+
+
+def _env() -> dict:
+    """The inherited environment with ``src`` on PYTHONPATH.
+
+    Subprocesses do not see pytest.ini's ``pythonpath`` setting, so the
+    examples need it spelled out regardless of how pytest was invoked.
+    """
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else os.pathsep.join([src, existing])
+    return env
 
 
 def run_example(name: str) -> str:
@@ -15,6 +30,7 @@ def run_example(name: str) -> str:
         capture_output=True,
         text=True,
         timeout=300,
+        env=_env(),
     )
     assert process.returncode == 0, process.stderr
     return process.stdout
@@ -59,6 +75,7 @@ class TestExamples:
             capture_output=True,
             text=True,
             timeout=300,
+            env=_env(),
         )
         assert process.returncode == 0, process.stderr
         written = sorted(p.name for p in tmp_path.glob("*.dot"))
