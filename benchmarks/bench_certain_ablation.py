@@ -56,10 +56,17 @@ def test_enumeration_backend(benchmark):
     cases = make_cases()
 
     def run():
+        # The reference engine forces the minimal-solution enumeration path
+        # (the compiled engine would short-circuit to the SAT decision,
+        # which is what test_sat_backend measures) — keeping this an honest
+        # two-back-end ablation.
+        from repro.engine.query import ReferenceEngine
+
         return [
             is_certain_answer(
                 inst.setting, inst.instance, inst.query, inst.tuple,
                 config=CandidateSearchConfig(star_bound=1),
+                engine=ReferenceEngine(),
             )
             for inst in map(certain_egd_instance, cases)
         ]

@@ -1,9 +1,12 @@
 """E12 (ours) — NRE engine throughput and differential correctness.
 
-Ablation for the two-evaluator design (DESIGN.md): the set-algebraic
-reference evaluator vs the product-automaton evaluator, on random graphs
-with the paper's query shape, plus an independent networkx cross-check for
-pure-star reachability.
+Ablation for the three-evaluator design: the set-algebraic reference
+evaluator vs the (ε-free, label-indexed) product-automaton evaluator vs
+the full :class:`~repro.engine.query.QueryEngine` with its caches, on
+random graphs with the paper's query shape — plus single-source and
+single-pair modes (the certain-answer hot path) and an independent
+networkx cross-check for pure-star reachability.  Every timed evaluator is
+asserted identical to the reference relation.
 """
 
 import random
@@ -12,6 +15,7 @@ from conftest import report
 
 import networkx as nx
 
+from repro.engine.query import QueryEngine
 from repro.graph.automaton import evaluate_nre_automaton
 from repro.graph.eval import evaluate_nre
 from repro.graph.parser import parse_nre
@@ -43,6 +47,46 @@ def test_automaton_evaluator_throughput(benchmark):
         [("answer pairs", "—", len(result))],
     )
     assert result == evaluate_nre(graph, QUERY)
+
+
+def test_query_engine_all_pairs(benchmark):
+    """The QueryEngine on a fresh graph each call (no cross-call cache hits)."""
+    graph = flight_like_graph(40, 160, seed=1)
+    engine = QueryEngine()
+
+    def evaluate():
+        engine.clear()  # measure evaluation, not the result cache
+        return engine.pairs(graph, QUERY)
+
+    result = benchmark(evaluate)
+    report(
+        "E12e / QueryEngine all-pairs (cache cleared per call)",
+        [("answer pairs", "—", len(result)),
+         ("identical to reference", True, result == evaluate_nre(graph, QUERY))],
+    )
+    assert result == evaluate_nre(graph, QUERY)
+
+
+def test_query_engine_single_pair(benchmark):
+    """Single-pair mode — the is_certain_answer hot path — never all-pairs."""
+    graph = flight_like_graph(40, 160, seed=1)
+    engine = QueryEngine()
+    reference = evaluate_nre(graph, QUERY)
+    nodes = sorted(graph.nodes())
+    probes = [(nodes[i], nodes[(i * 7 + 3) % len(nodes)]) for i in range(len(nodes))]
+
+    def evaluate():
+        engine.clear()
+        return [engine.holds(graph, QUERY, u, v) for u, v in probes]
+
+    verdicts = benchmark(evaluate)
+    expected = [(u, v) in reference for u, v in probes]
+    report(
+        "E12f / QueryEngine single-pair sweep (40 probes)",
+        [("probes", len(probes), len(verdicts)),
+         ("identical to reference", True, verdicts == expected)],
+    )
+    assert verdicts == expected
 
 
 def test_differential_sweep(benchmark):

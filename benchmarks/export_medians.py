@@ -1,0 +1,52 @@
+"""Convert a pytest-benchmark JSON report into a flat median table.
+
+Usage::
+
+    python -m pytest benchmarks/... --benchmark-json=bench_raw.json
+    python benchmarks/export_medians.py bench_raw.json BENCH_PR2.json
+
+The output maps each benchmark name to its median wall-clock seconds,
+sorted by name, plus a small meta block — a stable, diff-friendly artifact
+that future PRs can compare against to track the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def export(raw_path: str, out_path: str) -> dict:
+    """Read pytest-benchmark JSON at ``raw_path``, write medians to ``out_path``."""
+    with open(raw_path, encoding="utf-8") as handle:
+        raw = json.load(handle)
+    medians = {
+        bench["name"]: bench["stats"]["median"] for bench in raw.get("benchmarks", [])
+    }
+    document = {
+        "meta": {
+            "unit": "seconds",
+            "statistic": "median",
+            "machine": raw.get("machine_info", {}).get("node", "unknown"),
+            "python": raw.get("machine_info", {}).get("python_version", "unknown"),
+            "benchmarks": len(medians),
+        },
+        "medians": dict(sorted(medians.items())),
+    }
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    document = export(argv[1], argv[2])
+    print(f"wrote {argv[2]}: {document['meta']['benchmarks']} benchmark median(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -94,7 +94,14 @@ from repro.chase import (
     chase_target_tgds,
 )
 from repro.chase.result import ChaseStats
-from repro.engine import TriggerMatcher, is_simple_query
+from repro.engine import (
+    EvalStats,
+    QueryEngine,
+    ReferenceEngine,
+    TriggerMatcher,
+    default_engine,
+    is_simple_query,
+)
 from repro.core import (
     DataExchangeSetting,
     is_solution,
@@ -149,6 +156,10 @@ __all__ = [
     "ChaseStats",
     "TriggerMatcher",
     "is_simple_query",
+    "QueryEngine",
+    "ReferenceEngine",
+    "EvalStats",
+    "default_engine",
     "chase_pattern",
     "chase_relational",
     "chase_with_egds",

@@ -18,6 +18,12 @@ Available commands:
                  exists / not-exists / unknown;
 * ``certain``  — compute the certain answers of an NRE query;
 * ``render``   — emit Graphviz DOT for a graph JSON file.
+
+``exists`` and ``certain`` accept ``--engine {compiled,reference}`` to pick
+the query-evaluation back-end (the compiled product-automaton engine with
+its cross-candidate cache, or the set-algebraic reference oracle — both
+stay runnable end to end) and ``--stats`` to print the engine's
+:class:`~repro.engine.query.EvalStats` counters after the run.
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ from repro.core.certain import certain_answers_nre
 from repro.core.existence import decide_existence
 from repro.core.search import CandidateSearchConfig
 from repro.core.setting import DataExchangeSetting
+from repro.engine.query import EvalStats, QueryEngine, ReferenceEngine
 from repro.graph.parser import parse_nre
 from repro.io.dependencies import setting_from_dict, setting_to_dict
 from repro.io.dot import graph_to_dot, pattern_to_dot
@@ -95,16 +102,32 @@ def _cmd_chase(args: argparse.Namespace) -> int:
     return 0
 
 
+def _engine_from_args(args: argparse.Namespace):
+    """Build the query engine selected by ``--engine`` (with fresh stats)."""
+    stats = EvalStats()
+    if getattr(args, "engine", "compiled") == "reference":
+        return ReferenceEngine(stats=stats)
+    return QueryEngine(stats=stats)
+
+
+def _maybe_print_stats(args: argparse.Namespace, engine) -> None:
+    if getattr(args, "stats", False):
+        print(f"engine: {engine.name}")
+        print(f"stats: {engine.stats.summary()}")
+
+
 def _cmd_exists(args: argparse.Namespace) -> int:
     setting, instance = load_document(args.document)
     config = CandidateSearchConfig(star_bound=args.star_bound)
-    result = decide_existence(setting, instance, search_config=config)
+    engine = _engine_from_args(args)
+    result = decide_existence(setting, instance, search_config=config, engine=engine)
     print(f"status: {result.status.value}")
     print(f"method: {result.method}")
     if result.detail:
         print(f"detail: {result.detail}")
     if result.witness is not None and args.witness:
         print(json.dumps(graph_to_dict(result.witness), indent=2, sort_keys=True))
+    _maybe_print_stats(args, engine)
     return {"exists": 0, "not-exists": 1, "unknown": 2}[result.status.value]
 
 
@@ -112,28 +135,33 @@ def _cmd_certain(args: argparse.Namespace) -> int:
     setting, instance = load_document(args.document)
     query = parse_nre(args.query)
     config = CandidateSearchConfig(star_bound=args.star_bound)
+    engine = _engine_from_args(args)
     if args.pair:
         from repro.core.certain import find_counterexample_solution
 
         pair = tuple(args.pair)
         counterexample = find_counterexample_solution(
-            setting, instance, query, pair, config=config
+            setting, instance, query, pair, config=config, engine=engine
         )
         if counterexample is None:
             print(f"{pair} is a certain answer")
+            _maybe_print_stats(args, engine)
             return 0
         print(f"{pair} is NOT certain; counterexample solution:")
         print(json.dumps(graph_to_dict(counterexample), indent=2, sort_keys=True))
+        _maybe_print_stats(args, engine)
         return 1
-    result = certain_answers_nre(setting, instance, query, config=config)
+    result = certain_answers_nre(setting, instance, query, config=config, engine=engine)
     if result.no_solution:
         print("no solution exists: every tuple is (vacuously) certain")
+        _maybe_print_stats(args, engine)
         return 0
     print(f"method: {result.method}")
     for pair in sorted(result.answers, key=repr):
         print(f"  {pair[0]}  {pair[1]}")
     if not result.answers:
         print("  (no certain answers)")
+    _maybe_print_stats(args, engine)
     return 0
 
 
@@ -149,6 +177,21 @@ def _cmd_render(args: argparse.Namespace) -> int:
     else:
         print(graph_to_dot(graph_from_dict(data), name=args.name))
     return 0
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        choices=("compiled", "reference"),
+        default="compiled",
+        help="query evaluation back-end: the compiled product-automaton "
+        "engine (default) or the set-algebraic reference oracle",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the engine's evaluation counters after the run",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -172,6 +215,7 @@ def build_parser() -> argparse.ArgumentParser:
     exists.add_argument("document")
     exists.add_argument("--star-bound", type=int, default=2)
     exists.add_argument("--witness", action="store_true", help="print the witness graph")
+    _add_engine_arguments(exists)
     exists.set_defaults(handler=_cmd_exists)
 
     certain = commands.add_parser("certain", help="certain answers of an NRE query")
@@ -185,6 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="decide one tuple instead of computing the whole set "
         "(exit 0 = certain, 1 = counterexample found)",
     )
+    _add_engine_arguments(certain)
     certain.set_defaults(handler=_cmd_certain)
 
     render = commands.add_parser("render", help="render a graph JSON file as DOT")

@@ -47,9 +47,9 @@ from typing import Hashable, Iterable
 from repro.core.search import CandidateSearchConfig, candidate_solutions
 from repro.core.setting import DataExchangeSetting
 from repro.core.existence import ExistenceStatus, decide_existence
+from repro.engine.query import default_engine
 from repro.errors import BoundExceeded
 from repro.graph.database import GraphDatabase
-from repro.graph.eval import evaluate_nre
 from repro.graph.nre import NRE
 from repro.relational.instance import RelationalInstance
 
@@ -83,18 +83,25 @@ def certain_answers_nre(
     instance: RelationalInstance,
     query: NRE,
     config: CandidateSearchConfig | None = None,
+    engine=None,
 ) -> CertainAnswers:
     """Compute the certain answers of the binary NRE ``query``.
 
     Only pairs over the source active domain are reported (the paper's
-    query answering problem asks about tuples of constants).
+    query answering problem asks about tuples of constants) — so each
+    solution is probed with one single-source engine query per domain
+    constant instead of a full all-pairs materialisation.  ``engine``
+    selects the evaluation back-end (default: the shared compiled
+    :class:`~repro.engine.query.QueryEngine`; pass a
+    :class:`~repro.engine.query.ReferenceEngine` to run the oracle path).
 
     Raises :class:`~repro.errors.BoundExceeded` when existence could not be
     settled and no candidate solution was found — then nothing sound can be
     said within the bounds.
     """
+    eng = engine if engine is not None else default_engine()
     cfg = config if config is not None else CandidateSearchConfig(star_bound=2)
-    existence = decide_existence(setting, instance, search_config=cfg)
+    existence = decide_existence(setting, instance, search_config=cfg, engine=eng)
     if existence.status is ExistenceStatus.NOT_EXISTS:
         return CertainAnswers(
             answers=frozenset(),
@@ -106,12 +113,10 @@ def certain_answers_nre(
     domain = instance.active_domain()
     intersection: set[Pair] | None = None
     examined = 0
-    for solution in _solutions_for_intersection(setting, instance, cfg, existence):
-        answers = {
-            (u, v)
-            for u, v in evaluate_nre(solution, query)
-            if u in domain and v in domain
-        }
+    for solution in _solutions_for_intersection(
+        setting, instance, cfg, existence, eng
+    ):
+        answers = set(eng.answers_over(solution, query, domain))
         intersection = answers if intersection is None else intersection & answers
         examined += 1
         if not intersection:
@@ -135,13 +140,14 @@ def _solutions_for_intersection(
     instance: RelationalInstance,
     cfg: CandidateSearchConfig,
     existence,
+    engine=None,
 ) -> Iterable[GraphDatabase]:
     """The existence witness first (guaranteed), then the minimal family."""
     seen: set[frozenset] = set()
     if existence.witness is not None:
         seen.add(frozenset(existence.witness.edges()))
         yield existence.witness
-    for candidate in candidate_solutions(setting, instance, cfg):
+    for candidate in candidate_solutions(setting, instance, cfg, engine=engine):
         signature = frozenset(candidate.edges())
         if signature in seen:
             continue
@@ -154,6 +160,7 @@ def certain_answers_cnre(
     instance: RelationalInstance,
     query,
     config: CandidateSearchConfig | None = None,
+    engine=None,
 ) -> CertainAnswers:
     """Certain answers of a full CNRE query (arbitrary arity).
 
@@ -165,8 +172,9 @@ def certain_answers_cnre(
     """
     from repro.graph.cnre import evaluate_cnre
 
+    eng = engine if engine is not None else default_engine()
     cfg = config if config is not None else CandidateSearchConfig(star_bound=2)
-    existence = decide_existence(setting, instance, search_config=cfg)
+    existence = decide_existence(setting, instance, search_config=cfg, engine=eng)
     if existence.status is ExistenceStatus.NOT_EXISTS:
         return CertainAnswers(
             answers=frozenset(),
@@ -177,10 +185,12 @@ def certain_answers_cnre(
     domain = instance.active_domain()
     intersection: set[tuple] | None = None
     examined = 0
-    for solution in _solutions_for_intersection(setting, instance, cfg, existence):
+    for solution in _solutions_for_intersection(
+        setting, instance, cfg, existence, eng
+    ):
         answers = {
             row
-            for row in evaluate_cnre(query, solution)
+            for row in evaluate_cnre(query, solution, engine=eng)
             if all(value in domain for value in row)
         }
         intersection = answers if intersection is None else intersection & answers
@@ -206,6 +216,7 @@ def is_certain_answer(
     query: NRE,
     pair: Pair,
     config: CandidateSearchConfig | None = None,
+    engine=None,
 ) -> bool:
     """Decide whether ``pair ∈ cert_Ω(query, I)`` (bounded, see module doc).
 
@@ -213,7 +224,7 @@ def is_certain_answer(
     the first counterexample solution.
     """
     counterexample = find_counterexample_solution(
-        setting, instance, query, pair, config
+        setting, instance, query, pair, config, engine=engine
     )
     return counterexample is None
 
@@ -224,6 +235,7 @@ def find_counterexample_solution(
     query: NRE,
     pair: Pair,
     config: CandidateSearchConfig | None = None,
+    engine=None,
 ) -> GraphDatabase | None:
     """Return a solution G with ``pair ∉ ⟦query⟧_G``, or ``None``.
 
@@ -231,18 +243,95 @@ def find_counterexample_solution(
     is not certain.  ``None`` means no counterexample exists within the
     bounds (and existence settled): the pair is certain up to the bounds,
     exactly on the paper's families.
+
+    Each solution is probed with the engine's single-pair mode — an
+    early-exit product BFS — so deciding one tuple never materialises a
+    full all-pairs relation.  On the Theorem 4.1 fragment with
+    union-of-words queries the decision short-circuits to one *complete*
+    SAT call (:func:`_sat_counterexample`) and skips the enumeration
+    entirely.
     """
+    eng = engine if engine is not None else default_engine()
     cfg = config if config is not None else CandidateSearchConfig(star_bound=2)
-    existence = decide_existence(setting, instance, search_config=cfg)
+    # The reference engine deliberately runs the full enumeration pipeline
+    # (it is the differential-testing oracle for this fast path).
+    if getattr(eng, "name", "") != "reference":
+        sat_verdict = _sat_counterexample(setting, instance, query, pair, eng)
+        if sat_verdict is not _INAPPLICABLE:
+            return sat_verdict
+    existence = decide_existence(setting, instance, search_config=cfg, engine=eng)
     if existence.status is ExistenceStatus.NOT_EXISTS:
         return None  # vacuously certain: there is no solution at all
     found_any = existence.witness is not None
-    for solution in _solutions_for_intersection(setting, instance, cfg, existence):
+    for solution in _solutions_for_intersection(
+        setting, instance, cfg, existence, eng
+    ):
         found_any = True
-        if pair not in evaluate_nre(solution, query):
+        if not eng.holds(solution, query, pair[0], pair[1]):
             return solution
     if not found_any:
         raise BoundExceeded(
             "existence unsettled and no candidate solutions within bounds"
         )
     return None
+
+
+_INAPPLICABLE = object()
+
+
+def _sat_counterexample(
+    setting: DataExchangeSetting,
+    instance: RelationalInstance,
+    query: NRE,
+    pair: Pair,
+    engine,
+):
+    """Complete one-shot SAT decision of ``pair ∈ cert_Ω(query, I)``.
+
+    Applicable when the setting is SAT-encodable (Theorem 4.1 fragment:
+    union-of-symbols heads, word egds) *and* the query is a union of words.
+    Then "some solution misses the pair" is one bounded-model SAT question:
+    :func:`~repro.solver.encode.encode_bounded_existence` over the chased
+    pattern's nodes, plus blocking clauses forbidding every realisation of
+    the pair (:func:`~repro.solver.encode.add_pair_blocking_clauses`).  A
+    model decodes to a machine-checked counterexample solution; UNSAT means
+    either no solution at all or every bounded solution has the pair — in
+    both cases the pair is certain, matching the enumeration's verdict (the
+    bounded universe is complete for this fragment, see
+    :mod:`repro.solver.encode`).
+
+    Returns the counterexample graph, ``None`` (certain), or the sentinel
+    :data:`_INAPPLICABLE` when the fragment/query shape does not apply —
+    the caller then falls back to the minimal-solution enumeration.
+    """
+    from repro.chase.pattern_chase import chase_pattern
+    from repro.core.solution import is_solution
+    from repro.errors import NotSupportedError
+    from repro.solver.dpll import solve_cnf
+    from repro.solver.encode import (
+        add_pair_blocking_clauses,
+        decode_edge_model,
+        encode_bounded_existence,
+    )
+
+    if not setting.fragment().sat_encodable:
+        return _INAPPLICABLE
+    try:
+        pattern = chase_pattern(
+            setting.st_tgds, instance, alphabet=setting.alphabet
+        ).expect_pattern()
+        nodes = sorted(pattern.nodes(), key=repr)
+        cnf = encode_bounded_existence(setting, instance, nodes)
+        add_pair_blocking_clauses(cnf, query, pair[0], pair[1], nodes)
+    except NotSupportedError:
+        return _INAPPLICABLE
+    model = solve_cnf(cnf)
+    if model is None:
+        return None  # no bounded solution misses the pair: certain
+    witness = decode_edge_model(cnf, model, setting.alphabet, nodes)
+    if not is_solution(instance, witness, setting) or engine.holds(
+        witness, query, pair[0], pair[1]
+    ):  # pragma: no cover - decode/encode disagreement would be a bug;
+        # fall back to the sound enumeration rather than trust it
+        return _INAPPLICABLE
+    return witness

@@ -185,11 +185,15 @@ def decide_existence(
     instance: RelationalInstance,
     search_config: CandidateSearchConfig | None = None,
     star_bound: int = 2,
+    engine=None,
 ) -> ExistenceResult:
     """Decide whether ``Sol_Ω(I) ≠ ∅`` (see the module docstring).
 
     The result's ``method`` names the deciding strategy; UNKNOWN results
     mean every applicable bounded strategy was exhausted inconclusively.
+    ``engine`` is the query engine forwarded to the bounded candidate
+    search (strategy 3d/4); witness verification and the other strategies
+    use the shared default engine through the trigger matcher.
     """
     fragment = setting.fragment()
 
@@ -256,7 +260,7 @@ def decide_existence(
     config = search_config if search_config is not None else CandidateSearchConfig(
         star_bound=star_bound
     )
-    for candidate in candidate_solutions(setting, instance, config):
+    for candidate in candidate_solutions(setting, instance, config, engine=engine):
         return _verified(candidate, setting, instance, "candidate-search")
 
     return ExistenceResult(

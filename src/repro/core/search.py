@@ -20,6 +20,20 @@ The enumeration is exponential (witness choices × partitions), which is the
 expected shape: the paper proves existence NP-hard (Theorem 4.1) and
 certain answers coNP-hard (Corollary 4.2), so *some* exponential lives here
 by necessity.  All knobs are explicit in :class:`CandidateSearchConfig`.
+
+Step 1 is a *pruned backtracking* search rather than a blind product: a
+partial witness combination whose partial graph already violates an egd
+between two **distinct constants** can never complete to a solution —
+adding the remaining witnesses only adds edges (NRE bodies are monotone,
+so the violating match survives), quotients rename nulls but fix constants
+(the match's image still violates), and the repair steps of step 3 only add
+edges too.  Cutting those subtrees early is what makes the
+``max_instantiations`` budget meaningful on settings whose witness-choice
+space is large but mostly inconsistent — the seed code enumerated the raw
+product and routinely burned its entire budget inside a fully-conflicted
+region (Hypothesis seed 2781 was the canonical failure: a verified SAT
+witness existed while the first 512 product combinations all violated the
+``l2·l1`` egd, so ``candidate_solutions`` reported nothing).
 """
 
 from __future__ import annotations
@@ -34,10 +48,12 @@ from repro.chase.sameas_chase import saturate_sameas
 from repro.chase.target_tgd_chase import chase_target_tgds
 from repro.core.setting import DataExchangeSetting
 from repro.core.solution import is_solution
+from repro.engine.matcher import TriggerMatcher
 from repro.errors import BoundExceeded
 from repro.graph.database import GraphDatabase
+from repro.graph.witness import default_fresh_factory, enumerate_witnesses
 from repro.patterns.pattern import GraphPattern
-from repro.patterns.rep import enumerate_instantiations
+from repro.patterns.rep import Instantiation, assemble_witnesses
 from repro.relational.instance import RelationalInstance
 
 Node = Hashable
@@ -186,15 +202,82 @@ def chased_pattern_for(
     ).expect_pattern()
 
 
+def _has_constant_egd_conflict(
+    graph: GraphDatabase,
+    egds,
+    constants: set[Node],
+    engine,
+) -> bool:
+    """Whether ``graph`` violates some egd between two distinct constants.
+
+    Such a violation is *permanent*: witnesses still to be chosen only add
+    edges, quotients only rename nulls, and the repair chases only add edges
+    — none of which can retract an NRE match between two constants.  Used
+    by the backtracking enumeration to cut conflicted subtrees early.
+    """
+    for egd in egds:
+        matcher = TriggerMatcher(graph, engine=engine)
+        for hom in matcher.matches(egd.body):
+            left, right = hom[egd.left], hom[egd.right]
+            if left != right and left in constants and right in constants:
+                return True
+    return False
+
+
+def _pruned_instantiations(
+    pattern: GraphPattern,
+    setting: DataExchangeSetting,
+    cfg: CandidateSearchConfig,
+    sigma,
+    engine,
+) -> Iterator[Instantiation]:
+    """Enumerate full witness combinations, pruning doomed prefixes.
+
+    Yields exactly the assemblable combinations the raw product would have
+    yielded, minus those whose partial graph already carries a
+    constant-to-constant egd violation (see
+    :func:`_has_constant_egd_conflict` — every completion of such a prefix
+    fails the solution check, so skipping them loses nothing and keeps the
+    ``max_instantiations`` budget for combinations that can still win).
+    """
+    edges = sorted(pattern.edges())
+    fresh = default_fresh_factory()
+    per_edge = [
+        list(enumerate_witnesses(e.nre, e.source, e.target, cfg.star_bound, fresh))
+        for e in edges
+    ]
+    egds = list(setting.egds())
+    constants = set(pattern.constants())
+
+    def extend(index: int, chosen: list) -> Iterator[Instantiation]:
+        partial = assemble_witnesses(pattern, chosen, sigma)
+        if partial is None:
+            return
+        if egds and _has_constant_egd_conflict(
+            partial.graph, egds, constants, engine
+        ):
+            return
+        if index == len(per_edge):
+            yield partial
+            return
+        for witness in per_edge[index]:
+            yield from extend(index + 1, chosen + [witness])
+
+    yield from extend(0, [])
+
+
 def candidate_solutions(
     setting: DataExchangeSetting,
     instance: RelationalInstance,
     config: CandidateSearchConfig | None = None,
+    engine=None,
 ) -> Iterator[GraphDatabase]:
     """Yield distinct (bounded-)minimal solutions for ``instance`` under Ω.
 
     Every yielded graph passes the full :func:`repro.core.solution.is_solution`
-    check, so consumers may rely on them being genuine solutions.
+    check, so consumers may rely on them being genuine solutions.  ``engine``
+    is the query engine used for egd pruning and (downstream) solution
+    checking; ``None`` selects the shared compiled engine.
     """
     cfg = config if config is not None else CandidateSearchConfig()
     pattern = chased_pattern_for(setting, instance)
@@ -210,8 +293,8 @@ def candidate_solutions(
     yielded = 0
     examined_instantiations = 0
 
-    for instantiation in enumerate_instantiations(
-        pattern, star_bound=cfg.star_bound, alphabet=sigma
+    for instantiation in _pruned_instantiations(
+        pattern, setting, cfg, sigma, engine
     ):
         examined_instantiations += 1
         if (

@@ -139,22 +139,33 @@ class DataExchangeSetting:
     # ------------------------------------------------------------------ #
 
     def egds(self) -> tuple[TargetEgd, ...]:
-        """The egds among the target constraints."""
-        return tuple(c for c in self.target_constraints if isinstance(c, TargetEgd))
+        """The egds among the target constraints (computed once)."""
+        cached = getattr(self, "_egds", None)
+        if cached is None:
+            cached = self._egds = tuple(
+                c for c in self.target_constraints if isinstance(c, TargetEgd)
+            )
+        return cached
 
     def sameas_constraints(self) -> tuple[SameAsConstraint, ...]:
-        """The sameAs constraints among the target constraints."""
-        return tuple(
-            c for c in self.target_constraints if isinstance(c, SameAsConstraint)
-        )
+        """The sameAs constraints among the target constraints (computed once)."""
+        cached = getattr(self, "_sameas", None)
+        if cached is None:
+            cached = self._sameas = tuple(
+                c for c in self.target_constraints if isinstance(c, SameAsConstraint)
+            )
+        return cached
 
     def general_target_tgds(self) -> tuple[TargetTgd, ...]:
-        """The target tgds that are not sameAs constraints."""
-        return tuple(
-            c
-            for c in self.target_constraints
-            if isinstance(c, TargetTgd) and not isinstance(c, SameAsConstraint)
-        )
+        """The target tgds that are not sameAs constraints (computed once)."""
+        cached = getattr(self, "_general_tgds", None)
+        if cached is None:
+            cached = self._general_tgds = tuple(
+                c
+                for c in self.target_constraints
+                if isinstance(c, TargetTgd) and not isinstance(c, SameAsConstraint)
+            )
+        return cached
 
     def effective_alphabet(self) -> frozenset[str]:
         """Σ, extended with ``sameAs`` when sameAs constraints are present."""
@@ -167,7 +178,14 @@ class DataExchangeSetting:
     # ------------------------------------------------------------------ #
 
     def fragment(self) -> SettingFragment:
-        """Classify the setting into the paper's syntactic fragments."""
+        """Classify the setting into the paper's syntactic fragments.
+
+        The classification is purely syntactic and the setting is immutable
+        after construction, so it is computed once and cached.
+        """
+        cached = getattr(self, "_fragment", None)
+        if cached is not None:
+            return cached
         head_exprs = [
             atom.nre for tgd in self.st_tgds for atom in tgd.head.atoms
         ]
@@ -179,7 +197,7 @@ class DataExchangeSetting:
             for egd in self.egds()
             for atom in egd.body.atoms
         )
-        return SettingFragment(
+        self._fragment = SettingFragment(
             heads_union_of_symbols=heads_union,
             heads_single_symbols=heads_single,
             heads_existential_free=heads_no_exist,
@@ -188,6 +206,7 @@ class DataExchangeSetting:
             has_sameas=bool(self.sameas_constraints()),
             has_general_tgds=bool(self.general_target_tgds()),
         )
+        return self._fragment
 
     def __repr__(self) -> str:
         label = f" {self.name!r}" if self.name else ""

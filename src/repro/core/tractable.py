@@ -41,8 +41,8 @@ from typing import Hashable
 from repro.chase.relational_chase import chase_relational
 from repro.core.certain import CertainAnswers
 from repro.core.setting import DataExchangeSetting
+from repro.engine.query import default_engine
 from repro.errors import NotSupportedError
-from repro.graph.eval import evaluate_nre
 from repro.graph.nre import NRE
 from repro.patterns.pattern import is_null
 from repro.relational.instance import RelationalInstance
@@ -68,19 +68,22 @@ def certain_answers_tractable(
     setting: DataExchangeSetting,
     instance: RelationalInstance,
     query: NRE,
+    engine=None,
 ) -> CertainAnswers:
     """Certain answers by naive evaluation on the universal solution.
 
     Polynomial in the instance size (query complexity: the setting and
     query are fixed).  Raises :class:`~repro.errors.NotSupportedError`
     outside the fragment — use :func:`repro.core.certain.certain_answers_nre`
-    there.
+    there.  ``query`` is evaluated once, on the chased universal solution,
+    through ``engine`` (default: the shared compiled engine).
     """
     if not in_tractable_fragment(setting):
         raise NotSupportedError(
             "certain_answers_tractable requires the Section 3.1 fragment "
             "(single-symbol heads, egds only)"
         )
+    eng = engine if engine is not None else default_engine()
     chase = chase_relational(
         setting.st_tgds, setting.egds(), instance, alphabet=setting.alphabet
     )
@@ -94,7 +97,7 @@ def certain_answers_tractable(
     universal = chase.expect_graph()
     answers = frozenset(
         (u, v)
-        for u, v in evaluate_nre(universal, query)
+        for u, v in eng.pairs(universal, query)
         if not is_null(u) and not is_null(v)
     )
     return CertainAnswers(

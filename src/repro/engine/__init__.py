@@ -1,7 +1,6 @@
-"""The indexed delta-chase engine.
+"""The indexed delta-chase engine and the compiled query engine.
 
-This package is the shared trigger-matching core the five chase variants
-(:mod:`repro.chase`) are built on:
+This package holds the two shared evaluation cores:
 
 * :class:`TriggerMatcher` — indexed homomorphism enumeration over a
   :class:`~repro.graph.database.GraphDatabase`, with semi-naive *delta*
@@ -10,8 +9,14 @@ This package is the shared trigger-matching core the five chase variants
 * :class:`EgdViolationQueue` — an egd violation set maintained
   incrementally across merge steps instead of recomputed per round;
 * :func:`is_simple_query` — the eligibility test for the fast paths
-  (composite NREs always fall back to the reference evaluator, so results
-  never depend on which path ran).
+  (composite NREs fall back to the CNRE evaluator, so results never
+  depend on which path ran);
+* :class:`QueryEngine` / :class:`ReferenceEngine` (:mod:`repro.engine.query`)
+  — compiled, memoising NRE evaluation with single-pair/single-source modes
+  and a cross-candidate cache keyed on graph fingerprints, vs the
+  set-algebraic oracle behind the same interface;
+* :class:`EvalStats` — the query-side observability counters (the
+  ``ChaseStats`` analogue).
 
 A chase request flows as::
 
@@ -33,5 +38,19 @@ A chase request flows as::
 
 from repro.engine.delta import EgdViolationQueue
 from repro.engine.matcher import TriggerMatcher, is_simple_query
+from repro.engine.query import (
+    EvalStats,
+    QueryEngine,
+    ReferenceEngine,
+    default_engine,
+)
 
-__all__ = ["TriggerMatcher", "EgdViolationQueue", "is_simple_query"]
+__all__ = [
+    "TriggerMatcher",
+    "EgdViolationQueue",
+    "is_simple_query",
+    "QueryEngine",
+    "ReferenceEngine",
+    "EvalStats",
+    "default_engine",
+]

@@ -20,8 +20,10 @@ nested-loop scans with one shared core that
 The fast paths apply to *simple* queries — every atom a bare forward or
 backward label, which covers all dependency bodies of the paper's figures
 and benchmarks.  Composite NREs (stars, unions, nesting) fall back to the
-reference evaluator :func:`repro.graph.cnre.cnre_homomorphisms`, so the
-matcher is always sound and complete, never just fast.
+CNRE evaluator :func:`repro.graph.cnre.cnre_homomorphisms`, whose per-NRE
+relations come from a query engine (the shared compiled
+:class:`~repro.engine.query.QueryEngine` unless the matcher was handed a
+specific one), so the matcher is always sound and complete, never just fast.
 """
 
 from __future__ import annotations
@@ -87,9 +89,15 @@ class TriggerMatcher:
     [('c1', 'c1'), ('c1', 'c2'), ('c2', 'c1'), ('c2', 'c2')]
     """
 
-    def __init__(self, graph: GraphDatabase, stats: "ChaseStats | None" = None):
+    def __init__(
+        self,
+        graph: GraphDatabase,
+        stats: "ChaseStats | None" = None,
+        engine=None,
+    ):
         self.graph = graph
         self.stats = stats
+        self.engine = engine  # query engine for composite-NRE fallbacks
 
     # ------------------------------------------------------------------ #
     # Full enumeration
@@ -113,7 +121,9 @@ class TriggerMatcher:
         ['v']
         """
         if not is_simple_query(query):
-            yield from cnre_homomorphisms(query, self.graph, seed=seed)
+            yield from cnre_homomorphisms(
+                query, self.graph, seed=seed, engine=self.engine
+            )
             return
         initial: Assignment = dict(seed) if seed else {}
         yield from self._join(list(query.atoms), initial)

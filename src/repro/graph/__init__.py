@@ -41,7 +41,14 @@ from repro.graph.nre import (
 )
 from repro.graph.parser import parse_nre
 from repro.graph.eval import evaluate_nre, nre_pairs, nre_reachable, nre_holds
-from repro.graph.automaton import NREAutomaton, compile_nre, evaluate_nre_automaton
+from repro.graph.automaton import (
+    CompiledAutomaton,
+    NREAutomaton,
+    automaton_holds,
+    automaton_reachable,
+    compile_nre,
+    evaluate_nre_automaton,
+)
 from repro.graph.cnre import CNREAtom, CNREQuery, evaluate_cnre, cnre_homomorphisms
 from repro.graph.witness import witness_tree, materialize_witness, WitnessTree
 from repro.graph.classes import (
@@ -89,8 +96,11 @@ __all__ = [
     "nre_reachable",
     "nre_holds",
     "NREAutomaton",
+    "CompiledAutomaton",
     "compile_nre",
     "evaluate_nre_automaton",
+    "automaton_reachable",
+    "automaton_holds",
     "CNREAtom",
     "CNREQuery",
     "evaluate_cnre",

@@ -14,6 +14,16 @@ Evaluation is a BFS over the product of the graph and the automaton, which is
 the textbook PTIME algorithm for (nested) RPQs.  Nested tests are memoised
 per (automaton, node).
 
+Two compilation layers exist.  :func:`compile_nre` produces the Thompson NFA
+(one transition list, mostly ε moves) and is cached with
+:func:`functools.lru_cache` — NRE nodes are frozen dataclasses, so equal
+expressions share one automaton.  :meth:`NREAutomaton.compiled` then lowers
+the NFA, once, into a :class:`CompiledAutomaton`: ε transitions are
+eliminated by precomputing ε-closures, and the surviving moves are bucketed
+per state *by edge label*, so the product BFS steps straight from a config
+``(node, state)`` to its successors through the graph's per-label hash
+indexes without ever touching an ε edge at run time.
+
 This module is an independent implementation of the same semantics as
 :mod:`repro.graph.eval`; the two are differential-tested against each other
 in the property-based test suite.
@@ -21,7 +31,7 @@ in the property-based test suite.
 
 from __future__ import annotations
 
-from collections import deque
+import functools
 from dataclasses import dataclass, field
 from typing import Hashable
 
@@ -50,6 +60,31 @@ class Transition:
     target: int
 
 
+@dataclass(frozen=True, eq=False)  # identity semantics: test memos key on id()
+class CompiledAutomaton:
+    """The ε-free, label-indexed lowering of an :class:`NREAutomaton`.
+
+    Per state ``s`` (with ``C(s)`` its ε-closure):
+
+    * ``accepting[s]`` — whether ``accept ∈ C(s)``;
+    * ``fwd[s]`` / ``bwd[s]`` — label → target states of the forward/backward
+      moves leaving any state of ``C(s)``;
+    * ``tests[s]`` — ``(sub_automaton, target)`` pairs for the nested tests
+      leaving any state of ``C(s)``, with the body already compiled.
+
+    The product BFS therefore only ever enqueues configs whose state is the
+    start state or the target of a non-ε move — a fraction of the Thompson
+    state count.
+    """
+
+    start: int
+    accepting: tuple[bool, ...]
+    fwd: tuple[dict[str, tuple[int, ...]], ...]
+    bwd: tuple[dict[str, tuple[int, ...]], ...]
+    tests: tuple[tuple[tuple["CompiledAutomaton", int], ...], ...]
+    state_count: int
+
+
 @dataclass
 class NREAutomaton:
     """A Thompson-style NFA with one start and one accept state."""
@@ -59,6 +94,9 @@ class NREAutomaton:
     state_count: int = 2
     transitions: list[Transition] = field(default_factory=list)
     _outgoing: dict[int, list[Transition]] | None = field(default=None, repr=False)
+    _compiled: CompiledAutomaton | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def outgoing(self, state: int) -> list[Transition]:
         """Return the transitions leaving ``state`` (indexed lazily)."""
@@ -68,6 +106,66 @@ class NREAutomaton:
                 index.setdefault(transition.source, []).append(transition)
             self._outgoing = index
         return self._outgoing.get(state, [])
+
+    def compiled(self) -> CompiledAutomaton:
+        """Return the ε-free label-indexed form (lowered lazily, once)."""
+        if self._compiled is None:
+            self._compiled = _lower(self)
+        return self._compiled
+
+
+def _lower(automaton: NREAutomaton) -> CompiledAutomaton:
+    """Eliminate ε transitions and bucket the remaining moves by label."""
+    count = automaton.state_count
+    eps_adjacency: list[list[int]] = [[] for _ in range(count)]
+    concrete: list[list[Transition]] = [[] for _ in range(count)]
+    for transition in automaton.transitions:
+        if transition.kind == "eps":
+            eps_adjacency[transition.source].append(transition.target)
+        else:
+            concrete[transition.source].append(transition)
+    closures: list[set[int]] = []
+    for state in range(count):
+        closure = {state}
+        stack = [state]
+        while stack:
+            for nxt in eps_adjacency[stack.pop()]:
+                if nxt not in closure:
+                    closure.add(nxt)
+                    stack.append(nxt)
+        closures.append(closure)
+    accepting = tuple(automaton.accept in closure for closure in closures)
+    fwd: list[dict[str, tuple[int, ...]]] = []
+    bwd: list[dict[str, tuple[int, ...]]] = []
+    tests: list[tuple[tuple[CompiledAutomaton, int], ...]] = []
+    for state in range(count):
+        forward: dict[str, dict[int, None]] = {}
+        backward_moves: dict[str, dict[int, None]] = {}
+        checks: list[tuple[CompiledAutomaton, int]] = []
+        for member in closures[state]:
+            for transition in concrete[member]:
+                if transition.kind == "fwd":
+                    forward.setdefault(transition.payload, {})[  # type: ignore[index]
+                        transition.target
+                    ] = None
+                elif transition.kind == "bwd":
+                    backward_moves.setdefault(transition.payload, {})[  # type: ignore[index]
+                        transition.target
+                    ] = None
+                else:  # "test"
+                    nested: NREAutomaton = transition.payload  # type: ignore[assignment]
+                    checks.append((nested.compiled(), transition.target))
+        fwd.append({lab: tuple(targets) for lab, targets in forward.items()})
+        bwd.append({lab: tuple(targets) for lab, targets in backward_moves.items()})
+        tests.append(tuple(checks))
+    return CompiledAutomaton(
+        start=automaton.start,
+        accepting=accepting,
+        fwd=tuple(fwd),
+        bwd=tuple(bwd),
+        tests=tuple(tests),
+        state_count=count,
+    )
 
 
 class _Builder:
@@ -120,12 +218,19 @@ def _compile(expr: NRE, builder: _Builder) -> tuple[int, int]:
     return start, accept
 
 
+@functools.lru_cache(maxsize=1024)
 def compile_nre(expr: NRE) -> NREAutomaton:
-    """Compile an NRE into an :class:`NREAutomaton`.
+    """Compile an NRE into an :class:`NREAutomaton` (memoised).
 
     Nested tests compile their bodies into separate sub-automata referenced
     by ``test`` transitions, so the result is a tree of automata mirroring
     the nesting structure of the expression.
+
+    NRE nodes are frozen, hashable values, so compilation is cached with
+    :func:`functools.lru_cache`: evaluating the same query across thousands
+    of candidate solutions compiles it exactly once, and the shared automaton
+    object keys the nested-test memo tables by identity.  Callers must treat
+    the result as immutable.
     """
     builder = _Builder()
     start, accept = _compile(expr, builder)
@@ -138,51 +243,162 @@ def compile_nre(expr: NRE) -> NREAutomaton:
 
 
 class _Runner:
-    """Evaluates automata over one fixed graph, memoising nested tests."""
+    """Evaluates automata over one fixed graph, memoising nested tests.
 
-    def __init__(self, graph: GraphDatabase):
+    ``stats`` is duck-typed (:class:`repro.engine.query.EvalStats` or any
+    object with ``nested_tests`` / ``nested_test_cache_hits`` counters).
+    """
+
+    def __init__(self, graph: GraphDatabase, stats: object | None = None):
         self.graph = graph
+        self.stats = stats
         self._test_cache: dict[tuple[int, Node], bool] = {}
+        # id(CompiledAutomaton) → per-state move tables with the graph's
+        # per-label adjacency dicts already looked up (see _resolve).
+        self._resolved: dict[int, tuple] = {}
 
-    def reachable(self, automaton: NREAutomaton, source: Node) -> frozenset[Node]:
+    def rebind(self, graph: GraphDatabase) -> None:
+        """Point the runner at ``graph`` (same content, different object).
+
+        Nested-test memos carry over (they depend only on content); the
+        resolved move tables do not (they hold the old object's adjacency
+        dicts) and are rebuilt lazily.
+        """
+        self.graph = graph
+        self._resolved.clear()
+
+    def _resolve(self, compiled: CompiledAutomaton) -> tuple:
+        """Bind the automaton's per-state moves to this graph's indexes.
+
+        Each fwd/bwd move becomes ``(adjacency_dict, target_states)`` with
+        the label already resolved, so the product BFS does one dict ``get``
+        per step instead of a method call plus a label lookup.
+        """
+        key = id(compiled)
+        resolved = self._resolved.get(key)
+        if resolved is None:
+            graph = self.graph
+            per_state = []
+            for state in range(compiled.state_count):
+                forward = tuple(
+                    (graph.forward_index(lab), targets)
+                    for lab, targets in compiled.fwd[state].items()
+                )
+                backward = tuple(
+                    (graph.backward_index(lab), targets)
+                    for lab, targets in compiled.bwd[state].items()
+                )
+                per_state.append((forward, backward, compiled.tests[state]))
+            resolved = self._resolved[key] = tuple(per_state)
+        return resolved
+
+    def _compiled(self, automaton: NREAutomaton | CompiledAutomaton) -> CompiledAutomaton:
+        if isinstance(automaton, NREAutomaton):
+            return automaton.compiled()
+        return automaton
+
+    def reachable(
+        self, automaton: NREAutomaton | CompiledAutomaton, source: Node
+    ) -> frozenset[Node]:
         """Return the nodes reachable from ``source`` through ``automaton``."""
-        start_config = (source, automaton.start)
-        seen: set[tuple[Node, int]] = {start_config}
-        queue: deque[tuple[Node, int]] = deque([start_config])
-        hits: set[Node] = set()
-        while queue:
-            node, state = queue.popleft()
-            if state == automaton.accept:
-                hits.add(node)
-            for transition in automaton.outgoing(state):
-                if transition.kind == "eps":
-                    nexts: tuple[tuple[Node, int], ...] = ((node, transition.target),)
-                elif transition.kind == "fwd":
-                    nexts = tuple(
-                        (succ, transition.target)
-                        for succ in self.graph.successors(node, transition.payload)  # type: ignore[arg-type]
-                    )
-                elif transition.kind == "bwd":
-                    nexts = tuple(
-                        (pred, transition.target)
-                        for pred in self.graph.predecessors(node, transition.payload)  # type: ignore[arg-type]
-                    )
-                else:  # "test"
-                    nested: NREAutomaton = transition.payload  # type: ignore[assignment]
-                    nexts = ((node, transition.target),) if self._test(nested, node) else ()
-                for config in nexts:
-                    if config not in seen:
-                        seen.add(config)
-                        queue.append(config)
-        return frozenset(hits)
+        if source not in self.graph:
+            return frozenset()
+        return frozenset(self._search(self._compiled(automaton), source, _ALL))
 
-    def _test(self, nested: NREAutomaton, node: Node) -> bool:
+    def holds(
+        self, automaton: NREAutomaton | CompiledAutomaton, source: Node, target: Node
+    ) -> bool:
+        """Single-pair mode: whether ``target`` is reachable from ``source``.
+
+        The product BFS stops as soon as ``target`` is accepted, so deciding
+        one pair never materialises the full reachable set.
+        """
+        if source not in self.graph or target not in self.graph:
+            return False
+        return self._search(self._compiled(automaton), source, target) is _FOUND
+
+    def _nonempty(self, compiled: CompiledAutomaton, source: Node) -> bool:
+        """Whether *any* node is reachable — the nested-test question."""
+        return self._search(compiled, source, _ANY) is _FOUND
+
+    def _search(
+        self, compiled: CompiledAutomaton, source: Node, target: object
+    ) -> object:
+        """Product BFS from ``(source, start)``.
+
+        ``target`` selects the mode: :data:`_ALL` collects and returns the
+        full hit set, :data:`_ANY` returns :data:`_FOUND` on the first
+        accepting config, and a concrete node returns :data:`_FOUND` when
+        that node is accepted (early exit in both latter modes).
+        """
+        accepting = compiled.accepting
+        resolved = self._resolve(compiled)
+        collect = target is _ALL
+        # Visited bookkeeping is one node set per state: hashing a node is
+        # cheaper than hashing a (node, state) tuple, and states are dense.
+        seen: list[set[Node] | None] = [None] * compiled.state_count
+        start = compiled.start
+        seen[start] = {source}
+        stack: list[tuple[Node, int]] = [(source, start)]
+        hits: set[Node] = set()
+        while stack:
+            node, state = stack.pop()
+            if accepting[state]:
+                if collect:
+                    hits.add(node)
+                elif target is _ANY or node == target:
+                    return _FOUND
+            forward, backward, tests = resolved[state]
+            for adjacency, targets in forward:
+                successors = adjacency.get(node)
+                if successors:
+                    for next_state in targets:
+                        bucket = seen[next_state]
+                        if bucket is None:
+                            bucket = seen[next_state] = set()
+                        for succ in successors:
+                            if succ not in bucket:
+                                bucket.add(succ)
+                                stack.append((succ, next_state))
+            for adjacency, targets in backward:
+                predecessors = adjacency.get(node)
+                if predecessors:
+                    for next_state in targets:
+                        bucket = seen[next_state]
+                        if bucket is None:
+                            bucket = seen[next_state] = set()
+                        for pred in predecessors:
+                            if pred not in bucket:
+                                bucket.add(pred)
+                                stack.append((pred, next_state))
+            for nested, next_state in tests:
+                if self._test(nested, node):
+                    bucket = seen[next_state]
+                    if bucket is None:
+                        bucket = seen[next_state] = set()
+                    if node not in bucket:
+                        bucket.add(node)
+                        stack.append((node, next_state))
+        return hits if collect else None
+
+    def _test(self, nested: CompiledAutomaton, node: Node) -> bool:
         key = (id(nested), node)
         cached = self._test_cache.get(key)
         if cached is None:
-            cached = bool(self.reachable(nested, node))
+            stats = self.stats
+            if stats is not None:
+                stats.nested_tests += 1  # type: ignore[attr-defined]
+            cached = self._nonempty(nested, node)
             self._test_cache[key] = cached
+        elif self.stats is not None:
+            self.stats.nested_test_cache_hits += 1  # type: ignore[attr-defined]
         return cached
+
+
+# Sentinels selecting the _search mode / signalling an early-exit hit.
+_ALL = object()
+_ANY = object()
+_FOUND = object()
 
 
 def evaluate_nre_automaton(
@@ -193,11 +409,11 @@ def evaluate_nre_automaton(
     Returns the same relation as :func:`repro.graph.eval.evaluate_nre`; the
     two implementations share no code and serve as mutual oracles.
     """
-    automaton = compile_nre(expr)
+    compiled = compile_nre(expr).compiled()
     runner = _Runner(graph)
     pairs: set[tuple[Node, Node]] = set()
     for source in graph.nodes():
-        for target in runner.reachable(automaton, source):
+        for target in runner.reachable(compiled, source):
             pairs.add((source, target))
     return frozenset(pairs)
 
@@ -209,6 +425,23 @@ def automaton_reachable(
 
     Unlike the set-algebraic evaluator this touches only the part of the
     product space reachable from ``source`` — the right tool for large
-    graphs with selective queries.
+    graphs with selective queries.  Sources outside the graph have no
+    answers (matching the reference evaluator's semantics, where even ε
+    relates only nodes of ``V``).
     """
     return _Runner(graph).reachable(compile_nre(expr), source)
+
+
+def automaton_holds(
+    graph: GraphDatabase, expr: NRE, source: Node, target: Node
+) -> bool:
+    """Single-pair evaluation with early exit: ``(source, target) ∈ ⟦expr⟧``.
+
+    >>> from repro.graph.nre import word
+    >>> g = GraphDatabase(edges=[("u", "a", "v"), ("v", "a", "w")])
+    >>> automaton_holds(g, word("a", "a"), "u", "w")
+    True
+    >>> automaton_holds(g, word("a", "a"), "v", "u")
+    False
+    """
+    return _Runner(graph).holds(compile_nre(expr), source, target)

@@ -16,6 +16,8 @@ Also provided: :func:`alphabet_of` (the labels an NRE mentions),
 
 from __future__ import annotations
 
+import functools
+
 from repro.graph.nre import (
     NRE,
     Backward,
@@ -28,8 +30,13 @@ from repro.graph.nre import (
 )
 
 
+@functools.lru_cache(maxsize=4096)
 def alphabet_of(expr: NRE) -> frozenset[str]:
-    """Return the set of edge labels mentioned by ``expr`` (either direction)."""
+    """Return the set of edge labels mentioned by ``expr`` (either direction).
+
+    Memoised — NREs are frozen values, and setting validation re-asks this
+    for every dependency of every constructed setting.
+    """
     labels: set[str] = set()
     for node in expr.walk():
         if isinstance(node, (Label, Backward)):

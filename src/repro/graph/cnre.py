@@ -8,7 +8,12 @@ but solution checking seeds assignments with constants, and allowing them
 keeps one uniform mechanism.
 
 Evaluation precomputes ``⟦r⟧_G`` for each distinct NRE in the query and then
-backtracks over variable assignments, most-constrained-atom first.
+backtracks over variable assignments, most-constrained-atom first.  The
+per-NRE relations come from a query engine — by default (``engine=None``)
+the shared compiled :class:`~repro.engine.query.QueryEngine`, so repeated
+graphs hit its cross-candidate cache; pass an explicit engine instance such
+as :class:`~repro.engine.query.ReferenceEngine` to run the set-algebraic
+oracle instead (the differential tests do).
 """
 
 from __future__ import annotations
@@ -18,7 +23,6 @@ from typing import Hashable, Iterator, Mapping, Sequence
 
 from repro.errors import SchemaError
 from repro.graph.database import GraphDatabase
-from repro.graph.eval import evaluate_nre
 from repro.graph.nre import NRE
 from repro.relational.query import Variable, is_variable
 
@@ -64,6 +68,7 @@ class CNREQuery:
         self.atoms: tuple[CNREAtom, ...] = tuple(atoms)
         if not self.atoms:
             raise SchemaError("a CNRE query needs at least one atom")
+        self._variables: tuple[Variable, ...] | None = None
         body_vars = self.variables()
         if outputs is None:
             self.outputs: tuple[Variable, ...] = body_vars
@@ -75,12 +80,14 @@ class CNREQuery:
                 raise SchemaError(f"output variables not in query body: {names}")
 
     def variables(self) -> tuple[Variable, ...]:
-        """Return all variables in order of first occurrence."""
-        seen: dict[Variable, None] = {}
-        for atom in self.atoms:
-            for var in atom.variables():
-                seen.setdefault(var, None)
-        return tuple(seen)
+        """Return all variables in order of first occurrence (computed once)."""
+        if self._variables is None:
+            seen: dict[Variable, None] = {}
+            for atom in self.atoms:
+                for var in atom.variables():
+                    seen.setdefault(var, None)
+            self._variables = tuple(seen)
+        return self._variables
 
     def constants(self) -> frozenset[Node]:
         """Return all node constants used in atom positions."""
@@ -122,16 +129,21 @@ def cnre_homomorphisms(
     query: CNREQuery,
     graph: GraphDatabase,
     seed: Mapping[Variable, Node] | None = None,
+    engine=None,
 ) -> Iterator[Assignment]:
     """Yield every assignment of the query's variables satisfying all atoms.
 
     ``seed`` pre-binds variables (used when dependency bodies seed head
-    checks).  Each yielded dictionary is fresh.
+    checks).  Each yielded dictionary is fresh.  ``engine`` supplies the
+    per-NRE relations (default: the shared compiled engine).
     """
+    if engine is None:
+        from repro.engine.query import default_engine
+
+        engine = default_engine()
     relations: dict[NRE, frozenset[tuple[Node, Node]]] = {}
-    cache: dict[NRE, frozenset[tuple[Node, Node]]] = {}
     for expr in query.expressions():
-        relations[expr] = evaluate_nre(graph, expr, _cache=cache)
+        relations[expr] = engine.pairs(graph, expr)
 
     # Order atoms: those with the smallest relations first, re-ranked as
     # variables become bound (cheap static approximation: sort by size).
@@ -181,7 +193,9 @@ def cnre_homomorphisms(
 _UNSET = object()
 
 
-def evaluate_cnre(query: CNREQuery, graph: GraphDatabase) -> frozenset[tuple]:
+def evaluate_cnre(
+    query: CNREQuery, graph: GraphDatabase, engine=None
+) -> frozenset[tuple]:
     """Evaluate a CNRE query, returning projections onto its outputs.
 
     >>> from repro.graph.parser import parse_nre
@@ -191,6 +205,6 @@ def evaluate_cnre(query: CNREQuery, graph: GraphDatabase) -> frozenset[tuple]:
     frozenset({('u', 'v')})
     """
     answers = set()
-    for hom in cnre_homomorphisms(query, graph):
+    for hom in cnre_homomorphisms(query, graph, engine=engine):
         answers.add(tuple(hom[v] for v in query.outputs))
     return frozenset(answers)

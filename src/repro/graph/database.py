@@ -29,6 +29,40 @@ from repro.errors import SchemaError
 Node = Hashable
 LabelName = str
 
+# Shared empty adjacency returned by the *_index accessors for absent labels.
+_EMPTY_INDEX: dict = {}
+
+
+class Fingerprint:
+    """A content token for an append-only :class:`GraphDatabase`.
+
+    Wraps ``(nodes, journal)`` with a hash computed once at construction, so
+    fingerprints are cheap to use as cache keys no matter how often they are
+    looked up.  Two fingerprints compare equal iff the node sets and journal
+    sequences are equal — i.e. iff the graphs have identical content (for
+    graphs that never removed or renamed anything, the journal *is* the edge
+    set, in insertion order).
+    """
+
+    __slots__ = ("key", "_hash")
+
+    def __init__(self, nodes: frozenset, journal: tuple):
+        self.key = (nodes, journal)
+        self._hash = hash(self.key)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Fingerprint):
+            return NotImplemented
+        return self._hash == other._hash and self.key == other.key
+
+    def __repr__(self) -> str:
+        return f"Fingerprint(|V|={len(self.key[0])}, |journal|={len(self.key[1])})"
+
 
 @dataclass(frozen=True, order=True)
 class Edge:
@@ -78,6 +112,12 @@ class GraphDatabase:
         self._label_counts: dict[LabelName, int] = {}
         # Append-only log of edge insertions; len() is the graph version.
         self._journal: list[Edge] = []
+        # Content fingerprint support (see fingerprint()): destructive
+        # operations permanently disqualify the graph from journal-keyed
+        # caching; the computed token is memoised per (journal, node) size.
+        self._destructive = False
+        self._fingerprint: "Fingerprint | None" = None
+        self._fingerprint_key: tuple[int, int] | None = None
         for node in nodes:
             self.add_node(node)
         for source, lab, target in edges:
@@ -114,6 +154,7 @@ class GraphDatabase:
     def remove_edge(self, source: Node, lab: LabelName, target: Node) -> None:
         """Remove an edge if present; endpoints stay in the node set."""
         edge = Edge(source, lab, target)
+        self._destructive = True  # the journal no longer determines the content
         if edge in self._edges:
             self._edges.remove(edge)
             self._fwd[lab][source].discard(target)
@@ -146,6 +187,35 @@ class GraphDatabase:
         """Return all ``(u, v)`` pairs with an edge labeled ``lab``."""
         forward = self._fwd.get(lab, {})
         return frozenset((u, v) for u, targets in forward.items() for v in targets)
+
+    def forward_index(self, lab: LabelName) -> dict[Node, set[Node]]:
+        """Return the live forward adjacency index for ``lab`` — READ ONLY.
+
+        Unlike :meth:`successors` this copies nothing: the returned mapping
+        is the graph's own index (``node → set of successors``), shared for
+        the lifetime of the graph.  It is the hot-path accessor of the
+        product-automaton evaluator; callers must not mutate it and must not
+        hold it across edge insertions or removals.
+
+        >>> g = GraphDatabase(edges=[("u", "a", "v")])
+        >>> g.forward_index("a")["u"]
+        {'v'}
+        >>> g.forward_index("zz")
+        {}
+        """
+        return self._fwd.get(lab, _EMPTY_INDEX)
+
+    def backward_index(self, lab: LabelName) -> dict[Node, set[Node]]:
+        """Return the live backward adjacency index for ``lab`` — READ ONLY.
+
+        The mirror of :meth:`forward_index` (``node → set of predecessors``);
+        the same sharing caveats apply.
+
+        >>> g = GraphDatabase(edges=[("u", "a", "v")])
+        >>> g.backward_index("a")["v"]
+        {'u'}
+        """
+        return self._bwd.get(lab, _EMPTY_INDEX)
 
     def iter_label_pairs(self, lab: LabelName) -> Iterator[tuple[Node, Node]]:
         """Iterate the ``(u, v)`` pairs labeled ``lab`` without copying.
@@ -247,6 +317,36 @@ class GraphDatabase:
         """
         return self._journal[version:]
 
+    def fingerprint(self) -> Fingerprint | None:
+        """Return a hashable content token, or ``None`` if uncacheable.
+
+        The token is derived from the node set and the append-only edge
+        journal: for graphs that only ever grew (no :meth:`remove_edge`, no
+        :meth:`rename_node`), equal tokens imply equal content, so query
+        engines may key evaluation caches on it — the *cross-candidate*
+        cache of :class:`repro.engine.query.QueryEngine` does exactly that
+        to let content-identical candidate solutions share work.  Graphs
+        that underwent destructive mutation return ``None`` forever (their
+        journal no longer determines their edges) and are simply evaluated
+        without cross-graph caching.
+
+        >>> g = GraphDatabase(edges=[("u", "a", "v")])
+        >>> g.fingerprint() == GraphDatabase(edges=[("u", "a", "v")]).fingerprint()
+        True
+        >>> g.remove_edge("u", "a", "v")
+        >>> g.fingerprint() is None
+        True
+        """
+        if self._destructive:
+            return None
+        key = (len(self._journal), len(self._nodes))
+        if self._fingerprint is None or self._fingerprint_key != key:
+            self._fingerprint = Fingerprint(
+                frozenset(self._nodes), tuple(self._journal)
+            )
+            self._fingerprint_key = key
+        return self._fingerprint
+
     def rename_node(self, old: Node, new: Node) -> frozenset[Edge]:
         """Rename ``old`` to ``new`` in place, rewriting incident edges.
 
@@ -264,6 +364,7 @@ class GraphDatabase:
         """
         if old == new or old not in self._nodes:
             return frozenset()
+        self._destructive = True  # node set changes without a journal entry
         rewritten: set[Edge] = set()
         for edge in list(self.incident_edges(old)):
             self.remove_edge(edge.source, edge.label, edge.target)

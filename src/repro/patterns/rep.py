@@ -158,6 +158,23 @@ def canonical_instantiation(
     )
 
 
+def assemble_witnesses(
+    pattern: GraphPattern,
+    witnesses: list[WitnessTree],
+    alphabet: frozenset[str] | None = None,
+) -> Instantiation | None:
+    """Combine chosen per-edge witnesses into a concrete graph.
+
+    Returns ``None`` when the witnesses' forced merges would identify two
+    distinct constants.  ``witnesses`` may cover only a *prefix* of the
+    pattern's edges: the result is then the partial instantiation used by
+    the pruned backtracking search in :mod:`repro.core.search` (nodes of
+    the pattern are always present; only the chosen witnesses' edges are).
+    """
+    sigma = alphabet if alphabet is not None else pattern.alphabet
+    return _assemble(pattern, witnesses, sigma)
+
+
 def enumerate_instantiations(
     pattern: GraphPattern,
     star_bound: int = 1,

@@ -28,7 +28,7 @@ class CNF:
 
     clauses: list[Clause] = field(default_factory=list)
     variable_count: int = 0
-    _names: dict[str, int] = field(default_factory=dict)
+    _names: dict[object, int] = field(default_factory=dict)
 
     def new_variable(self) -> int:
         """Allocate and return an anonymous fresh variable."""
@@ -36,20 +36,24 @@ class CNF:
         return self.variable_count
 
     def variable(self, name: object) -> int:
-        """Return the variable registered for ``name``, allocating on first use."""
-        key = repr(name)
-        existing = self._names.get(key)
+        """Return the variable registered for ``name``, allocating on first use.
+
+        ``name`` may be any hashable value (the exchange encoder uses
+        ``("edge", u, a, v)`` tuples); it is used directly as the registry
+        key, so lookups cost one hash instead of a ``repr`` rendering.
+        """
+        existing = self._names.get(name)
         if existing is not None:
             return existing
         fresh = self.new_variable()
-        self._names[key] = fresh
+        self._names[name] = fresh
         return fresh
 
     def has_name(self, name: object) -> bool:
         """Return whether ``name`` is already registered."""
-        return repr(name) in self._names
+        return name in self._names
 
-    def names(self) -> dict[str, int]:
+    def names(self) -> dict[object, int]:
         """Return a copy of the name → variable registry."""
         return dict(self._names)
 
@@ -71,6 +75,15 @@ class CNF:
                 return  # tautological clause: x ∨ ¬x
             seen.setdefault(literal, None)
         self.clauses.append(tuple(seen))
+
+    def add_clause_trusted(self, clause: Clause) -> None:
+        """Append an already-validated clause tuple without re-checking it.
+
+        For encoder hot paths whose literals come straight out of
+        :meth:`variable`/:meth:`new_variable` and are already deduplicated
+        and tautology-free — the caller vouches for all of that.
+        """
+        self.clauses.append(clause)
 
     def add_exactly_one(self, literals: Iterable[Literal]) -> None:
         """Add clauses enforcing exactly one of ``literals`` (pairwise encoding)."""

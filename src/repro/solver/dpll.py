@@ -53,100 +53,157 @@ class DPLLSolver:
 
         The returned model assigns every variable of the formula (variables
         untouched by the search are completed with ``False``).
+
+        Internally the assignment lives in a flat array indexed by variable
+        with an undo *trail*, so branching costs O(1) instead of one dict
+        copy per decision level.
         """
-        result = self._search(list(self.cnf.clauses), {})
-        if result is None:
+        assignment: list[bool | None] = [None] * (self.cnf.variable_count + 1)
+        if not self._search(list(self.cnf.clauses), assignment, []):
             return None
-        for variable in range(1, self.cnf.variable_count + 1):
-            result.setdefault(variable, False)
-        return result
+        return {
+            variable: bool(assignment[variable])
+            for variable in range(1, self.cnf.variable_count + 1)
+        }
 
     # ------------------------------------------------------------------ #
 
-    def _search(self, clauses: list[Clause], assignment: Model) -> Model | None:
-        simplified = self._propagate(clauses, assignment)
+    def _search(
+        self,
+        clauses: list[Clause],
+        assignment: list[bool | None],
+        trail: list[int],
+    ) -> bool:
+        """Satisfy ``clauses``; True leaves the model in ``assignment``.
+
+        On failure every variable assigned below this call is unwound from
+        the trail, so the caller's assignment state is restored exactly.
+        """
+        mark = len(trail)
+        simplified = self._propagate(clauses, assignment, trail)
         if simplified is None:
             self.stats.conflicts += 1
-            return None
+            self._undo(assignment, trail, mark)
+            return False
         clauses = simplified
         if not clauses:
-            return dict(assignment)
+            return True
 
-        self._assign_pure_literals(clauses, assignment)
+        self._assign_pure_literals(clauses, assignment, trail)
         clauses = [c for c in clauses if not self._clause_true(c, assignment)]
         if not clauses:
-            return dict(assignment)
+            return True
 
-        variable = self._pick_branch_variable(clauses)
+        variable, first = self._pick_branch_variable(clauses)
         self.stats.decisions += 1
-        for value in (True, False):
-            trail = dict(assignment)
-            trail[variable] = value
-            result = self._search(clauses, trail)
-            if result is not None:
-                return result
-        return None
+        for value in (first, not first):
+            level = len(trail)
+            assignment[variable] = value
+            trail.append(variable)
+            if self._search(clauses, assignment, trail):
+                return True
+            self._undo(assignment, trail, level)
+        self._undo(assignment, trail, mark)
+        return False
 
-    def _propagate(self, clauses: list[Clause], assignment: Model) -> list[Clause] | None:
-        """Unit-propagate; return simplified clauses or ``None`` on conflict."""
+    @staticmethod
+    def _undo(assignment: list[bool | None], trail: list[int], mark: int) -> None:
+        while len(trail) > mark:
+            assignment[trail.pop()] = None
+
+    def _propagate(
+        self,
+        clauses: list[Clause],
+        assignment: list[bool | None],
+        trail: list[int],
+    ) -> list[Clause] | None:
+        """Unit-propagate; return simplified clauses or ``None`` on conflict.
+
+        All unit clauses found in one simplification pass are asserted
+        together before re-scanning (two units contradicting each other are
+        an immediate conflict), so a chain of ``k`` units costs ``O(k)``
+        passes in the worst case but one pass in the common one — not the
+        ``k`` full re-scans the one-unit-at-a-time loop performed.
+        """
         while True:
             remaining: list[Clause] = []
-            unit: int | None = None
+            units: list[int] = []
             for clause in clauses:
-                status, reduced = self._reduce(clause, assignment)
-                if status == "true":
+                reduced: list[int] = []
+                satisfied = False
+                for literal in clause:
+                    value = assignment[literal if literal > 0 else -literal]
+                    if value is None:
+                        reduced.append(literal)
+                    elif value == (literal > 0):
+                        satisfied = True
+                        break
+                if satisfied:
                     continue
-                if status == "conflict":
-                    return None
-                if len(reduced) == 1 and unit is None:
-                    unit = reduced[0]
-                remaining.append(reduced)
-            if unit is None:
+                if not reduced:
+                    return None  # conflict: clause fully falsified
+                if len(reduced) == 1:
+                    units.append(reduced[0])
+                remaining.append(tuple(reduced))
+            if not units:
                 return remaining
-            assignment[abs(unit)] = unit > 0
-            self.stats.propagations += 1
+            for unit in units:
+                variable, value = abs(unit), unit > 0
+                previous = assignment[variable]
+                if previous is not None:
+                    if previous != value:
+                        return None  # two unit clauses demand opposite values
+                    continue
+                assignment[variable] = value
+                trail.append(variable)
+                self.stats.propagations += 1
             clauses = remaining
 
     @staticmethod
-    def _reduce(clause: Clause, assignment: Model) -> tuple[str, Clause]:
-        reduced: list[int] = []
-        for literal in clause:
-            value = assignment.get(abs(literal))
-            if value is None:
-                reduced.append(literal)
-            elif value == (literal > 0):
-                return "true", clause
-        if not reduced:
-            return "conflict", ()
-        return "open", tuple(reduced)
-
-    @staticmethod
-    def _clause_true(clause: Clause, assignment: Model) -> bool:
+    def _clause_true(clause: Clause, assignment: list[bool | None]) -> bool:
         return any(
-            assignment.get(abs(literal)) == (literal > 0)
+            assignment[abs(literal)] == (literal > 0)
             for literal in clause
-            if abs(literal) in assignment
+            if assignment[abs(literal)] is not None
         )
 
     @staticmethod
-    def _assign_pure_literals(clauses: list[Clause], assignment: Model) -> None:
-        polarity: dict[int, set[bool]] = {}
+    def _assign_pure_literals(
+        clauses: list[Clause],
+        assignment: list[bool | None],
+        trail: list[int],
+    ) -> None:
+        polarity: dict[int, int] = {}  # var -> +1 / -1 / 0 (mixed)
         for clause in clauses:
             for literal in clause:
                 variable = abs(literal)
-                if variable not in assignment:
-                    polarity.setdefault(variable, set()).add(literal > 0)
-        for variable, signs in polarity.items():
-            if len(signs) == 1:
-                assignment[variable] = next(iter(signs))
+                if assignment[variable] is None:
+                    sign = 1 if literal > 0 else -1
+                    seen = polarity.get(variable)
+                    if seen is None:
+                        polarity[variable] = sign
+                    elif seen != sign:
+                        polarity[variable] = 0
+        for variable, sign in polarity.items():
+            if sign:
+                assignment[variable] = sign > 0
+                trail.append(variable)
 
     @staticmethod
-    def _pick_branch_variable(clauses: list[Clause]) -> int:
+    def _pick_branch_variable(clauses: list[Clause]) -> tuple[int, bool]:
+        """Choose the branch variable and which value to try first.
+
+        The variable with the most clause occurrences wins (ties broken by
+        index for determinism); ``True`` is tried first, matching the
+        original search order.
+        """
         occurrences: dict[int, int] = {}
         for clause in clauses:
             for literal in clause:
-                occurrences[abs(literal)] = occurrences.get(abs(literal), 0) + 1
-        return min(occurrences, key=lambda v: (-occurrences[v], v))
+                variable = abs(literal)
+                occurrences[variable] = occurrences.get(variable, 0) + 1
+        best = min(occurrences, key=lambda v: (-occurrences[v], v))
+        return best, True
 
 
 def solve_cnf(cnf: CNF) -> Model | None:

@@ -31,6 +31,7 @@ Clauses:
 
 from __future__ import annotations
 
+import functools
 import itertools
 from typing import Callable, Hashable, Sequence
 
@@ -46,8 +47,14 @@ from repro.solver.cnf import CNF
 Node = Hashable
 
 
+@functools.lru_cache(maxsize=4096)
 def _symbols_of_union(expr: NRE) -> list[str]:
-    """Flatten ``a + b + …`` into its symbol list; raise outside the fragment."""
+    """Flatten ``a + b + …`` into its symbol list; raise outside the fragment.
+
+    Memoised on the (frozen, hashable) NRE — reduction families reuse the
+    same head/body shapes across hundreds of dependencies.  Callers must
+    not mutate the returned list.
+    """
     if isinstance(expr, Label):
         return [expr.name]
     if isinstance(expr, Union):
@@ -64,8 +71,9 @@ def _word_of(expr: NRE) -> list[str]:
     raise NotSupportedError(f"egd NRE {expr} is not a word")
 
 
+@functools.lru_cache(maxsize=4096)
 def _words_of_atom(expr: NRE) -> list[list[str]]:
-    """Expand top-level unions into the list of alternative words."""
+    """Expand top-level unions into the list of alternative words (memoised)."""
     if isinstance(expr, Union):
         return _words_of_atom(expr.left) + _words_of_atom(expr.right)
     return [_word_of(expr)]
@@ -88,18 +96,40 @@ def encode_bounded_existence(
         )
     node_list = list(nodes)
     cnf = CNF()
-    edge_var: Callable[[Node, str, Node], int] = lambda u, a, v: cnf.variable(
-        ("edge", u, a, v)
-    )
-    # Pre-register all edge variables so decode sees a stable universe.
+    # Pre-register all edge variables so decode sees a stable universe; the
+    # local (u, a, v) → var dict then answers every later lookup with one
+    # dict hit instead of going through the CNF name registry.  Because the
+    # registration order is fixed by (node list, sorted alphabet), variable
+    # ids are a pure function of that universe — the invariant the path
+    # cache (:data:`_PATH_CACHE`) relies on.
+    alphabet = tuple(sorted(setting.alphabet))
+    edge_vars: dict[tuple[Node, str, Node], int] = {}
     for u in node_list:
-        for a in sorted(setting.alphabet):
+        for a in alphabet:
             for v in node_list:
-                edge_var(u, a, v)
+                edge_vars[(u, a, v)] = cnf.variable(("edge", u, a, v))
+    universe = (tuple(node_list), alphabet)
+    # Stashed for add_pair_blocking_clauses (same-universe reuse).  The
+    # dict must stay exactly the pre-registered universe: ids of variables
+    # allocated later (selectors, out-of-universe fallbacks) depend on the
+    # instance, so letting them in would poison the cross-CNF path cache.
+    cnf._edge_universe = (universe, edge_vars)  # type: ignore[attr-defined]
+    extra_vars: dict[tuple[Node, str, Node], int] = {}
+
+    def edge_var(u: Node, a: str, v: Node) -> int:
+        key = (u, a, v)
+        var = edge_vars.get(key)
+        if var is None:  # a frontier constant outside the node universe
+            var = extra_vars.get(key)
+            if var is None:
+                var = extra_vars[key] = cnf.variable(("edge", u, a, v))
+        return var
 
     _encode_st_tgds(setting, instance, node_list, cnf, edge_var)
+    blocked: set[tuple[int, ...]] = set()
+    node_tuple = tuple(node_list)
     for egd in setting.egds():
-        _encode_egd(egd, node_list, cnf, edge_var)
+        _encode_egd(egd, node_tuple, universe, cnf, edge_vars, blocked)
     return cnf
 
 
@@ -140,49 +170,202 @@ def _encode_st_tgds(
 
 def _encode_egd(
     egd: TargetEgd,
-    nodes: list[Node],
+    nodes: tuple[Node, ...],
+    universe: tuple,
     cnf: CNF,
-    edge_var: Callable[[Node, str, Node], int],
+    edge_vars: dict[tuple[Node, str, Node], int],
+    blocked: set[tuple[int, ...]] | None = None,
 ) -> None:
+    """Block every variable assignment violating ``egd`` over ``nodes``.
+
+    Atom endpoints are resolved to positional indexes into the assignment
+    tuple once, ahead of the ``|N|^k`` assignment loop — the loop body then
+    touches no dictionaries at all.  ``blocked`` deduplicates clauses across
+    the whole encoding: different egds (and different assignments) routinely
+    forbid the same edge set, and every duplicate clause would be
+    re-simplified on each DPLL propagation pass.
+    """
     variables = list(egd.body.variables())
-    atom_alternatives = [
-        (atom.subject, _words_of_atom(atom.nre), atom.object)
-        for atom in egd.body.atoms
-    ]
+    index_of = {variable: i for i, variable in enumerate(variables)}
+    left_index = index_of[egd.left]
+    right_index = index_of[egd.right]
+    # Each endpoint becomes ("var", index) or ("const", node).
+    atom_plans: list[tuple[tuple, list[list[str]], tuple]] = []
+    for atom in egd.body.atoms:
+        subject = (
+            ("var", index_of[atom.subject])
+            if is_variable(atom.subject)
+            else ("const", atom.subject)
+        )
+        obj = (
+            ("var", index_of[atom.object])
+            if is_variable(atom.object)
+            else ("const", atom.object)
+        )
+        words = [tuple(word) for word in _words_of_atom(atom.nre)]
+        atom_plans.append((subject, words, obj))
+    seen = blocked if blocked is not None else set()
     for values in itertools.product(nodes, repeat=len(variables)):
-        assignment = dict(zip(variables, values))
-        if assignment[egd.left] == assignment[egd.right]:
+        if values[left_index] == values[right_index]:
             continue
-        _block_violation(atom_alternatives, assignment, nodes, cnf, edge_var)
+        _block_violation(atom_plans, values, nodes, universe, cnf, edge_vars, seen)
+
+
+# (universe, word, u, v) → tuple of (signature, blocking clause) pairs, one
+# per path: the signature is the sorted positive-literal tuple (the dedup
+# key) and the clause is its ready-to-append negation.
+#
+# Edge variables are pre-registered by encode_bounded_existence in a fixed
+# order determined solely by (node list, sorted alphabet), so two encodings
+# over the same universe assign identical variable ids to identical edges —
+# which makes path signatures reusable across egds, across queried pairs,
+# and across CNF instances.  Reduction families (Theorem 4.1 / Corollary
+# 4.2) re-encode the same words over the same two-constant universe
+# hundreds of times; this cache turns each repeat into one dict hit.
+_PATH_CACHE: dict[tuple, tuple[tuple[tuple[int, ...], tuple[int, ...]], ...]] = {}
+_PATH_CACHE_LIMIT = 16384
+
+
+def _word_paths(
+    word: tuple[str, ...],
+    u: Node,
+    v: Node,
+    nodes: tuple[Node, ...],
+    universe: object,
+    edge_vars: dict[tuple[Node, str, Node], int],
+) -> tuple[tuple[tuple[int, ...], tuple[int, ...]], ...]:
+    """Return ``(signature, blocking_clause)`` per ``u →word→ v`` path.
+
+    Paths are grown stepwise (shared prefixes are looked up once, not once
+    per completion) and the result is memoised per (universe, nodes, word,
+    endpoints) — ``nodes`` is part of the key because callers may restrict
+    the intermediate-node set to a subset of the universe.
+    """
+    key = (universe, nodes, word, u, v)
+    cached = _PATH_CACHE.get(key)
+    if cached is not None:
+        return cached
+    last = len(word) - 1
+    partials: list[tuple[frozenset[int], Node]] = [(frozenset(), u)]
+    for step, symbol in enumerate(word):
+        ends: tuple[Node, ...] = (v,) if step == last else nodes
+        grown: list[tuple[frozenset[int], Node]] = []
+        for literals, current in partials:
+            for nxt in ends:
+                var = edge_vars.get((current, symbol, nxt))
+                if var is None:
+                    continue  # symbol outside the universe: path unrealisable
+                grown.append((literals | {var}, nxt))
+        partials = grown
+    result = tuple(
+        (signature, tuple(-lit for lit in signature))
+        for signature in (tuple(sorted(literals)) for literals, _ in partials)
+    )
+    if len(_PATH_CACHE) >= _PATH_CACHE_LIMIT:
+        _PATH_CACHE.clear()
+    _PATH_CACHE[key] = result
+    return result
 
 
 def _block_violation(
-    atom_alternatives: list[tuple[object, list[list[str]], object]],
-    assignment: dict[Variable, Node],
-    nodes: list[Node],
+    atom_plans: list[tuple[tuple, list[list[str]], tuple]],
+    values: tuple[Node, ...],
+    nodes: tuple[Node, ...],
+    universe: tuple,
     cnf: CNF,
-    edge_var: Callable[[Node, str, Node], int],
+    edge_vars: dict[tuple[Node, str, Node], int],
+    blocked: set[tuple[int, ...]],
 ) -> None:
     """Add clauses forbidding every simultaneous realisation of the atoms."""
-    per_atom_paths: list[list[list[int]]] = []
-    for subject, alternatives, obj in atom_alternatives:
-        u = assignment[subject] if is_variable(subject) else subject
-        v = assignment[obj] if is_variable(obj) else obj
-        paths: list[list[int]] = []
+    if len(atom_plans) == 1:  # the common shape: one word atom per body
+        subject, alternatives, obj = atom_plans[0]
+        u = values[subject[1]] if subject[0] == "var" else subject[1]
+        v = values[obj[1]] if obj[0] == "var" else obj[1]
         for word in alternatives:
-            inner = len(word) - 1
-            for mids in itertools.product(nodes, repeat=inner):
-                waypoints = [u, *mids, v]
-                paths.append(
-                    [
-                        edge_var(waypoints[i], word[i], waypoints[i + 1])
-                        for i in range(len(word))
-                    ]
+            for signature, clause in _word_paths(
+                word, u, v, nodes, universe, edge_vars
+            ):
+                if signature not in blocked:
+                    blocked.add(signature)
+                    cnf.add_clause_trusted(clause)
+        return
+    per_atom_paths: list[list[tuple[int, ...]]] = []
+    for subject, alternatives, obj in atom_plans:
+        u = values[subject[1]] if subject[0] == "var" else subject[1]
+        v = values[obj[1]] if obj[0] == "var" else obj[1]
+        paths: list[tuple[int, ...]] = []
+        for word in alternatives:
+            paths.extend(
+                signature
+                for signature, _ in _word_paths(
+                    word, u, v, nodes, universe, edge_vars
                 )
+            )
         per_atom_paths.append(paths)
     for combination in itertools.product(*per_atom_paths):
-        literals = sorted({lit for path in combination for lit in path})
-        cnf.add_clause([-lit for lit in literals])
+        literals: set[int] = set()
+        for path in combination:
+            literals.update(path)
+        signature = tuple(sorted(literals))
+        if signature in blocked:
+            continue
+        blocked.add(signature)
+        cnf.add_clause_trusted(tuple(-lit for lit in signature))
+
+
+def add_pair_blocking_clauses(
+    cnf: CNF,
+    query: NRE,
+    source: Node,
+    target: Node,
+    nodes: Sequence[Node],
+) -> int:
+    """Forbid every realisation of ``(source, target) ∈ ⟦query⟧`` over ``nodes``.
+
+    ``query`` must be a union of words (the shape for which a realisation is
+    a bounded edge path — raises :class:`~repro.errors.NotSupportedError`
+    otherwise).  Together with :func:`encode_bounded_existence` this turns
+    the certain-answer question into one SAT call: the combined formula is
+    satisfiable iff some bounded solution misses the pair, and the bounded
+    search is complete by the same induced-subgraph argument as existence
+    (a counterexample solution G restricts to a counterexample over the
+    node universe — NREs are monotone, so the induced subgraph still lacks
+    the pair).  Returns the number of blocking clauses added.
+
+    Endpoints outside the node universe cannot be realised at all, so no
+    clause is needed (and none is added) for them.
+    """
+    words = _words_of_atom(query)
+    members = set(nodes)
+    if source not in members or target not in members:
+        return 0
+    stashed = getattr(cnf, "_edge_universe", None)
+    if stashed is None:  # a CNF not built by encode_bounded_existence
+        alphabet = tuple(sorted({symbol for word in words for symbol in word}))
+        edge_vars = {
+            (u, a, v): cnf.variable(("edge", u, a, v))
+            for u in nodes
+            for a in alphabet
+            for v in nodes
+        }
+        # Unique per call: these ad-hoc variable ids are not determined by
+        # (nodes, alphabet), so they must never share cache entries.
+        universe = object()
+    else:
+        universe, edge_vars = stashed
+    added = 0
+    blocked: set[tuple[int, ...]] = set()
+    node_tuple = tuple(nodes)
+    for word in words:
+        for signature, clause in _word_paths(
+            tuple(word), source, target, node_tuple, universe, edge_vars
+        ):
+            if signature in blocked:
+                continue
+            blocked.add(signature)
+            cnf.add_clause_trusted(clause)
+            added += 1
+    return added
 
 
 def decode_edge_model(

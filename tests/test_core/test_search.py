@@ -140,3 +140,47 @@ class TestCandidateSolutions:
         cfg = CandidateSearchConfig(star_bound=1, max_candidates=5)
         for graph in candidate_solutions(omega_prime, instance, cfg):
             assert is_solution(instance, graph, omega_prime)
+
+
+class TestSeed2781Regression:
+    """Pinned regression: Hypothesis seed 2781 (ROADMAP open item).
+
+    ``random_fragment_setting(rng=random.Random(2781))`` yields a setting
+    whose witness-choice space is 4096 combinations, the first 512 of which
+    all violate the ``l2·l1`` egd between constants — so the seed code's
+    blind product enumeration burned its whole ``max_instantiations``
+    budget without reaching a single solution, while ``decide_existence``
+    held a verified SAT witness.  The pruned backtracking search cuts those
+    conflicted subtrees and must now find candidates within the default
+    bounds at ``star_bound`` 1 and 2.
+    """
+
+    def _setting(self):
+        import random
+
+        from repro.scenarios.generators import random_fragment_setting
+
+        return random_fragment_setting(rng=random.Random(2781))
+
+    @pytest.mark.parametrize("star_bound", [1, 2])
+    def test_candidates_found_when_sat_witness_exists(self, star_bound):
+        from repro.core.existence import ExistenceStatus, decide_existence
+
+        setting, instance = self._setting()
+        existence = decide_existence(setting, instance)
+        assert existence.status is ExistenceStatus.EXISTS
+
+        cfg = CandidateSearchConfig(star_bound=star_bound)
+        found = next(iter(candidate_solutions(setting, instance, cfg)), None)
+        assert found is not None, (
+            "search found no candidate although existence is settled EXISTS"
+        )
+        assert is_solution(instance, found, setting)
+
+    def test_every_candidate_is_a_solution(self):
+        setting, instance = self._setting()
+        cfg = CandidateSearchConfig(star_bound=1)
+        candidates = list(candidate_solutions(setting, instance, cfg))
+        assert candidates, "expected a non-empty minimal-solution family"
+        for graph in candidates:
+            assert is_solution(instance, graph, setting)

@@ -153,3 +153,24 @@ class TestRoundTrip:
     def test_str_reparses_to_same_ast(self, text):
         expr = parse_nre(text)
         assert parse_nre(str(expr)) == expr
+
+    def test_random_asts_round_trip(self):
+        """parse(str(e)) == e for smart-constructor ASTs — the stability
+        that makes the parse/compile caches hit regardless of whether an
+        expression arrived as text or was printed and re-read."""
+        import random
+
+        from repro.scenarios.generators import random_nre
+
+        for seed in range(300):
+            expr = random_nre(depth=4, rng=random.Random(seed))
+            assert parse_nre(str(expr)) == expr, str(expr)
+
+    def test_parse_nre_is_memoised(self):
+        assert parse_nre("a . b*") is parse_nre("a . b*")
+
+    def test_compile_cache_hits_through_round_trip(self):
+        from repro.graph.automaton import compile_nre
+
+        expr = parse_nre("f . f*[h] . f- . (f-)*")
+        assert compile_nre(parse_nre(str(expr))) is compile_nre(expr)
