@@ -1,0 +1,86 @@
+"""Compare a fresh median export against a committed baseline; gate CI.
+
+Usage::
+
+    python benchmarks/compare_medians.py BENCH_PR3.json benchmarks/BENCH_PR2.json
+    python benchmarks/compare_medians.py NEW.json BASELINE.json --tolerance 0.25
+
+Both inputs are :mod:`benchmarks.export_medians` documents.  For every
+benchmark present in both, the ratio ``new / baseline`` is printed; the
+exit code is 1 when any tracked benchmark regressed by more than the
+tolerance (default 25%).  Benchmarks only present on one side are listed
+but never fail the gate (new benchmarks appear, old ones get renamed).
+
+The tolerance is deliberately generous: CI machines differ from the
+machine that produced the committed baseline, so the gate catches
+order-of-magnitude regressions (an accidentally-disabled cache, a
+quadratic slip), not single-digit jitter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_medians(path: str) -> dict[str, float]:
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)["medians"]
+
+
+def compare(
+    new: dict[str, float], baseline: dict[str, float], tolerance: float
+) -> tuple[list[str], list[str]]:
+    """Return (report lines, regression lines beyond tolerance)."""
+    lines: list[str] = []
+    regressions: list[str] = []
+    for name in sorted(set(new) | set(baseline)):
+        if name not in baseline:
+            lines.append(f"  {name}: NEW ({1000 * new[name]:.2f} ms)")
+            continue
+        if name not in new:
+            lines.append(f"  {name}: missing from new run (was in baseline)")
+            continue
+        ratio = new[name] / baseline[name] if baseline[name] else float("inf")
+        verdict = "ok"
+        if ratio > 1.0 + tolerance:
+            verdict = f"REGRESSION (> {100 * tolerance:.0f}%)"
+            regressions.append(f"{name}: {ratio:.2f}x baseline")
+        elif ratio < 1.0:
+            verdict = f"{1 / ratio:.2f}x faster"
+        lines.append(
+            f"  {name}: {1000 * baseline[name]:.2f} ms -> "
+            f"{1000 * new[name]:.2f} ms ({ratio:.2f}x) {verdict}"
+        )
+    return lines, regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("new", help="freshly exported medians JSON")
+    parser.add_argument("baseline", help="committed baseline medians JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown before failing (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    lines, regressions = compare(
+        load_medians(args.new), load_medians(args.baseline), args.tolerance
+    )
+    print(f"medians: {args.new} vs baseline {args.baseline}")
+    for line in lines:
+        print(line)
+    if regressions:
+        print("FAIL: benchmark regression(s) beyond tolerance:")
+        for regression in regressions:
+            print(f"  {regression}")
+        return 1
+    print("OK: no tracked benchmark regressed beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

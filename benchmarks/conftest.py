@@ -8,6 +8,12 @@ implementation measures, alongside pytest-benchmark's timing table.
 
 from __future__ import annotations
 
+import os
+
+# Keep timings free of first-run filesystem jitter from the cross-process
+# automaton cache: benchmarks measure steady-state compute, not disk IO.
+os.environ.setdefault("REPRO_AUTOMATON_CACHE", "off")
+
 
 def report(experiment: str, rows: list[tuple[str, object, object]]) -> None:
     """Print a paper-vs-measured table for one experiment."""

@@ -22,14 +22,19 @@ Available commands:
 ``exists`` and ``certain`` accept ``--engine {compiled,reference}`` to pick
 the query-evaluation back-end (the compiled product-automaton engine with
 its cross-candidate cache, or the set-algebraic reference oracle — both
-stay runnable end to end) and ``--stats`` to print the engine's
-:class:`~repro.engine.query.EvalStats` counters after the run.
+stay runnable end to end), ``--solver {cdcl,dpll}`` to pick the SAT
+back-end for the complete Theorem 4.1 decisions (the incremental CDCL
+solver, or the chronological DPLL kept as the differential oracle — the
+answers must be identical, only the speed differs; the default honours
+the ``REPRO_SOLVER`` environment variable), and ``--stats`` to print the
+engine's :class:`~repro.engine.query.EvalStats` counters after the run.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any
 
@@ -51,6 +56,7 @@ from repro.io.json_io import (
     pattern_to_dict,
 )
 from repro.relational.instance import RelationalInstance
+from repro.solver import SOLVER_NAMES
 
 
 def load_document(path: str) -> tuple[DataExchangeSetting, RelationalInstance]:
@@ -120,7 +126,9 @@ def _cmd_exists(args: argparse.Namespace) -> int:
     setting, instance = load_document(args.document)
     config = CandidateSearchConfig(star_bound=args.star_bound)
     engine = _engine_from_args(args)
-    result = decide_existence(setting, instance, search_config=config, engine=engine)
+    result = decide_existence(
+        setting, instance, search_config=config, engine=engine, solver=args.solver
+    )
     print(f"status: {result.status.value}")
     print(f"method: {result.method}")
     if result.detail:
@@ -141,7 +149,8 @@ def _cmd_certain(args: argparse.Namespace) -> int:
 
         pair = tuple(args.pair)
         counterexample = find_counterexample_solution(
-            setting, instance, query, pair, config=config, engine=engine
+            setting, instance, query, pair, config=config, engine=engine,
+            solver=args.solver,
         )
         if counterexample is None:
             print(f"{pair} is a certain answer")
@@ -151,7 +160,9 @@ def _cmd_certain(args: argparse.Namespace) -> int:
         print(json.dumps(graph_to_dict(counterexample), indent=2, sort_keys=True))
         _maybe_print_stats(args, engine)
         return 1
-    result = certain_answers_nre(setting, instance, query, config=config, engine=engine)
+    result = certain_answers_nre(
+        setting, instance, query, config=config, engine=engine, solver=args.solver
+    )
     if result.no_solution:
         print("no solution exists: every tuple is (vacuously) certain")
         _maybe_print_stats(args, engine)
@@ -188,9 +199,23 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         "engine (default) or the set-algebraic reference oracle",
     )
     parser.add_argument(
+        "--solver",
+        choices=SOLVER_NAMES,
+        default=None,
+        help="SAT back-end for the complete fragment decisions: the "
+        "incremental CDCL solver (default; honours REPRO_SOLVER) or the "
+        "chronological DPLL differential oracle — answers are identical",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="print the engine's evaluation counters after the run",
+    )
+    parser.add_argument(
+        "--no-automaton-cache",
+        action="store_true",
+        help="disable the cross-process on-disk cache of compiled NRE "
+        "automata (repro.graph.autocache) for this invocation",
     )
 
 
@@ -244,6 +269,8 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "no_automaton_cache", False):
+        os.environ["REPRO_AUTOMATON_CACHE"] = "off"
     return args.handler(args)
 
 

@@ -84,6 +84,7 @@ def certain_answers_nre(
     query: NRE,
     config: CandidateSearchConfig | None = None,
     engine=None,
+    solver: str | None = None,
 ) -> CertainAnswers:
     """Compute the certain answers of the binary NRE ``query``.
 
@@ -94,6 +95,14 @@ def certain_answers_nre(
     selects the evaluation back-end (default: the shared compiled
     :class:`~repro.engine.query.QueryEngine`; pass a
     :class:`~repro.engine.query.ReferenceEngine` to run the oracle path).
+    ``solver`` picks the SAT back-end for the fast path (``cdcl``/``dpll``,
+    default per :func:`repro.solver.resolve_solver_name`).
+
+    On the Theorem 4.1 fragment with union-of-words queries the whole set
+    is decided by one persistent incremental SAT solver — one assumption
+    probe per domain pair, complete for the fragment
+    (:mod:`repro.core.satpipeline`) — and the minimal-solution enumeration
+    below never runs.
 
     Raises :class:`~repro.errors.BoundExceeded` when existence could not be
     settled and no candidate solution was found — then nothing sound can be
@@ -101,7 +110,15 @@ def certain_answers_nre(
     """
     eng = engine if engine is not None else default_engine()
     cfg = config if config is not None else CandidateSearchConfig(star_bound=2)
-    existence = decide_existence(setting, instance, search_config=cfg, engine=eng)
+    # The reference engine deliberately runs the full enumeration pipeline
+    # (it is the differential-testing oracle for this fast path).
+    if getattr(eng, "name", "") != "reference":
+        sat_result = _sat_certain_answers(setting, instance, query, eng, solver)
+        if sat_result is not _INAPPLICABLE:
+            return sat_result
+    existence = decide_existence(
+        setting, instance, search_config=cfg, engine=eng, solver=solver
+    )
     if existence.status is ExistenceStatus.NOT_EXISTS:
         return CertainAnswers(
             answers=frozenset(),
@@ -217,6 +234,7 @@ def is_certain_answer(
     pair: Pair,
     config: CandidateSearchConfig | None = None,
     engine=None,
+    solver: str | None = None,
 ) -> bool:
     """Decide whether ``pair ∈ cert_Ω(query, I)`` (bounded, see module doc).
 
@@ -224,7 +242,7 @@ def is_certain_answer(
     the first counterexample solution.
     """
     counterexample = find_counterexample_solution(
-        setting, instance, query, pair, config, engine=engine
+        setting, instance, query, pair, config, engine=engine, solver=solver
     )
     return counterexample is None
 
@@ -236,6 +254,7 @@ def find_counterexample_solution(
     pair: Pair,
     config: CandidateSearchConfig | None = None,
     engine=None,
+    solver: str | None = None,
 ) -> GraphDatabase | None:
     """Return a solution G with ``pair ∉ ⟦query⟧_G``, or ``None``.
 
@@ -248,18 +267,22 @@ def find_counterexample_solution(
     early-exit product BFS — so deciding one tuple never materialises a
     full all-pairs relation.  On the Theorem 4.1 fragment with
     union-of-words queries the decision short-circuits to one *complete*
-    SAT call (:func:`_sat_counterexample`) and skips the enumeration
-    entirely.
+    incremental SAT probe (:func:`_sat_counterexample`) on the persistent
+    per-universe solver and skips the enumeration entirely.
     """
     eng = engine if engine is not None else default_engine()
     cfg = config if config is not None else CandidateSearchConfig(star_bound=2)
     # The reference engine deliberately runs the full enumeration pipeline
     # (it is the differential-testing oracle for this fast path).
     if getattr(eng, "name", "") != "reference":
-        sat_verdict = _sat_counterexample(setting, instance, query, pair, eng)
+        sat_verdict = _sat_counterexample(
+            setting, instance, query, pair, eng, solver
+        )
         if sat_verdict is not _INAPPLICABLE:
             return sat_verdict
-    existence = decide_existence(setting, instance, search_config=cfg, engine=eng)
+    existence = decide_existence(
+        setting, instance, search_config=cfg, engine=eng, solver=solver
+    )
     if existence.status is ExistenceStatus.NOT_EXISTS:
         return None  # vacuously certain: there is no solution at all
     found_any = existence.witness is not None
@@ -285,16 +308,18 @@ def _sat_counterexample(
     query: NRE,
     pair: Pair,
     engine,
+    solver: str | None = None,
 ):
-    """Complete one-shot SAT decision of ``pair ∈ cert_Ω(query, I)``.
+    """Complete incremental SAT decision of ``pair ∈ cert_Ω(query, I)``.
 
     Applicable when the setting is SAT-encodable (Theorem 4.1 fragment:
     union-of-symbols heads, word egds) *and* the query is a union of words.
-    Then "some solution misses the pair" is one bounded-model SAT question:
-    :func:`~repro.solver.encode.encode_bounded_existence` over the chased
-    pattern's nodes, plus blocking clauses forbidding every realisation of
-    the pair (:func:`~repro.solver.encode.add_pair_blocking_clauses`).  A
-    model decodes to a machine-checked counterexample solution; UNSAT means
+    Then "some solution misses the pair" is one bounded-model SAT question,
+    answered by the persistent per-universe solver
+    (:func:`repro.core.satpipeline.pipeline_for`): the base encoding and
+    everything learnt from earlier probes are reused, and the pair's
+    blocking clauses enter once, guarded by an assumption literal.  A model
+    decodes to a machine-checked counterexample solution; UNSAT means
     either no solution at all or every bounded solution has the pair — in
     both cases the pair is certain, matching the enumeration's verdict (the
     bounded universe is complete for this fragment, see
@@ -304,34 +329,76 @@ def _sat_counterexample(
     :data:`_INAPPLICABLE` when the fragment/query shape does not apply —
     the caller then falls back to the minimal-solution enumeration.
     """
-    from repro.chase.pattern_chase import chase_pattern
-    from repro.core.solution import is_solution
+    from repro.core.satpipeline import pipeline_for
     from repro.errors import NotSupportedError
-    from repro.solver.dpll import solve_cnf
-    from repro.solver.encode import (
-        add_pair_blocking_clauses,
-        decode_edge_model,
-        encode_bounded_existence,
-    )
 
-    if not setting.fragment().sat_encodable:
+    pipeline = pipeline_for(setting, instance, solver)
+    if pipeline is None:
         return _INAPPLICABLE
     try:
-        pattern = chase_pattern(
-            setting.st_tgds, instance, alphabet=setting.alphabet
-        ).expect_pattern()
-        nodes = sorted(pattern.nodes(), key=repr)
-        cnf = encode_bounded_existence(setting, instance, nodes)
-        add_pair_blocking_clauses(cnf, query, pair[0], pair[1], nodes)
+        witness = pipeline.probe_pair(query, pair[0], pair[1])
     except NotSupportedError:
         return _INAPPLICABLE
-    model = solve_cnf(cnf)
-    if model is None:
+    if witness is None:
         return None  # no bounded solution misses the pair: certain
-    witness = decode_edge_model(cnf, model, setting.alphabet, nodes)
-    if not is_solution(instance, witness, setting) or engine.holds(
+    if engine.holds(
         witness, query, pair[0], pair[1]
     ):  # pragma: no cover - decode/encode disagreement would be a bug;
         # fall back to the sound enumeration rather than trust it
         return _INAPPLICABLE
     return witness
+
+
+def _sat_certain_answers(
+    setting: DataExchangeSetting,
+    instance: RelationalInstance,
+    query: NRE,
+    engine,
+    solver: str | None = None,
+):
+    """Whole-set certain answers through the persistent SAT pipeline.
+
+    One assumption-guarded probe per domain pair on a single incremental
+    solver (learnt clauses shared across the entire enumeration), complete
+    for the fragment by the same argument as :func:`_sat_counterexample`.
+    Returns a :class:`CertainAnswers` or :data:`_INAPPLICABLE`.
+    """
+    from repro.core.satpipeline import pipeline_for
+    from repro.errors import NotSupportedError
+
+    pipeline = pipeline_for(setting, instance, solver)
+    if pipeline is None:
+        return _INAPPLICABLE
+    try:
+        if not pipeline.has_solution():
+            return CertainAnswers(
+                answers=frozenset(),
+                no_solution=True,
+                solutions_examined=0,
+                method="no-solution(sat-incremental)",
+            )
+        domain = sorted(instance.active_domain(), key=repr)
+        answers: set[Pair] = set()
+        counterexamples: set[frozenset] = set()
+        for u in domain:
+            for v in domain:
+                witness = pipeline.probe_pair(query, u, v)
+                if witness is None:
+                    answers.add((u, v))
+                elif not engine.holds(witness, query, u, v):
+                    counterexamples.add(frozenset(witness.edges()))
+                else:  # pragma: no cover - decode/encode disagreement
+                    raise NotSupportedError(
+                        "SAT counterexample fails the engine cross-check"
+                    )
+    except NotSupportedError:
+        return _INAPPLICABLE
+    return CertainAnswers(
+        answers=frozenset(answers),
+        no_solution=False,
+        solutions_examined=len(counterexamples),
+        method=(
+            f"sat-incremental(pairs={len(domain) ** 2}, "
+            f"solver={pipeline.solver_name})"
+        ),
+    )

@@ -10,17 +10,19 @@ expensive-and-bounded, and reports which strategy decided:
 2. **sameAs (± nothing else)** — always exists: the Section 4.2
    constructive algorithm (chase, instantiate, saturate);
 3. **egds present** —
-   a. the Section 5 *adapted chase*: failure proves non-existence (sound,
-      incomplete — Example 5.2);
-   b. *loop-collapse refutation* (:func:`loop_collapse_refutation`): when
-      every alphabet symbol has a collapsing egd, all edges of any solution
-      are self-loops, so a head atom forced to connect two distinct
-      constants refutes existence — this decides Example 5.2 exactly;
-   c. the **complete SAT decision** for the Theorem 4.1 fragment
-      (union-of-symbols heads, word egd bodies): bounded-model search over
-      the chased pattern's node set, complete by the induced-subgraph
-      argument in :mod:`repro.solver.encode`;
-   d. the bounded candidate search (:mod:`repro.core.search`): a found
+   a. for the Theorem 4.1 fragment (union-of-symbols heads, word egd
+      bodies): the *loop-collapse refutation* (cheap, keeps Example 5.2's
+      exact diagnosis), then the **complete SAT decision** on the
+      persistent incremental solver (:mod:`repro.core.satpipeline`) —
+      bounded-model search over the chased pattern's node set, complete by
+      the induced-subgraph argument in :mod:`repro.solver.encode`.  The
+      adapted chase is *skipped* here: the SAT decision subsumes its
+      verdict, and the chase fixpoint was the single largest cost of the
+      Theorem 4.1 scaling benchmark;
+   b. otherwise the Section 5 *adapted chase*: failure proves
+      non-existence (sound, incomplete — Example 5.2), followed by the
+      loop-collapse refutation;
+   c. the bounded candidate search (:mod:`repro.core.search`): a found
       candidate is a verified solution (sound EXISTS); exhausting the
       bounds without one yields UNKNOWN, never a non-existence claim;
 4. **general target tgds** — bounded chase repair on the canonical
@@ -38,6 +40,7 @@ from dataclasses import dataclass
 from repro.chase.egd_chase import chase_with_egds
 from repro.chase.pattern_chase import chase_pattern
 from repro.chase.sameas_chase import solve_with_sameas
+from repro.core.satpipeline import pipeline_for
 from repro.core.search import CandidateSearchConfig, candidate_solutions
 from repro.core.setting import DataExchangeSetting
 from repro.core.solution import is_solution
@@ -47,8 +50,6 @@ from repro.graph.nre import Label, Union as NREUnion
 from repro.patterns.rep import canonical_instantiation
 from repro.relational.instance import RelationalInstance
 from repro.relational.query import is_variable
-from repro.solver.dpll import solve_cnf
-from repro.solver.encode import decode_edge_model, encode_bounded_existence
 
 
 class ExistenceStatus(enum.Enum):
@@ -186,14 +187,17 @@ def decide_existence(
     search_config: CandidateSearchConfig | None = None,
     star_bound: int = 2,
     engine=None,
+    solver: str | None = None,
 ) -> ExistenceResult:
     """Decide whether ``Sol_Ω(I) ≠ ∅`` (see the module docstring).
 
     The result's ``method`` names the deciding strategy; UNKNOWN results
     mean every applicable bounded strategy was exhausted inconclusively.
     ``engine`` is the query engine forwarded to the bounded candidate
-    search (strategy 3d/4); witness verification and the other strategies
-    use the shared default engine through the trigger matcher.
+    search (strategy 3/4); witness verification and the other strategies
+    use the shared default engine through the trigger matcher.  ``solver``
+    selects the SAT back-end for the complete decision (``cdcl``/``dpll``,
+    default per :func:`repro.solver.resolve_solver_name`).
     """
     fragment = setting.fragment()
 
@@ -218,6 +222,53 @@ def decide_existence(
 
     # 3. egds present.
     if fragment.has_egds:
+        sat_attempted = False
+        if fragment.sat_encodable:
+            # Complete fragment: the persistent incremental SAT decision
+            # runs first.  The adapted chase is *not* run — SAT completeness
+            # subsumes its verdict, and the chase fixpoint was the single
+            # largest cost of the Theorem 4.1 benchmark.  Loop-collapse is
+            # consulted only to *refine the diagnosis* of an UNSAT verdict
+            # (it is a refutation, so it can never fire on a satisfiable
+            # setting — checking it up front would be pure overhead on the
+            # EXISTS path while still keeping Example 5.2's exact message).
+            sat_attempted = True
+            pipeline = pipeline_for(setting, instance, solver)
+            if pipeline is not None:
+                try:
+                    witness = pipeline.existence_witness()
+                except NotSupportedError:
+                    pipeline = None  # decode self-check tripped: fall back
+            if pipeline is not None:
+                if witness is None:
+                    refutation = loop_collapse_refutation(setting, instance)
+                    if refutation is not None:
+                        return ExistenceResult(
+                            ExistenceStatus.NOT_EXISTS,
+                            "loop-collapse",
+                            detail=refutation,
+                        )
+                    return ExistenceResult(
+                        ExistenceStatus.NOT_EXISTS,
+                        "sat-bounded-complete",
+                        detail=(
+                            f"UNSAT over the {len(pipeline.nodes)}-node "
+                            "universe; complete for union-of-symbols heads "
+                            "with word egds"
+                        ),
+                    )
+                # The pipeline verified the witness through the
+                # fragment-exact solution check already.
+                return ExistenceResult(
+                    ExistenceStatus.EXISTS, "sat-bounded-complete", witness=witness
+                )
+            refutation = loop_collapse_refutation(setting, instance)
+            if refutation is not None:
+                return ExistenceResult(
+                    ExistenceStatus.NOT_EXISTS, "loop-collapse", detail=refutation
+                )
+        # Non-encodable settings (or an inapplicable pipeline): the adapted
+        # chase refutes soundly, then loop-collapse (unless already tried).
         chase_result = chase_with_egds(
             setting.st_tgds, setting.egds(), instance, alphabet=setting.alphabet
         )
@@ -228,39 +279,20 @@ def decide_existence(
                 "chase-failure",
                 detail=f"egd chase tried to equate constants {left!r} and {right!r}",
             )
-        refutation = loop_collapse_refutation(setting, instance)
-        if refutation is not None:
-            return ExistenceResult(
-                ExistenceStatus.NOT_EXISTS, "loop-collapse", detail=refutation
-            )
-        if fragment.sat_encodable:
-            pattern = chase_pattern(
-                setting.st_tgds, instance, alphabet=setting.alphabet
-            ).expect_pattern()
-            nodes = sorted(pattern.nodes(), key=repr)
-            try:
-                cnf = encode_bounded_existence(setting, instance, nodes)
-            except NotSupportedError:
-                cnf = None
-            if cnf is not None:
-                model = solve_cnf(cnf)
-                if model is None:
-                    return ExistenceResult(
-                        ExistenceStatus.NOT_EXISTS,
-                        "sat-bounded-complete",
-                        detail=(
-                            f"UNSAT over the {len(nodes)}-node universe; complete "
-                            "for union-of-symbols heads with word egds"
-                        ),
-                    )
-                witness = decode_edge_model(cnf, model, setting.alphabet, nodes)
-                return _verified(witness, setting, instance, "sat-bounded-complete")
+        if not sat_attempted:
+            refutation = loop_collapse_refutation(setting, instance)
+            if refutation is not None:
+                return ExistenceResult(
+                    ExistenceStatus.NOT_EXISTS, "loop-collapse", detail=refutation
+                )
 
     # 3d / 4. Bounded candidate search (also repairs general target tgds).
     config = search_config if search_config is not None else CandidateSearchConfig(
         star_bound=star_bound
     )
-    for candidate in candidate_solutions(setting, instance, config, engine=engine):
+    for candidate in candidate_solutions(
+        setting, instance, config, engine=engine, solver=solver
+    ):
         return _verified(candidate, setting, instance, "candidate-search")
 
     return ExistenceResult(

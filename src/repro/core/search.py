@@ -49,7 +49,7 @@ from repro.chase.target_tgd_chase import chase_target_tgds
 from repro.core.setting import DataExchangeSetting
 from repro.core.solution import is_solution
 from repro.engine.matcher import TriggerMatcher
-from repro.errors import BoundExceeded
+from repro.errors import BoundExceeded, NotSupportedError
 from repro.graph.database import GraphDatabase
 from repro.graph.witness import default_fresh_factory, enumerate_witnesses
 from repro.patterns.pattern import GraphPattern
@@ -271,15 +271,33 @@ def candidate_solutions(
     instance: RelationalInstance,
     config: CandidateSearchConfig | None = None,
     engine=None,
+    solver: str | None = None,
 ) -> Iterator[GraphDatabase]:
     """Yield distinct (bounded-)minimal solutions for ``instance`` under Ω.
 
     Every yielded graph passes the full :func:`repro.core.solution.is_solution`
     check, so consumers may rely on them being genuine solutions.  ``engine``
     is the query engine used for egd pruning and (downstream) solution
-    checking; ``None`` selects the shared compiled engine.
+    checking; ``None`` selects the shared compiled engine.  ``solver``
+    picks the SAT back-end for the pre-flight refutation below.
+
+    On egd settings in the SAT-encodable fragment the shared incremental
+    pipeline (:mod:`repro.core.satpipeline`) is consulted first: its
+    existence verdict is *complete* there, so a refuted universe prunes
+    the whole exponential enumeration in one (usually cached) SAT call.
     """
     cfg = config if config is not None else CandidateSearchConfig()
+    if setting.egds() and setting.fragment().sat_encodable:
+        from repro.core.satpipeline import pipeline_for
+
+        pipeline = pipeline_for(setting, instance, solver)
+        if pipeline is not None:
+            try:
+                refuted = not pipeline.has_solution()
+            except NotSupportedError:  # pragma: no cover - decode self-check
+                refuted = False
+            if refuted:
+                return  # complete: no solutions exist, nothing to enumerate
     pattern = chased_pattern_for(setting, instance)
     if pattern is None:
         return

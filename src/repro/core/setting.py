@@ -96,6 +96,12 @@ class DataExchangeSetting:
     present, the *effective* alphabet (:meth:`effective_alphabet`) includes
     the distinguished ``sameAs`` label, mirroring the paper's
     ``Σ_ρ ∪ {sameAs}`` in Proposition 4.3.
+
+    ``validate=False`` skips the label/schema conformance scan — strictly
+    for trusted internal constructors (the reduction builders derive Σ
+    from the dependencies themselves, so the scan can never fail there and
+    costs a full AST walk per dependency).  User-facing paths must keep
+    the default.
     """
 
     def __init__(
@@ -105,13 +111,15 @@ class DataExchangeSetting:
         st_tgds: Sequence[SourceToTargetTgd],
         target_constraints: Sequence[TargetConstraint] = (),
         name: str = "",
+        validate: bool = True,
     ):
         self.source_schema = source_schema
         self.alphabet = frozenset(alphabet)
         self.st_tgds = tuple(st_tgds)
         self.target_constraints = tuple(target_constraints)
         self.name = name
-        self._validate()
+        if validate:
+            self._validate()
 
     def _validate(self) -> None:
         for tgd in self.st_tgds:

@@ -1,0 +1,129 @@
+"""On-disk cache of compiled NRE automata — the cold-start accelerator.
+
+The in-process ``lru_cache`` on :func:`repro.graph.automaton.compile_nre`
+makes repeated queries free *within* a process, but a fresh CLI invocation
+still pays Thompson compilation plus the ε-free lowering for every NRE it
+touches — the ROADMAP's "cold-start" item.  This module persists compiled
+automata across processes: each cache entry is a pickle of the
+:class:`~repro.graph.automaton.NREAutomaton` (with its lowered
+:class:`~repro.graph.automaton.CompiledAutomaton` already materialised),
+keyed by the SHA-256 of the NRE's canonical string rendering (``str`` on
+NREs round-trips through the parser — a property pinned in the test
+suite).
+
+Layout and safety:
+
+* entries live under a **version-stamped** directory —
+  ``$REPRO_CACHE_DIR`` (or ``~/.cache/repro-nre``) ``/
+  v{CACHE_FORMAT}-py{major}.{minor}/<sha256>.pkl`` — so a format bump or a
+  Python upgrade never reads stale pickles;
+* writes are atomic (temp file + ``os.replace``) and best-effort: any
+  filesystem or unpickling problem silently degrades to recompilation;
+* each payload records the source string and is cross-checked on load
+  (hash-collision paranoia, costs one string compare);
+* only automata with at least :data:`_MIN_STATES` states are persisted —
+  caching single-label atoms would trade a microsecond of compilation for
+  a filesystem round-trip and an unbounded flood of tiny files;
+* **opt-out**: set ``REPRO_AUTOMATON_CACHE=off`` (or ``0``/``no``/
+  ``false``) or pass ``--no-automaton-cache`` to the CLI.  The test suite
+  disables it globally for hermeticity and re-enables it in the dedicated
+  cache tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import sys
+import tempfile
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # import cycle: automaton.py imports this module
+    from repro.graph.automaton import NREAutomaton
+    from repro.graph.nre import NRE
+
+CACHE_FORMAT = 1
+"""Bump on any change to the automaton classes' pickled shape."""
+
+_MIN_STATES = 8
+"""Smallest Thompson state count worth a filesystem round-trip."""
+
+_ENV_SWITCH = "REPRO_AUTOMATON_CACHE"
+_ENV_DIR = "REPRO_CACHE_DIR"
+_DISABLED = {"off", "0", "no", "false"}
+
+
+def enabled() -> bool:
+    """Whether the on-disk cache is active (it is, unless opted out)."""
+    return os.environ.get(_ENV_SWITCH, "").strip().lower() not in _DISABLED
+
+
+def cache_dir() -> str:
+    """The version-stamped directory holding the pickled automata."""
+    root = os.environ.get(_ENV_DIR)
+    if not root:
+        root = os.path.join(os.path.expanduser("~"), ".cache", "repro-nre")
+    stamp = f"v{CACHE_FORMAT}-py{sys.version_info[0]}.{sys.version_info[1]}"
+    return os.path.join(root, stamp)
+
+
+def _entry_path(source: str) -> str:
+    digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    return os.path.join(cache_dir(), digest + ".pkl")
+
+
+def load(expr: "NRE") -> "NREAutomaton | None":
+    """Return the cached automaton for ``expr``, or ``None``.
+
+    Never raises: a missing, corrupt, foreign-format, or colliding entry
+    reads as a miss.
+    """
+    if not enabled():
+        return None
+    source = str(expr)
+    try:
+        with open(_entry_path(source), "rb") as handle:
+            payload = pickle.load(handle)
+    except Exception:  # noqa: BLE001 - any unreadable entry is a miss:
+        # pickle.load raises far more than PickleError on garbage bytes
+        # (ValueError, UnicodeDecodeError, IndexError, ...), and a corrupt
+        # cache must degrade to recompilation, never crash compile_nre.
+        return None
+    if not isinstance(payload, dict) or payload.get("format") != CACHE_FORMAT:
+        return None
+    if payload.get("source") != source:
+        return None  # hash collision or tampering: recompile
+    from repro.graph.automaton import NREAutomaton
+
+    automaton = payload.get("automaton")
+    return automaton if isinstance(automaton, NREAutomaton) else None
+
+
+def store(expr: "NRE", automaton: "NREAutomaton") -> None:
+    """Persist ``automaton`` (with its lowering precomputed), best-effort."""
+    if not enabled() or automaton.state_count < _MIN_STATES:
+        return
+    source = str(expr)
+    try:
+        automaton.compiled()  # persist the ε-free lowering too
+        directory = cache_dir()
+        os.makedirs(directory, exist_ok=True)
+        payload = {
+            "format": CACHE_FORMAT,
+            "source": source,
+            "automaton": automaton,
+        }
+        descriptor, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_path, _entry_path(source))
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+    except Exception:  # noqa: BLE001 - best-effort persistence only
+        pass  # a broken cache must never break compilation

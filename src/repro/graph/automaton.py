@@ -231,15 +231,28 @@ def compile_nre(expr: NRE) -> NREAutomaton:
     of candidate solutions compiles it exactly once, and the shared automaton
     object keys the nested-test memo tables by identity.  Callers must treat
     the result as immutable.
+
+    A second, cross-process layer lives in :mod:`repro.graph.autocache`:
+    on an in-process miss the compiled (and lowered) automaton is looked
+    up in — and written back to — a version-stamped on-disk pickle cache,
+    so a fresh CLI invocation skips compilation for every NRE it has seen
+    before.  Disable with ``REPRO_AUTOMATON_CACHE=off``.
     """
+    from repro.graph import autocache
+
+    cached = autocache.load(expr)
+    if cached is not None:
+        return cached
     builder = _Builder()
     start, accept = _compile(expr, builder)
-    return NREAutomaton(
+    automaton = NREAutomaton(
         start=start,
         accept=accept,
         state_count=builder.count,
         transitions=builder.transitions,
     )
+    autocache.store(expr, automaton)
+    return automaton
 
 
 class _Runner:

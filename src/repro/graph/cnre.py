@@ -69,6 +69,7 @@ class CNREQuery:
         if not self.atoms:
             raise SchemaError("a CNRE query needs at least one atom")
         self._variables: tuple[Variable, ...] | None = None
+        self._hash: int | None = None
         body_vars = self.variables()
         if outputs is None:
             self.outputs: tuple[Variable, ...] = body_vars
@@ -111,7 +112,11 @@ class CNREQuery:
         return self.atoms == other.atoms and self.outputs == other.outputs
 
     def __hash__(self) -> int:
-        return hash((self.atoms, self.outputs))
+        # Memoised: queries are immutable and hashed hot (lru-cached
+        # matchers/encodes key on them).
+        if self._hash is None:
+            self._hash = hash((self.atoms, self.outputs))
+        return self._hash
 
     def __str__(self) -> str:
         body = " ∧ ".join(str(a) for a in self.atoms)

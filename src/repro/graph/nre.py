@@ -22,6 +22,7 @@ without changing the language.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from functools import reduce
 from typing import Iterator
@@ -158,8 +159,11 @@ def epsilon() -> NRE:
     return _EPSILON
 
 
+@functools.lru_cache(maxsize=65536)
 def label(name: str) -> Label:
-    """Return the forward-label atom ``a``."""
+    """Return the forward-label atom ``a`` (interned — Labels are frozen,
+    and constructions like the reduction families mint the same label
+    objects thousands of times)."""
     return Label(name)
 
 

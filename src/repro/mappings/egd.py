@@ -37,6 +37,7 @@ class TargetEgd:
         self.left = left
         self.right = right
         self.name = name
+        self._hash: int | None = None
 
     def violations(self, graph: GraphDatabase) -> Iterator[tuple[Node, Node]]:
         """Yield pairs ``(h(x₁), h(x₂))`` with ``h(x₁) ≠ h(x₂)``.
@@ -70,7 +71,12 @@ class TargetEgd:
         )
 
     def __hash__(self) -> int:
-        return hash((self.body, self.left, self.right))
+        # Memoised: the egd is immutable after construction, and hot paths
+        # (lru-cached encodes, the SAT-pipeline cache key) hash whole
+        # constraint tuples repeatedly.
+        if self._hash is None:
+            self._hash = hash((self.body, self.left, self.right))
+        return self._hash
 
     def __str__(self) -> str:
         body = " ∧ ".join(str(a) for a in self.body.atoms)

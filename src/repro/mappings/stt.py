@@ -43,6 +43,7 @@ class SourceToTargetTgd:
         self.body = body
         self.head = head
         self.name = name
+        self._hash: int | None = None
         body_vars = set(body.variables())
         head_vars = head.variables()
         self.frontier: tuple[Variable, ...] = tuple(
@@ -101,7 +102,11 @@ class SourceToTargetTgd:
         return self.body == other.body and self.head == other.head
 
     def __hash__(self) -> int:
-        return hash((self.body, self.head))
+        # Memoised: tgds are immutable after construction and hashed hot
+        # (the SAT-pipeline cache keys on the full tgd tuple).
+        if self._hash is None:
+            self._hash = hash((self.body, self.head))
+        return self._hash
 
     def __str__(self) -> str:
         body = ", ".join(str(a) for a in self.body.atoms)

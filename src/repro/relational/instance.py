@@ -149,6 +149,26 @@ class RelationalInstance:
         """Return the total number of facts across all relations."""
         return sum(len(tuples) for tuples in self._data.values())
 
+    def fingerprint(self) -> frozenset:
+        """Return a hashable snapshot of the instance's content.
+
+        Two instances with equal facts (per relation) produce equal
+        fingerprints regardless of insertion order or object identity —
+        the key the persistent SAT pipeline caches on.  Computed fresh on
+        every call (the instance is mutable, so caching it here would go
+        stale); cost is one pass over the facts.
+
+        >>> schema = RelationalSchema()
+        >>> _ = schema.declare("R", 1)
+        >>> a = RelationalInstance(schema, {"R": [("x",), ("y",)]})
+        >>> b = RelationalInstance(schema, {"R": [("y",), ("x",)]})
+        >>> a.fingerprint() == b.fingerprint()
+        True
+        """
+        return frozenset(
+            (name, frozenset(tuples)) for name, tuples in self._data.items()
+        )
+
     def __len__(self) -> int:
         return self.size()
 

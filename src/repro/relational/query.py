@@ -83,6 +83,7 @@ class ConjunctiveQuery:
         self.atoms: tuple[RelationalAtom, ...] = tuple(atoms)
         if not self.atoms:
             raise SchemaError("a conjunctive query needs at least one atom")
+        self._hash: int | None = None
         body_vars = self.variables()
         if outputs is None:
             self.outputs: tuple[Variable, ...] = body_vars
@@ -124,7 +125,10 @@ class ConjunctiveQuery:
         return self.atoms == other.atoms and self.outputs == other.outputs
 
     def __hash__(self) -> int:
-        return hash((self.atoms, self.outputs))
+        # Memoised: queries are immutable and hashed hot by caches.
+        if self._hash is None:
+            self._hash = hash((self.atoms, self.outputs))
+        return self._hash
 
     def __str__(self) -> str:
         body = ", ".join(str(a) for a in self.atoms)

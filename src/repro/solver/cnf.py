@@ -15,6 +15,31 @@ Literal = int
 Clause = tuple[Literal, ...]
 
 
+def canonical_clause(literals: Iterable[Literal]) -> Clause | None:
+    """Canonicalise a clause at insertion time.
+
+    Repeated literals are merged (first occurrence order preserved) and
+    tautological clauses (containing both ``x`` and ``¬x``) collapse to
+    ``None`` — the caller drops them.  Raises :class:`ValueError` on the
+    literal 0.  Both solvers (:class:`~repro.solver.dpll.DPLLSolver` and
+    :class:`~repro.solver.cdcl.CDCLSolver`) ingest clauses through this
+    single canonical form, so they always see identical inputs.
+
+    >>> canonical_clause([1, 2, 2, 1])
+    (1, 2)
+    >>> canonical_clause([1, -1, 2]) is None
+    True
+    """
+    seen: dict[int, None] = {}
+    for literal in literals:
+        if literal == 0:
+            raise ValueError("0 is not a literal")
+        if -literal in seen:
+            return None  # tautological clause: x ∨ ¬x
+        seen.setdefault(literal, None)
+    return tuple(seen)
+
+
 @dataclass
 class CNF:
     """A CNF formula: a conjunction of clauses over integer variables.
@@ -60,21 +85,21 @@ class CNF:
     def add_clause(self, literals: Iterable[Literal]) -> None:
         """Add a clause; tautologies are dropped, duplicates deduplicated.
 
-        Raises :class:`ValueError` on the literal 0 or out-of-range variables.
+        Canonicalisation happens here, at insertion time (see
+        :func:`canonical_clause`), so every solver reading
+        :attr:`clauses` sees canonical clauses.  Raises
+        :class:`ValueError` on the literal 0 or out-of-range variables.
         """
-        seen: dict[int, None] = {}
-        for literal in literals:
-            if literal == 0:
-                raise ValueError("0 is not a literal")
+        clause = canonical_clause(literals)
+        if clause is None:
+            return  # tautological clause: x ∨ ¬x
+        for literal in clause:
             if abs(literal) > self.variable_count:
                 raise ValueError(
                     f"literal {literal} references unallocated variable "
                     f"(count={self.variable_count})"
                 )
-            if -literal in seen:
-                return  # tautological clause: x ∨ ¬x
-            seen.setdefault(literal, None)
-        self.clauses.append(tuple(seen))
+        self.clauses.append(clause)
 
     def add_clause_trusted(self, clause: Clause) -> None:
         """Append an already-validated clause tuple without re-checking it.

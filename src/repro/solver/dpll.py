@@ -1,4 +1,4 @@
-"""A DPLL SAT solver.
+"""A DPLL SAT solver — the pipeline's differential oracle.
 
 Implements the classic Davis–Putnam–Logemann–Loveland procedure with:
 
@@ -6,19 +6,22 @@ Implements the classic Davis–Putnam–Logemann–Loveland procedure with:
 * pure-literal elimination,
 * branching on the variable with the most clause occurrences (ties broken
   by index for determinism),
-* iterative deepening of nothing — plain recursion; formulas produced by the
-  exchange encodings and the benchmark sweeps stay small enough (hundreds of
-  variables) that a watched-literal scheme would be over-engineering.
+* plain chronological backtracking — deliberately so: the production
+  solver is the conflict-driven :mod:`repro.solver.cdcl`, and this
+  module's value is being a *simple, independent* implementation whose
+  SAT/UNSAT verdicts the CDCL solver must match on every formula
+  (``--solver dpll`` / ``REPRO_SOLVER=dpll`` runs the whole pipeline on
+  it).
 
-A brute-force :func:`enumerate_models` doubles as the oracle in the property
-tests: DPLL's sat/unsat verdict must agree with exhaustive enumeration on
-every random small formula.
+A brute-force :func:`enumerate_models` doubles as the second oracle in the
+property tests: both solvers' verdicts must agree with exhaustive
+enumeration on every random small formula.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from repro.solver.cnf import CNF, Clause
 
@@ -47,19 +50,40 @@ class DPLLSolver:
     def __init__(self, cnf: CNF):
         self.cnf = cnf
         self.stats = SolverStats()
+        self.core: tuple[int, ...] = ()
+        """After an UNSAT :meth:`solve` under assumptions: the full
+        assumption tuple (the *trivial* core — DPLL performs no conflict
+        analysis, so it cannot do better; the CDCL solver's
+        :attr:`~repro.solver.cdcl.CDCLSolver.core` is the precise one)."""
 
-    def solve(self) -> Model | None:
+    def solve(self, assumptions: Sequence[int] = ()) -> Model | None:
         """Return a satisfying model, or ``None`` when unsatisfiable.
 
-        The returned model assigns every variable of the formula (variables
-        untouched by the search are completed with ``False``).
+        ``assumptions`` are literals temporarily forced true for this call
+        (the oracle-side mirror of the CDCL incremental interface — the
+        solver itself remains stateless between calls).  The returned model
+        assigns every variable of the formula (variables untouched by the
+        search are completed with ``False``).
 
         Internally the assignment lives in a flat array indexed by variable
         with an undo *trail*, so branching costs O(1) instead of one dict
         copy per decision level.
         """
+        self.core = ()
         assignment: list[bool | None] = [None] * (self.cnf.variable_count + 1)
+        for literal in assumptions:
+            if literal == 0:
+                raise ValueError("0 is not a literal")
+            variable, value = abs(literal), literal > 0
+            if variable >= len(assignment):
+                assignment.extend([None] * (variable + 1 - len(assignment)))
+            if assignment[variable] is not None and assignment[variable] != value:
+                self.core = tuple(assumptions)
+                return None  # two assumptions contradict each other
+            assignment[variable] = value
         if not self._search(list(self.cnf.clauses), assignment, []):
+            if assumptions:
+                self.core = tuple(assumptions)
             return None
         return {
             variable: bool(assignment[variable])
@@ -209,6 +233,63 @@ class DPLLSolver:
 def solve_cnf(cnf: CNF) -> Model | None:
     """One-shot convenience wrapper around :class:`DPLLSolver`."""
     return DPLLSolver(cnf).solve()
+
+
+class IncrementalDPLL:
+    """The incremental-solver interface, answered by from-scratch DPLL runs.
+
+    This is the differential oracle for :class:`~repro.solver.cdcl.CDCLSolver`
+    in the certain-answer pipeline: it exposes the same ``add_clause`` /
+    ``solve(assumptions=...)`` surface, but keeps no state between solves —
+    every call re-runs the chronological DPLL on the accumulated clause
+    set, so its verdicts depend on nothing but the formula.  Selecting it
+    (``--solver dpll`` / ``REPRO_SOLVER=dpll``) must never change an
+    answer, only the speed.
+    """
+
+    name = "dpll"
+
+    def __init__(self, cnf: CNF | None = None):
+        self._cnf = CNF()
+        if cnf is not None:
+            self._cnf.variable_count = cnf.variable_count
+            self._cnf.clauses = list(cnf.clauses)
+        self.core: tuple[int, ...] = ()
+        self.stats = SolverStats()
+        self.ok = True
+
+    @property
+    def nvars(self) -> int:
+        """The number of allocated variables."""
+        return self._cnf.variable_count
+
+    def new_variable(self) -> int:
+        """Allocate and return a fresh variable."""
+        return self._cnf.new_variable()
+
+    def ensure_variables(self, count: int) -> None:
+        """Grow the variable universe to at least ``count`` variables."""
+        if self._cnf.variable_count < count:
+            self._cnf.variable_count = count
+
+    def add_clause(self, literals) -> bool:
+        """Append a clause (canonicalised by :meth:`CNF.add_clause`)."""
+        clause = list(literals)  # may be a one-shot iterable; read it once
+        self.ensure_variables(max((abs(l) for l in clause), default=0))
+        self._cnf.add_clause(clause)
+        return True
+
+    def solve(self, assumptions=()) -> Model | None:
+        """Run a fresh DPLL search under ``assumptions``."""
+        solver = DPLLSolver(self._cnf)
+        model = solver.solve(assumptions)
+        self.core = solver.core
+        self.stats.decisions += solver.stats.decisions
+        self.stats.propagations += solver.stats.propagations
+        self.stats.conflicts += solver.stats.conflicts
+        if model is None and not assumptions:
+            self.ok = False
+        return model
 
 
 def enumerate_models(cnf: CNF, limit: int | None = None) -> Iterator[Model]:

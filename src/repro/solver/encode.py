@@ -42,7 +42,7 @@ from repro.graph.nre import NRE, Concat, Label, Union
 from repro.mappings.egd import TargetEgd
 from repro.relational.instance import RelationalInstance
 from repro.relational.query import Variable, is_variable
-from repro.solver.cnf import CNF
+from repro.solver.cnf import CNF, Clause
 
 Node = Hashable
 
@@ -126,10 +126,28 @@ def encode_bounded_existence(
         return var
 
     _encode_st_tgds(setting, instance, node_list, cnf, edge_var)
+    # Minimal-model reduction: an edge variable with no positive occurrence
+    # (it supports no tgd head) can be fixed false without losing anything —
+    # restricting any solution to head-supported edges yields a solution
+    # again (egd bodies and queries are monotone, so removing edges cannot
+    # create a violation or an answer), and a model of the reduced formula
+    # extended with those variables false satisfies every elided clause.
+    # Fixing them as root units and skipping every blocking path that uses
+    # one shrinks the clause set to the semantic core (on the Theorem 4.1
+    # reduction family: from ~|Σ|·2^{|w|} path clauses down to one clause
+    # per dependency) while keeping all verdicts — existence, per-pair
+    # certainty — bit-identical, and decoded witnesses verified solutions.
+    positive = frozenset(
+        literal for clause in cnf.clauses for literal in clause if literal > 0
+    )
+    cnf._positive_vars = positive  # type: ignore[attr-defined]
     blocked: set[tuple[int, ...]] = set()
     node_tuple = tuple(node_list)
     for egd in setting.egds():
-        _encode_egd(egd, node_tuple, universe, cnf, edge_vars, blocked)
+        _encode_egd(egd, node_tuple, universe, cnf, edge_vars, blocked, positive)
+    for var in edge_vars.values():
+        if var not in positive:
+            cnf.add_clause_trusted((-var,))
     return cnf
 
 
@@ -168,29 +186,20 @@ def _encode_st_tgds(
             cnf.add_clause(selectors)
 
 
-def _encode_egd(
-    egd: TargetEgd,
-    nodes: tuple[Node, ...],
-    universe: tuple,
-    cnf: CNF,
-    edge_vars: dict[tuple[Node, str, Node], int],
-    blocked: set[tuple[int, ...]] | None = None,
-) -> None:
-    """Block every variable assignment violating ``egd`` over ``nodes``.
+@functools.lru_cache(maxsize=4096)
+def _egd_plan(egd: TargetEgd):
+    """Resolve an egd body to positional plans, once per (value-equal) egd.
 
-    Atom endpoints are resolved to positional indexes into the assignment
-    tuple once, ahead of the ``|N|^k`` assignment loop — the loop body then
-    touches no dictionaries at all.  ``blocked`` deduplicates clauses across
-    the whole encoding: different egds (and different assignments) routinely
-    forbid the same edge set, and every duplicate clause would be
-    re-simplified on each DPLL propagation pass.
+    Returns ``(variable_count, left_index, right_index, atom_plans)`` where
+    each atom plan is ``(subject, words, object)`` with endpoints resolved
+    to ``("var", index)`` / ``("const", node)``.  Memoised on the egd (its
+    hash is itself memoised): reduction families instantiate value-equal
+    egds across hundreds of settings, and both the encoder and the
+    fragment solution check walk the same plans.
     """
     variables = list(egd.body.variables())
     index_of = {variable: i for i, variable in enumerate(variables)}
-    left_index = index_of[egd.left]
-    right_index = index_of[egd.right]
-    # Each endpoint becomes ("var", index) or ("const", node).
-    atom_plans: list[tuple[tuple, list[list[str]], tuple]] = []
+    atom_plans = []
     for atom in egd.body.atoms:
         subject = (
             ("var", index_of[atom.subject])
@@ -202,13 +211,100 @@ def _encode_egd(
             if is_variable(atom.object)
             else ("const", atom.object)
         )
-        words = [tuple(word) for word in _words_of_atom(atom.nre)]
+        words = tuple(tuple(word) for word in _words_of_atom(atom.nre))
         atom_plans.append((subject, words, obj))
+    return (
+        len(variables),
+        index_of[egd.left],
+        index_of[egd.right],
+        tuple(atom_plans),
+    )
+
+
+# (universe, nodes, egd) → tuple of blocking-clause signatures.  Sound for
+# the same reason as the path cache: variable ids are a pure function of
+# the universe, so a value-equal egd over the same universe blocks exactly
+# the same signature set.  The global ``blocked`` dedup still applies at
+# insertion time, so cross-egd duplicate suppression is preserved.
+_EGD_CACHE: dict[tuple, tuple[tuple[int, ...], ...]] = {}
+_EGD_CACHE_LIMIT = 8192
+
+
+def _encode_egd(
+    egd: TargetEgd,
+    nodes: tuple[Node, ...],
+    universe: tuple,
+    cnf: CNF,
+    edge_vars: dict[tuple[Node, str, Node], int],
+    blocked: set[tuple[int, ...]] | None = None,
+    positive: frozenset[int] | None = None,
+) -> None:
+    """Block every variable assignment violating ``egd`` over ``nodes``.
+
+    Atom endpoints are resolved to positional indexes into the assignment
+    tuple once (:func:`_egd_plan`), ahead of the ``|N|^k`` assignment loop
+    — the loop body then touches no dictionaries at all.  ``blocked``
+    deduplicates clauses across the whole encoding: different egds (and
+    different assignments) routinely forbid the same edge set, and every
+    duplicate clause would be re-simplified on each propagation pass.  The
+    whole signature set is additionally memoised per (universe, egd).
+    """
     seen = blocked if blocked is not None else set()
-    for values in itertools.product(nodes, repeat=len(variables)):
+    cache_key = (universe, nodes, egd, positive)
+    cached = _EGD_CACHE.get(cache_key)
+    if cached is not None:
+        add = cnf.add_clause_trusted
+        for signature in cached:
+            if signature not in seen:
+                seen.add(signature)
+                add(tuple([-lit for lit in signature]))
+        return
+    variable_count, left_index, right_index, atom_plans = _egd_plan(egd)
+    # Insertion-ordered so a cache replay emits clauses in the exact order
+    # the original enumeration produced them (solver determinism).
+    produced: dict[tuple[int, ...], None] = {}
+    append = cnf.clauses.append  # signatures are canonical by construction
+    for values in itertools.product(nodes, repeat=variable_count):
         if values[left_index] == values[right_index]:
             continue
-        _block_violation(atom_plans, values, nodes, universe, cnf, edge_vars, seen)
+        _block_violation(
+            atom_plans, values, nodes, universe, append, edge_vars, seen,
+            produced, positive,
+        )
+    if len(_EGD_CACHE) >= _EGD_CACHE_LIMIT:
+        _EGD_CACHE.clear()
+    _EGD_CACHE[cache_key] = tuple(produced)
+
+
+# (universe, nodes) → {symbol: {node: ((var, successor), ...)}} — the edge
+# variable table re-bucketed for path growth, so each step hashes one node
+# instead of building and hashing a (node, symbol, node) triple.
+_ADJACENCY_CACHE: dict[tuple, dict] = {}
+_ADJACENCY_CACHE_LIMIT = 256
+
+
+def _adjacency_for(
+    universe: object,
+    nodes: tuple[Node, ...],
+    edge_vars: dict[tuple[Node, str, Node], int],
+) -> dict[str, dict[Node, tuple[tuple[int, Node], ...]]]:
+    key = (universe, nodes)
+    cached = _ADJACENCY_CACHE.get(key)
+    if cached is not None:
+        return cached
+    staged: dict[str, dict[Node, list[tuple[int, Node]]]] = {}
+    members = set(nodes)
+    for (u, symbol, v), var in edge_vars.items():
+        if u in members and v in members:
+            staged.setdefault(symbol, {}).setdefault(u, []).append((var, v))
+    adjacency = {
+        symbol: {u: tuple(moves) for u, moves in per_node.items()}
+        for symbol, per_node in staged.items()
+    }
+    if len(_ADJACENCY_CACHE) >= _ADJACENCY_CACHE_LIMIT:
+        _ADJACENCY_CACHE.clear()
+    _ADJACENCY_CACHE[key] = adjacency
+    return adjacency
 
 
 # (universe, word, u, v) → tuple of (signature, blocking clause) pairs, one
@@ -233,6 +329,7 @@ def _word_paths(
     nodes: tuple[Node, ...],
     universe: object,
     edge_vars: dict[tuple[Node, str, Node], int],
+    positive: frozenset[int] | None = None,
 ) -> tuple[tuple[tuple[int, ...], tuple[int, ...]], ...]:
     """Return ``(signature, blocking_clause)`` per ``u →word→ v`` path.
 
@@ -240,27 +337,81 @@ def _word_paths(
     per completion) and the result is memoised per (universe, nodes, word,
     endpoints) — ``nodes`` is part of the key because callers may restrict
     the intermediate-node set to a subset of the universe.
+
+    With ``positive`` set (the minimal-model reduction of
+    :func:`encode_bounded_existence`), any path through an edge variable
+    outside that set is skipped — those variables are fixed false at the
+    root, so the corresponding clause would be satisfied anyway.  The
+    pruning happens during growth, which collapses the path tree the
+    moment it leaves head-supported edges.
     """
-    key = (universe, nodes, word, u, v)
+    key = (universe, nodes, word, u, v, positive)
     cached = _PATH_CACHE.get(key)
     if cached is not None:
         return cached
+    if positive is not None:
+        adjacency = _adjacency_for(universe, nodes, edge_vars)
+        last = len(word) - 1
+        distinct = len(set(word)) == len(word)
+        partials: list[tuple[tuple[int, ...], Node]] = [((), u)]
+        empty: tuple = ()
+        for step, symbol in enumerate(word):
+            moves = adjacency.get(symbol)
+            if moves is None:
+                partials = []
+                break
+            grown: list[tuple[tuple[int, ...], Node]] = []
+            if step == last:
+                for literals, current in partials:
+                    for var, nxt in moves.get(current, empty):
+                        if nxt == v and var in positive:
+                            grown.append((literals + (var,), nxt))
+            else:
+                for literals, current in partials:
+                    for var, nxt in moves.get(current, empty):
+                        if var in positive:
+                            grown.append((literals + (var,), nxt))
+            partials = grown
+        pairs: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
+        for literals, _ in partials:
+            signature = tuple(sorted(literals if distinct else set(literals)))
+            pairs.append((signature, tuple([-lit for lit in signature])))
+        result = tuple(pairs)
+        if len(_PATH_CACHE) >= _PATH_CACHE_LIMIT:
+            _PATH_CACHE.clear()
+        _PATH_CACHE[key] = result
+        return result
+    adjacency = _adjacency_for(universe, nodes, edge_vars)
     last = len(word) - 1
-    partials: list[tuple[frozenset[int], Node]] = [(frozenset(), u)]
+    # Paths are grown as plain tuples (appending one literal per step is
+    # cheaper than a frozenset union); deduplication — a path may traverse
+    # the same edge twice, but only when the word repeats a symbol — is
+    # skipped entirely for distinct-symbol words (the common case, and the
+    # only shape restriction (iv) of Theorem 4.1 even allows).
+    distinct = len(set(word)) == len(word)
+    partials: list[tuple[tuple[int, ...], Node]] = [((), u)]
+    empty: tuple = ()
     for step, symbol in enumerate(word):
-        ends: tuple[Node, ...] = (v,) if step == last else nodes
-        grown: list[tuple[frozenset[int], Node]] = []
-        for literals, current in partials:
-            for nxt in ends:
-                var = edge_vars.get((current, symbol, nxt))
-                if var is None:
-                    continue  # symbol outside the universe: path unrealisable
-                grown.append((literals | {var}, nxt))
+        moves = adjacency.get(symbol)
+        if moves is None:  # symbol outside the universe: unrealisable
+            partials = []
+            break
+        grown: list[tuple[tuple[int, ...], Node]] = []
+        if step == last:
+            for literals, current in partials:
+                for var, nxt in moves.get(current, empty):
+                    if nxt == v:
+                        grown.append((literals + (var,), nxt))
+        else:
+            for literals, current in partials:
+                for var, nxt in moves.get(current, empty):
+                    grown.append((literals + (var,), nxt))
         partials = grown
-    result = tuple(
-        (signature, tuple(-lit for lit in signature))
-        for signature in (tuple(sorted(literals)) for literals, _ in partials)
-    )
+    pairs: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
+    for literals, _ in partials:
+        signature = tuple(sorted(literals if distinct else set(literals)))
+        pairs.append((signature, tuple([-lit for lit in signature])))
+    result = tuple(pairs)
     if len(_PATH_CACHE) >= _PATH_CACHE_LIMIT:
         _PATH_CACHE.clear()
     _PATH_CACHE[key] = result
@@ -268,26 +419,39 @@ def _word_paths(
 
 
 def _block_violation(
-    atom_plans: list[tuple[tuple, list[list[str]], tuple]],
+    atom_plans,
     values: tuple[Node, ...],
     nodes: tuple[Node, ...],
     universe: tuple,
-    cnf: CNF,
+    append,
     edge_vars: dict[tuple[Node, str, Node], int],
     blocked: set[tuple[int, ...]],
+    produced: dict[tuple[int, ...], None] | None = None,
+    positive: frozenset[int] | None = None,
 ) -> None:
-    """Add clauses forbidding every simultaneous realisation of the atoms."""
+    """Add clauses forbidding every simultaneous realisation of the atoms.
+
+    ``append`` is the clause sink (the CNF's trusted-append, pre-bound by
+    the caller to skip one attribute lookup per clause); ``blocked``
+    deduplicates insertions across the whole encoding;
+    ``produced`` (when given) additionally records *every* signature of
+    this violation — including ones another egd already blocked — so the
+    per-egd signature cache in :func:`_encode_egd` stays complete
+    regardless of which egd inserted a shared clause first.
+    """
     if len(atom_plans) == 1:  # the common shape: one word atom per body
         subject, alternatives, obj = atom_plans[0]
         u = values[subject[1]] if subject[0] == "var" else subject[1]
         v = values[obj[1]] if obj[0] == "var" else obj[1]
         for word in alternatives:
             for signature, clause in _word_paths(
-                word, u, v, nodes, universe, edge_vars
+                word, u, v, nodes, universe, edge_vars, positive
             ):
+                if produced is not None:
+                    produced[signature] = None
                 if signature not in blocked:
                     blocked.add(signature)
-                    cnf.add_clause_trusted(clause)
+                    append(clause)
         return
     per_atom_paths: list[list[tuple[int, ...]]] = []
     for subject, alternatives, obj in atom_plans:
@@ -298,7 +462,7 @@ def _block_violation(
             paths.extend(
                 signature
                 for signature, _ in _word_paths(
-                    word, u, v, nodes, universe, edge_vars
+                    word, u, v, nodes, universe, edge_vars, positive
                 )
             )
         per_atom_paths.append(paths)
@@ -307,10 +471,12 @@ def _block_violation(
         for path in combination:
             literals.update(path)
         signature = tuple(sorted(literals))
+        if produced is not None:
+            produced[signature] = None
         if signature in blocked:
             continue
         blocked.add(signature)
-        cnf.add_clause_trusted(tuple(-lit for lit in signature))
+        append(tuple(-lit for lit in signature))
 
 
 def add_pair_blocking_clauses(
@@ -319,7 +485,8 @@ def add_pair_blocking_clauses(
     source: Node,
     target: Node,
     nodes: Sequence[Node],
-) -> int:
+    guard: int | None = None,
+) -> list[Clause]:
     """Forbid every realisation of ``(source, target) ∈ ⟦query⟧`` over ``nodes``.
 
     ``query`` must be a union of words (the shape for which a realisation is
@@ -330,7 +497,13 @@ def add_pair_blocking_clauses(
     search is complete by the same induced-subgraph argument as existence
     (a counterexample solution G restricts to a counterexample over the
     node universe — NREs are monotone, so the induced subgraph still lacks
-    the pair).  Returns the number of blocking clauses added.
+    the pair).  Returns the blocking clauses added (also appended to
+    ``cnf``), so an incremental solver can ingest exactly the delta.
+
+    With ``guard`` set, every clause additionally carries ``¬guard``: the
+    blocking constraint is then *inactive* unless the solver assumes
+    ``guard`` — the mechanism the persistent certain-answer pipeline uses
+    to keep one solver while switching which pair is being probed.
 
     Endpoints outside the node universe cannot be realised at all, so no
     clause is needed (and none is added) for them.
@@ -338,7 +511,7 @@ def add_pair_blocking_clauses(
     words = _words_of_atom(query)
     members = set(nodes)
     if source not in members or target not in members:
-        return 0
+        return []
     stashed = getattr(cnf, "_edge_universe", None)
     if stashed is None:  # a CNF not built by encode_bounded_existence
         alphabet = tuple(sorted({symbol for word in words for symbol in word}))
@@ -353,19 +526,109 @@ def add_pair_blocking_clauses(
         universe = object()
     else:
         universe, edge_vars = stashed
-    added = 0
+    positive = getattr(cnf, "_positive_vars", None)
+    added: list[Clause] = []
     blocked: set[tuple[int, ...]] = set()
     node_tuple = tuple(nodes)
     for word in words:
         for signature, clause in _word_paths(
-            tuple(word), source, target, node_tuple, universe, edge_vars
+            tuple(word), source, target, node_tuple, universe, edge_vars, positive
         ):
             if signature in blocked:
                 continue
             blocked.add(signature)
+            if guard is not None:
+                clause = (-guard,) + clause
             cnf.add_clause_trusted(clause)
-            added += 1
+            added.append(clause)
     return added
+
+
+def _word_path_exists(
+    graph: GraphDatabase, word: tuple[str, ...], source: Node, target: Node
+) -> bool:
+    """Whether ``graph`` has a ``source →word→ target`` edge path."""
+    frontier = {source} if source in graph else set()
+    for symbol in word:
+        adjacency = graph.forward_index(symbol)
+        grown: set[Node] = set()
+        for node in frontier:
+            successors = adjacency.get(node)
+            if successors:
+                grown.update(successors)
+        if not grown:
+            return False
+        frontier = grown
+    return target in frontier
+
+
+def check_fragment_solution(
+    instance: RelationalInstance,
+    graph: GraphDatabase,
+    setting: DataExchangeSetting,
+) -> bool:
+    """Decide ``graph ∈ Sol_Ω(instance)`` directly on the Theorem 4.1 fragment.
+
+    Semantically identical to :func:`repro.core.solution.is_solution` on
+    settings in the SAT-encodable fragment (union-of-symbols heads, word
+    egd bodies) — pinned by a differential test — but evaluated by direct
+    edge lookups and stepwise path growth instead of the generic
+    automaton/matcher machinery, whose per-setting compilation dwarfs the
+    actual check on the small witness graphs the SAT pipeline decodes.
+    Raises :class:`~repro.errors.NotSupportedError` outside the fragment
+    (existential-quantified heads fall back to the generic matcher per
+    trigger, which stays within the fragment's semantics).
+    """
+    if setting.sameas_constraints() or setting.general_target_tgds():
+        raise NotSupportedError(
+            "the fragment check covers egd-only settings (Theorem 4.1 fragment)"
+        )
+    for tgd in setting.st_tgds:
+        atom_symbols = [
+            (atom.subject, _symbols_of_union(atom.nre), atom.object)
+            for atom in tgd.head.atoms
+        ]
+        if tgd.existentials:
+            for match in tgd.body_matches(instance):
+                frontier_values = {v: match[v] for v in tgd.frontier}
+                if not tgd.head_satisfied(graph, frontier_values):
+                    return False
+            continue
+        for match in tgd.body_matches(instance):
+            for subject, symbols, obj in atom_symbols:
+                u = match[subject] if is_variable(subject) else subject
+                v = match[obj] if is_variable(obj) else obj
+                if not any(graph.has_edge(u, a, v) for a in symbols):
+                    return False
+    node_tuple = tuple(graph.nodes())
+    for egd in setting.egds():
+        variable_count, left_index, right_index, atom_plans = _egd_plan(egd)
+        # Cheap pre-filter: an atom can only fire if some alternative word
+        # has every symbol present in the graph at all; a body whose atom
+        # has no such word cannot match anywhere — which rules out almost
+        # all clause egds of the reduction families before the |N|^k
+        # assignment loop even starts.
+        if any(
+            all(
+                any(graph.label_count(symbol) == 0 for symbol in word)
+                for word in words
+            )
+            for _, words, _ in atom_plans
+        ):
+            continue
+        for values in itertools.product(node_tuple, repeat=variable_count):
+            if values[left_index] == values[right_index]:
+                continue
+            realised = True
+            for subject, words, obj in atom_plans:
+                u = values[subject[1]] if subject[0] == "var" else subject[1]
+                v = values[obj[1]] if obj[0] == "var" else obj[1]
+                if not any(_word_path_exists(graph, word, u, v) for word in words):
+                    realised = False
+                    break
+            if realised:  # the egd fires on two distinct nodes: violation
+                return False
+    return True
 
 
 def decode_edge_model(
@@ -379,11 +642,23 @@ def decode_edge_model(
     Edge variables are looked up by their registered names over the given
     ``nodes`` × ``alphabet`` universe (no repr parsing — node ids may be
     arbitrary objects, including labeled nulls).  Every node of the
-    universe is added, so isolated nodes survive into the witness.
+    universe is added, so isolated nodes survive into the witness.  CNFs
+    built by :func:`encode_bounded_existence` carry their edge-variable
+    table, which the decode walks directly; the name registry is the
+    fallback for hand-built CNFs.
     """
     graph = GraphDatabase(alphabet=set(alphabet))
     for node in nodes:
         graph.add_node(node)
+    stashed = getattr(cnf, "_edge_universe", None)
+    if stashed is not None:
+        members = set(nodes)
+        labels = set(alphabet)
+        get = model.get
+        for (u, a, v), var in stashed[1].items():
+            if get(var, False) and u in members and v in members and a in labels:
+                graph.add_edge(u, a, v)
+        return graph
     for u in nodes:
         for a in sorted(alphabet):
             for v in nodes:

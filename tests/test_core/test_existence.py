@@ -48,7 +48,7 @@ class TestEgdStrategies:
         assert result.method == "candidate-search"
         assert is_solution(instance, result.witness, omega)
 
-    def test_chase_failure_refutes(self):
+    def test_sat_refutes_before_chase_on_fragment(self):
         setting, instance = make(
             ["R(x, y) -> (x, h, y)"],
             [parse_egd("(x1, h, z), (x2, h, z) -> x1 = x2")],
@@ -57,9 +57,28 @@ class TestEgdStrategies:
         )
         result = decide_existence(setting, instance)
         assert result.status is ExistenceStatus.NOT_EXISTS
-        # Both the chase and the SAT decision are sound here; the chase
-        # runs first in the strategy stack.
-        assert result.method == "chase-failure"
+        # Both the chase and the SAT decision refute this setting.  The
+        # setting is in the Theorem 4.1 fragment, where the SAT decision is
+        # complete and now runs *before* (instead of after) the adapted
+        # chase, which is skipped entirely.
+        assert result.method == "sat-bounded-complete"
+
+    def test_chase_failure_still_refutes_directly(self):
+        """The adapted chase's own refutation is still exercised (it is the
+        sound strategy for settings outside the encodable fragment)."""
+        from repro.chase.egd_chase import chase_with_egds
+
+        setting, instance = make(
+            ["R(x, y) -> (x, h, y)"],
+            [parse_egd("(x1, h, z), (x2, h, z) -> x1 = x2")],
+            {"h"},
+            {"R": [("u", "v"), ("w", "v")]},
+        )
+        result = chase_with_egds(
+            setting.st_tgds, setting.egds(), instance, alphabet=setting.alphabet
+        )
+        assert result.failed
+        assert set(result.failure_witness) == {"u", "w"}
 
     def test_sat_decides_positive(self):
         setting, instance = make(

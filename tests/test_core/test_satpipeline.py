@@ -1,0 +1,179 @@
+"""The persistent incremental SAT pipeline and its fragment-exact checker.
+
+Differential anchors:
+
+* :func:`repro.solver.encode.check_fragment_solution` must agree with the
+  generic :func:`repro.core.solution.is_solution` on every graph it
+  accepts/rejects (random reduction witnesses, mutated or not);
+* pipeline probes must agree with the minimal-solution enumeration (the
+  reference-engine path) and with DPLL-on-the-source-formula on the
+  Corollary 4.2 family, under **both** solver back-ends;
+* the pipeline cache must key by value: rebuilt (equal) settings and
+  instances reuse one solver and its learnt clauses.
+"""
+
+import random
+
+import pytest
+
+from repro.core.certain import certain_answers_nre, is_certain_answer
+from repro.core.existence import ExistenceStatus, decide_existence
+from repro.core.satpipeline import SatPipeline, clear_pipelines, pipeline_for
+from repro.core.search import CandidateSearchConfig
+from repro.core.solution import is_solution
+from repro.engine.query import ReferenceEngine
+from repro.graph.parser import parse_nre
+from repro.reductions.certain_hardness import certain_egd_instance
+from repro.reductions.three_sat import reduction_from_cnf, valuation_graph
+from repro.solver.dpll import solve_cnf
+from repro.solver.encode import check_fragment_solution
+from repro.solver.generators import random_kcnf
+
+CFG = CandidateSearchConfig(star_bound=1)
+
+
+def formulas(count, seed=42):
+    rng = random.Random(seed)
+    result = []
+    while len(result) < count:
+        n = rng.randint(2, 4)
+        m = rng.randint(2 * n, 8 * n)
+        result.append(random_kcnf(n, m, k=min(3, n), rng=rng))
+    return result
+
+
+class TestFragmentChecker:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_agrees_with_is_solution_on_valuation_graphs(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 4)
+        formula = random_kcnf(n, rng.randint(n, 6 * n), k=min(3, n), rng=rng)
+        reduction = reduction_from_cnf(formula)
+        for trial in range(8):
+            valuation = {j: rng.random() < 0.5 for j in range(1, n + 1)}
+            graph = valuation_graph(reduction, valuation)
+            if rng.random() < 0.5 and graph.edge_count() > 1:
+                edge = sorted(graph.edges(), key=repr)[0]
+                graph.remove_edge(edge.source, edge.label, edge.target)
+            expected = is_solution(reduction.instance, graph, reduction.setting)
+            assert (
+                check_fragment_solution(reduction.instance, graph, reduction.setting)
+                == expected
+            )
+
+    def test_pipeline_witnesses_are_solutions(self):
+        for formula in formulas(4, seed=7):
+            reduction = reduction_from_cnf(formula)
+            pipeline = SatPipeline(reduction.setting, reduction.instance)
+            witness = pipeline.existence_witness()
+            if witness is not None:
+                assert is_solution(reduction.instance, witness, reduction.setting)
+            assert (witness is not None) == (solve_cnf(formula) is not None)
+
+
+class TestProbeAgreement:
+    @pytest.mark.parametrize("solver", ["cdcl", "dpll"])
+    def test_certainty_matches_dpll_oracle_and_reference(self, solver):
+        for formula in formulas(5, seed=11):
+            case = certain_egd_instance(formula)
+            fast = is_certain_answer(
+                case.setting, case.instance, case.query, case.tuple,
+                config=CFG, solver=solver,
+            )
+            assert fast == (solve_cnf(formula) is None)
+            reference = is_certain_answer(
+                case.setting, case.instance, case.query, case.tuple,
+                config=CFG, engine=ReferenceEngine(),
+            )
+            assert fast == reference
+
+    @pytest.mark.parametrize("solver", ["cdcl", "dpll"])
+    def test_whole_set_matches_per_pair_probes(self, solver):
+        for formula in formulas(3, seed=23):
+            case = certain_egd_instance(formula)
+            result = certain_answers_nre(
+                case.setting, case.instance, case.query, config=CFG, solver=solver
+            )
+            domain = case.instance.active_domain()
+            for u in sorted(domain):
+                for v in sorted(domain):
+                    assert result.is_certain((u, v)) == is_certain_answer(
+                        case.setting, case.instance, case.query, (u, v),
+                        config=CFG, solver=solver,
+                    )
+            if not result.no_solution:
+                assert "sat-incremental" in result.method
+
+    def test_whole_set_matches_reference_enumeration(self):
+        for formula in formulas(3, seed=31):
+            case = certain_egd_instance(formula)
+            fast = certain_answers_nre(
+                case.setting, case.instance, case.query, config=CFG
+            )
+            oracle = certain_answers_nre(
+                case.setting, case.instance, case.query, config=CFG,
+                engine=ReferenceEngine(),
+            )
+            assert fast.no_solution == oracle.no_solution
+            if not fast.no_solution:
+                assert fast.answers == oracle.answers
+
+
+class TestPipelineReuse:
+    def test_value_keyed_cache_shares_one_solver(self):
+        clear_pipelines()
+        formula = formulas(1, seed=5)[0]
+        first_case = certain_egd_instance(formula)
+        second_case = certain_egd_instance(formula)  # rebuilt, value-equal
+        first = pipeline_for(first_case.setting, first_case.instance)
+        second = pipeline_for(second_case.setting, second_case.instance)
+        assert first is not None and first is second
+
+    def test_learned_clauses_and_guards_accumulate(self):
+        clear_pipelines()
+        formula = formulas(1, seed=9)[0]
+        case = certain_egd_instance(formula)
+        pipeline = pipeline_for(case.setting, case.instance)
+        assert pipeline is not None
+        before = pipeline.probes
+        query = parse_nre("a . a")
+        pipeline.probe_pair(query, "c1", "c2")
+        pipeline.probe_pair(query, "c1", "c2")  # guard reused, solver warm
+        assert pipeline.probes == before + 2
+        assert len(pipeline._guards) == 1
+
+    def test_solver_choice_isolated_per_key(self):
+        clear_pipelines()
+        formula = formulas(1, seed=13)[0]
+        case = certain_egd_instance(formula)
+        cdcl = pipeline_for(case.setting, case.instance, "cdcl")
+        dpll = pipeline_for(case.setting, case.instance, "dpll")
+        assert cdcl is not None and dpll is not None and cdcl is not dpll
+        assert cdcl.solver_name == "cdcl" and dpll.solver_name == "dpll"
+        assert cdcl.has_solution() == dpll.has_solution()
+
+    def test_inapplicable_settings_return_none(self, omega):
+        # Example 2.2's Ω has starred heads: not SAT-encodable.
+        from repro.scenarios.flights import flights_instance
+
+        assert pipeline_for(omega, flights_instance()) is None
+
+
+class TestExistenceIntegration:
+    @pytest.mark.parametrize("solver", ["cdcl", "dpll"])
+    def test_existence_matches_source_formula(self, solver):
+        rng = random.Random(17)
+        for _ in range(5):
+            n = rng.randint(2, 5)
+            formula = random_kcnf(n, rng.randint(n, 5 * n), k=min(3, n), rng=rng)
+            reduction = reduction_from_cnf(formula)
+            result = decide_existence(
+                reduction.setting, reduction.instance, solver=solver
+            )
+            assert (result.status is ExistenceStatus.EXISTS) == (
+                solve_cnf(formula) is not None
+            )
+            if result.witness is not None:
+                assert is_solution(
+                    reduction.instance, result.witness, reduction.setting
+                )

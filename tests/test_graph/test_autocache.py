@@ -1,0 +1,89 @@
+"""The cross-process automaton cache (repro.graph.autocache)."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.graph import autocache
+from repro.graph.automaton import NREAutomaton, compile_nre, evaluate_nre_automaton
+from repro.graph.database import GraphDatabase
+from repro.graph.eval import evaluate_nre
+from repro.graph.parser import parse_nre
+
+
+@pytest.fixture
+def cache_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_AUTOMATON_CACHE", "on")
+    compile_nre.cache_clear()  # force the disk layer to be consulted
+    yield tmp_path
+    compile_nre.cache_clear()
+
+
+def entries(tmp_path):
+    root = autocache.cache_dir()
+    if not os.path.isdir(root):
+        return []
+    return [name for name in os.listdir(root) if name.endswith(".pkl")]
+
+
+class TestRoundTrip:
+    def test_store_then_load(self, cache_env):
+        expr = parse_nre("f . f*[h] . f- . (f-)*")
+        compiled = compile_nre(expr)
+        assert entries(cache_env), "a non-trivial automaton should be persisted"
+        loaded = autocache.load(expr)
+        assert isinstance(loaded, NREAutomaton)
+        assert loaded.state_count == compiled.state_count
+        assert loaded.transitions == compiled.transitions
+
+    def test_loaded_automaton_evaluates_identically(self, cache_env):
+        expr = parse_nre("f . f*[h] . f- . (f-)*")
+        graph = GraphDatabase(
+            edges=[
+                ("c1", "f", "s1"), ("s1", "f", "c2"), ("s1", "h", "h1"),
+                ("c2", "f", "c3"), ("c3", "h", "h2"),
+            ]
+        )
+        fresh = evaluate_nre_automaton(graph, expr)
+        compile_nre.cache_clear()  # next compile_nre() reads from disk
+        assert entries(cache_env)
+        cached = evaluate_nre_automaton(graph, expr)
+        assert cached == fresh == evaluate_nre(graph, expr)
+
+    def test_tiny_expressions_not_persisted(self, cache_env):
+        compile_nre(parse_nre("f"))
+        assert not entries(cache_env)  # below the state-count threshold
+
+
+class TestSafety:
+    def test_disabled_by_env(self, cache_env, monkeypatch):
+        monkeypatch.setenv("REPRO_AUTOMATON_CACHE", "off")
+        assert not autocache.enabled()
+        compile_nre(parse_nre("f . f*[h] . f- . (f-)*"))
+        assert not entries(cache_env)
+
+    def test_corrupt_entry_reads_as_miss(self, cache_env):
+        expr = parse_nre("f . f*[h] . f- . (f-)*")
+        compile_nre(expr)
+        (name,) = entries(cache_env)
+        path = os.path.join(autocache.cache_dir(), name)
+        with open(path, "wb") as handle:
+            handle.write(b"not a pickle")
+        assert autocache.load(expr) is None
+
+    def test_source_mismatch_reads_as_miss(self, cache_env):
+        expr = parse_nre("f . f*[h] . f- . (f-)*")
+        compile_nre(expr)
+        (name,) = entries(cache_env)
+        path = os.path.join(autocache.cache_dir(), name)
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        payload["source"] = "something else"
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle)
+        assert autocache.load(expr) is None
+
+    def test_version_stamped_directory(self, cache_env):
+        assert f"v{autocache.CACHE_FORMAT}-py" in autocache.cache_dir()

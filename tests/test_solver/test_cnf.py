@@ -98,3 +98,44 @@ class TestDimacs:
         cnf.add_clause([x])
         assert len(cnf) == 1
         assert list(cnf) == [(x,)]
+
+
+class TestCanonicalClause:
+    """Insertion-time canonicalisation shared by CNF and both solvers."""
+
+    def test_duplicates_merged_order_preserved(self):
+        from repro.solver.cnf import canonical_clause
+
+        assert canonical_clause([3, -1, 3, 2, -1]) == (3, -1, 2)
+
+    def test_tautology_collapses_to_none(self):
+        from repro.solver.cnf import canonical_clause
+
+        assert canonical_clause([1, 2, -1]) is None
+        assert canonical_clause([-4, 4]) is None
+
+    def test_zero_rejected(self):
+        import pytest
+
+        from repro.solver.cnf import canonical_clause
+
+        with pytest.raises(ValueError):
+            canonical_clause([1, 0])
+
+    def test_both_solvers_see_identical_clauses(self):
+        """A CNF built with messy input feeds both solvers the same
+        canonical clause list — the property the differential suite
+        leans on."""
+        from repro.solver.cdcl import CDCLSolver
+        from repro.solver.cnf import CNF
+        from repro.solver.dpll import DPLLSolver
+
+        cnf = CNF()
+        x, y = cnf.new_variable(), cnf.new_variable()
+        cnf.add_clause([x, x, y])
+        cnf.add_clause([x, -x])  # dropped
+        cnf.add_clause([-y, -y])
+        assert cnf.clauses == [(x, y), (-y,)]
+        a = CDCLSolver(cnf).solve()
+        b = DPLLSolver(cnf).solve()
+        assert a == b == {x: True, y: False}
