@@ -16,13 +16,31 @@ import json
 import sys
 
 
+def medians_from_raw(raw: dict) -> dict[str, float]:
+    """Extract ``name -> median seconds`` from a pytest-benchmark report.
+
+    Entries without a median statistic are skipped with a warning (shared
+    with :mod:`compare_medians`, which accepts raw reports too).
+    """
+    medians: dict[str, float] = {}
+    for index, bench in enumerate(raw.get("benchmarks", [])):
+        stats = bench.get("stats")
+        if not isinstance(stats, dict) or "median" not in stats:
+            print(
+                f"warning: benchmark entry {bench.get('name', index)!r} has no "
+                "median statistic; skipped",
+                file=sys.stderr,
+            )
+            continue
+        medians[bench.get("name", f"benchmark-{index}")] = stats["median"]
+    return medians
+
+
 def export(raw_path: str, out_path: str) -> dict:
     """Read pytest-benchmark JSON at ``raw_path``, write medians to ``out_path``."""
     with open(raw_path, encoding="utf-8") as handle:
         raw = json.load(handle)
-    medians = {
-        bench["name"]: bench["stats"]["median"] for bench in raw.get("benchmarks", [])
-    }
+    medians = medians_from_raw(raw)
     document = {
         "meta": {
             "unit": "seconds",

@@ -17,7 +17,11 @@ Available commands:
 * ``exists``   — decide existence of solutions; exit code 0/1/2 for
                  exists / not-exists / unknown;
 * ``certain``  — compute the certain answers of an NRE query;
-* ``render``   — emit Graphviz DOT for a graph JSON file.
+* ``render``   — emit Graphviz DOT for a graph JSON file;
+* ``serve``    — run the persistent JSON-lines service (worker pool +
+                 result cache, see :mod:`repro.service`);
+* ``submit``   — send one request to a running service and print the
+                 response (mirrors the direct commands' exit codes).
 
 ``exists`` and ``certain`` accept ``--engine {compiled,reference}`` to pick
 the query-evaluation back-end (the compiled product-automaton engine with
@@ -46,12 +50,12 @@ from repro.core.search import CandidateSearchConfig
 from repro.core.setting import DataExchangeSetting
 from repro.engine.query import EvalStats, QueryEngine, ReferenceEngine
 from repro.graph.parser import parse_nre
-from repro.io.dependencies import setting_from_dict, setting_to_dict
+from repro.io.dependencies import setting_to_dict
 from repro.io.dot import graph_to_dot, pattern_to_dot
 from repro.io.json_io import (
+    document_from_dict,
     graph_from_dict,
     graph_to_dict,
-    instance_from_dict,
     instance_to_dict,
     pattern_to_dict,
 )
@@ -62,8 +66,13 @@ from repro.solver import SOLVER_NAMES
 def load_document(path: str) -> tuple[DataExchangeSetting, RelationalInstance]:
     """Read an exchange document (setting + instance) from ``path``."""
     with open(path, encoding="utf-8") as handle:
-        data = json.load(handle)
-    return setting_from_dict(data["setting"]), instance_from_dict(data["instance"])
+        return document_from_dict(json.load(handle))
+
+
+def _read_document_dict(path: str) -> dict:
+    """Read an exchange document as its raw wire dictionary."""
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -176,6 +185,77 @@ def _cmd_certain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import run_server
+
+    run_server(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_limit=0 if args.no_cache else args.cache_limit,
+    )
+    return 0
+
+
+def _submit_status_code(op: str, params: dict, result: dict) -> int:
+    """Mirror the direct commands' exit codes for service responses."""
+    if op == "exists":
+        return {"exists": 0, "not-exists": 1, "unknown": 2}[result["status"]]
+    if op == "certain" and params.get("pair") is not None:
+        return 0 if result["certain"] else 1
+    if op == "chase":
+        return 1 if result["failed"] else 0
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    op = args.request
+    params: dict = {}
+    if op in ("exists", "certain", "chase", "batch"):
+        params["document"] = _read_document_dict(args.document)
+    if op == "certain":
+        params["query"] = args.query
+        if args.pair:
+            params["pair"] = list(args.pair)
+    if op == "batch":
+        op = "evaluate_batch"
+        params["queries"] = list(args.queries)
+    if op in ("exists", "certain", "evaluate_batch"):
+        if args.star_bound is not None:
+            params["star_bound"] = args.star_bound
+        if getattr(args, "engine", None):
+            params["engine"] = args.engine
+        if getattr(args, "solver", None):
+            params["solver"] = args.solver
+    if op == "cancel":
+        params["job"] = args.job
+
+    with ServiceClient(args.host, args.port, timeout=args.timeout) as client:
+        try:
+            envelope = client.request(
+                op,
+                params or None,
+                deadline_s=args.deadline,
+                no_cache=args.no_result_cache,
+            )
+        except (ServiceError, OSError) as error:
+            print(f"service error: {error}", file=sys.stderr)
+            return 3
+    if not envelope.get("ok"):
+        error = envelope.get("error", {})
+        print(
+            f"error[{error.get('code', '?')}]: {error.get('message', '')}",
+            file=sys.stderr,
+        )
+        return 3
+    print(json.dumps(envelope["result"], indent=2, sort_keys=True))
+    if envelope.get("cached"):
+        print("(served from the result cache)", file=sys.stderr)
+    return _submit_status_code(op, params, envelope["result"])
+
+
 def _cmd_render(args: argparse.Namespace) -> int:
     with open(args.graph, encoding="utf-8") as handle:
         data: dict[str, Any] = json.load(handle)
@@ -262,6 +342,73 @@ def build_parser() -> argparse.ArgumentParser:
     render.add_argument("--name", default="G")
     render.set_defaults(handler=_cmd_render)
 
+    serve = commands.add_parser(
+        "serve", help="run the persistent JSON-lines exchange service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8765, help="TCP port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (0 = inline single-threaded lane)",
+    )
+    serve.add_argument(
+        "--cache-limit",
+        type=int,
+        default=1024,
+        help="result-cache entries kept by the server",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true", help="disable the server result cache"
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    submit = commands.add_parser(
+        "submit", help="send one request to a running service"
+    )
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, required=True)
+    submit.add_argument(
+        "--deadline", type=float, default=None, help="per-request budget in seconds"
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=120.0, help="client socket timeout"
+    )
+    submit.add_argument(
+        "--no-result-cache",
+        action="store_true",
+        help="ask the server to bypass its result cache for this request",
+    )
+    requests = submit.add_subparsers(dest="request", required=True)
+
+    def _compute_request(name: str, **kwargs) -> argparse.ArgumentParser:
+        sub = requests.add_parser(name, **kwargs)
+        sub.add_argument("document", help="exchange document (JSON)")
+        return sub
+
+    sub_exists = _compute_request("exists", help="decide existence via the service")
+    sub_certain = _compute_request("certain", help="certain answers via the service")
+    sub_certain.add_argument("query", help="NRE query")
+    sub_certain.add_argument("--pair", nargs=2, metavar=("U", "V"))
+    sub_batch = _compute_request(
+        "batch", help="batched certain answers over one document"
+    )
+    sub_batch.add_argument("queries", nargs="+", help="NRE queries")
+    _compute_request("chase", help="chase via the service")
+    for sub in (sub_exists, sub_certain, sub_batch):
+        sub.add_argument("--star-bound", type=int, default=None)
+        sub.add_argument("--engine", choices=("compiled", "reference"), default=None)
+        sub.add_argument("--solver", choices=SOLVER_NAMES, default=None)
+    requests.add_parser("ping", help="liveness probe")
+    requests.add_parser("stats", help="server telemetry snapshot")
+    requests.add_parser("shutdown", help="stop the server")
+    cancel = requests.add_parser("cancel", help="cancel an in-flight request id")
+    cancel.add_argument("job", help="request id to cancel")
+    submit.set_defaults(handler=_cmd_submit)
+
     return parser
 
 
@@ -271,7 +418,15 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "no_automaton_cache", False):
         os.environ["REPRO_AUTOMATON_CACHE"] = "off"
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: exit quietly, as CLIs do.
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except OSError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":

@@ -152,6 +152,102 @@ def certain_answers_nre(
     )
 
 
+def certain_answers_batch(
+    setting: DataExchangeSetting,
+    instance: RelationalInstance,
+    queries: Iterable[NRE],
+    config: CandidateSearchConfig | None = None,
+    engine=None,
+    solver: str | None = None,
+) -> list[CertainAnswers]:
+    """Certain answers of *many* NRE queries over one (setting, instance).
+
+    The batched evaluation shares everything the queries have in common:
+
+    * queries on the Theorem 4.1 fast path share the one persistent
+      per-universe SAT solver (and each probe's learnt clauses benefit
+      every later probe of the batch);
+    * queries that need the minimal-solution enumeration share **one**
+      pass over the candidate solutions — existence is decided once, each
+      enumerated solution is evaluated against every still-live query, and
+      a query drops out of the pass as soon as its intersection empties.
+
+    Answer sets are exactly those of per-query :func:`certain_answers_nre`
+    calls (the enumeration visits the same solutions in the same order;
+    only the reported ``method``/``solutions_examined`` bookkeeping
+    differs, since the shared pass cannot stop early for one query while
+    another is still live).  This is the engine behind the service's
+    ``evaluate_batch`` operation.
+    """
+    eng = engine if engine is not None else default_engine()
+    cfg = config if config is not None else CandidateSearchConfig(star_bound=2)
+    query_list = list(queries)
+    results: list[CertainAnswers | None] = [None] * len(query_list)
+
+    pending: list[int] = []
+    if getattr(eng, "name", "") != "reference":
+        for index, query in enumerate(query_list):
+            sat_result = _sat_certain_answers(setting, instance, query, eng, solver)
+            if sat_result is _INAPPLICABLE:
+                pending.append(index)
+            else:
+                results[index] = sat_result
+    else:
+        pending = list(range(len(query_list)))
+
+    if pending:
+        existence = decide_existence(
+            setting, instance, search_config=cfg, engine=eng, solver=solver
+        )
+        if existence.status is ExistenceStatus.NOT_EXISTS:
+            for index in pending:
+                results[index] = CertainAnswers(
+                    answers=frozenset(),
+                    no_solution=True,
+                    solutions_examined=0,
+                    method=f"no-solution({existence.method})",
+                )
+        else:
+            domain = instance.active_domain()
+            intersections: dict[int, set[Pair] | None] = {
+                index: None for index in pending
+            }
+            live = set(pending)
+            examined = 0
+            for solution in _solutions_for_intersection(
+                setting, instance, cfg, existence, eng
+            ):
+                if not live:
+                    break
+                examined += 1
+                for index in sorted(live):
+                    answers = set(
+                        eng.answers_over(solution, query_list[index], domain)
+                    )
+                    current = intersections[index]
+                    current = answers if current is None else current & answers
+                    intersections[index] = current
+                    if not current:
+                        live.discard(index)
+            for index in pending:
+                intersection = intersections[index]
+                if intersection is None:
+                    raise BoundExceeded(
+                        "no solution found within the search bounds although "
+                        f"existence was {existence.status.value}; raise the bounds"
+                    )
+                results[index] = CertainAnswers(
+                    answers=frozenset(intersection),
+                    no_solution=False,
+                    solutions_examined=examined,
+                    method=(
+                        f"batched-minimal-solutions(star_bound={cfg.star_bound}, "
+                        f"n={examined})"
+                    ),
+                )
+    return results  # type: ignore[return-value]
+
+
 def _solutions_for_intersection(
     setting: DataExchangeSetting,
     instance: RelationalInstance,

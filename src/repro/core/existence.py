@@ -181,6 +181,53 @@ def loop_collapse_refutation(
     return None
 
 
+def _complete_sat_decision(
+    setting: DataExchangeSetting,
+    instance: RelationalInstance,
+    solver: str | None,
+) -> ExistenceResult | None:
+    """The complete Theorem 4.1 decision on the persistent SAT pipeline.
+
+    A stateless entry point (all state lives in the value-keyed pipeline
+    registry, shared safely across re-entrant callers — the serving
+    layer's workers call this once per request): returns the decided
+    :class:`ExistenceResult`, or ``None`` when the pipeline is
+    inapplicable (or its decode self-check tripped) and the caller must
+    fall back to the sound chase/enumeration strategies.  An UNSAT verdict
+    is refined through :func:`loop_collapse_refutation` so Example 5.2
+    keeps its exact diagnosis; loop-collapse is *not* consulted on the
+    EXISTS path (it is a refutation — it can never fire on a satisfiable
+    setting, so checking it up front would be pure overhead).
+    """
+    pipeline = pipeline_for(setting, instance, solver)
+    if pipeline is None:
+        return None
+    try:
+        witness = pipeline.existence_witness()
+    except NotSupportedError:
+        return None  # decode self-check tripped: fall back to the chase
+    if witness is None:
+        refutation = loop_collapse_refutation(setting, instance)
+        if refutation is not None:
+            return ExistenceResult(
+                ExistenceStatus.NOT_EXISTS, "loop-collapse", detail=refutation
+            )
+        return ExistenceResult(
+            ExistenceStatus.NOT_EXISTS,
+            "sat-bounded-complete",
+            detail=(
+                f"UNSAT over the {len(pipeline.nodes)}-node "
+                "universe; complete for union-of-symbols heads "
+                "with word egds"
+            ),
+        )
+    # The pipeline verified the witness through the fragment-exact
+    # solution check already.
+    return ExistenceResult(
+        ExistenceStatus.EXISTS, "sat-bounded-complete", witness=witness
+    )
+
+
 def decide_existence(
     setting: DataExchangeSetting,
     instance: RelationalInstance,
@@ -227,41 +274,11 @@ def decide_existence(
             # Complete fragment: the persistent incremental SAT decision
             # runs first.  The adapted chase is *not* run — SAT completeness
             # subsumes its verdict, and the chase fixpoint was the single
-            # largest cost of the Theorem 4.1 benchmark.  Loop-collapse is
-            # consulted only to *refine the diagnosis* of an UNSAT verdict
-            # (it is a refutation, so it can never fire on a satisfiable
-            # setting — checking it up front would be pure overhead on the
-            # EXISTS path while still keeping Example 5.2's exact message).
+            # largest cost of the Theorem 4.1 benchmark.
             sat_attempted = True
-            pipeline = pipeline_for(setting, instance, solver)
-            if pipeline is not None:
-                try:
-                    witness = pipeline.existence_witness()
-                except NotSupportedError:
-                    pipeline = None  # decode self-check tripped: fall back
-            if pipeline is not None:
-                if witness is None:
-                    refutation = loop_collapse_refutation(setting, instance)
-                    if refutation is not None:
-                        return ExistenceResult(
-                            ExistenceStatus.NOT_EXISTS,
-                            "loop-collapse",
-                            detail=refutation,
-                        )
-                    return ExistenceResult(
-                        ExistenceStatus.NOT_EXISTS,
-                        "sat-bounded-complete",
-                        detail=(
-                            f"UNSAT over the {len(pipeline.nodes)}-node "
-                            "universe; complete for union-of-symbols heads "
-                            "with word egds"
-                        ),
-                    )
-                # The pipeline verified the witness through the
-                # fragment-exact solution check already.
-                return ExistenceResult(
-                    ExistenceStatus.EXISTS, "sat-bounded-complete", witness=witness
-                )
+            decided = _complete_sat_decision(setting, instance, solver)
+            if decided is not None:
+                return decided
             refutation = loop_collapse_refutation(setting, instance)
             if refutation is not None:
                 return ExistenceResult(

@@ -38,6 +38,7 @@ constructed.
 
 from __future__ import annotations
 
+import threading
 from typing import Hashable
 
 from repro.chase.pattern_chase import chase_pattern
@@ -179,9 +180,15 @@ class SatPipeline:
 # (setting key, instance fingerprint, solver name) → SatPipeline, so a
 # steady stream of value-equal requests — the serving model — reuses one
 # warm solver with everything it has learnt.  Bounded like the encode
-# module's path cache: wholesale clear past the limit.
+# module's path cache: wholesale clear past the limit.  The registry is
+# lock-protected for re-entrant multi-threaded callers (the service's
+# inline worker lane runs beside the server's event-loop thread); the
+# pipelines *themselves* are single-threaded — callers must not probe one
+# pipeline from two threads at once (the service serialises all library
+# work per worker, so this never arises in the serving deployment).
 _PIPELINES: dict = {}
 _PIPELINE_LIMIT = 64
+_PIPELINES_LOCK = threading.Lock()
 
 
 def _setting_key(setting: DataExchangeSetting):
@@ -208,18 +215,23 @@ def pipeline_for(
         return None
     name = resolve_solver_name(solver)
     key = (_setting_key(setting), instance.fingerprint(), name)
-    entry = _PIPELINES.get(key)
-    if entry is None:
-        try:
-            entry = SatPipeline(setting, instance, name)
-        except NotSupportedError:
-            entry = _INAPPLICABLE
-        if len(_PIPELINES) >= _PIPELINE_LIMIT:
-            _PIPELINES.clear()
-        _PIPELINES[key] = entry
+    # Get-or-create under the registry lock: concurrent value-equal
+    # requests must converge on ONE pipeline, not race to build two and
+    # hand different solvers to different callers.
+    with _PIPELINES_LOCK:
+        entry = _PIPELINES.get(key)
+        if entry is None:
+            try:
+                entry = SatPipeline(setting, instance, name)
+            except NotSupportedError:
+                entry = _INAPPLICABLE
+            if len(_PIPELINES) >= _PIPELINE_LIMIT:
+                _PIPELINES.clear()
+            _PIPELINES[key] = entry
     return None if entry is _INAPPLICABLE else entry
 
 
 def clear_pipelines() -> None:
     """Drop every cached pipeline (tests and long-running processes)."""
-    _PIPELINES.clear()
+    with _PIPELINES_LOCK:
+        _PIPELINES.clear()

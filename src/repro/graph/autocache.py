@@ -19,6 +19,11 @@ Layout and safety:
   Python upgrade never reads stale pickles;
 * writes are atomic (temp file + ``os.replace``) and best-effort: any
   filesystem or unpickling problem silently degrades to recompilation;
+* writes are also **concurrency-safe**: a per-entry ``.lock`` file
+  (``O_CREAT | O_EXCL``, stale-broken after five minutes) elects a single
+  writer when N pool workers warm the same automaton at once — the losers
+  skip their redundant stores instead of stacking writes (see
+  :func:`store`; pinned by a real-multi-process regression test);
 * each payload records the source string and is cross-checked on load
   (hash-collision paranoia, costs one string compare);
 * only automata with at least :data:`_MIN_STATES` states are persisted —
@@ -37,6 +42,7 @@ import os
 import pickle
 import sys
 import tempfile
+import time
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # import cycle: automaton.py imports this module
@@ -100,8 +106,73 @@ def load(expr: "NRE") -> "NREAutomaton | None":
     return automaton if isinstance(automaton, NREAutomaton) else None
 
 
+_LOCK_STALE_SECONDS = 300.0
+"""A writer lock older than this is presumed orphaned (crashed writer)."""
+
+
+def _acquire_entry_lock(lock_path: str, token: str) -> bool:
+    """Try to become the writer for one cache entry.
+
+    ``O_CREAT | O_EXCL`` is the atomic test-and-set: among processes
+    racing on a *live* entry, exactly one wins and the losers skip their
+    (redundant) stores.  A lock file left behind by a crashed writer is
+    broken once it is demonstrably stale, so an unlucky crash degrades
+    the cache for at most :data:`_LOCK_STALE_SECONDS`, never forever.
+    The stale-break path is best-effort — two breakers racing within
+    microseconds of each other can both proceed, which costs one
+    redundant (still atomic, never torn) write, not correctness.  The
+    ``token`` written into the lock records ownership so release can
+    refuse to unlink a lock it no longer owns.
+    """
+    flags = os.O_CREAT | os.O_EXCL | os.O_WRONLY
+    try:
+        descriptor = os.open(lock_path, flags)
+    except FileExistsError:
+        try:
+            age = time.time() - os.path.getmtime(lock_path)
+        except OSError:
+            return False  # the concurrent writer just finished and unlinked
+        if age <= _LOCK_STALE_SECONDS:
+            return False  # an active writer owns this entry
+        try:
+            os.unlink(lock_path)  # break the stale lock
+        except OSError:
+            pass
+        try:
+            descriptor = os.open(lock_path, flags)
+        except OSError:
+            return False  # lost the post-break race: someone else writes
+    with os.fdopen(descriptor, "w") as handle:
+        handle.write(token)
+    return True
+
+
+def _release_entry_lock(lock_path: str, token: str) -> None:
+    """Unlink the lock only if this process still owns it.
+
+    After a stale-lock break, the lock on disk may belong to a *newer*
+    writer — unlinking unconditionally would cascade the break to a third
+    process.
+    """
+    try:
+        with open(lock_path, encoding="utf-8") as handle:
+            if handle.read() != token:
+                return
+        os.unlink(lock_path)
+    except OSError:
+        pass
+
+
 def store(expr: "NRE", automaton: "NREAutomaton") -> None:
-    """Persist ``automaton`` (with its lowering precomputed), best-effort."""
+    """Persist ``automaton`` (with its lowering precomputed), best-effort.
+
+    Safe under concurrent worker pools: the first process to warm an
+    automaton takes a per-entry lock file and writes atomically (temp file
+    + ``os.replace``); every other process warming the same NRE at the
+    same time sees either the finished entry or the held lock and skips
+    its own write.  No reader can ever observe a torn pickle, and N
+    workers never stack N redundant multi-megabyte writes.
+    """
     if not enabled() or automaton.state_count < _MIN_STATES:
         return
     source = str(expr)
@@ -109,21 +180,35 @@ def store(expr: "NRE", automaton: "NREAutomaton") -> None:
         automaton.compiled()  # persist the ε-free lowering too
         directory = cache_dir()
         os.makedirs(directory, exist_ok=True)
-        payload = {
-            "format": CACHE_FORMAT,
-            "source": source,
-            "automaton": automaton,
-        }
-        descriptor, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        target = _entry_path(source)
+        if os.path.exists(target) and load(expr) is not None:
+            return  # another process already warmed this entry — skip the
+            # redundant write.  The load() cross-check matters: an entry
+            # that *exists* but does not load (truncated, foreign format,
+            # colliding source) must be overwritten, or the cache would be
+            # permanently dead for this NRE.
+        lock_path = target + ".lock"
+        token = f"{os.getpid()}:{id(automaton):x}"
+        if not _acquire_entry_lock(lock_path, token):
+            return  # a concurrent writer owns the entry; its copy will land
         try:
-            with os.fdopen(descriptor, "wb") as handle:
-                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(temp_path, _entry_path(source))
-        except BaseException:
+            payload = {
+                "format": CACHE_FORMAT,
+                "source": source,
+                "automaton": automaton,
+            }
+            descriptor, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
             try:
-                os.unlink(temp_path)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(descriptor, "wb") as handle:
+                    pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(temp_path, target)
+            except BaseException:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
+        finally:
+            _release_entry_lock(lock_path, token)
     except Exception:  # noqa: BLE001 - best-effort persistence only
         pass  # a broken cache must never break compilation

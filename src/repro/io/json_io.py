@@ -155,3 +155,31 @@ def instance_from_dict(data: dict) -> RelationalInstance:
         for values in tuples:
             instance.add(name, tuple(values))
     return instance
+
+
+def document_to_dict(setting, instance: RelationalInstance) -> dict:
+    """Serialise an *exchange document* — the wire unit of the CLI and the
+    service: one setting plus one source instance."""
+    from repro.io.dependencies import setting_to_dict  # import cycle guard
+
+    return {
+        "setting": setting_to_dict(setting),
+        "instance": instance_to_dict(instance),
+    }
+
+
+def document_from_dict(data: dict):
+    """Rebuild ``(setting, instance)`` from :func:`document_to_dict` output.
+
+    Raises :class:`~repro.errors.ParseError` on a structurally invalid
+    document — the service validates shape before scheduling work, but the
+    deep parse happens here, in the worker.
+    """
+    from repro.io.dependencies import setting_from_dict  # import cycle guard
+
+    if not isinstance(data, dict):
+        raise ParseError("exchange document must be an object")
+    missing = {"setting", "instance"} - set(data)
+    if missing:
+        raise ParseError(f"exchange document is missing {sorted(missing)}")
+    return setting_from_dict(data["setting"]), instance_from_dict(data["instance"])

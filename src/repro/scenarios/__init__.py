@@ -7,7 +7,10 @@
   Example 5.2 / Figure 6 (successful chase without solutions) and the
   Figure 4 valuation graph of the Theorem 4.1 illustration;
 * :mod:`repro.scenarios.generators` — random Flight/Hotel instances and
-  random graphs/NREs for the scaling and differential benchmarks.
+  random graphs/NREs for the scaling and differential benchmarks;
+* :mod:`repro.scenarios.service_workload` — the parameterised
+  multi-tenant serving workload (settings × instances × query mixes)
+  behind the service benchmarks, smoke tests, and examples.
 """
 
 from repro.scenarios.flights import (
@@ -45,6 +48,13 @@ from repro.scenarios.generators import (
     random_graph,
     random_nre,
 )
+from repro.scenarios.service_workload import (
+    QUERY_MIXES,
+    WorkloadCase,
+    cold_documents,
+    demo_document,
+    multi_tenant_workload,
+)
 
 __all__ = [
     "flights_schema",
@@ -76,4 +86,9 @@ __all__ = [
     "random_flights_instance",
     "random_graph",
     "random_nre",
+    "QUERY_MIXES",
+    "WorkloadCase",
+    "cold_documents",
+    "demo_document",
+    "multi_tenant_workload",
 ]

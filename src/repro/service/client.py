@@ -1,0 +1,185 @@
+"""A small blocking client for the JSON-lines service.
+
+One TCP connection, synchronous request/response — deliberately the
+simplest possible consumer of the protocol, used by the ``repro submit``
+CLI, the service benchmarks, and :mod:`examples.service_client`.  For
+concurrency, open one client per thread (the server handles connections
+concurrently; a single connection is processed in order).
+
+:meth:`ServiceClient.request` returns the raw response envelope (callers
+that care about the ``cached`` flag use this); :meth:`ServiceClient.call`
+unwraps it, raising :class:`ServiceError` on error envelopes.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import uuid
+from typing import Any
+
+from repro.service.protocol import encode_line
+
+
+class ServiceError(Exception):
+    """An error envelope, raised client-side with its stable code."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+
+class ServiceClient:
+    """A blocking JSON-lines client over one TCP connection."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765, timeout: float = 120.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._reader = None
+        self._counter = 0
+        # Request ids must be unique across everything in flight on the
+        # server (the job registry is global so `cancel` can reach any
+        # job) — a per-client random prefix keeps concurrent clients from
+        # colliding on "c1".
+        self._prefix = uuid.uuid4().hex[:8]
+
+    # ------------------------------------------------------------------ #
+
+    def _connection(self) -> socket.socket:
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            self._reader = self._sock.makefile("rb")
+        return self._sock
+
+    def request(
+        self,
+        op: str,
+        params: dict | None = None,
+        *,
+        deadline_s: float | None = None,
+        no_cache: bool = False,
+        request_id: str | None = None,
+    ) -> dict:
+        """Send one request and return the full response envelope."""
+        self._counter += 1
+        payload: dict[str, Any] = {
+            "id": (
+                request_id
+                if request_id is not None
+                else f"{self._prefix}-{self._counter}"
+            ),
+            "op": op,
+        }
+        if params is not None:
+            payload["params"] = params
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
+        if no_cache:
+            payload["no_cache"] = True
+        sock = self._connection()
+        try:
+            sock.sendall(encode_line(payload))
+            line = self._reader.readline()  # type: ignore[union-attr]
+        except OSError:
+            # Includes socket.timeout: the stream position is now unknown
+            # (a late response could be mistaken for the next request's),
+            # so the connection must not be reused.
+            self.close()
+            raise
+        if not line:
+            self.close()
+            raise ServiceError("connection-closed", "server closed the connection")
+        envelope = json.loads(line.decode("utf-8"))
+        returned_id = envelope.get("id")
+        if returned_id is not None and returned_id != payload["id"]:
+            # A desynchronised stream (e.g. a previous caller swallowed a
+            # timeout) must never hand back someone else's answer.
+            self.close()
+            raise ServiceError(
+                "protocol-desync",
+                f"response id {returned_id!r} does not match request "
+                f"id {payload['id']!r}",
+            )
+        return envelope
+
+    def call(self, op: str, params: dict | None = None, **kwargs) -> dict:
+        """Send one request and return its result; raise on error envelopes."""
+        envelope = self.request(op, params, **kwargs)
+        if not envelope.get("ok"):
+            error = envelope.get("error", {})
+            raise ServiceError(
+                error.get("code", "internal-error"),
+                error.get("message", "malformed error envelope"),
+            )
+        return envelope["result"]
+
+    # ------------------------------------------------------------------ #
+    # Convenience wrappers, one per operation.
+    # ------------------------------------------------------------------ #
+
+    def ping(self) -> dict:
+        """Round-trip liveness probe."""
+        return self.call("ping")
+
+    def stats(self) -> dict:
+        """The server's cache/jobs/pool telemetry snapshot."""
+        return self.call("stats")
+
+    def shutdown(self) -> dict:
+        """Ask the server to stop (it responds before stopping)."""
+        return self.call("shutdown")
+
+    def cancel(self, job_id: str) -> dict:
+        """Best-effort cancellation of an in-flight request id."""
+        return self.call("cancel", {"job": job_id})
+
+    def exists(self, document: dict, **params) -> dict:
+        """Decide existence of solutions for an exchange document."""
+        return self.call("exists", {"document": document, **params})
+
+    def certain(
+        self, document: dict, query: str, pair: list | None = None, **params
+    ) -> dict:
+        """Certain answers of ``query`` (whole set, or one ``pair``)."""
+        body: dict[str, Any] = {"document": document, "query": query, **params}
+        if pair is not None:
+            body["pair"] = list(pair)
+        return self.call("certain", body)
+
+    def chase(self, document: dict) -> dict:
+        """Chase the document and return the resulting pattern."""
+        return self.call("chase", {"document": document})
+
+    def evaluate_batch(self, document: dict, queries: list[str], **params) -> dict:
+        """Batched certain answers: many queries over one instance."""
+        return self.call(
+            "evaluate_batch", {"document": document, "queries": list(queries), **params}
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,140 @@
+"""Job bookkeeping: deadlines, cancellation, and serving telemetry.
+
+A *job* is one compute request in flight: admitted after validation and a
+result-cache miss, finished when its worker future resolves (or its
+deadline elapses, or a ``cancel`` request names it).  The registry is the
+server's source of truth for the ``cancel`` and ``stats`` operations.
+
+Deadline semantics: ``deadline_s`` is a *budget from admission*, turned
+into an absolute monotonic deadline here.  The server awaits the worker
+future only up to the remaining budget; a request admitted with a
+non-positive budget expires immediately, without ever reaching the pool.
+Cancellation is best-effort in the usual executor sense — a job still
+queued is cancelled for real, a job already running in a worker process
+completes there but its result is discarded and the client gets the
+``cancelled`` error envelope.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass
+class Job:
+    """One admitted compute request."""
+
+    id: str
+    op: str
+    fingerprint: str
+    future: Future
+    deadline: float | None
+    """Absolute :func:`time.monotonic` deadline, or ``None`` (no budget)."""
+    admitted_at: float = field(default_factory=time.monotonic)
+    cancel_requested: bool = False
+    """Set when a ``cancel`` op hit this job after a worker picked it up —
+    the server must discard the result and answer ``cancelled``."""
+
+    def remaining(self) -> float | None:
+        """Seconds of budget left (may be negative), or ``None``."""
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
+
+    def expired(self) -> bool:
+        """Whether the deadline has already elapsed."""
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0
+
+
+class DuplicateJobError(Exception):
+    """A request id that is already in flight was admitted again."""
+
+
+class JobRegistry:
+    """Tracks in-flight jobs and counts every terminal outcome."""
+
+    def __init__(self):
+        self._active: dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self.admitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.expired = 0
+
+    def admit(
+        self,
+        request_id: str,
+        op: str,
+        fingerprint: str,
+        future_factory: Callable[[], Future],
+        deadline_s: float | None,
+    ) -> Job:
+        """Register a new in-flight job; reject duplicate active ids.
+
+        The worker future is created through ``future_factory`` *after*
+        the duplicate check succeeds (and under the registry lock), so a
+        rejected duplicate never occupies a worker slot.
+        """
+        deadline = None if deadline_s is None else time.monotonic() + deadline_s
+        with self._lock:
+            if request_id in self._active:
+                raise DuplicateJobError(request_id)
+            job = Job(request_id, op, fingerprint, future_factory(), deadline)
+            self._active[request_id] = job
+            self.admitted += 1
+        return job
+
+    def cancel(self, request_id: str) -> str:
+        """Cancel the named job; returns ``cancelled``/``running``/``not-found``.
+
+        ``running`` means the future could not be revoked because a worker
+        already picked it up: the worker finishes its (discarded)
+        computation, but ``cancel_requested`` is set so the job's owner
+        still receives the ``cancelled`` envelope instead of the result.
+        """
+        with self._lock:
+            job = self._active.get(request_id)
+        if job is None:
+            return "not-found"
+        if job.future.cancel():
+            return "cancelled"
+        job.cancel_requested = True
+        return "running"
+
+    def finish(self, job: Job, outcome: str) -> None:
+        """Retire a job with its terminal outcome (one of the counters)."""
+        with self._lock:
+            self._active.pop(job.id, None)
+            if outcome == "completed":
+                self.completed += 1
+            elif outcome == "failed":
+                self.failed += 1
+            elif outcome == "cancelled":
+                self.cancelled += 1
+            elif outcome == "expired":
+                self.expired += 1
+            else:  # pragma: no cover - programming error, keep counters honest
+                raise ValueError(f"unknown job outcome {outcome!r}")
+
+    def active(self) -> list[str]:
+        """Ids of the jobs currently in flight (sorted for determinism)."""
+        with self._lock:
+            return sorted(self._active)
+
+    def stats(self) -> dict:
+        """A JSON-ready snapshot for the ``stats`` operation."""
+        with self._lock:
+            return {
+                "active": len(self._active),
+                "admitted": self.admitted,
+                "cancelled": self.cancelled,
+                "completed": self.completed,
+                "expired": self.expired,
+                "failed": self.failed,
+            }

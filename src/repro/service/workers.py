@@ -1,0 +1,281 @@
+"""Request execution: pure handlers plus the worker pool that runs them.
+
+:func:`execute_request` is the single compute entry point — a *stateless*
+function from (operation name, normalised JSON parameters) to a JSON-ready
+result dictionary.  Statelessness is what lets the same function run
+
+* inline in the server process (``--workers 0``, tests),
+* in every ``ProcessPoolExecutor`` worker (the serving deployment), and
+* directly from library code (the differential tests assert that the
+  service returns byte-identical results to these direct calls).
+
+The *caches* behind the handlers are per-process and value-keyed, so the
+function stays referentially transparent while each worker process warms
+up: its :mod:`repro.core.satpipeline` solvers, the shared compiled
+:class:`~repro.engine.query.QueryEngine`, and the on-disk automaton cache
+all persist across the requests that land on that worker.  Workers never
+share mutable state with each other or with the server — requests and
+results cross the process boundary as plain dictionaries.
+
+Handler errors never cross the pool as exceptions (unpicklable exception
+state would kill the future); they come back as an ``{"__error__":
+{"code", "message"}}`` marker that the server translates into the error
+envelope.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable
+
+from repro.chase.egd_chase import chase_with_egds
+from repro.chase.pattern_chase import chase_pattern
+from repro.core.certain import (
+    CertainAnswers,
+    certain_answers_batch,
+    certain_answers_nre,
+    find_counterexample_solution,
+)
+from repro.core.existence import ExistenceResult, decide_existence
+from repro.core.search import CandidateSearchConfig
+from repro.engine.query import ReferenceEngine, default_engine
+from repro.errors import BoundExceeded, NotSupportedError, ParseError, ReproError
+from repro.graph.parser import parse_nre
+from repro.io.json_io import (
+    document_from_dict,
+    graph_to_dict,
+    pattern_to_dict,
+)
+
+# --------------------------------------------------------------------- #
+# Result serialisation — shared by the handlers and the differential
+# tests (direct library call -> same dictionary -> byte-identity).
+# --------------------------------------------------------------------- #
+
+
+def existence_result_to_dict(result: ExistenceResult) -> dict:
+    """Wire shape of an existence decision."""
+    return {
+        "detail": result.detail,
+        "method": result.method,
+        "status": result.status.value,
+        "witness": None if result.witness is None else graph_to_dict(result.witness),
+    }
+
+
+def certain_answers_to_dict(result: CertainAnswers) -> dict:
+    """Wire shape of a certain-answer set (answers sorted for determinism)."""
+    return {
+        "answers": [list(pair) for pair in sorted(result.answers, key=repr)],
+        "method": result.method,
+        "no_solution": result.no_solution,
+        "solutions_examined": result.solutions_examined,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Handlers.
+# --------------------------------------------------------------------- #
+
+
+def _engine(params: dict):
+    """The evaluation back-end for one request.
+
+    ``compiled`` returns the *process-shared* engine on purpose: its
+    cross-candidate cache is how consecutive requests over the same
+    universe amortise inside one worker.  ``reference`` gets a fresh
+    oracle (no caches — that is its job).
+    """
+    if params.get("engine") == "reference":
+        return ReferenceEngine()
+    return default_engine()
+
+
+def _search_config(params: dict) -> CandidateSearchConfig:
+    return CandidateSearchConfig(star_bound=params.get("star_bound", 2))
+
+
+def _handle_exists(params: dict) -> dict:
+    setting, instance = document_from_dict(params["document"])
+    result = decide_existence(
+        setting,
+        instance,
+        search_config=_search_config(params),
+        engine=_engine(params),
+        solver=params.get("solver"),
+    )
+    return existence_result_to_dict(result)
+
+
+def _handle_certain(params: dict) -> dict:
+    setting, instance = document_from_dict(params["document"])
+    query = parse_nre(params["query"])
+    engine = _engine(params)
+    config = _search_config(params)
+    solver = params.get("solver")
+    if params.get("pair") is not None:
+        pair = tuple(params["pair"])
+        counterexample = find_counterexample_solution(
+            setting, instance, query, pair, config=config, engine=engine,
+            solver=solver,
+        )
+        return {
+            "certain": counterexample is None,
+            "counterexample": (
+                None if counterexample is None else graph_to_dict(counterexample)
+            ),
+            "pair": list(pair),
+        }
+    result = certain_answers_nre(
+        setting, instance, query, config=config, engine=engine, solver=solver
+    )
+    return certain_answers_to_dict(result)
+
+
+def _handle_chase(params: dict) -> dict:
+    setting, instance = document_from_dict(params["document"])
+    if setting.egds():
+        result = chase_with_egds(
+            setting.st_tgds, setting.egds(), instance, alphabet=setting.alphabet
+        )
+        if result.failed:
+            left, right = result.failure_witness  # type: ignore[misc]
+            return {
+                "failed": True,
+                "failure": [left, right],
+                "pattern": None,
+                "stats": _chase_stats(result),
+            }
+    else:
+        result = chase_pattern(setting.st_tgds, instance, alphabet=setting.alphabet)
+    return {
+        "failed": False,
+        "failure": None,
+        "pattern": pattern_to_dict(result.expect_pattern()),
+        "stats": _chase_stats(result),
+    }
+
+
+def _chase_stats(result) -> dict:
+    return {
+        "null_merges": result.stats.null_merges,
+        "st_applications": result.stats.st_applications,
+    }
+
+
+def _handle_evaluate_batch(params: dict) -> dict:
+    setting, instance = document_from_dict(params["document"])
+    queries = [parse_nre(q) for q in params["queries"]]
+    results = certain_answers_batch(
+        setting,
+        instance,
+        queries,
+        config=_search_config(params),
+        engine=_engine(params),
+        solver=params.get("solver"),
+    )
+    return {
+        "queries": list(params["queries"]),
+        "results": [certain_answers_to_dict(r) for r in results],
+    }
+
+
+_HANDLERS: dict[str, Callable[[dict], dict]] = {
+    "certain": _handle_certain,
+    "chase": _handle_chase,
+    "evaluate_batch": _handle_evaluate_batch,
+    "exists": _handle_exists,
+}
+
+
+def _error_marker(code: str, message: str) -> dict:
+    return {"__error__": {"code": code, "message": message}}
+
+
+def execute_request(op: str, params: dict) -> dict:
+    """Run one compute operation; never raises (see the module docstring)."""
+    handler = _HANDLERS.get(op)
+    if handler is None:
+        return _error_marker("unknown-op", f"no handler for op {op!r}")
+    try:
+        return handler(params)
+    except BoundExceeded as error:
+        return _error_marker("bounds-exceeded", str(error))
+    except NotSupportedError as error:
+        return _error_marker("unsupported", str(error))
+    except (ParseError, KeyError, TypeError, ValueError) as error:
+        return _error_marker(
+            "bad-request", f"{type(error).__name__}: {error}"
+        )
+    except ReproError as error:
+        return _error_marker("internal-error", f"{type(error).__name__}: {error}")
+    except Exception as error:  # noqa: BLE001 - the pool must stay alive
+        return _error_marker("internal-error", f"{type(error).__name__}: {error}")
+
+
+def _warm_worker() -> str:
+    """Force a worker process to exist and pay its import cost up front.
+
+    The short sleep keeps each warm-up job occupying a worker long enough
+    that the pool spawns its full complement instead of funnelling every
+    job through the first process.
+    """
+    time.sleep(0.05)
+    return "warm"
+
+
+class WorkerPool:
+    """The request executor: N worker processes, or a serialised inline lane.
+
+    ``workers >= 1`` builds a ``ProcessPoolExecutor`` — the serving
+    configuration, where each worker process accumulates its own warm
+    caches.  ``workers == 0`` runs requests on a single-threaded
+    ``ThreadPoolExecutor`` inside the server process: zero fork cost (CI
+    smoke jobs, debugging), and the single thread serialises all library
+    calls, which keeps the non-thread-safe solver pipelines safe.
+    """
+
+    def __init__(self, workers: int = 1):
+        self.workers = max(0, int(workers))
+        if self.workers == 0:
+            self.mode = "inline"
+            self._executor: ThreadPoolExecutor | ProcessPoolExecutor = (
+                ThreadPoolExecutor(max_workers=1, thread_name_prefix="repro-inline")
+            )
+        else:
+            self.mode = "process"
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        self.submitted = 0
+
+    def submit(self, op: str, params: dict) -> Future:
+        """Schedule one request; the future resolves to the result dict."""
+        self.submitted += 1
+        return self._executor.submit(execute_request, op, params)
+
+    def warm(self, timeout: float = 120.0) -> None:
+        """Spawn every worker and pay library import cost before serving.
+
+        Called before the event loop (and any helper threads) start, so
+        all forking happens from a quiescent, single-threaded parent.
+        """
+        futures = [
+            self._executor.submit(_warm_worker)
+            for _ in range(max(1, self.workers))
+        ]
+        for future in futures:
+            future.result(timeout=timeout)
+
+    def stats(self) -> dict:
+        """A JSON-ready snapshot for the ``stats`` operation."""
+        return {"mode": self.mode, "submitted": self.submitted, "workers": self.workers}
+
+    def shutdown(self) -> None:
+        """Stop the executor, abandoning queued work.
+
+        ``wait=True``: joining the worker processes (and the executor's
+        management thread) here keeps interpreter exit quiet — with
+        ``wait=False`` CPython's own atexit hook races the half-closed
+        wakeup pipe and prints an ignored ``OSError`` on some exits.
+        """
+        self._executor.shutdown(wait=True, cancel_futures=True)

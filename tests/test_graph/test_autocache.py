@@ -2,6 +2,9 @@
 
 import os
 import pickle
+import subprocess
+import sys
+import time
 
 import pytest
 
@@ -87,3 +90,126 @@ class TestSafety:
 
     def test_version_stamped_directory(self, cache_env):
         assert f"v{autocache.CACHE_FORMAT}-py" in autocache.cache_dir()
+
+
+EXPR = "f . f*[h] . f- . (f-)*"
+
+_WORKER_SCRIPT = """
+import sys
+from repro.graph.automaton import compile_nre
+from repro.graph.parser import parse_nre
+
+expr = parse_nre({expr!r})
+automaton = compile_nre(expr)
+sys.exit(0 if automaton.state_count > 0 else 1)
+"""
+
+
+class TestConcurrentWriters:
+    """N real processes warming the same automaton must not corrupt the cache."""
+
+    def _spawn(self, tmp_path, count):
+        src = os.path.abspath(
+            os.path.join(os.path.dirname(autocache.__file__), "..", "..")
+        )
+        env = dict(
+            os.environ,
+            PYTHONPATH=src,
+            REPRO_CACHE_DIR=str(tmp_path),
+            REPRO_AUTOMATON_CACHE="on",
+        )
+        script = _WORKER_SCRIPT.format(expr=EXPR)
+        return [
+            subprocess.Popen([sys.executable, "-c", script], env=env)
+            for _ in range(count)
+        ]
+
+    def test_racing_processes_leave_one_clean_entry(self, cache_env):
+        processes = self._spawn(cache_env, 5)
+        for process in processes:
+            assert process.wait(timeout=120) == 0
+        root = autocache.cache_dir()
+        names = os.listdir(root)
+        # Exactly one pickle, no abandoned writer locks or temp files.
+        assert [n for n in names if n.endswith(".pkl")] != []
+        assert len([n for n in names if n.endswith(".pkl")]) == 1
+        assert [n for n in names if n.endswith(".lock")] == []
+        assert [n for n in names if n.endswith(".tmp")] == []
+        # And the surviving entry is loadable and correct.
+        from repro.graph.automaton import compile_nre
+        from repro.graph.parser import parse_nre
+
+        expr = parse_nre(EXPR)
+        loaded = autocache.load(expr)
+        assert loaded is not None
+        compile_nre.cache_clear()
+        assert loaded.transitions == compile_nre(expr).transitions
+
+    def test_held_lock_skips_the_store(self, cache_env):
+        from repro.graph.automaton import compile_nre
+        from repro.graph.parser import parse_nre
+
+        expr = parse_nre(EXPR)
+        # Simulate a concurrent writer holding the per-entry lock.
+        os.makedirs(autocache.cache_dir(), exist_ok=True)
+        lock_path = autocache._entry_path(str(expr)) + ".lock"
+        with open(lock_path, "w", encoding="utf-8") as handle:
+            handle.write("424242")
+        compile_nre(expr)  # would normally store
+        assert autocache.load(expr) is None  # the loser skipped its write
+        os.unlink(lock_path)
+
+    def test_stale_lock_is_broken(self, cache_env):
+        from repro.graph.automaton import compile_nre
+        from repro.graph.parser import parse_nre
+
+        expr = parse_nre(EXPR)
+        os.makedirs(autocache.cache_dir(), exist_ok=True)
+        lock_path = autocache._entry_path(str(expr)) + ".lock"
+        with open(lock_path, "w", encoding="utf-8") as handle:
+            handle.write("424242")
+        ancient = time.time() - 2 * autocache._LOCK_STALE_SECONDS
+        os.utime(lock_path, (ancient, ancient))
+        compile_nre(expr)  # breaks the stale lock and writes
+        assert autocache.load(expr) is not None
+        assert not os.path.exists(lock_path)
+
+    def test_existing_entry_skips_redundant_write(self, cache_env):
+        from repro.graph.automaton import compile_nre
+        from repro.graph.parser import parse_nre
+
+        expr = parse_nre(EXPR)
+        compile_nre(expr)
+        (name,) = entries(cache_env)
+        path = os.path.join(autocache.cache_dir(), name)
+        before = os.stat(path).st_mtime_ns
+        compile_nre.cache_clear()
+        compile_nre(expr)  # loads from disk; store must not rewrite
+        assert os.stat(path).st_mtime_ns == before
+
+    def test_release_refuses_foreign_lock(self, cache_env):
+        """A writer must not unlink a lock a newer writer now owns."""
+        os.makedirs(autocache.cache_dir(), exist_ok=True)
+        lock_path = os.path.join(autocache.cache_dir(), "entry.pkl.lock")
+        with open(lock_path, "w", encoding="utf-8") as handle:
+            handle.write("someone-else")
+        autocache._release_entry_lock(lock_path, "my-token")
+        assert os.path.exists(lock_path)  # foreign lock left untouched
+        autocache._release_entry_lock(lock_path, "someone-else")
+        assert not os.path.exists(lock_path)  # owner releases fine
+
+    def test_corrupt_existing_entry_is_repaired(self, cache_env):
+        """An entry that exists but does not load must be overwritten."""
+        from repro.graph.automaton import compile_nre
+        from repro.graph.parser import parse_nre
+
+        expr = parse_nre(EXPR)
+        compile_nre(expr)
+        (name,) = entries(cache_env)
+        path = os.path.join(autocache.cache_dir(), name)
+        with open(path, "wb") as handle:
+            handle.write(b"garbage from a crashed writer")
+        assert autocache.load(expr) is None
+        compile_nre.cache_clear()
+        compile_nre(expr)  # recompiles — and must self-heal the entry
+        assert autocache.load(expr) is not None

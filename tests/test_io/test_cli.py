@@ -1,6 +1,10 @@
 """End-to-end tests for the command-line interface."""
 
 import json
+import os
+import re
+import subprocess
+import sys
 
 import pytest
 
@@ -102,6 +106,136 @@ class TestCertain:
         out = capsys.readouterr().out
         assert "NOT certain" in out
         assert '"edges"' in out
+
+
+class TestExistsExitCodes:
+    def test_not_exists_exit_one(self, tmp_path, capsys):
+        """Example 5.2: chase succeeds but no solution exists."""
+        from repro.io.json_io import document_to_dict
+        from repro.scenarios.figures import example52_instance, example52_setting
+
+        path = tmp_path / "ex52.json"
+        path.write_text(
+            json.dumps(document_to_dict(example52_setting(), example52_instance()))
+        )
+        assert main(["exists", str(path)]) == 1
+        assert "status: not-exists" in capsys.readouterr().out
+
+
+class TestSubmit:
+    """`repro submit` against an embedded server (the client-side path)."""
+
+    @pytest.fixture(scope="class")
+    def server(self):
+        from repro.service.server import start_in_thread
+
+        handle = start_in_thread(workers=0)
+        yield handle
+        handle.close()
+
+    def submit(self, server, *argv):
+        return main(["submit", "--port", str(server.port), *argv])
+
+    def test_ping(self, server, capsys):
+        assert self.submit(server, "ping") == 0
+        assert json.loads(capsys.readouterr().out)["pong"] is True
+
+    def test_exists_mirrors_direct_exit_code(self, server, document_path, capsys):
+        assert self.submit(server, "exists", document_path) == 0
+        assert json.loads(capsys.readouterr().out)["status"] == "exists"
+
+    def test_certain_whole_set(self, server, document_path, capsys):
+        code = self.submit(
+            server, "certain", document_path, "f . f*[h] . f- . (f-)*"
+        )
+        assert code == 0
+        answers = json.loads(capsys.readouterr().out)["answers"]
+        assert ["c1", "c3"] in answers and ["c3", "c1"] in answers
+
+    def test_certain_pair_exit_codes(self, server, document_path, capsys):
+        assert self.submit(
+            server, "certain", document_path, "f . f*[h] . f- . (f-)*",
+            "--pair", "c1", "c3",
+        ) == 0
+        assert self.submit(
+            server, "certain", document_path, "f . f*[h] . f- . (f-)*",
+            "--pair", "c1", "c2",
+        ) == 1
+        capsys.readouterr()
+
+    def test_batch(self, server, document_path, capsys):
+        assert self.submit(server, "batch", document_path, "h . h", "f . f-") == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["queries"] == ["h . h", "f . f-"]
+        assert result["results"][0]["answers"] == []
+
+    def test_chase(self, server, document_path, capsys):
+        assert self.submit(server, "chase", document_path) == 0
+        assert len(json.loads(capsys.readouterr().out)["pattern"]["edges"]) == 7
+
+    def test_cached_marker_on_stderr(self, server, document_path, capsys):
+        self.submit(server, "exists", document_path)
+        capsys.readouterr()
+        self.submit(server, "exists", document_path)
+        assert "result cache" in capsys.readouterr().err
+
+    def test_stats(self, server, capsys):
+        assert self.submit(server, "stats") == 0
+        assert json.loads(capsys.readouterr().out)["pool"]["mode"] == "inline"
+
+    def test_error_envelope_exit_three(self, server, document_path, capsys):
+        code = self.submit(server, "certain", document_path, "f . (")
+        assert code == 3
+        assert "error[bad-request]" in capsys.readouterr().err
+
+    def test_unreachable_server_exit_three(self, document_path, capsys):
+        code = main(
+            ["submit", "--port", "1", "--timeout", "2", "exists", document_path]
+        )
+        assert code == 3
+        assert "service error" in capsys.readouterr().err
+
+
+class TestServeProcess:
+    """The real `repro serve` process: announce line, requests, shutdown."""
+
+    def test_serve_submit_shutdown_round_trip(self, tmp_path):
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env = dict(os.environ, PYTHONPATH=os.path.abspath(src))
+        document = tmp_path / "doc.json"
+        subprocess.run(
+            [sys.executable, "-m", "repro.cli", "demo", "-o", str(document)],
+            env=env, check=True, capture_output=True, timeout=120,
+        )
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+             "--workers", "0"],
+            env=env, stdout=subprocess.PIPE, text=True,
+        )
+        try:
+            announce = server.stdout.readline()
+            match = re.search(r"listening on 127\.0\.0\.1:(\d+)", announce)
+            assert match, f"bad announce line: {announce!r}"
+            port = match.group(1)
+
+            def submit(*argv):
+                return subprocess.run(
+                    [sys.executable, "-m", "repro.cli", "submit",
+                     "--port", port, *argv],
+                    env=env, capture_output=True, text=True, timeout=300,
+                )
+
+            ping = submit("ping")
+            assert ping.returncode == 0 and '"pong": true' in ping.stdout
+            exists = submit("exists", str(document))
+            assert exists.returncode == 0 and '"status": "exists"' in exists.stdout
+            down = submit("shutdown")
+            assert down.returncode == 0
+            assert server.wait(timeout=60) == 0
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait(timeout=30)
 
 
 class TestRender:

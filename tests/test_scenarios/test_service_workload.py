@@ -1,0 +1,73 @@
+"""The multi-tenant serving workload generator."""
+
+from repro.io.json_io import document_from_dict
+from repro.scenarios.service_workload import (
+    QUERY_MIXES,
+    cold_documents,
+    demo_document,
+    multi_tenant_workload,
+)
+from repro.service.protocol import canonical_bytes
+
+
+class TestMultiTenantWorkload:
+    def test_grid_shape(self):
+        cases = multi_tenant_workload(tenants=3, instances_per_tenant=2)
+        assert len(cases) == 6
+        assert len({case.name for case in cases}) == 6
+        assert {case.tenant.split("-")[1] for case in cases} == {
+            "egd", "sameas", "free",
+        }
+
+    def test_deterministic_in_seed(self):
+        one = multi_tenant_workload(seed=7)
+        two = multi_tenant_workload(seed=7)
+        for a, b in zip(one, two):
+            assert a.name == b.name
+            assert canonical_bytes(a.document()) == canonical_bytes(b.document())
+
+    def test_different_seed_changes_random_instances(self):
+        one = multi_tenant_workload(seed=7)
+        two = multi_tenant_workload(seed=8)
+        assert any(
+            canonical_bytes(a.document()) != canonical_bytes(b.document())
+            for a, b in zip(one, two)
+        )
+
+    def test_documents_round_trip(self):
+        for case in multi_tenant_workload():
+            setting, instance = document_from_dict(case.document())
+            assert setting.alphabet == case.setting.alphabet
+            assert instance.fingerprint() == case.instance.fingerprint()
+
+    def test_first_instance_is_the_paper_example(self):
+        from repro.scenarios.flights import flights_instance
+
+        cases = multi_tenant_workload(tenants=1, instances_per_tenant=1)
+        assert cases[0].instance.fingerprint() == flights_instance().fingerprint()
+
+    def test_queries_are_parseable(self):
+        from repro.graph.parser import parse_nre
+
+        for queries in QUERY_MIXES.values():
+            for query in queries:
+                parse_nre(query)
+
+
+class TestColdDocuments:
+    def test_fingerprints_pairwise_distinct(self):
+        documents = cold_documents(8)
+        fingerprints = {
+            document_from_dict(doc)[1].fingerprint() for doc in documents
+        }
+        assert len(fingerprints) == 8
+
+    def test_deterministic_in_seed(self):
+        assert canonical_bytes(cold_documents(3, seed=5)[2]) == canonical_bytes(
+            cold_documents(3, seed=5)[2]
+        )
+
+    def test_demo_document_is_the_running_example(self):
+        setting, instance = document_from_dict(demo_document())
+        assert setting.name == "Omega"
+        assert instance.size() == 5

@@ -1,0 +1,60 @@
+"""The fingerprint-keyed LRU result cache."""
+
+import pytest
+
+from repro.service.cache import ResultCache
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache(limit=4)
+        hit, value = cache.get("k")
+        assert not hit and value is None
+        cache.put("k", {"answers": []})
+        hit, value = cache.get("k")
+        assert hit and value == {"answers": []}
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(limit=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == (True, 1)  # refreshes a
+        cache.put("c", 3)  # evicts b, the least recent
+        assert cache.get("b") == (False, None)
+        assert cache.get("a") == (True, 1)
+        assert cache.get("c") == (True, 3)
+        assert cache.evictions == 1
+
+    def test_put_refreshes_existing_entry(self):
+        cache = ResultCache(limit=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not insert: nothing evicted
+        assert len(cache) == 2 and cache.evictions == 0
+        assert cache.get("a") == (True, 10)
+
+    def test_counters_and_stats(self):
+        cache = ResultCache(limit=8)
+        cache.get("x")
+        cache.put("x", 1)
+        cache.get("x")
+        stats = cache.stats()
+        assert stats == {
+            "entries": 1,
+            "evictions": 0,
+            "hits": 1,
+            "limit": 8,
+            "misses": 1,
+        }
+
+    def test_clear_keeps_telemetry(self):
+        cache = ResultCache(limit=8)
+        cache.put("x", 1)
+        cache.get("x")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1  # counters are telemetry, not content
+
+    def test_positive_limit_required(self):
+        with pytest.raises(ValueError):
+            ResultCache(limit=0)

@@ -1,0 +1,172 @@
+"""The worker handlers: direct execution, library equivalence, batching."""
+
+import pytest
+
+from repro.core.certain import certain_answers_batch, certain_answers_nre
+from repro.core.existence import decide_existence
+from repro.core.search import CandidateSearchConfig
+from repro.engine.query import ReferenceEngine
+from repro.graph.parser import parse_nre
+from repro.io.json_io import document_from_dict, document_to_dict
+from repro.scenarios.flights import flights_instance, setting_omega
+from repro.scenarios.service_workload import (
+    QUERY_MIXES,
+    demo_document,
+    multi_tenant_workload,
+)
+from repro.service.protocol import canonical_bytes
+from repro.service.workers import (
+    certain_answers_to_dict,
+    execute_request,
+    existence_result_to_dict,
+)
+
+QUERY = "f . f*[h] . f- . (f-)*"
+
+
+def params(document, **extra):
+    base = {"document": document, "star_bound": 2, "engine": "compiled",
+            "solver": None}
+    base.update(extra)
+    return base
+
+
+class TestHandlersMatchLibrary:
+    """The handlers are thin, deterministic wrappers over the library."""
+
+    def test_exists_equals_decide_existence(self):
+        document = demo_document()
+        served = execute_request("exists", params(document))
+        setting, instance = document_from_dict(document)
+        expected = existence_result_to_dict(
+            decide_existence(
+                setting, instance, search_config=CandidateSearchConfig(star_bound=2)
+            )
+        )
+        assert canonical_bytes(served) == canonical_bytes(expected)
+
+    def test_certain_equals_certain_answers_nre(self):
+        document = demo_document()
+        served = execute_request("certain", params(document, query=QUERY, pair=None))
+        setting, instance = document_from_dict(document)
+        expected = certain_answers_to_dict(
+            certain_answers_nre(
+                setting, instance, parse_nre(QUERY),
+                config=CandidateSearchConfig(star_bound=2),
+            )
+        )
+        assert canonical_bytes(served) == canonical_bytes(expected)
+        assert served["answers"] == [["c1", "c1"], ["c1", "c3"],
+                                     ["c3", "c1"], ["c3", "c3"]]
+
+    def test_certain_pair_modes(self):
+        document = demo_document()
+        certain = execute_request(
+            "certain", params(document, query=QUERY, pair=["c1", "c3"])
+        )
+        assert certain["certain"] is True and certain["counterexample"] is None
+        refuted = execute_request(
+            "certain", params(document, query=QUERY, pair=["c1", "c2"])
+        )
+        assert refuted["certain"] is False
+        assert refuted["counterexample"]["edges"]  # a machine-checked solution
+
+    def test_chase_shape(self):
+        served = execute_request("chase", {"document": demo_document()})
+        assert served["failed"] is False and served["failure"] is None
+        assert len(served["pattern"]["edges"]) == 7
+        assert served["stats"] == {"null_merges": 1, "st_applications": 3}
+
+    def test_reference_engine_agrees(self):
+        document = demo_document()
+        compiled = execute_request("certain", params(document, query=QUERY, pair=None))
+        reference = execute_request(
+            "certain", params(document, query=QUERY, pair=None, engine="reference")
+        )
+        assert compiled["answers"] == reference["answers"]
+
+
+class TestEvaluateBatch:
+    def test_batch_answers_equal_per_query_calls(self):
+        for case in multi_tenant_workload(tenants=3, instances_per_tenant=1):
+            document = case.document()
+            batch = execute_request(
+                "evaluate_batch", params(document, queries=list(case.queries))
+            )
+            assert batch["queries"] == list(case.queries)
+            for query, result in zip(case.queries, batch["results"]):
+                single = execute_request(
+                    "certain", params(document, query=query, pair=None)
+                )
+                assert result["answers"] == single["answers"], (case.name, query)
+                assert result["no_solution"] == single["no_solution"]
+
+    def test_batch_shares_one_enumeration(self):
+        """Non-SAT queries share a single minimal-solution pass."""
+        setting, instance = setting_omega(), flights_instance()
+        queries = [parse_nre(q) for q in QUERY_MIXES["paper"]]
+        results = certain_answers_batch(setting, instance, queries)
+        enumerated = [r for r in results if r.method.startswith("batched")]
+        assert enumerated, "Ω's egd is not SAT-encodable: enumeration must run"
+        # Every enumerated query reports the same shared pass.
+        assert len({r.solutions_examined for r in enumerated}) == 1
+
+    def test_batch_equals_singles_under_reference_engine(self):
+        setting, instance = setting_omega(), flights_instance()
+        queries = [parse_nre(q) for q in QUERY_MIXES["paper"]]
+        batch = certain_answers_batch(
+            setting, instance, queries, engine=ReferenceEngine()
+        )
+        for query, batched in zip(queries, batch):
+            single = certain_answers_nre(
+                setting, instance, query, engine=ReferenceEngine()
+            )
+            assert batched.answers == single.answers
+
+    def test_empty_batch(self):
+        assert certain_answers_batch(setting_omega(), flights_instance(), []) == []
+
+
+class TestErrorMarkers:
+    def test_unknown_op(self):
+        marker = execute_request("frobnicate", {})
+        assert marker["__error__"]["code"] == "unknown-op"
+
+    def test_unparseable_query_is_bad_request(self):
+        marker = execute_request(
+            "certain", params(demo_document(), query="f . (", pair=None)
+        )
+        assert marker["__error__"]["code"] == "bad-request"
+
+    def test_malformed_document_is_bad_request(self):
+        marker = execute_request("exists", params({"setting": {}}))
+        assert marker["__error__"]["code"] == "bad-request"
+
+    def test_handlers_never_raise(self):
+        # Garbage of every shape must come back as a marker, not an exception.
+        for garbage in [{}, {"document": None}, {"document": 42}]:
+            marker = execute_request("chase", garbage)
+            assert "__error__" in marker
+
+
+class TestFailingChaseDocument:
+    def test_chase_failure_reported(self):
+        from repro.mappings.parser import parse_egd, parse_st_tgd
+        from repro.core.setting import DataExchangeSetting
+        from repro.relational.instance import RelationalInstance
+        from repro.relational.schema import RelationalSchema
+
+        schema = RelationalSchema()
+        schema.declare("R", 2)
+        instance = RelationalInstance(schema, {"R": [("u", "v"), ("w", "v")]})
+        setting = DataExchangeSetting(
+            schema,
+            {"h"},
+            [parse_st_tgd("R(x, y) -> (x, h, y)")],
+            [parse_egd("(x1, h, z), (x2, h, z) -> x1 = x2")],
+        )
+        served = execute_request(
+            "chase", {"document": document_to_dict(setting, instance)}
+        )
+        assert served["failed"] is True and served["pattern"] is None
+        assert sorted(served["failure"]) == ["u", "w"]

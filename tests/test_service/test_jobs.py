@@ -1,0 +1,103 @@
+"""Job bookkeeping: deadlines, cancellation, outcome counters."""
+
+from concurrent.futures import Future
+
+import pytest
+
+from repro.service.jobs import DuplicateJobError, Job, JobRegistry
+
+
+def admit(registry, request_id="j1", deadline_s=None) -> Job:
+    return registry.admit(request_id, "exists", "fp", Future, deadline_s)
+
+
+class TestDeadlines:
+    def test_no_deadline_never_expires(self):
+        job = admit(JobRegistry())
+        assert job.remaining() is None and not job.expired()
+
+    def test_positive_budget_counts_down(self):
+        job = admit(JobRegistry(), deadline_s=60.0)
+        remaining = job.remaining()
+        assert remaining is not None and 0 < remaining <= 60.0
+        assert not job.expired()
+
+    def test_exhausted_budget_expires(self):
+        job = admit(JobRegistry(), deadline_s=-0.001)
+        assert job.expired()
+
+
+class TestRegistry:
+    def test_admit_and_finish_completed(self):
+        registry = JobRegistry()
+        job = admit(registry)
+        assert registry.active() == ["j1"]
+        registry.finish(job, "completed")
+        assert registry.active() == []
+        assert registry.stats()["completed"] == 1
+
+    def test_duplicate_active_id_rejected(self):
+        registry = JobRegistry()
+        admit(registry)
+        with pytest.raises(DuplicateJobError):
+            admit(registry)
+
+    def test_duplicate_never_consumes_the_factory(self):
+        """A rejected duplicate must not occupy a worker slot."""
+        registry = JobRegistry()
+        admit(registry)
+        calls = []
+
+        def factory() -> Future:
+            calls.append(1)
+            return Future()
+
+        with pytest.raises(DuplicateJobError):
+            registry.admit("j1", "exists", "fp", factory, None)
+        assert calls == []
+
+    def test_id_reusable_after_finish(self):
+        registry = JobRegistry()
+        registry.finish(admit(registry), "completed")
+        admit(registry)  # same id, previous job retired: accepted
+        assert registry.stats()["admitted"] == 2
+
+    def test_cancel_pending_job(self):
+        registry = JobRegistry()
+        job = admit(registry)
+        assert registry.cancel("j1") == "cancelled"
+        assert job.future.cancelled()
+        registry.finish(job, "cancelled")
+        assert registry.stats()["cancelled"] == 1
+
+    def test_cancel_running_job_reports_running(self):
+        registry = JobRegistry()
+        job = admit(registry)
+        job.future.set_running_or_notify_cancel()  # a worker picked it up
+        assert registry.cancel("j1") == "running"
+        # The flag tells the server to discard the result on completion.
+        assert job.cancel_requested is True
+
+    def test_cancel_pending_job_leaves_flag_unset(self):
+        registry = JobRegistry()
+        job = admit(registry)
+        assert registry.cancel("j1") == "cancelled"
+        assert job.cancel_requested is False
+
+    def test_cancel_unknown_job(self):
+        assert JobRegistry().cancel("ghost") == "not-found"
+
+    def test_every_outcome_has_a_counter(self):
+        registry = JobRegistry()
+        for index, outcome in enumerate(
+            ["completed", "failed", "cancelled", "expired"]
+        ):
+            registry.finish(admit(registry, f"j{index}"), outcome)
+        assert registry.stats() == {
+            "active": 0,
+            "admitted": 4,
+            "cancelled": 1,
+            "completed": 1,
+            "expired": 1,
+            "failed": 1,
+        }
