@@ -6,11 +6,13 @@ embedded two-worker server when no port is given, then:
 
 1. replays the parameterised multi-tenant workload
    (:func:`repro.scenarios.service_workload.multi_tenant_workload`) —
-   ``exists``, ``chase``, one whole-set ``certain`` per query, and one
+   ``exists``, ``chase``, and, once per storage backend (``dict`` and
+   ``csr``), one whole-set ``certain`` per query plus one
    ``evaluate_batch`` per case;
 2. recomputes every answer with **direct library calls** (the same
    :func:`repro.service.workers.execute_request` entry point the workers
-   run) and asserts the service responses are byte-identical;
+   run) and asserts the service responses are byte-identical — and that
+   the csr-backend responses are byte-identical to the dict-backend ones;
 3. replays one request twice and shows the result-cache hit;
 4. prints the server's telemetry snapshot.
 
@@ -25,7 +27,12 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.scenarios.service_workload import demo_document, multi_tenant_workload
+from repro.scenarios.service_workload import (
+    case_requests,
+    demo_document,
+    logical_request_key,
+    multi_tenant_workload,
+)
 from repro.service.client import ServiceClient
 from repro.service.protocol import canonical_bytes
 from repro.service.server import start_in_thread
@@ -40,22 +47,18 @@ def _direct(op: str, params: dict) -> dict:
 
 
 def verify_case(client: ServiceClient, case) -> int:
-    """Replay one workload case; return the number of verified responses."""
-    document = case.document()
+    """Replay one workload case; return the number of verified responses.
+
+    Every query-bearing request runs once per storage backend (``dict``
+    and ``csr``), and each response is checked two ways: byte-identical
+    to the direct library call with the same parameters, and — for the
+    csr replays — byte-identical to the dict-backend response for the
+    same logical request, which is the cross-backend equivalence the
+    storage layer guarantees.
+    """
     checked = 0
-    requests: list[tuple[str, dict]] = [
-        ("exists", {"document": document, "star_bound": 2,
-                    "engine": "compiled", "solver": None}),
-        ("chase", {"document": document}),
-        ("evaluate_batch", {"document": document, "queries": list(case.queries),
-                            "star_bound": 2, "engine": "compiled", "solver": None}),
-    ]
-    requests.extend(
-        ("certain", {"document": document, "query": query, "pair": None,
-                     "star_bound": 2, "engine": "compiled", "solver": None})
-        for query in case.queries
-    )
-    for op, params in requests:
+    dict_responses: dict[bytes, dict] = {}
+    for op, params in case_requests(case, backends=("dict", "csr")):
         served = client.call(op, params)
         expected = _direct(op, params)
         if canonical_bytes(served) != canonical_bytes(expected):
@@ -64,6 +67,18 @@ def verify_case(client: ServiceClient, case) -> int:
                 f"direct library call\n  served:   {served}\n"
                 f"  expected: {expected}"
             )
+        backend = params.get("backend")
+        if backend is not None:
+            logical = logical_request_key(op, params)
+            if backend == "dict":
+                dict_responses[logical] = served
+            else:
+                twin = dict_responses.get(logical)
+                if twin is not None and canonical_bytes(served) != canonical_bytes(twin):
+                    raise AssertionError(
+                        f"{case.name}/{op}: csr backend answer differs from "
+                        f"dict backend\n  csr:  {served}\n  dict: {twin}"
+                    )
         checked += 1
     return checked
 

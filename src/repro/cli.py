@@ -18,20 +18,28 @@ Available commands:
                  exists / not-exists / unknown;
 * ``certain``  — compute the certain answers of an NRE query;
 * ``render``   — emit Graphviz DOT for a graph JSON file;
+* ``snapshot`` — ``save``/``load``/``info`` for frozen CSR graph
+                 snapshots (version-stamped files, see
+                 :mod:`repro.graph.snapshot`);
 * ``serve``    — run the persistent JSON-lines service (worker pool +
-                 result cache, see :mod:`repro.service`);
+                 result cache, see :mod:`repro.service`; pass
+                 ``--snapshot-dir`` to persist per-tenant witness
+                 snapshots across restarts);
 * ``submit``   — send one request to a running service and print the
                  response (mirrors the direct commands' exit codes).
 
 ``exists`` and ``certain`` accept ``--engine {compiled,reference}`` to pick
 the query-evaluation back-end (the compiled product-automaton engine with
 its cross-candidate cache, or the set-algebraic reference oracle — both
-stay runnable end to end), ``--solver {cdcl,dpll}`` to pick the SAT
-back-end for the complete Theorem 4.1 decisions (the incremental CDCL
-solver, or the chronological DPLL kept as the differential oracle — the
-answers must be identical, only the speed differs; the default honours
-the ``REPRO_SOLVER`` environment variable), and ``--stats`` to print the
-engine's :class:`~repro.engine.query.EvalStats` counters after the run.
+stay runnable end to end), ``--backend {dict,csr}`` to pick the storage
+backend evaluation runs on (the mutation-friendly hash indexes, or frozen
+interned-CSR arrays — identical answers, different physical traversal),
+``--solver {cdcl,dpll}`` to pick the SAT back-end for the complete
+Theorem 4.1 decisions (the incremental CDCL solver, or the chronological
+DPLL kept as the differential oracle — the answers must be identical,
+only the speed differs; the default honours the ``REPRO_SOLVER``
+environment variable), and ``--stats`` to print the engine's
+:class:`~repro.engine.query.EvalStats` counters after the run.
 """
 
 from __future__ import annotations
@@ -48,7 +56,7 @@ from repro.core.certain import certain_answers_nre
 from repro.core.existence import decide_existence
 from repro.core.search import CandidateSearchConfig
 from repro.core.setting import DataExchangeSetting
-from repro.engine.query import EvalStats, QueryEngine, ReferenceEngine
+from repro.engine.query import BACKEND_NAMES, EvalStats, QueryEngine, ReferenceEngine
 from repro.graph.parser import parse_nre
 from repro.io.dependencies import setting_to_dict
 from repro.io.dot import graph_to_dot, pattern_to_dot
@@ -118,11 +126,16 @@ def _cmd_chase(args: argparse.Namespace) -> int:
 
 
 def _engine_from_args(args: argparse.Namespace):
-    """Build the query engine selected by ``--engine`` (with fresh stats)."""
+    """Build the query engine selected by ``--engine`` (with fresh stats).
+
+    ``--backend csr`` makes the compiled engine freeze each cacheable
+    graph to the interned-CSR storage backend before evaluation (the
+    reference oracle ignores the flag — it has no storage strategy).
+    """
     stats = EvalStats()
     if getattr(args, "engine", "compiled") == "reference":
         return ReferenceEngine(stats=stats)
-    return QueryEngine(stats=stats)
+    return QueryEngine(stats=stats, backend=getattr(args, "backend", "dict"))
 
 
 def _maybe_print_stats(args: argparse.Namespace, engine) -> None:
@@ -193,6 +206,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         workers=args.workers,
         cache_limit=0 if args.no_cache else args.cache_limit,
+        snapshot_dir=args.snapshot_dir,
     )
     return 0
 
@@ -229,6 +243,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             params["engine"] = args.engine
         if getattr(args, "solver", None):
             params["solver"] = args.solver
+        if getattr(args, "backend", None):
+            params["backend"] = args.backend
     if op == "cancel":
         params["job"] = args.job
 
@@ -254,6 +270,44 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     if envelope.get("cached"):
         print("(served from the result cache)", file=sys.stderr)
     return _submit_status_code(op, params, envelope["result"])
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.errors import SnapshotError
+    from repro.graph.snapshot import load_snapshot, save_snapshot
+
+    if args.action == "save":
+        with open(args.graph, encoding="utf-8") as handle:
+            graph = graph_from_dict(json.load(handle))
+        save_snapshot(graph, args.snapshot)
+        print(
+            f"wrote {args.snapshot}: |V|={graph.node_count()} "
+            f"|E|={graph.edge_count()} (frozen csr, format-stamped)"
+        )
+        return 0
+    try:
+        graph = load_snapshot(args.snapshot)
+    except SnapshotError as error:
+        print(f"snapshot error: {error}", file=sys.stderr)
+        return 2
+    if args.action == "load":
+        text = json.dumps(graph_to_dict(graph), indent=2, sort_keys=True)
+        if args.output == "-":
+            print(text)
+        else:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {args.output}")
+        return 0
+    # info
+    token = graph.fingerprint()
+    print(f"snapshot: {args.snapshot}")
+    print(f"backend: {graph.backend_name} (frozen)")
+    print(f"nodes: {graph.node_count()}")
+    print(f"edges: {graph.edge_count()}")
+    print(f"alphabet: {sorted(map(str, graph.alphabet))}")
+    print(f"fingerprintable: {token is not None}")
+    return 0
 
 
 def _cmd_render(args: argparse.Namespace) -> int:
@@ -285,6 +339,14 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         help="SAT back-end for the complete fragment decisions: the "
         "incremental CDCL solver (default; honours REPRO_SOLVER) or the "
         "chronological DPLL differential oracle — answers are identical",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="dict",
+        help="storage backend for query evaluation: the mutation-friendly "
+        "dict indexes (default) or frozen interned-CSR arrays — answers "
+        "are identical, csr is the bulk-traversal fast path",
     )
     parser.add_argument(
         "--stats",
@@ -342,6 +404,29 @@ def build_parser() -> argparse.ArgumentParser:
     render.add_argument("--name", default="G")
     render.set_defaults(handler=_cmd_render)
 
+    snapshot = commands.add_parser(
+        "snapshot",
+        help="save/load frozen CSR graph snapshots (version-stamped files)",
+    )
+    snapshot_actions = snapshot.add_subparsers(dest="action", required=True)
+    snap_save = snapshot_actions.add_parser(
+        "save", help="freeze a graph JSON file into a snapshot"
+    )
+    snap_save.add_argument("graph", help="graph JSON file (graph_to_dict shape)")
+    snap_save.add_argument("snapshot", help="output snapshot path")
+    snap_load = snapshot_actions.add_parser(
+        "load", help="load a snapshot back into graph JSON"
+    )
+    snap_load.add_argument("snapshot", help="snapshot file")
+    snap_load.add_argument(
+        "-o", "--output", default="-", help="output path or - for stdout"
+    )
+    snap_info = snapshot_actions.add_parser(
+        "info", help="print a snapshot's counts and format facts"
+    )
+    snap_info.add_argument("snapshot", help="snapshot file")
+    snapshot.set_defaults(handler=_cmd_snapshot)
+
     serve = commands.add_parser(
         "serve", help="run the persistent JSON-lines exchange service"
     )
@@ -363,6 +448,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--no-cache", action="store_true", help="disable the server result cache"
+    )
+    serve.add_argument(
+        "--snapshot-dir",
+        default=None,
+        help="directory for frozen per-tenant witness snapshots: warm "
+        "tenants skip re-chasing after a restart (sets REPRO_SNAPSHOT_DIR "
+        "for the worker pool)",
     )
     serve.set_defaults(handler=_cmd_serve)
 
@@ -402,6 +494,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--star-bound", type=int, default=None)
         sub.add_argument("--engine", choices=("compiled", "reference"), default=None)
         sub.add_argument("--solver", choices=SOLVER_NAMES, default=None)
+        sub.add_argument("--backend", choices=BACKEND_NAMES, default=None)
     requests.add_parser("ping", help="liveness probe")
     requests.add_parser("stats", help="server telemetry snapshot")
     requests.add_parser("shutdown", help="stop the server")

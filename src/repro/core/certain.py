@@ -94,7 +94,10 @@ def certain_answers_nre(
     constant instead of a full all-pairs materialisation.  ``engine``
     selects the evaluation back-end (default: the shared compiled
     :class:`~repro.engine.query.QueryEngine`; pass a
-    :class:`~repro.engine.query.ReferenceEngine` to run the oracle path).
+    :class:`~repro.engine.query.ReferenceEngine` to run the oracle path,
+    or ``QueryEngine(backend="csr")`` to have every candidate solution of
+    the enumeration frozen to the interned-CSR storage backend on first
+    sight — identical answers, bulk-traversal evaluation).
     ``solver`` picks the SAT back-end for the fast path (``cdcl``/``dpll``,
     default per :func:`repro.solver.resolve_solver_name`).
 

@@ -122,11 +122,19 @@ class _GraphState:
         Cached states outlive the graph object they were built from; when a
         content-equal graph hits the cache, rebinding guarantees the runner
         reads a graph that *currently* matches the fingerprint (the original
-        object could have been destructively mutated since).
+        object could have been destructively mutated since).  A state whose
+        graph is *frozen* never rebinds: frozen graphs cannot drift from
+        their fingerprint, and keeping them pinned is what lets a
+        ``backend="csr"`` engine serve dict-backed lookups from the frozen
+        twin it built on the first miss.
         """
-        if self.graph is not graph:
+        if self.graph is not graph and not self.graph.is_frozen:
             self.graph = graph
             self.runner.rebind(graph)
+
+
+BACKEND_NAMES = ("dict", "csr")
+"""The storage back-ends an engine can evaluate on (see ``--backend``)."""
 
 
 class QueryEngine:
@@ -135,13 +143,35 @@ class QueryEngine:
     ``max_graphs`` bounds the cross-candidate cache (LRU eviction); the
     per-expression automaton table is unbounded but tiny (one entry per
     distinct query/subexpression ever evaluated).
+
+    ``backend`` selects the storage representation evaluation runs on
+    (:mod:`repro.graph.backends`): ``"dict"`` (default) evaluates graphs
+    as handed in, while ``"csr"`` freezes each cacheable graph to the
+    interned-CSR backend on its first appearance — the runner then takes
+    the integer-id bulk-traversal fast path for every query against that
+    fingerprint, which is the profitable trade whenever a graph is queried
+    more than once (the chased-result serving shape).  Answers are
+    byte-identical across back-ends; only the physical evaluation differs.
+    Graphs that cannot be fingerprinted (destructively mutated) are never
+    frozen implicitly — they evaluate on their own backend.
     """
 
     name = "compiled"
 
-    def __init__(self, stats: EvalStats | None = None, max_graphs: int = 256):
+    def __init__(
+        self,
+        stats: EvalStats | None = None,
+        max_graphs: int = 256,
+        backend: str = "dict",
+    ):
+        if backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown storage backend {backend!r}; expected one of "
+                f"{list(BACKEND_NAMES)}"
+            )
         self.stats = stats if stats is not None else EvalStats()
         self.max_graphs = max_graphs
+        self.backend = backend
         self._automata: dict[NRE, NREAutomaton] = {}
         self._cache: OrderedDict[Fingerprint, _GraphState] = OrderedDict()
 
@@ -254,6 +284,10 @@ class QueryEngine:
             state.rebind(graph)
             return state
         self.stats.graph_cache_misses += 1
+        if self.backend == "csr":
+            # Freeze once per fingerprint; every later query against this
+            # content runs the interned integer-id fast path.
+            graph = graph.freeze()
         state = _GraphState(graph, self.stats)
         self._cache[token] = state
         while len(self._cache) > self.max_graphs:
@@ -311,17 +345,20 @@ class ReferenceEngine:
         )
 
 
-_DEFAULT_ENGINE: QueryEngine | None = None
+_DEFAULT_ENGINES: dict[str, QueryEngine] = {}
 
 
-def default_engine() -> QueryEngine:
-    """Return the process-wide shared :class:`QueryEngine`.
+def default_engine(backend: str = "dict") -> QueryEngine:
+    """Return the process-wide shared :class:`QueryEngine` for ``backend``.
 
     Core modules that are not handed an explicit engine share this one, so
     candidate solutions examined by different entry points (existence, then
-    certain answers) still hit one another's caches.
+    certain answers) still hit one another's caches.  One engine is kept
+    per storage backend (``"dict"`` / ``"csr"``) — the service workers
+    route requests carrying a ``backend`` parameter to the matching warm
+    instance.
     """
-    global _DEFAULT_ENGINE
-    if _DEFAULT_ENGINE is None:
-        _DEFAULT_ENGINE = QueryEngine()
-    return _DEFAULT_ENGINE
+    engine = _DEFAULT_ENGINES.get(backend)
+    if engine is None:
+        engine = _DEFAULT_ENGINES[backend] = QueryEngine(backend=backend)
+    return engine

@@ -58,6 +58,28 @@ class BoundExceeded(ReproError):
     """
 
 
+class FrozenGraphError(ReproError):
+    """A mutation was attempted on a frozen (read-optimized) graph.
+
+    Raised by the CSR storage backend's mutation hooks: a graph produced
+    by :meth:`repro.graph.database.GraphDatabase.freeze` (or loaded from a
+    snapshot) is immutable by construction.  Call
+    :meth:`~repro.graph.database.GraphDatabase.thaw` to obtain a mutable
+    dict-backed copy.
+    """
+
+
+class SnapshotError(ReproError):
+    """A graph snapshot file is unreadable, foreign, or corrupt.
+
+    Raised by :mod:`repro.graph.snapshot` when a file fails the magic,
+    format-version, or payload-shape checks.  Unlike the best-effort
+    automaton cache (:mod:`repro.graph.autocache`), snapshot loads are
+    explicit user requests, so failures surface loudly instead of
+    degrading silently.
+    """
+
+
 class NotSupportedError(ReproError):
     """The requested operation is outside the implemented fragment.
 

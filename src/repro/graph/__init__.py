@@ -18,10 +18,28 @@ This package implements the *target* side of the exchange setting
 * :mod:`repro.graph.witness` — extraction of concrete witness trees proving
   ``(u, v) ∈ ⟦r⟧``, used to instantiate graph patterns into solutions;
 * :mod:`repro.graph.classes` — structural classifiers (``SORE(·)``,
-  star-freeness, nesting depth) used to state the paper's restrictions.
+  star-freeness, nesting depth) used to state the paper's restrictions;
+* :mod:`repro.graph.backends` — the pluggable physical storage behind
+  ``GraphDatabase``: the mutation-friendly ``DictBackend`` (default) and
+  the frozen, interned-CSR ``CsrBackend`` reached via
+  ``GraphDatabase.freeze()``;
+* :mod:`repro.graph.snapshot` — version-stamped save/load of frozen
+  graphs (``save_snapshot`` / ``load_snapshot``) plus the content-keyed
+  ``SnapshotStore`` the service uses for warm-tenant restarts.
 """
 
 from repro.graph.database import GraphDatabase, Edge
+from repro.graph.backends import (
+    CsrBackend,
+    DictBackend,
+    Fingerprint,
+    StorageBackend,
+)
+from repro.graph.snapshot import (
+    SnapshotStore,
+    load_snapshot,
+    save_snapshot,
+)
 from repro.graph.nre import (
     NRE,
     Epsilon,
@@ -75,6 +93,13 @@ from repro.graph.language import (
 __all__ = [
     "GraphDatabase",
     "Edge",
+    "StorageBackend",
+    "DictBackend",
+    "CsrBackend",
+    "Fingerprint",
+    "SnapshotStore",
+    "save_snapshot",
+    "load_snapshot",
     "NRE",
     "Epsilon",
     "Label",

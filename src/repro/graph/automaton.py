@@ -265,20 +265,30 @@ class _Runner:
     def __init__(self, graph: GraphDatabase, stats: object | None = None):
         self.graph = graph
         self.stats = stats
+        # Frozen graphs expose their CSR backend; a non-None probe flips
+        # every search in this runner to the interned integer-id loop.
+        self._csr = getattr(graph, "csr", None)
         self._test_cache: dict[tuple[int, Node], bool] = {}
+        # Nested-test memos of the CSR loop, keyed by (automaton id,
+        # interned node id) — kept apart from _test_cache because integer
+        # node ids could collide with graphs whose nodes *are* integers.
+        self._id_test_cache: dict[tuple[int, int], bool] = {}
         # id(CompiledAutomaton) → per-state move tables with the graph's
-        # per-label adjacency dicts already looked up (see _resolve).
+        # per-label adjacency dicts (or CSR buffers) already looked up.
         self._resolved: dict[int, tuple] = {}
 
     def rebind(self, graph: GraphDatabase) -> None:
         """Point the runner at ``graph`` (same content, different object).
 
-        Nested-test memos carry over (they depend only on content); the
-        resolved move tables do not (they hold the old object's adjacency
-        dicts) and are rebuilt lazily.
+        Nested-test memos keyed by node carry over (they depend only on
+        content); the resolved move tables and the id-keyed memos do not
+        (they hold the old object's adjacency structures and interning)
+        and are rebuilt lazily.
         """
         self.graph = graph
+        self._csr = getattr(graph, "csr", None)
         self._resolved.clear()
+        self._id_test_cache.clear()
 
     def _resolve(self, compiled: CompiledAutomaton) -> tuple:
         """Bind the automaton's per-state moves to this graph's indexes.
@@ -314,6 +324,14 @@ class _Runner:
         self, automaton: NREAutomaton | CompiledAutomaton, source: Node
     ) -> frozenset[Node]:
         """Return the nodes reachable from ``source`` through ``automaton``."""
+        csr = self._csr
+        if csr is not None:
+            source_id = csr.node_id(source)
+            if source_id is None:
+                return frozenset()
+            hits = self._search_ids(self._compiled(automaton), source_id, _COLLECT)
+            node_at = csr.node_at
+            return frozenset(node_at(hit) for hit in hits)
         if source not in self.graph:
             return frozenset()
         return frozenset(self._search(self._compiled(automaton), source, _ALL))
@@ -326,6 +344,16 @@ class _Runner:
         The product BFS stops as soon as ``target`` is accepted, so deciding
         one pair never materialises the full reachable set.
         """
+        csr = self._csr
+        if csr is not None:
+            source_id = csr.node_id(source)
+            target_id = csr.node_id(target)
+            if source_id is None or target_id is None:
+                return False
+            return (
+                self._search_ids(self._compiled(automaton), source_id, target_id)
+                is _FOUND
+            )
         if source not in self.graph or target not in self.graph:
             return False
         return self._search(self._compiled(automaton), source, target) is _FOUND
@@ -407,11 +435,169 @@ class _Runner:
             self.stats.nested_test_cache_hits += 1  # type: ignore[attr-defined]
         return cached
 
+    # ------------------------------------------------------------------ #
+    # The CSR fast path: the same product BFS over interned integer ids.
+    # ------------------------------------------------------------------ #
+
+    def _resolve_ids(self, compiled: CompiledAutomaton) -> tuple:
+        """Bind the automaton's per-state moves to the graph's CSR lists.
+
+        Per state the result is ``(moves, checks)``: each move is
+        ``(offsets, targets, hops)`` with the label already resolved to
+        its two (list-converted) buffers — forward and backward moves are
+        merged, each backward move simply binding the predecessor CSR —
+        and ``hops`` the successor states paired with their flat-config
+        bases (``state × |V|``).  Labels absent from the graph contribute
+        no move at all.  ``checks`` are ``(sub_automaton, base, state)``
+        triples for the nested tests.
+        """
+        key = id(compiled)
+        resolved = self._resolved.get(key)
+        if resolved is None:
+            csr = self._csr
+            node_count = csr.node_count()
+            per_state = []
+            for state in range(compiled.state_count):
+                moves = []
+                for lab, targets in compiled.fwd[state].items():
+                    lists = csr.forward_lists(lab)
+                    if lists is not None:
+                        moves.append(
+                            (lists[0], lists[1],
+                             tuple((s * node_count, s) for s in targets))
+                        )
+                for lab, targets in compiled.bwd[state].items():
+                    lists = csr.backward_lists(lab)
+                    if lists is not None:
+                        moves.append(
+                            (lists[0], lists[1],
+                             tuple((s * node_count, s) for s in targets))
+                        )
+                checks = tuple(
+                    (nested, s * node_count, s)
+                    for nested, s in compiled.tests[state]
+                )
+                per_state.append((tuple(moves), checks))
+            resolved = self._resolved[key] = tuple(per_state)
+        return resolved
+
+    def _search_ids(
+        self, compiled: CompiledAutomaton, source_id: int, target_id: object
+    ) -> object:
+        """Product search from ``(source_id, start)`` over interned ids.
+
+        The id-space twin of :meth:`_search`.  ``target_id`` selects the
+        mode: :data:`_COLLECT` gathers and returns the accepted node ids,
+        :data:`_ANY_ID` returns :data:`_FOUND` on the first accepting
+        config, and a concrete id returns :data:`_FOUND` when that id is
+        accepted.
+
+        Exploration is *batched by automaton state*: the worklist holds,
+        per state, the list of newly-discovered node ids, and one
+        iteration drains a whole batch through the state's resolved moves
+        — so the move tables, acceptance flag, and CSR buffers are bound
+        once per batch instead of once per config, and the inner loop is
+        a flat scan of each node's CSR slice.  Visited bookkeeping is a
+        single ``bytearray`` over the product space indexed by
+        ``state × |V| + node`` — integer indexing replaces every hash
+        lookup and tuple allocation of the dict path.
+        """
+        resolved = self._resolve_ids(compiled)
+        accepting = compiled.accepting
+        collect = target_id is _COLLECT
+        node_count = self._csr.node_count()
+        seen = bytearray(compiled.state_count * node_count)
+        start = compiled.start
+        seen[start * node_count + source_id] = 1
+        pending: list[list[int] | None] = [None] * compiled.state_count
+        pending[start] = [source_id]
+        active: list[int] = [start]
+        hit_mask = bytearray(node_count) if collect else None
+        hits: list[int] = []
+        while active:
+            state = active.pop()
+            batch = pending[state]
+            if batch is None:
+                continue
+            pending[state] = None
+            if accepting[state]:
+                if collect:
+                    for node_id in batch:
+                        if not hit_mask[node_id]:
+                            hit_mask[node_id] = 1
+                            hits.append(node_id)
+                elif target_id is _ANY_ID or target_id in batch:
+                    return _FOUND
+            moves, checks = resolved[state]
+            for offsets, targets_list, hops in moves:
+                for base, next_state in hops:
+                    bucket = pending[next_state]
+                    if bucket is None:
+                        bucket = pending[next_state] = []
+                        active.append(next_state)
+                    append = bucket.append
+                    for node_id in batch:
+                        low = offsets[node_id]
+                        high = offsets[node_id + 1]
+                        if low != high:
+                            # Degree-1 nodes skip the slice allocation —
+                            # the common case on sparse chased graphs.
+                            if high - low == 1:
+                                succ = targets_list[low]
+                                config = base + succ
+                                if not seen[config]:
+                                    seen[config] = 1
+                                    append(succ)
+                            else:
+                                for succ in targets_list[low:high]:
+                                    config = base + succ
+                                    if not seen[config]:
+                                        seen[config] = 1
+                                        append(succ)
+                    if not bucket:
+                        # Nothing new for this state: retract the
+                        # activation so the drain loop stays O(work).
+                        pending[next_state] = None
+                        if active and active[-1] == next_state:
+                            active.pop()
+            for nested, base, next_state in checks:
+                bucket = pending[next_state]
+                fresh = bucket is None
+                if fresh:
+                    bucket = []
+                append = bucket.append
+                for node_id in batch:
+                    config = base + node_id
+                    if not seen[config] and self._test_ids(nested, node_id):
+                        seen[config] = 1
+                        append(node_id)
+                if fresh and bucket:
+                    pending[next_state] = bucket
+                    active.append(next_state)
+        return hits if collect else None
+
+    def _test_ids(self, nested: CompiledAutomaton, node_id: int) -> bool:
+        key = (id(nested), node_id)
+        cached = self._id_test_cache.get(key)
+        if cached is None:
+            stats = self.stats
+            if stats is not None:
+                stats.nested_tests += 1  # type: ignore[attr-defined]
+            cached = self._search_ids(nested, node_id, _ANY_ID) is _FOUND
+            self._id_test_cache[key] = cached
+        elif self.stats is not None:
+            self.stats.nested_test_cache_hits += 1  # type: ignore[attr-defined]
+        return cached
+
 
 # Sentinels selecting the _search mode / signalling an early-exit hit.
 _ALL = object()
 _ANY = object()
 _FOUND = object()
+# Their twins for the integer-id (_search_ids) mode, where a concrete
+# target is an interned node id rather than a node object.
+_COLLECT = object()
+_ANY_ID = object()
 
 
 def evaluate_nre_automaton(

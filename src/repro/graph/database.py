@@ -5,75 +5,50 @@ edge-labeled graph ``G = (V, E)`` with ``V`` a finite set of node ids and
 ``E ⊆ V × Σ × V`` (paper, Section 2).  Nodes are arbitrary hashable values;
 labels are strings.
 
-The class keeps forward and backward adjacency indexes per label so that NRE
-evaluation can traverse edges in both directions in O(degree).  On top of
-those it maintains, incrementally on every insertion:
+:class:`GraphDatabase` is the *logical* graph — the single data model every
+chase, query engine, and serialisation layer speaks.  The *physical*
+representation lives behind the pluggable storage backends of
+:mod:`repro.graph.backends`:
 
-* any-label incident-edge indexes (``edges_from`` / ``edges_to`` /
-  ``incident_edges``) so the chase engine can find every edge touching a
-  node in O(degree) — the key operation when a merge step renames a node;
-* an append-only *edge journal* (``version`` / ``edges_since``) recording
-  the order in which edges were added, which is what makes semi-naive
-  (delta) chase iteration possible: a fixpoint round only re-matches
-  triggers against the edges added since the round before
-  (:mod:`repro.engine.matcher`).
+* the default :class:`~repro.graph.backends.DictBackend` keeps per-label
+  hash adjacency in both directions, any-label incident-edge indexes
+  (``edges_from`` / ``edges_to`` / ``incident_edges``) so the chase engine
+  can find every edge touching a node in O(degree), and an append-only
+  *edge journal* (``version`` / ``edges_since``) that makes semi-naive
+  (delta) chase iteration possible;
+* :meth:`GraphDatabase.freeze` compiles the graph into the read-optimized
+  :class:`~repro.graph.backends.CsrBackend` — nodes and labels interned to
+  dense integer ids, per-label adjacency as sorted CSR arrays — which the
+  product-automaton evaluator traverses with an integer-id fast path.
+  Frozen graphs refuse mutation (:class:`~repro.errors.FrozenGraphError`)
+  and round-trip through the version-stamped snapshot files of
+  :mod:`repro.graph.snapshot`; :meth:`GraphDatabase.thaw` goes back to a
+  mutable dict-backed copy with the journal (hence the content
+  fingerprint) preserved.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Hashable, Iterable, Iterator
 
-from repro.errors import SchemaError
+from repro.graph.backends import (
+    CsrBackend,
+    DictBackend,
+    Edge,
+    Fingerprint,
+    StorageBackend,
+)
 
 Node = Hashable
 LabelName = str
 
-# Shared empty adjacency returned by the *_index accessors for absent labels.
-_EMPTY_INDEX: dict = {}
-
-
-class Fingerprint:
-    """A content token for an append-only :class:`GraphDatabase`.
-
-    Wraps ``(nodes, journal)`` with a hash computed once at construction, so
-    fingerprints are cheap to use as cache keys no matter how often they are
-    looked up.  Two fingerprints compare equal iff the node sets and journal
-    sequences are equal — i.e. iff the graphs have identical content (for
-    graphs that never removed or renamed anything, the journal *is* the edge
-    set, in insertion order).
-    """
-
-    __slots__ = ("key", "_hash")
-
-    def __init__(self, nodes: frozenset, journal: tuple):
-        self.key = (nodes, journal)
-        self._hash = hash(self.key)
-
-    def __hash__(self) -> int:
-        return self._hash
-
-    def __eq__(self, other: object) -> bool:
-        if self is other:
-            return True
-        if not isinstance(other, Fingerprint):
-            return NotImplemented
-        return self._hash == other._hash and self.key == other.key
-
-    def __repr__(self) -> str:
-        return f"Fingerprint(|V|={len(self.key[0])}, |journal|={len(self.key[1])})"
-
-
-@dataclass(frozen=True, order=True)
-class Edge:
-    """A labeled edge ``(source, label, target)``."""
-
-    source: Node
-    label: LabelName
-    target: Node
-
-    def __str__(self) -> str:
-        return f"({self.source} -{self.label}-> {self.target})"
+__all__ = [
+    "Edge",
+    "Fingerprint",
+    "GraphDatabase",
+    "LabelName",
+    "Node",
+]
 
 
 class GraphDatabase:
@@ -89,7 +64,19 @@ class GraphDatabase:
     True
     >>> sorted(g.successors("c1", "f"))
     ['c2']
+
+    Storage is pluggable (see :mod:`repro.graph.backends`): every graph
+    starts on the mutation-friendly dict backend; :meth:`freeze` compiles
+    it into the read-optimized interned-CSR backend for query-heavy use:
+
+    >>> frozen = g.freeze()
+    >>> frozen.backend_name, frozen.is_frozen
+    ('csr', True)
+    >>> sorted(frozen.successors("c1", "f")) == sorted(g.successors("c1", "f"))
+    True
     """
+
+    __slots__ = ("_backend",)
 
     def __init__(
         self,
@@ -97,105 +84,201 @@ class GraphDatabase:
         nodes: Iterable[Node] = (),
         edges: Iterable[tuple[Node, LabelName, Node]] = (),
     ):
-        self._alphabet: frozenset[LabelName] | None = (
-            frozenset(alphabet) if alphabet is not None else None
-        )
-        self._nodes: set[Node] = set()
-        self._edges: set[Edge] = set()
-        # label -> node -> set of neighbours
-        self._fwd: dict[LabelName, dict[Node, set[Node]]] = {}
-        self._bwd: dict[LabelName, dict[Node, set[Node]]] = {}
-        # node -> incident edges, any label (for merges and delta matching)
-        self._out_edges: dict[Node, set[Edge]] = {}
-        self._in_edges: dict[Node, set[Edge]] = {}
-        # label -> number of edges, so join ordering reads sizes in O(1)
-        self._label_counts: dict[LabelName, int] = {}
-        # Append-only log of edge insertions; len() is the graph version.
-        self._journal: list[Edge] = []
-        # Content fingerprint support (see fingerprint()): destructive
-        # operations permanently disqualify the graph from journal-keyed
-        # caching; the computed token is memoised per (journal, node) size.
-        self._destructive = False
-        self._fingerprint: "Fingerprint | None" = None
-        self._fingerprint_key: tuple[int, int] | None = None
+        self._backend: StorageBackend = DictBackend(alphabet)
         for node in nodes:
-            self.add_node(node)
+            self._backend.add_node(node)
         for source, lab, target in edges:
-            self.add_edge(source, lab, target)
+            self._backend.add_edge(source, lab, target)
+
+    # ------------------------------------------------------------------ #
+    # Storage backend surface
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def _from_backend(cls, backend: StorageBackend) -> "GraphDatabase":
+        """Wrap an already-populated storage backend (internal)."""
+        graph = cls.__new__(cls)
+        graph._backend = backend
+        return graph
+
+    @property
+    def backend(self) -> StorageBackend:
+        """The live storage backend behind this graph (read its ``name``)."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """The storage backend identifier: ``"dict"`` or ``"csr"``.
+
+        >>> GraphDatabase().backend_name
+        'dict'
+        """
+        return self._backend.name
+
+    @property
+    def is_frozen(self) -> bool:
+        """Whether this graph is on a read-only (CSR) backend.
+
+        >>> g = GraphDatabase(edges=[("u", "a", "v")])
+        >>> g.is_frozen, g.freeze().is_frozen
+        (False, True)
+        """
+        return not self._backend.mutable
+
+    @property
+    def csr(self) -> CsrBackend | None:
+        """The CSR backend when frozen, else ``None`` (the fast-path probe).
+
+        The product-automaton runner (:mod:`repro.graph.automaton`) calls
+        this once per graph binding: a non-``None`` result switches the
+        search loop to interned integer ids and CSR slice expansion.
+        """
+        backend = self._backend
+        return backend if isinstance(backend, CsrBackend) else None
+
+    def freeze(self) -> "GraphDatabase":
+        """Return a read-optimized (interned CSR) view of this graph.
+
+        The frozen graph has identical content, journal, and fingerprint,
+        so query-engine caches keyed on :meth:`fingerprint` treat the two
+        interchangeably — compile the chased result once, query it many
+        times.  Freezing a frozen graph returns it unchanged.
+
+        >>> g = GraphDatabase(edges=[("u", "a", "v")])
+        >>> frozen = g.freeze()
+        >>> frozen.edges() == g.edges()
+        True
+        >>> frozen.fingerprint() == g.fingerprint()
+        True
+        >>> frozen.freeze() is frozen
+        True
+        """
+        if self.is_frozen:
+            return self
+        return GraphDatabase._from_backend(CsrBackend.from_backend(self._backend))
+
+    def thaw(self) -> "GraphDatabase":
+        """Return a mutable dict-backed copy of this graph.
+
+        For non-destructive sources the edge journal is replayed in order,
+        so the thawed copy carries the same fingerprint as the frozen one
+        (``freeze``/``thaw`` round-trips are content- *and* cache-exact).
+        Graphs that had destructively mutated before freezing rebuild from
+        the edge set and stay fingerprint-less.  Thawing a mutable graph
+        returns an independent copy.
+
+        >>> g = GraphDatabase(edges=[("u", "a", "v")])
+        >>> thawed = g.freeze().thaw()
+        >>> thawed.is_frozen
+        False
+        >>> thawed.fingerprint() == g.fingerprint()
+        True
+        """
+        source = self._backend
+        backend = DictBackend(source.declared_alphabet())
+        if source.destructive:
+            for edge in sorted(source.edges(), key=repr):
+                backend.add_edge(edge.source, edge.label, edge.target)
+            backend._destructive = True
+        else:
+            for edge in source.journal():
+                backend.add_edge(edge.source, edge.label, edge.target)
+        for node in source.nodes():
+            backend.add_node(node)
+        return GraphDatabase._from_backend(backend)
+
+    # ------------------------------------------------------------------ #
+    # Schema
+    # ------------------------------------------------------------------ #
 
     @property
     def alphabet(self) -> frozenset[LabelName]:
         """The declared alphabet, or the set of labels in use if undeclared."""
-        if self._alphabet is not None:
-            return self._alphabet
-        return frozenset(self._fwd)
+        declared = self._backend.declared_alphabet()
+        if declared is not None:
+            return declared
+        return self._backend.labels()
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
 
     def add_node(self, node: Node) -> None:
-        """Add an isolated node (idempotent)."""
-        self._nodes.add(node)
+        """Add an isolated node (idempotent).
+
+        Raises :class:`~repro.errors.FrozenGraphError` on a frozen graph.
+        """
+        self._backend.add_node(node)
 
     def add_edge(self, source: Node, lab: LabelName, target: Node) -> None:
-        """Add the edge ``(source, lab, target)``; endpoints are auto-added."""
-        if self._alphabet is not None and lab not in self._alphabet:
-            raise SchemaError(f"label {lab!r} is not in the alphabet {sorted(self._alphabet)}")
-        self._nodes.add(source)
-        self._nodes.add(target)
-        edge = Edge(source, lab, target)
-        if edge in self._edges:
-            return
-        self._edges.add(edge)
-        self._fwd.setdefault(lab, {}).setdefault(source, set()).add(target)
-        self._bwd.setdefault(lab, {}).setdefault(target, set()).add(source)
-        self._out_edges.setdefault(source, set()).add(edge)
-        self._in_edges.setdefault(target, set()).add(edge)
-        self._label_counts[lab] = self._label_counts.get(lab, 0) + 1
-        self._journal.append(edge)
+        """Add the edge ``(source, lab, target)``; endpoints are auto-added.
+
+        Raises :class:`~repro.errors.FrozenGraphError` on a frozen graph.
+        """
+        self._backend.add_edge(source, lab, target)
 
     def remove_edge(self, source: Node, lab: LabelName, target: Node) -> None:
-        """Remove an edge if present; endpoints stay in the node set."""
-        edge = Edge(source, lab, target)
-        self._destructive = True  # the journal no longer determines the content
-        if edge in self._edges:
-            self._edges.remove(edge)
-            self._fwd[lab][source].discard(target)
-            self._bwd[lab][target].discard(source)
-            self._out_edges[source].discard(edge)
-            self._in_edges[target].discard(edge)
-            self._label_counts[lab] -= 1
+        """Remove an edge if present; endpoints stay in the node set.
+
+        Raises :class:`~repro.errors.FrozenGraphError` on a frozen graph.
+        """
+        self._backend.remove_edge(source, lab, target)
+
+    def rename_node(self, old: Node, new: Node) -> frozenset[Edge]:
+        """Rename ``old`` to ``new`` in place, rewriting incident edges.
+
+        Returns the rewritten edges (as they read *after* the rename) so
+        that callers can re-match triggers against exactly the part of the
+        graph that changed.  Unlike the copy-based approach this is
+        O(degree(old)), not O(|E|).  Renaming a node onto itself or an
+        unknown node is a no-op.  Raises
+        :class:`~repro.errors.FrozenGraphError` on a frozen graph.
+
+        >>> g = GraphDatabase(edges=[("u", "a", "x"), ("w", "b", "x")])
+        >>> sorted(str(e) for e in g.rename_node("x", "y"))
+        ['(u -a-> y)', '(w -b-> y)']
+        >>> g.has_edge("u", "a", "x")
+        False
+        """
+        return self._backend.rename_node(old, new)
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
 
     def has_edge(self, source: Node, lab: LabelName, target: Node) -> bool:
         """Return whether the edge ``(source, lab, target)`` is present."""
-        return Edge(source, lab, target) in self._edges
+        return self._backend.has_edge(source, lab, target)
 
     def nodes(self) -> frozenset[Node]:
         """Return the node set."""
-        return frozenset(self._nodes)
+        return self._backend.nodes()
 
     def edges(self) -> frozenset[Edge]:
         """Return the edge set."""
-        return frozenset(self._edges)
+        return self._backend.edges()
 
     def successors(self, node: Node, lab: LabelName) -> frozenset[Node]:
         """Return ``{v | (node, lab, v) ∈ E}``."""
-        return frozenset(self._fwd.get(lab, {}).get(node, ()))
+        return self._backend.successors(node, lab)
 
     def predecessors(self, node: Node, lab: LabelName) -> frozenset[Node]:
         """Return ``{u | (u, lab, node) ∈ E}``."""
-        return frozenset(self._bwd.get(lab, {}).get(node, ()))
+        return self._backend.predecessors(node, lab)
 
     def edges_with_label(self, lab: LabelName) -> frozenset[tuple[Node, Node]]:
         """Return all ``(u, v)`` pairs with an edge labeled ``lab``."""
-        forward = self._fwd.get(lab, {})
-        return frozenset((u, v) for u, targets in forward.items() for v in targets)
+        return frozenset(self._backend.iter_label_pairs(lab))
 
     def forward_index(self, lab: LabelName) -> dict[Node, set[Node]]:
         """Return the live forward adjacency index for ``lab`` — READ ONLY.
 
         Unlike :meth:`successors` this copies nothing: the returned mapping
-        is the graph's own index (``node → set of successors``), shared for
-        the lifetime of the graph.  It is the hot-path accessor of the
-        product-automaton evaluator; callers must not mutate it and must not
-        hold it across edge insertions or removals.
+        is the backend's own index (``node → set of successors``), shared
+        for the lifetime of the graph.  Callers must not mutate it and must
+        not hold it across edge insertions or removals.  On a frozen graph
+        the view is materialised lazily from the CSR buffers (the automaton
+        evaluator bypasses it entirely via the integer-id fast path).
 
         >>> g = GraphDatabase(edges=[("u", "a", "v")])
         >>> g.forward_index("a")["u"]
@@ -203,7 +286,7 @@ class GraphDatabase:
         >>> g.forward_index("zz")
         {}
         """
-        return self._fwd.get(lab, _EMPTY_INDEX)
+        return self._backend.forward_index(lab)
 
     def backward_index(self, lab: LabelName) -> dict[Node, set[Node]]:
         """Return the live backward adjacency index for ``lab`` — READ ONLY.
@@ -215,7 +298,7 @@ class GraphDatabase:
         >>> g.backward_index("a")["v"]
         {'u'}
         """
-        return self._bwd.get(lab, _EMPTY_INDEX)
+        return self._backend.backward_index(lab)
 
     def iter_label_pairs(self, lab: LabelName) -> Iterator[tuple[Node, Node]]:
         """Iterate the ``(u, v)`` pairs labeled ``lab`` without copying.
@@ -228,9 +311,7 @@ class GraphDatabase:
         >>> list(g.iter_label_pairs("a"))
         [('u', 'v')]
         """
-        for u, targets in self._fwd.get(lab, {}).items():
-            for v in targets:
-                yield (u, v)
+        return self._backend.iter_label_pairs(lab)
 
     def has_successor(self, node: Node, lab: LabelName) -> bool:
         """Return whether ``node`` has any outgoing ``lab`` edge (no copying).
@@ -239,7 +320,7 @@ class GraphDatabase:
         >>> g.has_successor("u", "a"), g.has_successor("v", "a")
         (True, False)
         """
-        return bool(self._fwd.get(lab, {}).get(node))
+        return self._backend.has_successor(node, lab)
 
     def has_predecessor(self, node: Node, lab: LabelName) -> bool:
         """Return whether ``node`` has any incoming ``lab`` edge (no copying).
@@ -248,7 +329,7 @@ class GraphDatabase:
         >>> g.has_predecessor("v", "a"), g.has_predecessor("u", "a")
         (True, False)
         """
-        return bool(self._bwd.get(lab, {}).get(node))
+        return self._backend.has_predecessor(node, lab)
 
     def label_count(self, lab: LabelName) -> int:
         """Return the number of edges labeled ``lab``, from an O(1) counter.
@@ -257,7 +338,7 @@ class GraphDatabase:
         >>> g.label_count("a"), g.label_count("b")
         (2, 0)
         """
-        return self._label_counts.get(lab, 0)
+        return self._backend.label_count(lab)
 
     def edges_from(self, node: Node) -> frozenset[Edge]:
         """Return every edge whose source is ``node`` (any label).
@@ -266,7 +347,7 @@ class GraphDatabase:
         >>> [str(e) for e in g.edges_from("u")]
         ['(u -a-> v)']
         """
-        return frozenset(self._out_edges.get(node, ()))
+        return self._backend.edges_from(node)
 
     def edges_to(self, node: Node) -> frozenset[Edge]:
         """Return every edge whose target is ``node`` (any label).
@@ -275,7 +356,7 @@ class GraphDatabase:
         >>> [str(e) for e in g.edges_to("u")]
         ['(w -b-> u)']
         """
-        return frozenset(self._in_edges.get(node, ()))
+        return self._backend.edges_to(node)
 
     def incident_edges(self, node: Node) -> frozenset[Edge]:
         """Return every edge touching ``node`` as source or target.
@@ -284,7 +365,11 @@ class GraphDatabase:
         >>> len(g.incident_edges("u"))
         2
         """
-        return self.edges_from(node) | self.edges_to(node)
+        return self._backend.edges_from(node) | self._backend.edges_to(node)
+
+    # ------------------------------------------------------------------ #
+    # Journal / fingerprint
+    # ------------------------------------------------------------------ #
 
     @property
     def version(self) -> int:
@@ -300,7 +385,7 @@ class GraphDatabase:
         >>> g.version == v + 1
         True
         """
-        return len(self._journal)
+        return self._backend.version
 
     def edges_since(self, version: int) -> list[Edge]:
         """Return the edges inserted after ``version`` was read, in order.
@@ -315,7 +400,7 @@ class GraphDatabase:
         >>> [str(e) for e in g.edges_since(v)]
         ['(v -a-> w)']
         """
-        return self._journal[version:]
+        return self._backend.edges_since(version)
 
     def fingerprint(self) -> Fingerprint | None:
         """Return a hashable content token, or ``None`` if uncacheable.
@@ -328,7 +413,8 @@ class GraphDatabase:
         to let content-identical candidate solutions share work.  Graphs
         that underwent destructive mutation return ``None`` forever (their
         journal no longer determines their edges) and are simply evaluated
-        without cross-graph caching.
+        without cross-graph caching.  Fingerprints are backend-independent:
+        a graph and its :meth:`freeze` image carry equal tokens.
 
         >>> g = GraphDatabase(edges=[("u", "a", "v")])
         >>> g.fingerprint() == GraphDatabase(edges=[("u", "a", "v")]).fingerprint()
@@ -337,58 +423,30 @@ class GraphDatabase:
         >>> g.fingerprint() is None
         True
         """
-        if self._destructive:
-            return None
-        key = (len(self._journal), len(self._nodes))
-        if self._fingerprint is None or self._fingerprint_key != key:
-            self._fingerprint = Fingerprint(
-                frozenset(self._nodes), tuple(self._journal)
-            )
-            self._fingerprint_key = key
-        return self._fingerprint
+        return self._backend.fingerprint()
 
-    def rename_node(self, old: Node, new: Node) -> frozenset[Edge]:
-        """Rename ``old`` to ``new`` in place, rewriting incident edges.
-
-        Returns the rewritten edges (as they read *after* the rename) so
-        that callers can re-match triggers against exactly the part of the
-        graph that changed.  Unlike the copy-based approach this is
-        O(degree(old)), not O(|E|).  Renaming a node onto itself or an
-        unknown node is a no-op.
-
-        >>> g = GraphDatabase(edges=[("u", "a", "x"), ("w", "b", "x")])
-        >>> sorted(str(e) for e in g.rename_node("x", "y"))
-        ['(u -a-> y)', '(w -b-> y)']
-        >>> g.has_edge("u", "a", "x")
-        False
-        """
-        if old == new or old not in self._nodes:
-            return frozenset()
-        self._destructive = True  # node set changes without a journal entry
-        rewritten: set[Edge] = set()
-        for edge in list(self.incident_edges(old)):
-            self.remove_edge(edge.source, edge.label, edge.target)
-            source = new if edge.source == old else edge.source
-            target = new if edge.target == old else edge.target
-            self.add_edge(source, edge.label, target)
-            rewritten.add(Edge(source, edge.label, target))
-        self._nodes.discard(old)
-        self._nodes.add(new)
-        return frozenset(rewritten)
+    # ------------------------------------------------------------------ #
+    # Counting / copies
+    # ------------------------------------------------------------------ #
 
     def node_count(self) -> int:
         """Return the number of nodes."""
-        return len(self._nodes)
+        return self._backend.node_count()
 
     def edge_count(self) -> int:
         """Return the number of edges."""
-        return len(self._edges)
+        return self._backend.edge_count()
 
     def copy(self) -> "GraphDatabase":
-        """Return an independent copy (same alphabet declaration)."""
-        clone = GraphDatabase(alphabet=self._alphabet)
-        clone._nodes = set(self._nodes)
-        for edge in self._edges:
+        """Return an independent *mutable* copy (same alphabet declaration).
+
+        Copies are always dict-backed, whatever the source backend — the
+        point of copying is to mutate the result.
+        """
+        clone = GraphDatabase(alphabet=self._backend.declared_alphabet())
+        for node in self._backend.nodes():
+            clone.add_node(node)
+        for edge in self._backend.edges():
             clone.add_edge(edge.source, edge.label, edge.target)
         return clone
 
@@ -407,29 +465,40 @@ class GraphDatabase:
         Useful when a graph built over Σ must be re-read over Σ ∪ {sameAs}.
         """
         clone = GraphDatabase(alphabet=alphabet)
-        for node in self._nodes:
+        for node in self._backend.nodes():
             clone.add_node(node)
-        for edge in self._edges:
+        for edge in self._backend.edges():
             clone.add_edge(edge.source, edge.label, edge.target)
         return clone
 
+    # ------------------------------------------------------------------ #
+    # Dunder protocol
+    # ------------------------------------------------------------------ #
+
     def __contains__(self, node: object) -> bool:
-        return node in self._nodes
+        return self._backend.has_node(node)
 
     def __iter__(self) -> Iterator[Edge]:
-        return iter(sorted(self._edges, key=repr))
+        return iter(sorted(self._backend.edges(), key=repr))
 
     def __len__(self) -> int:
-        return len(self._edges)
+        return self._backend.edge_count()
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, GraphDatabase):
             return NotImplemented
-        return self._nodes == other._nodes and self._edges == other._edges
+        # Content equality is backend-independent: a graph equals its
+        # frozen image.
+        return (
+            self._backend.nodes() == other._backend.nodes()
+            and self._backend.edges() == other._backend.edges()
+        )
+
+    __hash__ = None  # type: ignore[assignment] - mutable container semantics
 
     def __repr__(self) -> str:
         return (
-            f"GraphDatabase(|V|={len(self._nodes)}, |E|={len(self._edges)}, "
+            f"GraphDatabase(|V|={self.node_count()}, |E|={self.edge_count()}, "
             f"Σ={sorted(map(str, self.alphabet))})"
         )
 
@@ -447,7 +516,7 @@ class GraphDatabase:
             inc = tuple(sorted((e.label) for e in g.edges() if e.target == node))
             return (out, inc)
 
-        mine = sorted(self._nodes, key=repr)
+        mine = sorted(self.nodes(), key=repr)
         sig_self = {n: signature(self, n) for n in mine}
         sig_other: dict[Node, tuple] = {n: signature(other, n) for n in other.nodes()}
 

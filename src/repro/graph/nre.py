@@ -98,6 +98,7 @@ class Union(NRE):
     right: NRE
 
     def children(self) -> tuple[NRE, ...]:
+        """The two disjuncts."""
         return (self.left, self.right)
 
     def __str__(self) -> str:
@@ -112,6 +113,7 @@ class Concat(NRE):
     right: NRE
 
     def children(self) -> tuple[NRE, ...]:
+        """The two concatenands, in order."""
         return (self.left, self.right)
 
     def __str__(self) -> str:
@@ -125,6 +127,7 @@ class Star(NRE):
     inner: NRE
 
     def children(self) -> tuple[NRE, ...]:
+        """The starred body."""
         return (self.inner,)
 
     def __str__(self) -> str:
@@ -141,6 +144,7 @@ class Nest(NRE):
     inner: NRE
 
     def children(self) -> tuple[NRE, ...]:
+        """The nested-test body."""
         return (self.inner,)
 
     def __str__(self) -> str:

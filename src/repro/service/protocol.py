@@ -41,6 +41,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.engine.query import BACKEND_NAMES
 from repro.solver import SOLVER_NAMES
 
 PROTOCOL_VERSION = 1
@@ -53,6 +54,9 @@ CONTROL_OPS = ("cancel", "ping", "shutdown", "stats")
 """Operations answered inline by the server itself."""
 
 ENGINE_NAMES = ("compiled", "reference")
+# BACKEND_NAMES (imported above) is the single source of truth for the
+# storage back-ends a compute request may select (``params.backend``):
+# exactly the ones QueryEngine accepts.
 
 MAX_LINE_BYTES = 32 * 1024 * 1024
 """Upper bound on one request line — a malformed client must not OOM us."""
@@ -115,6 +119,14 @@ def _check_engine(value: Any) -> str:
     return value
 
 
+def _check_backend(value: Any) -> str:
+    if value not in BACKEND_NAMES:
+        raise ProtocolError(
+            "bad-request", f"backend must be one of {list(BACKEND_NAMES)}"
+        )
+    return value
+
+
 def _check_solver(value: Any) -> str | None:
     if value is not None and value not in SOLVER_NAMES:
         raise ProtocolError(
@@ -162,6 +174,7 @@ def _check_job(value: Any) -> str:
 _COMMON = {
     "star_bound": (_check_star_bound, False, 2),
     "engine": (_check_engine, False, "compiled"),
+    "backend": (_check_backend, False, "dict"),
     "solver": (_check_solver, False, None),
 }
 

@@ -253,17 +253,23 @@ def run_server(
     workers: int = 1,
     cache_limit: int = DEFAULT_LIMIT,
     announce: Callable[[str], None] | None = None,
+    snapshot_dir: str | None = None,
 ) -> None:
     """Blocking server entry point (the ``repro serve`` CLI command).
 
     ``cache_limit == 0`` disables the result cache; ``port == 0`` binds an
-    ephemeral port.  ``announce`` (default: print) receives exactly one
-    line naming the bound address — scripts scrape it to find an
-    ephemeral port, so its shape is part of the CLI contract::
+    ephemeral port.  ``snapshot_dir`` (CLI: ``--snapshot-dir``) points the
+    worker pool at a persistent per-tenant witness snapshot store —
+    pinned inside each worker process by the pool initializer — letting
+    warm tenants skip re-chasing after a restart (see
+    :func:`repro.service.workers.snapshot_store`).  ``announce`` (default:
+    print) receives exactly one line naming the bound address — scripts
+    scrape it to find an ephemeral port, so its shape is part of the CLI
+    contract::
 
         repro-service listening on 127.0.0.1:8765 (workers=2, pid=4242)
     """
-    pool = WorkerPool(workers)
+    pool = WorkerPool(workers, snapshot_dir=snapshot_dir)
     if pool.mode == "process":
         pool.warm()  # fork every worker before the event loop exists
     service = ExchangeService(
@@ -332,14 +338,17 @@ def start_in_thread(
     cache_limit: int = DEFAULT_LIMIT,
     host: str = "127.0.0.1",
     port: int = 0,
+    snapshot_dir: str | None = None,
 ) -> ServiceHandle:
     """Start a server in a daemon thread; returns a :class:`ServiceHandle`.
 
     The worker pool is created and warmed *in the calling thread* before
     the event-loop thread starts, so worker processes are forked from a
-    quiescent parent.
+    quiescent parent.  ``snapshot_dir`` mirrors :func:`run_server`'s
+    per-tenant witness snapshot store (pinned per worker process — the
+    calling process's environment is not touched).
     """
-    pool = WorkerPool(workers)
+    pool = WorkerPool(workers, snapshot_dir=snapshot_dir)
     if pool.mode == "process":
         pool.warm()
     service = ExchangeService(

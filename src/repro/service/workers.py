@@ -25,6 +25,7 @@ envelope.
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable
@@ -38,6 +39,7 @@ from repro.core.certain import (
     find_counterexample_solution,
 )
 from repro.core.existence import ExistenceResult, decide_existence
+from repro.core.solution import is_solution
 from repro.core.search import CandidateSearchConfig
 from repro.engine.query import ReferenceEngine, default_engine
 from repro.errors import BoundExceeded, NotSupportedError, ParseError, ReproError
@@ -85,19 +87,87 @@ def _engine(params: dict):
     ``compiled`` returns the *process-shared* engine on purpose: its
     cross-candidate cache is how consecutive requests over the same
     universe amortise inside one worker.  ``reference`` gets a fresh
-    oracle (no caches — that is its job).
+    oracle (no caches — that is its job).  The ``backend`` parameter
+    (``dict``/``csr``) routes to the matching warm engine — one shared
+    instance per storage backend, so csr-tenant requests reuse frozen
+    graph states across the worker's lifetime.
     """
     if params.get("engine") == "reference":
         return ReferenceEngine()
-    return default_engine()
+    return default_engine(params.get("backend") or "dict")
 
 
 def _search_config(params: dict) -> CandidateSearchConfig:
     return CandidateSearchConfig(star_bound=params.get("star_bound", 2))
 
 
+# --------------------------------------------------------------------- #
+# Per-tenant witness snapshots: with REPRO_SNAPSHOT_DIR set (the CLI's
+# `repro serve --snapshot-dir`), each worker persists the verified
+# existence witness of every tenant document it decides.  After a server
+# restart the witness is *loaded and machine-verified* instead of being
+# re-derived through chase + candidate search — the warm-tenant path.
+# Off by default: without the environment variable nothing changes, and
+# responses stay byte-identical to direct library calls.
+# --------------------------------------------------------------------- #
+
+_SNAPSHOT_ENV = "REPRO_SNAPSHOT_DIR"
+
+_SNAPSHOT_DIR_OVERRIDE: str | None = None
+"""Per-worker snapshot directory pinned by the pool initializer.
+
+``None`` means "not configured by a pool" — the environment variable
+then decides.  The override lives in the *worker* process for process
+pools, so two servers in one parent process never see each other's
+configuration (the environment is not mutated)."""
+
+
+def _initialize_worker(snapshot_dir: str | None) -> None:
+    """Pool initializer: pin this worker's snapshot directory."""
+    global _SNAPSHOT_DIR_OVERRIDE
+    _SNAPSHOT_DIR_OVERRIDE = snapshot_dir
+
+
+def snapshot_store():
+    """This process's tenant snapshot store, or ``None`` when disabled.
+
+    A pool-configured directory (``repro serve --snapshot-dir``) wins;
+    otherwise ``REPRO_SNAPSHOT_DIR`` decides, so direct library calls and
+    pool workers of an unconfigured server behave identically.
+    """
+    from repro.graph.snapshot import SnapshotStore
+
+    directory = _SNAPSHOT_DIR_OVERRIDE
+    if directory is None:
+        directory = os.environ.get(_SNAPSHOT_ENV, "").strip()
+    if not directory:
+        return None
+    return SnapshotStore(directory)
+
+
+def _witness_key(params: dict) -> str:
+    """The snapshot key for one exists request (full normalised params)."""
+    from repro.service.protocol import request_fingerprint
+
+    return request_fingerprint("exists-witness", params)
+
+
 def _handle_exists(params: dict) -> dict:
     setting, instance = document_from_dict(params["document"])
+    store = snapshot_store()
+    key = _witness_key(params) if store is not None else ""
+    if store is not None:
+        witness = store.load(key)
+        if witness is not None and is_solution(instance, witness, setting):
+            # The snapshot is advisory, the verification is authoritative:
+            # a stale or foreign witness that fails is_solution falls
+            # through to the full decision below.
+            return {
+                "detail": "verified witness restored from the snapshot store",
+                "method": "snapshot-witness",
+                "status": "exists",
+                "witness": graph_to_dict(witness),
+            }
     result = decide_existence(
         setting,
         instance,
@@ -105,6 +175,8 @@ def _handle_exists(params: dict) -> dict:
         engine=_engine(params),
         solver=params.get("solver"),
     )
+    if store is not None and result.witness is not None:
+        store.store(key, result.witness.freeze())
     return existence_result_to_dict(result)
 
 
@@ -234,18 +306,35 @@ class WorkerPool:
     ``ThreadPoolExecutor`` inside the server process: zero fork cost (CI
     smoke jobs, debugging), and the single thread serialises all library
     calls, which keeps the non-thread-safe solver pipelines safe.
+
+    ``snapshot_dir`` configures the per-tenant witness snapshot store for
+    this pool's workers (see :func:`snapshot_store`).  For process pools
+    the setting is pinned inside each worker process via the pool
+    initializer — the parent's environment is never touched, so two
+    servers embedded in one process keep independent configurations.
+    The inline lane runs in the server process itself, where an explicit
+    ``snapshot_dir`` necessarily sets the process-wide override (shared
+    with direct library calls in that process — documented, tutorialised
+    behaviour of the in-process lane).
     """
 
-    def __init__(self, workers: int = 1):
+    def __init__(self, workers: int = 1, snapshot_dir: str | None = None):
         self.workers = max(0, int(workers))
+        self.snapshot_dir = snapshot_dir or None
         if self.workers == 0:
             self.mode = "inline"
+            if self.snapshot_dir is not None:
+                _initialize_worker(self.snapshot_dir)
             self._executor: ThreadPoolExecutor | ProcessPoolExecutor = (
                 ThreadPoolExecutor(max_workers=1, thread_name_prefix="repro-inline")
             )
         else:
             self.mode = "process"
-            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_initialize_worker,
+                initargs=(self.snapshot_dir,),
+            )
         self.submitted = 0
 
     def submit(self, op: str, params: dict) -> Future:

@@ -3,9 +3,12 @@
 ``python -m pytest --doctest-modules src/repro/engine`` runs the same
 examples standalone (and CI does); this module keeps them in the default
 ``python -m pytest`` collection so documentation rot fails the build.
+The hand-curated API reference (``docs/API.md``) runs here too — every
+example on that page executes on every tier-1 run.
 """
 
 import doctest
+import os
 
 import pytest
 
@@ -14,7 +17,9 @@ import repro.chase.result
 import repro.engine
 import repro.engine.delta
 import repro.engine.matcher
+import repro.engine.query
 import repro.graph.database
+import repro.graph.snapshot
 import repro.relational.instance
 
 MODULES = [
@@ -22,8 +27,10 @@ MODULES = [
     repro.engine,
     repro.engine.matcher,
     repro.engine.delta,
+    repro.engine.query,
     repro.chase.result,
     repro.graph.database,
+    repro.graph.snapshot,
     repro.relational.instance,
 ]
 
@@ -33,3 +40,13 @@ def test_module_doctests(module):
     result = doctest.testmod(module, verbose=False)
     assert result.failed == 0
     assert result.attempted > 0, f"{module.__name__} has no runnable examples"
+
+
+def test_api_reference_examples():
+    """docs/API.md executes top to bottom — the reference cannot drift."""
+    path = os.path.join(
+        os.path.dirname(__file__), "..", "..", "docs", "API.md"
+    )
+    result = doctest.testfile(path, module_relative=False, verbose=False)
+    assert result.failed == 0
+    assert result.attempted > 40, "docs/API.md lost its runnable examples"

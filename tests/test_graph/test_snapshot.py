@@ -1,0 +1,111 @@
+"""The snapshot file format: round trips, stamps, and failure modes."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.errors import SnapshotError
+from repro.graph.database import GraphDatabase
+from repro.graph.snapshot import (
+    SNAPSHOT_FORMAT,
+    SnapshotStore,
+    load_snapshot,
+    save_snapshot,
+)
+from repro.patterns.pattern import Null
+
+
+def sample_graph() -> GraphDatabase:
+    graph = GraphDatabase(
+        alphabet={"f", "h"},
+        edges=[
+            ("c1", "f", Null("N1")),
+            (Null("N1"), "h", "hx"),
+            (Null("N1"), "f", "c2"),
+        ],
+    )
+    graph.add_node("isolated")
+    return graph
+
+
+class TestSaveLoad:
+    def test_round_trip_is_exact(self, tmp_path):
+        graph = sample_graph()
+        path = str(tmp_path / "graph.snap")
+        save_snapshot(graph, path)
+        loaded = load_snapshot(path)
+        assert loaded == graph
+        assert loaded.is_frozen and loaded.backend_name == "csr"
+        assert loaded.fingerprint() == graph.fingerprint()
+        assert loaded.alphabet == graph.alphabet
+        assert list(loaded.edges_since(0)) == list(graph.edges_since(0))
+
+    def test_saving_a_frozen_graph_serialises_live_buffers(self, tmp_path):
+        frozen = sample_graph().freeze()
+        path = str(tmp_path / "frozen.snap")
+        save_snapshot(frozen, path)
+        assert load_snapshot(path) == frozen
+
+    def test_atomic_overwrite(self, tmp_path):
+        path = str(tmp_path / "graph.snap")
+        save_snapshot(sample_graph(), path)
+        replacement = GraphDatabase(edges=[("x", "a", "y")])
+        save_snapshot(replacement, path)
+        assert load_snapshot(path) == replacement
+        leftovers = [f for f in os.listdir(tmp_path) if f.endswith(".tmp")]
+        assert not leftovers
+
+    def test_missing_file_is_loud(self, tmp_path):
+        with pytest.raises(SnapshotError, match="no snapshot file"):
+            load_snapshot(str(tmp_path / "absent.snap"))
+
+    def test_garbage_bytes_are_loud(self, tmp_path):
+        path = tmp_path / "junk.snap"
+        path.write_bytes(b"\x00\x01definitely not a pickle")
+        with pytest.raises(SnapshotError, match="unreadable"):
+            load_snapshot(str(path))
+
+    def test_foreign_pickle_is_loud(self, tmp_path):
+        path = tmp_path / "foreign.snap"
+        path.write_bytes(pickle.dumps({"something": "else"}))
+        with pytest.raises(SnapshotError, match="not a repro graph snapshot"):
+            load_snapshot(str(path))
+
+    def test_future_format_is_loud(self, tmp_path):
+        path = tmp_path / "future.snap"
+        payload = {
+            "magic": "repro-graph-snapshot",
+            "format": SNAPSHOT_FORMAT + 1,
+            "state": {},
+        }
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(SnapshotError, match="format"):
+            load_snapshot(str(path))
+
+
+class TestSnapshotStore:
+    def test_cache_semantics(self, tmp_path):
+        store = SnapshotStore(str(tmp_path))
+        assert store.load("tenant") is None
+        store.store("tenant", sample_graph())
+        loaded = store.load("tenant")
+        assert loaded == sample_graph()
+        assert loaded.is_frozen
+
+    def test_keys_do_not_collide(self, tmp_path):
+        store = SnapshotStore(str(tmp_path))
+        store.store("alpha", GraphDatabase(edges=[("a", "x", "b")]))
+        store.store("beta", GraphDatabase(edges=[("c", "x", "d")]))
+        assert store.load("alpha") != store.load("beta")
+
+    def test_damaged_entry_reads_as_miss(self, tmp_path):
+        store = SnapshotStore(str(tmp_path))
+        store.store("tenant", sample_graph())
+        with open(store.path_for("tenant"), "wb") as handle:
+            handle.write(b"damaged")
+        assert store.load("tenant") is None
+
+    def test_directory_is_version_stamped(self, tmp_path):
+        store = SnapshotStore(str(tmp_path))
+        assert f"v{SNAPSHOT_FORMAT}" in store.path_for("anything")

@@ -258,3 +258,98 @@ class TestRender:
         path.write_text(json.dumps(pattern_to_dict(figure5_expected_pattern())))
         assert main(["render", str(path), "--name", "fig5"]) == 0
         assert 'digraph "fig5"' in capsys.readouterr().out
+
+
+class TestBackendFlag:
+    """--backend {dict,csr} must never change what the CLI prints."""
+
+    def test_certain_identical_across_backends(self, document_path, capsys):
+        query = "f . f*[h] . f- . (f-)*"
+        assert main(["certain", document_path, query, "--backend", "dict"]) == 0
+        dict_out = capsys.readouterr().out
+        assert main(["certain", document_path, query, "--backend", "csr"]) == 0
+        csr_out = capsys.readouterr().out
+        assert dict_out == csr_out
+
+    def test_exists_identical_across_backends(self, document_path, capsys):
+        assert main(["exists", document_path, "--witness", "--backend", "dict"]) == 0
+        dict_out = capsys.readouterr().out
+        assert main(["exists", document_path, "--witness", "--backend", "csr"]) == 0
+        csr_out = capsys.readouterr().out
+        assert dict_out == csr_out
+
+    def test_stats_name_the_compiled_engine(self, document_path, capsys):
+        query = "f . f-"
+        assert main(
+            ["certain", document_path, query, "--backend", "csr", "--stats"]
+        ) == 0
+        assert "engine: compiled" in capsys.readouterr().out
+
+
+class TestSnapshotCommand:
+    @pytest.fixture
+    def graph_path(self, tmp_path):
+        path = tmp_path / "graph.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "alphabet": ["f", "h"],
+                    "nodes": ["c1", "c2", {"null": "N1"}],
+                    "edges": [
+                        ["c1", "f", {"null": "N1"}],
+                        [{"null": "N1"}, "h", "c2"],
+                    ],
+                }
+            )
+        )
+        return str(path)
+
+    def test_save_load_round_trip(self, graph_path, tmp_path, capsys):
+        snap = str(tmp_path / "graph.snap")
+        assert main(["snapshot", "save", graph_path, snap]) == 0
+        assert "frozen csr" in capsys.readouterr().out
+        assert main(["snapshot", "load", snap]) == 0
+        loaded = json.loads(capsys.readouterr().out)
+        original = json.loads(open(graph_path).read())
+        assert loaded["edges"] == sorted(original["edges"], key=repr)
+        assert set(map(repr, loaded["nodes"])) == set(map(repr, original["nodes"]))
+
+    def test_info(self, graph_path, tmp_path, capsys):
+        snap = str(tmp_path / "graph.snap")
+        assert main(["snapshot", "save", graph_path, snap]) == 0
+        capsys.readouterr()
+        assert main(["snapshot", "info", snap]) == 0
+        out = capsys.readouterr().out
+        assert "backend: csr (frozen)" in out
+        assert "nodes: 3" in out and "edges: 2" in out
+        assert "fingerprintable: True" in out
+
+    def test_load_missing_file_exit_two(self, tmp_path, capsys):
+        missing = str(tmp_path / "absent.snap")
+        assert main(["snapshot", "load", missing]) == 2
+        assert "snapshot error" in capsys.readouterr().err
+
+    def test_load_to_file(self, graph_path, tmp_path, capsys):
+        snap = str(tmp_path / "graph.snap")
+        out_json = str(tmp_path / "out.json")
+        assert main(["snapshot", "save", graph_path, snap]) == 0
+        assert main(["snapshot", "load", snap, "-o", out_json]) == 0
+        assert json.loads(open(out_json).read())["edges"]
+
+
+class TestServeSnapshotDirFlag:
+    def test_serve_parser_accepts_snapshot_dir(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--snapshot-dir", "/tmp/snaps"]
+        )
+        assert args.snapshot_dir == "/tmp/snaps"
+
+    def test_submit_parser_accepts_backend(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["submit", "--port", "1", "certain", "doc.json", "f", "--backend", "csr"]
+        )
+        assert args.backend == "csr"

@@ -170,3 +170,111 @@ class TestFailingChaseDocument:
         )
         assert served["failed"] is True and served["pattern"] is None
         assert sorted(served["failure"]) == ["u", "w"]
+
+
+class TestStorageBackendParameter:
+    """`backend` routes evaluation storage; answers must never change."""
+
+    def test_csr_backend_answers_equal_dict_backend(self):
+        document = demo_document()
+        for query in QUERY_MIXES["paper"]:
+            served_dict = execute_request(
+                "certain", params(document, query=query, pair=None, backend="dict")
+            )
+            served_csr = execute_request(
+                "certain", params(document, query=query, pair=None, backend="csr")
+            )
+            assert canonical_bytes(served_dict) == canonical_bytes(served_csr)
+
+    def test_csr_batch_equals_dict_batch(self):
+        document = demo_document()
+        queries = list(QUERY_MIXES["stars"])
+        served_dict = execute_request(
+            "evaluate_batch", params(document, queries=queries, backend="dict")
+        )
+        served_csr = execute_request(
+            "evaluate_batch", params(document, queries=queries, backend="csr")
+        )
+        assert canonical_bytes(served_dict) == canonical_bytes(served_csr)
+
+    def test_exists_accepts_backend(self):
+        document = demo_document()
+        served = execute_request("exists", params(document, backend="csr"))
+        expected = execute_request("exists", params(document, backend="dict"))
+        assert canonical_bytes(served) == canonical_bytes(expected)
+
+    def test_workload_cases_identical_across_backends(self):
+        from repro.scenarios.service_workload import (
+            case_requests,
+            logical_request_key,
+        )
+
+        for case in multi_tenant_workload(tenants=3, instances_per_tenant=1):
+            by_logical = {}
+            for op, request_params in case_requests(case, backends=("dict", "csr")):
+                served = execute_request(op, request_params)
+                assert "__error__" not in served, (case.name, op, served)
+                backend = request_params.get("backend")
+                if backend is None:
+                    continue
+                logical = logical_request_key(op, request_params)
+                if backend == "dict":
+                    by_logical[logical] = served
+                else:
+                    assert canonical_bytes(served) == canonical_bytes(
+                        by_logical[logical]
+                    ), (case.name, op)
+
+
+class TestSnapshotWarmExists:
+    """REPRO_SNAPSHOT_DIR turns on the per-tenant witness snapshot store."""
+
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SNAPSHOT_DIR", raising=False)
+        from repro.service.workers import snapshot_store
+
+        assert snapshot_store() is None
+
+    def test_warm_exists_serves_the_verified_snapshot(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SNAPSHOT_DIR", str(tmp_path))
+        document = demo_document()
+        cold = execute_request("exists", params(document))
+        assert cold["status"] == "exists"
+        assert cold["method"] != "snapshot-witness"
+        warm = execute_request("exists", params(document))
+        assert warm["status"] == "exists"
+        assert warm["method"] == "snapshot-witness"
+        # The restored witness is the same verified solution graph.
+        assert warm["witness"] == cold["witness"]
+
+    def test_damaged_snapshot_falls_back_to_the_full_decision(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_SNAPSHOT_DIR", str(tmp_path))
+        from repro.service.workers import _witness_key, snapshot_store
+        from repro.service.protocol import validate_request
+
+        document = demo_document()
+        request = validate_request(
+            {"id": "r1", "op": "exists", "params": {"document": document}}
+        )
+        execute_request("exists", request.params)
+        store = snapshot_store()
+        path = store.path_for(_witness_key(request.params))
+        with open(path, "wb") as handle:
+            handle.write(b"damaged")
+        served = execute_request("exists", request.params)
+        assert served["status"] == "exists"
+        assert served["method"] != "snapshot-witness"
+
+    def test_snapshot_key_includes_the_document(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SNAPSHOT_DIR", str(tmp_path))
+        from repro.scenarios.service_workload import cold_documents
+
+        first, second = cold_documents(2)
+        cold = execute_request("exists", params(first))
+        other = execute_request("exists", params(second))
+        assert other["method"] != "snapshot-witness"
+        warm = execute_request("exists", params(first))
+        assert warm["method"] == "snapshot-witness"
+        assert warm["witness"] == cold["witness"]

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Docstring-coverage gate: every public API in ``src/repro/`` is documented.
+
+Walks the source tree with :mod:`ast` (no imports, no dependencies) and
+fails when any *public* module, class, or function lacks a docstring.
+Public means: not underscore-prefixed, not nested inside a function, and
+not inside an underscore-private class.  Overloaded dunder methods are
+exempt except the documented-by-convention ones are simply ignored —
+dunders inherit well-known semantics and documenting ``__repr__`` adds
+noise, not signal.
+
+CI runs this as a build gate::
+
+    python tools/check_docstrings.py            # gate src/repro
+    python tools/check_docstrings.py --verbose  # also print the totals
+
+Exit code 0 means full coverage; 1 lists every undocumented definition
+as ``path:line: kind name``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+
+DEFAULT_ROOT = os.path.join(os.path.dirname(__file__), "..", "src", "repro")
+
+
+def is_public(name: str) -> bool:
+    """Whether ``name`` is part of the public surface (not ``_private``)."""
+    return not name.startswith("_")
+
+
+def walk_definitions(tree: ast.Module):
+    """Yield ``(node, kind, qualified_name)`` for every public def/class.
+
+    Recurses into public classes (methods are public API too) but not
+    into functions — helpers defined inside a function body are
+    implementation detail by construction.
+    """
+
+    def recurse(body, prefix: str):
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if is_public(node.name):
+                    yield node, "function", prefix + node.name
+            elif isinstance(node, ast.ClassDef):
+                if is_public(node.name):
+                    yield node, "class", prefix + node.name
+                    yield from recurse(node.body, prefix + node.name + ".")
+
+    yield from recurse(tree.body, "")
+
+
+def missing_docstrings(root: str) -> tuple[list[str], int]:
+    """Return (problem lines, number of definitions checked)."""
+    problems: list[str] = []
+    checked = 0
+    for directory, _, files in sorted(os.walk(root)):
+        for filename in sorted(files):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(directory, filename)
+            relative = os.path.relpath(path)
+            with open(path, encoding="utf-8") as handle:
+                tree = ast.parse(handle.read(), filename=path)
+            module_public = is_public(
+                "" if filename == "__init__.py" else filename[: -len(".py")]
+            )
+            if module_public:
+                checked += 1
+                if ast.get_docstring(tree) is None:
+                    problems.append(f"{relative}:1: module docstring missing")
+            for node, kind, name in walk_definitions(tree):
+                checked += 1
+                if ast.get_docstring(node) is None:
+                    problems.append(
+                        f"{relative}:{node.lineno}: {kind} {name} has no docstring"
+                    )
+    return problems, checked
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "root", nargs="?", default=DEFAULT_ROOT, help="package root to gate"
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="print totals even on success"
+    )
+    args = parser.parse_args(argv)
+    problems, checked = missing_docstrings(os.path.normpath(args.root))
+    if problems:
+        print(f"docstring gate: {len(problems)} undocumented definition(s):")
+        for line in problems:
+            print(f"  {line}")
+        return 1
+    if args.verbose:
+        print(f"docstring gate: {checked} public definitions, all documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

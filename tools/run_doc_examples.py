@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Execute the ``python`` code blocks of a markdown document, in order.
+
+The anti-drift harness behind ``docs/API.md`` and ``docs/TUTORIAL.md``:
+every fenced ```` ```python ```` block is executed sequentially in one
+shared namespace (so later blocks build on earlier ones, exactly as a
+reader follows the document), and any exception fails the run with the
+block's line number.  CI executes both documents on every push; the
+integration test suite (``tests/test_integration/test_doc_examples.py``)
+runs them in tier-1, so the documentation cannot silently rot.
+
+Blocks fenced as ```` ```python no-run ```` are skipped (for fragments
+that illustrate syntax without being executable on their own); everything
+else must run.  ``bash``/``console``/untagged fences are prose, not code.
+
+Usage::
+
+    PYTHONPATH=src python tools/run_doc_examples.py docs/TUTORIAL.md
+    PYTHONPATH=src python tools/run_doc_examples.py docs/API.md --quiet
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def extract_blocks(text: str) -> list[tuple[int, str]]:
+    """Return ``(start_line, source)`` for each runnable python block."""
+    blocks: list[tuple[int, str]] = []
+    lines = text.splitlines()
+    inside = False
+    start = 0
+    collected: list[str] = []
+    for index, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not inside and stripped.startswith("```python"):
+            if stripped == "```python no-run":
+                continue
+            inside = True
+            start = index + 1
+            collected = []
+        elif inside and stripped == "```":
+            inside = False
+            blocks.append((start, "\n".join(collected)))
+        elif inside:
+            collected.append(line)
+    if inside:
+        raise SystemExit(f"error: unterminated ```python fence at line {start - 1}")
+    return blocks
+
+
+def run_document(path: str, quiet: bool = False) -> int:
+    """Execute every runnable block of ``path`` in one namespace."""
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    blocks = extract_blocks(text)
+    if not blocks:
+        print(f"error: {path} has no runnable ```python blocks", file=sys.stderr)
+        return 1
+    namespace: dict = {"__name__": "__doc_examples__"}
+    for number, (line, source) in enumerate(blocks, start=1):
+        if not quiet:
+            print(f"[{path}] block {number}/{len(blocks)} (line {line}) ...")
+        try:
+            code = compile(source, f"{path}:block-{number}", "exec")
+            exec(code, namespace)  # noqa: S102 - executing our own docs is the point
+        except Exception as error:  # noqa: BLE001 - report and fail the gate
+            print(
+                f"error: {path} block {number} (line {line}) raised "
+                f"{type(error).__name__}: {error}",
+                file=sys.stderr,
+            )
+            return 1
+    print(f"{path}: {len(blocks)} block(s) executed OK")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("document", help="markdown file to execute")
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-block progress"
+    )
+    args = parser.parse_args(argv)
+    return run_document(args.document, quiet=args.quiet)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
