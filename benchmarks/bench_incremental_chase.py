@@ -1,0 +1,139 @@
+"""Incremental chase maintenance vs full re-chase under live edge updates.
+
+The PR 6 perf contract: applying an N-edge update batch to a warm M-edge
+tenant must cost **O(affected)**, not O(M) — the incremental repair fires
+only the triggers the batch touches, while a from-scratch
+:func:`~repro.chase.relational_chase.chase_relational` re-enumerates every
+Flight ⋈ Hotel join over the whole tenant.  With byte-identical results
+(the differential suite in ``tests/test_engine/test_incremental.py`` pins
+that), the only question left is the speedup, measured here:
+
+* ``test_warm_update_{1,8,32}`` — a warm :class:`IncrementalChase` over
+  the largest generator tenant absorbs an insert batch of N fresh
+  Flight/Hotel facts and then retracts it (delete-then-reinsert churn,
+  staying on the fast repair path);
+* ``test_full_rechase_32``      — the from-scratch oracle over the same
+  updated tenant, i.e. what every batch would cost without maintenance;
+* the acceptance criterion ``warm 32-edge update >= 5x faster than the
+  full re-chase`` is asserted inside ``test_warm_update_32``.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import time
+
+from conftest import report
+
+from repro.chase.relational_chase import chase_relational
+from repro.engine.incremental import IncrementalChase
+from repro.scenarios.figures import example31_setting
+from repro.scenarios.generators import random_flights_instance
+
+FLIGHTS = 400
+CITIES = 60
+HOTELS = 120
+
+
+def tenant_instance():
+    """The largest generator tenant: ~1000 source facts, ~1800 chased edges."""
+    return random_flights_instance(FLIGHTS, CITIES, HOTELS, rng=random.Random(17))
+
+
+def update_batch(size: int) -> list[tuple[str, str, tuple]]:
+    """N fresh Flight/Hotel inserts: new flight ids, never-shared hotels.
+
+    Fresh hotels keep the repair on the fast path (no egd merge support is
+    disturbed), which is exactly the common live-update shape: new data
+    arrives, old merges stay untouched.
+    """
+    return [
+        update
+        for index in range(size)
+        for update in (
+            ("insert", "Flight", (f"z{index}", "c1", "c2")),
+            ("insert", "Hotel", (f"z{index}", f"bz{index}")),
+        )
+    ]
+
+
+def make_warm_cycle(size: int):
+    """One insert-batch/delete-batch round trip on a warm tenant state."""
+    live = IncrementalChase(example31_setting(), tenant_instance())
+    inserts = update_batch(size)
+    deletes = [("delete", relation, values) for _, relation, values in inserts]
+
+    def cycle() -> int:
+        applied = live.apply_updates(inserts)
+        retracted = live.apply_updates(deletes)
+        return applied["inserts"] + retracted["deletes"]
+
+    return cycle
+
+
+def make_full_rechase(size: int):
+    """The from-scratch baseline: chase the whole updated tenant."""
+    setting = example31_setting()
+    instance = tenant_instance()
+    for _, relation, values in update_batch(size):
+        instance.add(relation, values)
+
+    def rechase() -> int:
+        result = chase_relational(
+            setting.st_tgds, list(setting.egds()), instance,
+            alphabet=setting.alphabet,
+        )
+        assert not result.failed
+        return result.graph.edge_count()
+
+    return rechase
+
+
+def timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def test_warm_update_1(benchmark):
+    cycle = make_warm_cycle(1)
+    assert benchmark.pedantic(cycle, rounds=5, iterations=1, warmup_rounds=1) == 4
+
+
+def test_warm_update_8(benchmark):
+    cycle = make_warm_cycle(8)
+    assert benchmark.pedantic(cycle, rounds=5, iterations=1, warmup_rounds=1) == 32
+
+
+def test_warm_update_32(benchmark):
+    """The acceptance batch size — asserts the >= 5x contract inline."""
+    cycle = make_warm_cycle(32)
+    assert benchmark.pedantic(cycle, rounds=5, iterations=1, warmup_rounds=1) == 128
+
+    rechase = make_full_rechase(32)
+    warm_median = statistics.median(timed(cycle) for _ in range(3))
+    full_median = statistics.median(timed(rechase) for _ in range(3))
+    speedup = full_median / warm_median
+    report(
+        "incremental chase: warm update vs full re-chase",
+        [
+            ("tenant", "largest generator graph",
+             f"{FLIGHTS} flights / {CITIES} cities / {HOTELS} hotels"),
+            ("batch", "N = 32 facts", "insert + retract cycle"),
+            ("warm update median", "O(affected)", f"{1000 * warm_median:.1f} ms"),
+            ("full re-chase median", "O(M)", f"{1000 * full_median:.1f} ms"),
+            ("speedup", ">= 5x (acceptance)", f"{speedup:.1f}x"),
+        ],
+    )
+    assert speedup >= 5.0, (
+        f"warm 32-edge update is only {speedup:.2f}x faster than a full "
+        f"re-chase (acceptance requires >= 5x: warm {1000 * warm_median:.1f} ms, "
+        f"full {1000 * full_median:.1f} ms)"
+    )
+
+
+def test_full_rechase_32(benchmark):
+    """The baseline as its own tracked median (the perf-trajectory anchor)."""
+    rechase = make_full_rechase(32)
+    assert benchmark.pedantic(rechase, rounds=3, iterations=1, warmup_rounds=1) > 0

@@ -140,6 +140,36 @@ class SatPipeline:
             return None
         return self._witness(model)
 
+    def guard_keys(self) -> tuple:
+        """The ``(query, source, target)`` pairs probed so far, sorted.
+
+        The working set a warm pipeline has accumulated — exactly what
+        :func:`advance_pipeline` replays into the successor pipeline after
+        an instance update, so the first post-update probe of a hot pair
+        finds its blocking clauses already installed.
+        """
+        return tuple(sorted(self._guards, key=repr))
+
+    def prewarm_pairs(self, keys) -> int:
+        """Install blocking clauses for ``keys`` without solving.
+
+        Each key is a ``(query, source, target)`` triple (typically another
+        pipeline's :meth:`guard_keys`).  Keys whose query shape the encoder
+        rejects are skipped — prewarming is best-effort by design.  Returns
+        how many guards were newly installed.
+        """
+        installed = 0
+        for key in keys:
+            if key in self._guards:
+                continue
+            query, source, target = key
+            try:
+                self._guards[key] = self._install_guard(query, source, target)
+            except NotSupportedError:
+                continue
+            installed += 1
+        return installed
+
     # ------------------------------------------------------------------ #
 
     def _install_guard(self, query: NRE, source: Node, target: Node) -> int | None:
@@ -229,6 +259,36 @@ def pipeline_for(
                 _PIPELINES.clear()
             _PIPELINES[key] = entry
     return None if entry is _INAPPLICABLE else entry
+
+
+def advance_pipeline(
+    setting: DataExchangeSetting,
+    old_instance: RelationalInstance,
+    new_instance: RelationalInstance,
+    solver: str | None = None,
+) -> SatPipeline | None:
+    """Roll a warm pipeline forward across an instance update.
+
+    A clause database encodes one concrete universe (the chase pattern's
+    node set), so the old solver cannot be patched in place when the
+    instance changes — but its *working set* can move: the successor
+    pipeline for ``new_instance`` is built (or fetched) through
+    :func:`pipeline_for`, and every pair the old pipeline had installed
+    guards for is pre-warmed into it, so hot pairs keep answering from
+    incremental assumptions instead of paying first-probe setup again.
+    The old entry is evicted.  Returns the successor pipeline, or ``None``
+    when the setting is not SAT-encodable.
+    """
+    if not setting.fragment().sat_encodable:
+        return None
+    name = resolve_solver_name(solver)
+    old_key = (_setting_key(setting), old_instance.fingerprint(), name)
+    with _PIPELINES_LOCK:
+        prior = _PIPELINES.pop(old_key, None)
+    successor = pipeline_for(setting, new_instance, name)
+    if successor is not None and isinstance(prior, SatPipeline):
+        successor.prewarm_pairs(prior.guard_keys())
+    return successor
 
 
 def clear_pipelines() -> None:

@@ -61,6 +61,7 @@ class EgdViolationQueue:
         egds: "Sequence[TargetEgd]",
         view: GraphDatabase,
         stats: "ChaseStats | None" = None,
+        seed_initial: bool = True,
     ):
         self.view = view
         self.matcher = TriggerMatcher(view, stats)
@@ -78,9 +79,13 @@ class EgdViolationQueue:
         self._heap: list[tuple[PairKey, int, frozenset]] = []
         self._seq = itertools.count()
         self._repr_cache: dict[Node, str] = {}
-        for egd in self._simple:
-            for hom in self.matcher.matches(egd.body):
-                self._consider(hom[egd.left], hom[egd.right])
+        # ``seed_initial=False`` skips the initial full scan: the caller
+        # asserts the view currently has no violations (it sits at a prior
+        # fixpoint) and will feed later deltas through :meth:`rescan_since`.
+        if seed_initial:
+            for egd in self._simple:
+                for hom in self.matcher.matches(egd.body):
+                    self._consider(hom[egd.left], hom[egd.right])
 
     def _repr(self, node: Node) -> str:
         cached = self._repr_cache.get(node)
@@ -133,6 +138,30 @@ class EgdViolationQueue:
                 if best_key is None or key < best_key:
                     best_key, best = key, (left, right)
         return best
+
+    def rescan_since(self, version: int) -> None:
+        """Add violations routed through edges inserted after ``version``.
+
+        The semi-naive complement of the constructor's full scan: if the
+        view was violation-free at ``version`` (an earlier fixpoint), any
+        new violation of a simple-bodied egd must use at least one edge the
+        journal recorded after that point, so only those seeded joins run.
+        The incremental chase calls this after applying an update batch's
+        edge insertions to an already-converged merged graph.
+
+        >>> from repro.mappings.parser import parse_egd
+        >>> g = GraphDatabase(edges=[("a", "h", "hx")])
+        >>> egd = parse_egd("(x1, h, x3), (x2, h, x3) -> x1 = x2")
+        >>> queue = EgdViolationQueue([egd], g)
+        >>> v = g.version
+        >>> g.add_edge("b", "h", "hx")
+        >>> queue.rescan_since(v)
+        >>> sorted(queue.first_violation())
+        ['a', 'b']
+        """
+        for egd in self._simple:
+            for hom in self.matcher.delta_matches(egd.body, version):
+                self._consider(hom[egd.left], hom[egd.right])
 
     def merge(self, old: Node, new: Node) -> None:
         """Record the merge ``old ↦ new``: rename the view and the queue.

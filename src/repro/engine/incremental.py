@@ -1,0 +1,835 @@
+"""Incremental chase maintenance under live insert/delete streams.
+
+The batch pipeline chases every instance from scratch: any mutation bumps
+the instance fingerprint and discards all warm state.  This module keeps a
+chased solution *live* instead.  :class:`IncrementalChase` holds three
+layers of state for one data-exchange setting and one mutable source
+instance:
+
+* the **base layer** — the set of fired s-t tgd triggers, indexed by the
+  facts they join over (for DRed-style retraction) and by the target edges
+  they emit (exact provenance: a target edge exists iff some live trigger
+  supports it);
+* the **merged layer** — the egd fixpoint of the base graph, maintained as
+  a quotient: a union-find style ``rep``/class map plus an image-support
+  index mapping each merged edge to the base edges it represents.  Inserts
+  are handled semi-naively (:meth:`~repro.engine.delta.EgdViolationQueue.rescan_since`
+  over the edge journal); deletions replay only when a removed base edge
+  supported a past merge (tracked per-merge at fire time);
+* the **answer layer** — certain answers per query, patched monotonically
+  on insert-only batches by re-evaluating only the sources in the
+  undirected cone around changed nodes.
+
+The contract, enforced by ``tests/test_engine/test_incremental.py``, is
+*byte-identity with the from-scratch oracle*: after any update stream,
+:meth:`IncrementalChase.chase_result` materialises the same graph (same
+oracle null names, same failure witness) as
+:func:`~repro.chase.relational_chase.chase_relational` on the current
+instance, and :meth:`IncrementalChase.certain_answers` returns the same
+answer sets.  The supported fragment is the Section 3.1 relational chase
+fragment (single-symbol tgd heads) with egds whose bodies are unions of
+words — exactly the shapes the paper's figures and generators use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from itertools import product
+from typing import TYPE_CHECKING, Hashable, Iterable, Iterator, Mapping, Sequence
+
+from repro.chase.relational_chase import _check_fragment, _egd_fixpoint_on_graph
+from repro.chase.result import ChaseResult, ChaseStats
+from repro.engine.delta import EgdViolationQueue, run_egd_fixpoint
+from repro.engine.matcher import _edge_view
+from repro.engine.query import default_engine
+from repro.errors import NotSupportedError, SchemaError
+from repro.graph.cnre import CNREAtom, CNREQuery
+from repro.graph.database import Edge, GraphDatabase
+from repro.graph.nre import NRE, Backward, Concat, Label, Union
+from repro.mappings.egd import TargetEgd
+from repro.patterns.pattern import Null, is_null
+from repro.relational.evaluate import cq_homomorphisms
+from repro.relational.instance import RelationalInstance
+from repro.relational.query import Variable, is_variable
+
+if TYPE_CHECKING:  # annotation-only imports; avoids import cycles
+    from repro.core.certain import CertainAnswers
+    from repro.core.setting import DataExchangeSetting
+    from repro.mappings.stt import SourceToTargetTgd
+
+Node = Hashable
+Fact = tuple[str, tuple]
+Update = tuple[str, str, tuple]
+
+_UNSET = object()
+
+
+@dataclass
+class UpdateStats:
+    """Cumulative counters for one :class:`IncrementalChase`'s lifetime."""
+
+    batches: int = 0
+    """How many update batches were applied."""
+
+    inserts_applied: int = 0
+    """Insert operations that actually added a fact."""
+
+    deletes_applied: int = 0
+    """Delete operations that actually removed a fact."""
+
+    noops: int = 0
+    """Operations that found the fact already in its target state."""
+
+    triggers_added: int = 0
+    """s-t tgd triggers fired incrementally (seeded delta joins)."""
+
+    triggers_retracted: int = 0
+    """s-t tgd triggers retracted because a supporting fact was deleted."""
+
+    egd_merges: int = 0
+    """Node merges performed by the incremental egd fixpoint."""
+
+    fast_deletes: int = 0
+    """Base-edge deletions absorbed without rebuilding the merged layer."""
+
+    merged_rebuilds: int = 0
+    """Full rebuilds of the merged layer (bootstrap included)."""
+
+    answer_patches: int = 0
+    """Monotone cone-restricted patches of the certain-answer cache."""
+
+    answer_invalidations: int = 0
+    """Wholesale certain-answer cache drops (deletions, failure flips)."""
+
+    def summary(self) -> dict[str, int]:
+        """Return the counters as a plain dict for reporting.
+
+        >>> UpdateStats(batches=2).summary()["batches"]
+        2
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+# --------------------------------------------------------------------- #
+# Egd decomposition: union-of-words bodies -> simple chain egds
+# --------------------------------------------------------------------- #
+
+
+def _word_parts(expr: NRE) -> "list[NRE] | None":
+    """Flatten ``expr`` into a word (a concat of bare labels), or ``None``."""
+    if isinstance(expr, (Label, Backward)):
+        return [expr]
+    if isinstance(expr, Concat):
+        left = _word_parts(expr.left)
+        right = _word_parts(expr.right)
+        if left is None or right is None:
+            return None
+        return left + right
+    return None
+
+
+def _atom_alternatives(expr: NRE) -> "list[list[NRE]] | None":
+    """Expand top-level unions of ``expr`` into a list of words, or ``None``."""
+    if isinstance(expr, Union):
+        left = _atom_alternatives(expr.left)
+        right = _atom_alternatives(expr.right)
+        if left is None or right is None:
+            return None
+        return left + right
+    parts = _word_parts(expr)
+    return None if parts is None else [parts]
+
+
+def decompose_egd(egd: TargetEgd, index: int) -> list[TargetEgd]:
+    """Rewrite an egd with union-of-words atoms into simple chain egds.
+
+    Each atom ``(x, a·b, y)`` becomes a chain ``(x, a, z), (z, b, y)`` with
+    a fresh intermediate variable; a top-level union contributes one egd
+    per branch combination.  The returned egds have the same violation set
+    as ``egd`` once projected to ``(left, right)``, but their bodies are
+    *simple*, so the incremental violation queue's delta fast paths apply.
+    Raises :class:`~repro.errors.NotSupportedError` for bodies outside the
+    union-of-words fragment (stars, nesting).
+
+    >>> from repro.mappings.parser import parse_egd
+    >>> chains = decompose_egd(
+    ...     parse_egd("(x1, f . h, x3), (x2, h, x3) -> x1 = x2"), 0)
+    >>> [len(chain.body.atoms) for chain in chains]
+    [3]
+    >>> from repro.graph.parser import parse_nre
+    >>> union = TargetEgd(
+    ...     CNREQuery([CNREAtom(Variable("x"), parse_nre("a + b"), Variable("y"))]),
+    ...     Variable("x"), Variable("y"))
+    >>> len(decompose_egd(union, 1))
+    2
+    """
+    per_atom: list[tuple[CNREAtom, list[list[NRE]]]] = []
+    for atom in egd.body.atoms:
+        alternatives = _atom_alternatives(atom.nre)
+        if alternatives is None:
+            raise NotSupportedError(
+                "incremental maintenance handles egd bodies that are "
+                f"unions of words only; offending NRE: {atom.nre}"
+            )
+        per_atom.append((atom, alternatives))
+    chains: list[TargetEgd] = []
+    choice_space = [range(len(alternatives)) for _, alternatives in per_atom]
+    for branch_no, choices in enumerate(product(*choice_space)):
+        atoms: list[CNREAtom] = []
+        for atom_no, ((atom, alternatives), pick) in enumerate(zip(per_atom, choices)):
+            parts = alternatives[pick]
+            terms: list = [atom.subject]
+            for step_no in range(1, len(parts)):
+                terms.append(Variable(f"__inc{index}_{branch_no}_{atom_no}_{step_no}"))
+            terms.append(atom.object)
+            for step_no, part in enumerate(parts):
+                atoms.append(CNREAtom(terms[step_no], part, terms[step_no + 1]))
+        chains.append(
+            TargetEgd(CNREQuery(atoms), egd.left, egd.right, name=egd.name)
+        )
+    return chains
+
+
+# --------------------------------------------------------------------- #
+# Trigger records
+# --------------------------------------------------------------------- #
+
+
+class _Trigger:
+    """One fired s-t tgd trigger with its exact provenance.
+
+    ``key`` reproduces the oracle's dedup key (reprs of all body-variable
+    values); ``sort_key`` its firing order; ``facts`` the source facts the
+    body joined over (retraction index); ``edges`` the target edges the
+    head emitted; ``nulls`` the internally named fresh nulls, one per
+    existential, deterministic in ``key`` so delete-then-reinsert
+    reproduces the same base graph bit for bit.
+    """
+
+    __slots__ = ("tgd_index", "key", "sort_key", "facts", "edges", "nulls")
+
+    def __init__(self, tgd_index, key, sort_key, facts, edges, nulls):
+        self.tgd_index = tgd_index
+        self.key = key
+        self.sort_key = sort_key
+        self.facts = facts
+        self.edges = edges
+        self.nulls = nulls
+
+
+def _make_trigger(
+    tgd_index: int, tgd: "SourceToTargetTgd", hom: Mapping[Variable, Node]
+) -> _Trigger:
+    """Build the :class:`_Trigger` record for one body homomorphism."""
+    dedupe = tuple(repr(hom[v]) for v in tgd.body.variables())
+    sort_key = tuple(sorted((v.name, repr(hom[v])) for v in hom))
+    assignment: dict[Variable, Node] = {v: hom[v] for v in tgd.frontier}
+    nulls = []
+    for position, existential in enumerate(tgd.existentials):
+        null = Null(f"inc:{tgd_index}:{position}:" + "\x1f".join(dedupe))
+        assignment[existential] = null
+        nulls.append(null)
+    facts = tuple(
+        (
+            atom.relation,
+            tuple(hom[t] if is_variable(t) else t for t in atom.terms),
+        )
+        for atom in tgd.body.atoms
+    )
+    edges = tuple(
+        Edge(
+            assignment[atom.subject] if is_variable(atom.subject) else atom.subject,
+            atom.nre.name,  # type: ignore[union-attr]  # fragment-checked Label
+            assignment[atom.object] if is_variable(atom.object) else atom.object,
+        )
+        for atom in tgd.head.atoms
+    )
+    return _Trigger(tgd_index, (tgd_index, dedupe), sort_key, facts, edges, nulls)
+
+
+# --------------------------------------------------------------------- #
+# The incremental chase
+# --------------------------------------------------------------------- #
+
+
+class IncrementalChase:
+    """A live chased solution maintained under an insert/delete stream.
+
+    Construct once per (setting, instance); feed update batches through
+    :meth:`apply_updates`; read :meth:`certain_answers` between batches.
+    Answers are byte-identical to re-chasing the current instance from
+    scratch, but an N-operation batch costs O(affected triggers + affected
+    cone), not O(instance).
+
+    >>> from repro.scenarios.figures import example31_setting
+    >>> from repro.scenarios.flights import flights_instance
+    >>> live = IncrementalChase(example31_setting(), flights_instance())
+    >>> summary = live.apply_updates([("insert", "Hotel", ("02", "hz"))])
+    >>> (summary["inserts"], summary["failed"])
+    (1, False)
+    >>> from repro.graph.parser import parse_nre
+    >>> sorted(live.certain_answers(parse_nre("f . h")).answers)
+    [('c1', 'hx'), ('c1', 'hy'), ('c3', 'hx'), ('c3', 'hz')]
+    >>> _ = live.apply_updates([("delete", "Hotel", ("02", "hz"))])
+    >>> sorted(live.certain_answers(parse_nre("f . h")).answers)
+    [('c1', 'hx'), ('c1', 'hy'), ('c3', 'hx')]
+    """
+
+    def __init__(
+        self,
+        setting: "DataExchangeSetting",
+        instance: RelationalInstance | None = None,
+        engine=None,
+    ):
+        fragment = setting.fragment()
+        _check_fragment(setting.st_tgds)
+        if fragment.has_sameas or fragment.has_general_tgds:
+            raise NotSupportedError(
+                "incremental maintenance covers the relational-chase fragment "
+                "(s-t tgds + egds); sameAs and general target tgds are not supported"
+            )
+        self.setting = setting
+        self._tgds = list(setting.st_tgds)
+        self._egds = list(setting.egds())
+        self._chains: list[TargetEgd] = []
+        for index, egd in enumerate(self._egds):
+            self._chains.extend(decompose_egd(egd, index))
+        self.instance = (
+            instance.copy()
+            if instance is not None
+            else RelationalInstance(setting.source_schema)
+        )
+        self._engine = engine
+        self.stats = UpdateStats()
+        # --- base layer: triggers and their provenance indexes ---
+        self._triggers: dict[tuple, _Trigger] = {}
+        self._fact_triggers: dict[Fact, set[tuple]] = {}
+        self._edge_support: dict[Edge, set[tuple]] = {}
+        self._node_degree: dict[Node, int] = {}
+        # --- merged layer: quotient of the base graph by the egd fixpoint ---
+        self._merged = GraphDatabase(alphabet=set(setting.alphabet))
+        self._rep: dict[Node, Node] = {}
+        self._classes: dict[Node, set[Node]] = {}
+        self._image_support: dict[Edge, set[Edge]] = {}
+        self._merge_support: set[Edge] = set()
+        self._provenance_exact = True
+        self._queue: EgdViolationQueue | None = None
+        self._failed = False
+        self._witness_cache: object = _UNSET
+        self._touched: set[Node] = set()
+        # --- answer layer ---
+        self._answers: dict[NRE, frozenset] = {}
+        self._dirty: set[Node] = set()
+        self._bootstrap()
+
+    # ------------------------------------------------------------------ #
+    # Public surface
+    # ------------------------------------------------------------------ #
+
+    @property
+    def failed(self) -> bool:
+        """Whether the chase of the current instance fails (no solution)."""
+        return self._failed
+
+    def apply_updates(self, updates: Iterable[Update | Mapping]) -> dict:
+        """Apply one batch of updates and repair all three state layers.
+
+        ``updates`` is an iterable of ``(op, relation, values)`` tuples or
+        ``{"op": ..., "relation": ..., "tuple": ...}`` mappings, with op
+        ``"insert"`` or ``"delete"``, applied in order.  The whole batch is
+        validated (ops, relations, arities) before any state changes, so a
+        malformed batch raises without corrupting the live solution.
+        Returns a summary dict with the batch's ``inserts``/``deletes``/
+        ``noops`` counts and the resulting ``failed`` flag.
+        """
+        batch = [self._normalize(update) for update in updates]
+        for _, relation, values in batch:
+            symbol = self.instance.schema[relation]
+            if len(values) != symbol.arity:
+                raise SchemaError(
+                    f"tuple {values!r} has arity {len(values)}, "
+                    f"but {symbol} expects {symbol.arity}"
+                )
+        self._witness_cache = _UNSET
+        failed_before = self._failed
+        counts = {"inserts": 0, "deletes": 0, "noops": 0}
+        before: dict[Fact, bool] = {}
+        for op, relation, values in batch:
+            fact = (relation, values)
+            if fact not in before:
+                before[fact] = self.instance.contains(relation, values)
+            if op == "insert":
+                if self.instance.contains(relation, values):
+                    counts["noops"] += 1
+                else:
+                    self.instance.add(relation, values)
+                    counts["inserts"] += 1
+            else:
+                if self.instance.remove(relation, values):
+                    counts["deletes"] += 1
+                else:
+                    counts["noops"] += 1
+        self.stats.batches += 1
+        self.stats.inserts_applied += counts["inserts"]
+        self.stats.deletes_applied += counts["deletes"]
+        self.stats.noops += counts["noops"]
+        added_facts = {
+            fact
+            for fact, present in before.items()
+            if not present and self.instance.contains(*fact)
+        }
+        removed_facts = {
+            fact
+            for fact, present in before.items()
+            if present and not self.instance.contains(*fact)
+        }
+        net_removed, net_added = self._update_base(added_facts, removed_facts)
+        rebuilt = self._update_merged(net_removed, net_added)
+        failed_changed = self._failed != failed_before
+        if removed_facts or rebuilt or failed_changed:
+            if self._answers:
+                self.stats.answer_invalidations += 1
+            self._answers.clear()
+            self._dirty.clear()
+        else:
+            self._dirty |= self._touched
+        self._touched = set()
+        counts["failed"] = self._failed
+        return counts
+
+    def certain_answers(self, query: NRE, engine=None) -> "CertainAnswers":
+        """Return the certain answers of ``query`` on the live solution.
+
+        The merged graph is a universal solution of the current instance
+        (when one exists), so certain answers are its query answers
+        restricted to the source active domain — byte-identical to the
+        batch pipeline's result on the same instance.  Answers are cached
+        per query and patched incrementally across insert-only batches.
+        """
+        from repro.core.certain import CertainAnswers
+
+        if self._failed:
+            return CertainAnswers(
+                answers=frozenset(),
+                no_solution=True,
+                solutions_examined=0,
+                method="incremental(no-solution)",
+            )
+        engine = engine if engine is not None else self._engine
+        if engine is None:
+            engine = default_engine()
+        self._flush_dirty(engine)
+        answers = self._answers.get(query)
+        if answers is None:
+            domain = self.instance.active_domain()
+            answers = engine.answers_over(self._merged, query, domain)
+            self._answers[query] = answers
+        return CertainAnswers(
+            answers=answers,
+            no_solution=False,
+            solutions_examined=1,
+            method="incremental-universal",
+        )
+
+    def failure_witness(self) -> "tuple[Node, Node] | None":
+        """Return the oracle's failure witness, or ``None`` while solvable."""
+        if not self._failed:
+            return None
+        if self._witness_cache is _UNSET:
+            self._witness_cache = self.chase_result().failure_witness
+        return self._witness_cache  # type: ignore[return-value]
+
+    def chase_result(self) -> ChaseResult:
+        """Materialise the live solution as a from-scratch chase result.
+
+        Success: the quotient graph with every internal null renamed to the
+        name the oracle (:func:`~repro.chase.relational_chase.chase_relational`)
+        would have invented — node sets, edge sets, and null labels are
+        byte-identical.  Failure: the oracle-named base graph is re-run
+        through the oracle's own egd fixpoint, reproducing its failure
+        witness exactly.
+        """
+        names = self._oracle_names()
+        stats = ChaseStats(st_applications=len(self._triggers))
+        graph = GraphDatabase(alphabet=set(self.setting.alphabet))
+        if self._failed:
+            for edge in sorted(self._edge_support, key=repr):
+                graph.add_edge(
+                    names.get(edge.source, edge.source),
+                    edge.label,
+                    names.get(edge.target, edge.target),
+                )
+            return _egd_fixpoint_on_graph(graph, list(self._egds), stats)
+        mapping: dict[Node, Node] = {}
+        for members in self._classes.values():
+            named = [names.get(node, node) for node in members]
+            constants = [node for node in named if not is_null(node)]
+            canonical = constants[0] if constants else min(named)
+            for node in members:
+                mapping[node] = canonical
+        for edge in sorted(self._edge_support, key=repr):
+            graph.add_edge(mapping[edge.source], edge.label, mapping[edge.target])
+        return ChaseResult(graph=graph, failed=False, failure_witness=None, stats=stats)
+
+    # ------------------------------------------------------------------ #
+    # Base layer
+    # ------------------------------------------------------------------ #
+
+    def _normalize(self, update) -> Update:
+        """Coerce one update to ``(op, relation_name, values_tuple)``."""
+        if isinstance(update, Mapping):
+            op = update.get("op")
+            relation = update.get("relation")
+            values = update.get("tuple", update.get("values"))
+        else:
+            op, relation, values = update
+        if op not in ("insert", "delete"):
+            raise ValueError(f"unknown update op: {op!r}")
+        if not isinstance(relation, str):
+            relation = relation.name
+        if values is None or isinstance(values, str):
+            raise ValueError(f"update tuple must be a sequence, got {values!r}")
+        return op, relation, tuple(values)
+
+    def _update_base(
+        self, added_facts: set[Fact], removed_facts: set[Fact]
+    ) -> tuple[set[Edge], set[Edge]]:
+        """Retract and fire triggers; return net (removed, added) edges."""
+        removed_edges: list[Edge] = []
+        dying: set[tuple] = set()
+        for fact in removed_facts:
+            dying |= self._fact_triggers.get(fact, set())
+        for key in sorted(dying):
+            removed_edges += self._remove_trigger(self._triggers.pop(key))
+        added_edges: list[Edge] = []
+        for fact in sorted(added_facts, key=repr):
+            for trigger in self._seeded_triggers(fact):
+                if trigger.key not in self._triggers:
+                    added_edges += self._add_trigger(trigger)
+        removed_set, added_set = set(removed_edges), set(added_edges)
+        return removed_set - added_set, added_set - removed_set
+
+    def _seeded_triggers(self, fact: Fact) -> Iterator[_Trigger]:
+        """Enumerate triggers whose body can use the freshly added ``fact``."""
+        relation, values = fact
+        for tgd_index, tgd in enumerate(self._tgds):
+            for atom in tgd.body.atoms:
+                if atom.relation != relation or len(atom.terms) != len(values):
+                    continue
+                seed: dict[Variable, Node] = {}
+                consistent = True
+                for term, value in zip(atom.terms, values):
+                    if is_variable(term):
+                        if term in seed and seed[term] != value:
+                            consistent = False
+                            break
+                        seed[term] = value
+                    elif term != value:
+                        consistent = False
+                        break
+                if not consistent:
+                    continue
+                for hom in cq_homomorphisms(tgd.body, self.instance, seed=seed):
+                    yield _make_trigger(tgd_index, tgd, hom)
+
+    def _add_trigger(self, trigger: _Trigger) -> list[Edge]:
+        """Register ``trigger``; return the base edges it newly created."""
+        self._triggers[trigger.key] = trigger
+        self.stats.triggers_added += 1
+        for fact in set(trigger.facts):
+            self._fact_triggers.setdefault(fact, set()).add(trigger.key)
+        born: list[Edge] = []
+        for edge in set(trigger.edges):
+            support = self._edge_support.get(edge)
+            if support is None:
+                support = self._edge_support[edge] = set()
+                born.append(edge)
+                for node in {edge.source, edge.target}:
+                    self._node_degree[node] = self._node_degree.get(node, 0) + 1
+            support.add(trigger.key)
+        return born
+
+    def _remove_trigger(self, trigger: _Trigger) -> list[Edge]:
+        """Unregister ``trigger``; return the base edges that died with it."""
+        self.stats.triggers_retracted += 1
+        for fact in set(trigger.facts):
+            keys = self._fact_triggers.get(fact)
+            if keys is not None:
+                keys.discard(trigger.key)
+                if not keys:
+                    del self._fact_triggers[fact]
+        died: list[Edge] = []
+        for edge in set(trigger.edges):
+            support = self._edge_support[edge]
+            support.discard(trigger.key)
+            if not support:
+                del self._edge_support[edge]
+                died.append(edge)
+                for node in {edge.source, edge.target}:
+                    remaining = self._node_degree[node] - 1
+                    if remaining:
+                        self._node_degree[node] = remaining
+                    else:
+                        del self._node_degree[node]
+        return died
+
+    # ------------------------------------------------------------------ #
+    # Merged layer
+    # ------------------------------------------------------------------ #
+
+    def _bootstrap(self) -> None:
+        """Fire every trigger of the initial instance, then build the quotient."""
+        for tgd_index, tgd in enumerate(self._tgds):
+            for hom in cq_homomorphisms(tgd.body, self.instance):
+                trigger = _make_trigger(tgd_index, tgd, hom)
+                if trigger.key not in self._triggers:
+                    self._add_trigger(trigger)
+        self._rebuild_merged()
+        self._touched = set()
+
+    def _update_merged(self, net_removed: set[Edge], net_added: set[Edge]) -> bool:
+        """Repair the quotient for a batch's net edge delta; return rebuilt."""
+        self._touched = set()
+        if self._failed:
+            if net_removed:
+                self._rebuild_merged()
+                return True
+            # Failure is insert-monotone: adding facts can never turn a
+            # failing chase into a succeeding one, so the (stale) merged
+            # layer stays parked until a deletion forces a rebuild.
+            return False
+        if net_removed and (
+            not self._provenance_exact or (self._merge_support & net_removed)
+        ):
+            self._rebuild_merged()
+            return True
+        self._fast_update_merged(net_removed, net_added)
+        return False
+
+    def _rebuild_merged(self) -> None:
+        """Rebuild the merged layer from the base edges, from scratch."""
+        self.stats.merged_rebuilds += 1
+        self._failed = False
+        self._provenance_exact = True
+        self._merge_support = set()
+        self._rep = {}
+        self._classes = {}
+        self._image_support = {}
+        self._touched = set()
+        merged = GraphDatabase(alphabet=set(self.setting.alphabet))
+        for edge in sorted(self._edge_support, key=repr):
+            for node in (edge.source, edge.target):
+                if node not in self._rep:
+                    self._rep[node] = node
+                    self._classes[node] = {node}
+            self._image_support[edge] = {edge}
+            merged.add_edge(edge.source, edge.label, edge.target)
+        self._merged = merged
+        self._queue = EgdViolationQueue(self._chains, merged)
+        failed, _ = run_egd_fixpoint(self._queue, ChaseStats(), apply=self._on_merge)
+        self._failed = failed
+
+    def _fast_update_merged(self, net_removed: set[Edge], net_added: set[Edge]) -> None:
+        """Apply a provenance-clean edge delta directly to the quotient."""
+        merged = self._merged
+        for edge in sorted(net_removed, key=repr):
+            image = Edge(self._rep[edge.source], edge.label, self._rep[edge.target])
+            support = self._image_support.get(image)
+            if support is not None:
+                support.discard(edge)
+                if not support:
+                    del self._image_support[image]
+                    merged.remove_edge(image.source, image.label, image.target)
+            self.stats.fast_deletes += 1
+        self._drop_dead_nodes(net_removed)
+        if not net_added:
+            return
+        version = merged.version
+        for edge in sorted(net_added, key=repr):
+            for node in (edge.source, edge.target):
+                if node not in self._rep:
+                    self._rep[node] = node
+                    self._classes[node] = {node}
+            image = Edge(self._rep[edge.source], edge.label, self._rep[edge.target])
+            support = self._image_support.get(image)
+            if support is None:
+                support = self._image_support[image] = set()
+                merged.add_edge(image.source, image.label, image.target)
+            support.add(edge)
+            self._touched.update((image.source, image.target))
+        assert self._queue is not None
+        self._queue.rescan_since(version)
+        failed, _ = run_egd_fixpoint(self._queue, ChaseStats(), apply=self._on_merge)
+        if failed:
+            self._failed = True
+
+    def _drop_dead_nodes(self, net_removed: set[Edge]) -> None:
+        """Evict base nodes that lost their last edge from the quotient."""
+        dead = sorted(
+            {
+                node
+                for edge in net_removed
+                for node in (edge.source, edge.target)
+                if node not in self._node_degree
+            },
+            key=repr,
+        )
+        dead_reps: list[Node] = []
+        for node in dead:
+            rep = self._rep.get(node)
+            if rep is None:
+                continue
+            if rep != node:
+                del self._rep[node]
+                self._classes[rep].discard(node)
+            else:
+                dead_reps.append(node)
+        for node in dead_reps:
+            members = self._classes[node] - {node}
+            del self._rep[node]
+            del self._classes[node]
+            if members:
+                constants = [m for m in members if not is_null(m)]
+                new_rep = (
+                    min(constants, key=repr) if constants else min(members, key=repr)
+                )
+                self._classes[new_rep] = members
+                for member in members:
+                    self._rep[member] = new_rep
+                self._remap_images(node, new_rep)
+                self._merged.rename_node(node, new_rep)
+            else:
+                self._merged.discard_node(node)
+
+    def _on_merge(self, old: Node, new: Node) -> None:
+        """The egd fixpoint's merge callback: record and apply ``old ↦ new``."""
+        self.stats.egd_merges += 1
+        if self._provenance_exact:
+            self._record_merge_provenance(old, new)
+        self._remap_images(old, new)
+        old_members = self._classes.pop(old)
+        self._classes[new] |= old_members
+        for member in old_members:
+            self._rep[member] = new
+        self._touched.discard(old)
+        self._touched.add(new)
+
+    def _remap_images(self, old: Node, new: Node) -> None:
+        """Re-key image supports for a merged-graph rename ``old ↦ new``.
+
+        Must run *before* the graph itself is renamed (the support index is
+        keyed by the pre-rename edges read from ``incident_edges``).
+        """
+        for image in self._merged.incident_edges(old):
+            support = self._image_support.pop(image, None)
+            if support is None:
+                continue
+            rewritten = Edge(
+                new if image.source == old else image.source,
+                image.label,
+                new if image.target == old else image.target,
+            )
+            self._image_support.setdefault(rewritten, set()).update(support)
+
+    def _record_merge_provenance(self, old: Node, new: Node) -> None:
+        """Record the base edges supporting the merge that fires ``old ↦ new``.
+
+        The violation queue guarantees a witness homomorphism exists at
+        fire time; it is recomputed here (not at discovery time) because
+        earlier merges may have renamed the nodes a stored witness used.
+        A deletion later hitting any recorded support edge invalidates the
+        fast-delete path and forces a rebuild.
+        """
+        for egd in self._chains:
+            if egd.left == egd.right:
+                continue
+            for seed in ({egd.left: old, egd.right: new}, {egd.left: new, egd.right: old}):
+                for hom in self._queue.matcher.matches(egd.body, seed=seed):
+                    support: set[Edge] = set()
+                    complete = True
+                    for atom in egd.body.atoms:
+                        source_term, label, target_term = _edge_view(atom)
+                        image = Edge(
+                            hom[source_term] if is_variable(source_term) else source_term,
+                            label,
+                            hom[target_term] if is_variable(target_term) else target_term,
+                        )
+                        base = self._image_support.get(image)
+                        if base is None:
+                            complete = False
+                            break
+                        support |= base
+                    if complete:
+                        self._merge_support |= support
+                        return
+        self._provenance_exact = False
+
+    # ------------------------------------------------------------------ #
+    # Answer layer
+    # ------------------------------------------------------------------ #
+
+    def _flush_dirty(self, engine) -> None:
+        """Patch cached answers for the cone around nodes changed by inserts."""
+        if not self._dirty:
+            return
+        if not self._answers:
+            self._dirty.clear()
+            return
+        self.stats.answer_patches += 1
+        affected = self._affected_cone()
+        domain = self.instance.active_domain()
+        sources = sorted((node for node in affected if node in domain), key=repr)
+        for query, cached in list(self._answers.items()):
+            extra: set[tuple[Node, Node]] = set()
+            for source in sources:
+                for target in engine.reachable(self._merged, query, source):
+                    if target in domain:
+                        extra.add((source, target))
+            if extra:
+                self._answers[query] = frozenset(cached | extra)
+        self._dirty.clear()
+
+    def _affected_cone(self) -> set[Node]:
+        """Undirected reachability closure of the dirty nodes in the quotient.
+
+        Any answer pair created by an insert-only batch starts at a source
+        whose (undirected) component contains a changed node, so patching
+        exactly these sources is complete.
+        """
+        seen: set[Node] = set()
+        stack = [node for node in self._dirty if node in self._merged]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            for edge in self._merged.incident_edges(node):
+                for neighbour in (edge.source, edge.target):
+                    if neighbour not in seen:
+                        stack.append(neighbour)
+        return seen
+
+    # ------------------------------------------------------------------ #
+    # Oracle-identical materialisation
+    # ------------------------------------------------------------------ #
+
+    def _oracle_names(self) -> dict[Null, Null]:
+        """Map internal nulls to the names the from-scratch oracle invents.
+
+        The oracle numbers nulls with one global counter, firing tgds in
+        declaration order and each tgd's triggers in sorted-match order —
+        both reconstructable from the trigger records alone.
+        """
+        by_tgd: dict[int, list[_Trigger]] = {}
+        for trigger in self._triggers.values():
+            by_tgd.setdefault(trigger.tgd_index, []).append(trigger)
+        names: dict[Null, Null] = {}
+        counter = 0
+        for tgd_index in range(len(self._tgds)):
+            for trigger in sorted(
+                by_tgd.get(tgd_index, ()), key=lambda t: t.sort_key
+            ):
+                for null in trigger.nulls:
+                    counter += 1
+                    names[null] = Null(f"N{counter}")
+        return names

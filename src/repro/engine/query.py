@@ -97,6 +97,10 @@ class EvalStats:
     uncacheable_graphs: int = 0
     """Queries on destructively-mutated graphs (no fingerprint, no sharing)."""
 
+    csr_refreezes: int = 0
+    """CSR freezes served by journal replay from the previous frozen tip
+    (only the update batch's labels rebuilt) instead of a cold freeze."""
+
     def summary(self) -> str:
         """Return a one-line ``key=value`` rendering of every counter."""
         return " ".join(
@@ -174,6 +178,10 @@ class QueryEngine:
         self.backend = backend
         self._automata: dict[NRE, NREAutomaton] = {}
         self._cache: OrderedDict[Fingerprint, _GraphState] = OrderedDict()
+        # The most recently frozen graph (backend="csr" only): an update
+        # batch typically extends its journal, so the next freeze replays
+        # just the suffix instead of rebuilding every CSR buffer.
+        self._frozen_tip: GraphDatabase | None = None
 
     # ------------------------------------------------------------------ #
     # Query API
@@ -287,16 +295,50 @@ class QueryEngine:
         if self.backend == "csr":
             # Freeze once per fingerprint; every later query against this
             # content runs the interned integer-id fast path.
-            graph = graph.freeze()
+            graph = self._freeze_incremental(graph, token)
         state = _GraphState(graph, self.stats)
         self._cache[token] = state
         while len(self._cache) > self.max_graphs:
             self._cache.popitem(last=False)
         return state
 
+    def _freeze_incremental(
+        self, graph: GraphDatabase, token: Fingerprint
+    ) -> GraphDatabase:
+        """Freeze ``graph``, replaying from the last frozen tip when possible.
+
+        When ``graph``'s journal extends the previous frozen graph's journal
+        (the live-update serving shape: each batch appends edges), the new
+        frozen twin is built with
+        :meth:`~repro.graph.database.GraphDatabase.refreeze` — only the
+        batch's labels rebuild their CSR buffers.  The replayed result is
+        accepted only if its fingerprint equals ``token`` (isolated-node
+        additions or interleaved deletions make the journals diverge);
+        otherwise this falls back to a cold :meth:`freeze`.
+        """
+        tip = self._frozen_tip
+        if tip is not None and not graph.is_frozen:
+            tip_token = tip.fingerprint()
+            if tip_token is not None:
+                tip_journal = tip_token.key[1]
+                journal = token.key[1]
+                if (
+                    len(journal) >= len(tip_journal)
+                    and journal[: len(tip_journal)] == tip_journal
+                ):
+                    candidate = tip.refreeze(journal[len(tip_journal) :])
+                    if candidate.fingerprint() == token:
+                        self.stats.csr_refreezes += 1
+                        self._frozen_tip = candidate
+                        return candidate
+        frozen = graph if graph.is_frozen else graph.freeze()
+        self._frozen_tip = frozen
+        return frozen
+
     def clear(self) -> None:
         """Drop all per-graph state (the automaton table survives)."""
         self._cache.clear()
+        self._frozen_tip = None
 
 
 class ReferenceEngine:

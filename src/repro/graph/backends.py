@@ -146,6 +146,10 @@ class StorageBackend(Protocol):
         """Rewrite every edge through ``old`` onto ``new``; O(degree)."""
         ...
 
+    def discard_node(self, node: Node) -> None:
+        """Remove an *isolated* node (a *destructive* mutation)."""
+        ...
+
     def has_node(self, node: Node) -> bool:
         """Node-set membership."""
         ...
@@ -348,6 +352,24 @@ class DictBackend:
         self._nodes.discard(old)
         self._nodes.add(new)
         return frozenset(rewritten)
+
+    def discard_node(self, node: Node) -> None:
+        """Remove an isolated node; absent nodes are a no-op.
+
+        Raises :class:`~repro.errors.SchemaError` when ``node`` still has
+        incident edges — callers (the incremental chase's dead-node
+        cleanup) must retract the edges first, so the node set can never
+        silently disagree with the edge set.  Removing a node breaks the
+        journal-determines-content law like any other destructive mutation.
+        """
+        if node not in self._nodes:
+            return
+        if self._out_edges.get(node) or self._in_edges.get(node):
+            raise SchemaError(
+                f"cannot discard node {node!r}: it still has incident edges"
+            )
+        self._destructive = True  # node set changes without a journal entry
+        self._nodes.discard(node)
 
     # -- membership and bulk reads ---------------------------------------- #
 
@@ -629,6 +651,10 @@ class CsrBackend:
         """Refused: frozen graphs are immutable."""
         raise _frozen_mutation("rename_node")
 
+    def discard_node(self, node: Node) -> None:
+        """Refused: frozen graphs are immutable."""
+        raise _frozen_mutation("discard_node")
+
     # -- membership and bulk reads ----------------------------------------- #
 
     def has_node(self, node: Node) -> bool:
@@ -832,6 +858,124 @@ class CsrBackend:
             journal=backend.journal(),
             destructive=backend.destructive,
         )
+
+    def extended(self, new_edges: Iterable[Edge]) -> "CsrBackend":
+        """A new CSR backend with ``new_edges`` appended to the journal.
+
+        The journal-replay *refreeze* path: instead of thawing to a dict
+        graph and re-freezing the whole thing per update batch, only the
+        labels touched by the batch rebuild their CSR buffers — buffers,
+        adjacency views and node interning of untouched labels are shared
+        with ``self``.  Edges already present (or repeated inside the
+        batch) are skipped, mirroring :meth:`DictBackend.add_edge`'s
+        dedupe, so the resulting fingerprint equals the one a dict-backed
+        twin would have produced applying the same insertions.  With an
+        empty effective batch, ``self`` is returned unchanged (fingerprint
+        survival under no-op batches is a pinned regression).
+
+        Fresh endpoint nodes are interned *after* the existing ones (in
+        repr order among themselves): existing node ids — and with them
+        every shared buffer — stay valid.  Cost is O(touched labels' edges
+        + new nodes), not O(|E|).
+        """
+        appended: list[Edge] = []
+        seen: set[Edge] = set()
+        for edge in new_edges:
+            if self._alphabet is not None and edge.label not in self._alphabet:
+                raise SchemaError(
+                    f"label {edge.label!r} is not in the alphabet "
+                    f"{sorted(self._alphabet)}"
+                )
+            if edge in seen or self.has_edge(edge.source, edge.label, edge.target):
+                continue
+            seen.add(edge)
+            appended.append(edge)
+        if not appended:
+            return self
+
+        clone = CsrBackend.__new__(CsrBackend)
+        clone._alphabet = self._alphabet
+        node_list = list(self._node_list)
+        node_ids = dict(self._node_ids)
+        fresh = sorted(
+            {
+                endpoint
+                for edge in appended
+                for endpoint in (edge.source, edge.target)
+                if endpoint not in node_ids
+            },
+            key=repr,
+        )
+        for node in fresh:
+            node_ids[node] = len(node_list)
+            node_list.append(node)
+        clone._node_list = node_list
+        clone._node_ids = node_ids
+        clone._journal = self._journal + tuple(appended)
+        clone._destructive = self._destructive
+        clone._fingerprint_token = (
+            None
+            if clone._destructive
+            else Fingerprint(frozenset(node_list), clone._journal)
+        )
+        clone._edge_total = self._edge_total + len(appended)
+
+        touched = {edge.label for edge in appended}
+        count = len(node_list)
+        old_count = len(self._node_list)
+        clone._label_counts = dict(self._label_counts)
+        clone._fwd_offsets = {}
+        clone._fwd_targets = {}
+        clone._bwd_offsets = {}
+        clone._bwd_targets = {}
+        clone._fwd_views = {}
+        clone._bwd_views = {}
+        clone._fwd_lists = {}
+        clone._bwd_lists = {}
+        clone._edge_set = None
+        for lab in self._fwd_offsets:
+            if lab in touched:
+                continue
+            if count == old_count:
+                clone._fwd_offsets[lab] = self._fwd_offsets[lab]
+                clone._bwd_offsets[lab] = self._bwd_offsets[lab]
+            else:
+                # Fresh nodes have no edges under untouched labels: extend
+                # the offsets with the final running total, keep targets.
+                fwd = array("q", self._fwd_offsets[lab])
+                fwd.extend([fwd[-1]] * (count - old_count))
+                bwd = array("q", self._bwd_offsets[lab])
+                bwd.extend([bwd[-1]] * (count - old_count))
+                clone._fwd_offsets[lab] = fwd
+                clone._bwd_offsets[lab] = bwd
+            clone._fwd_targets[lab] = self._fwd_targets[lab]
+            clone._bwd_targets[lab] = self._bwd_targets[lab]
+            view = self._fwd_views.get(lab)
+            if view is not None:
+                clone._fwd_views[lab] = view
+            view = self._bwd_views.get(lab)
+            if view is not None:
+                clone._bwd_views[lab] = view
+        for lab in touched:
+            pairs: list[tuple[int, int]] = []
+            offsets = self._fwd_offsets.get(lab)
+            if offsets is not None:
+                targets = self._fwd_targets[lab]
+                for sid in range(old_count):
+                    for position in range(offsets[sid], offsets[sid + 1]):
+                        pairs.append((sid, targets[position]))
+            for edge in appended:
+                if edge.label == lab:
+                    pairs.append((node_ids[edge.source], node_ids[edge.target]))
+            clone._label_counts[lab] = len(pairs)
+            clone._fwd_offsets[lab], clone._fwd_targets[lab] = _build_csr(
+                count, sorted(pairs)
+            )
+            clone._bwd_offsets[lab], clone._bwd_targets[lab] = _build_csr(
+                count, sorted((target, source) for source, target in pairs)
+            )
+        clone._labels = frozenset(clone._fwd_offsets)
+        return clone
 
     # -- snapshot support ---------------------------------------------------- #
 

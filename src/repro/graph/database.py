@@ -157,6 +157,41 @@ class GraphDatabase:
             return self
         return GraphDatabase._from_backend(CsrBackend.from_backend(self._backend))
 
+    def refreeze(
+        self, edges: Iterable[tuple[Node, LabelName, Node] | Edge] = ()
+    ) -> "GraphDatabase":
+        """Return a frozen graph extended with ``edges`` by journal replay.
+
+        The incremental counterpart of :meth:`freeze` for warm serving
+        paths: a frozen graph that gains an update batch does **not** pay a
+        full thaw/re-freeze — only the labels the batch touches rebuild
+        their CSR buffers (:meth:`~repro.graph.backends.CsrBackend.extended`),
+        and the resulting fingerprint equals a cold freeze of a dict graph
+        that applied the same insertions.  Duplicate edges (already present
+        or repeated in the batch) are skipped like ``add_edge`` would; a
+        batch with no effective insertions returns ``self`` unchanged, so
+        fingerprints — and every cache keyed on them — survive no-op update
+        batches.  A mutable graph is frozen first.
+
+        >>> g = GraphDatabase(edges=[("u", "a", "v")]).freeze()
+        >>> g.refreeze([]) is g
+        True
+        >>> bigger = g.refreeze([("v", "a", "w")])
+        >>> bigger.is_frozen, sorted(str(e) for e in bigger.edges())
+        (True, ['(u -a-> v)', '(v -a-> w)'])
+        >>> twin = GraphDatabase(edges=[("u", "a", "v"), ("v", "a", "w")])
+        >>> bigger.fingerprint() == twin.fingerprint()
+        True
+        """
+        batch = [
+            edge if isinstance(edge, Edge) else Edge(*edge) for edge in edges
+        ]
+        base = self if self.is_frozen else self.freeze()
+        backend = base.csr.extended(batch)  # type: ignore[union-attr]
+        if backend is base.backend:
+            return base
+        return GraphDatabase._from_backend(backend)
+
     def thaw(self) -> "GraphDatabase":
         """Return a mutable dict-backed copy of this graph.
 
@@ -241,6 +276,23 @@ class GraphDatabase:
         False
         """
         return self._backend.rename_node(old, new)
+
+    def discard_node(self, node: Node) -> None:
+        """Remove an *isolated* node from the node set (absent: no-op).
+
+        Raises :class:`~repro.errors.SchemaError` while ``node`` still has
+        incident edges and :class:`~repro.errors.FrozenGraphError` on a
+        frozen graph.  Like :meth:`remove_edge` this is a destructive
+        mutation: the graph stops being fingerprintable.  The incremental
+        chase uses it to drop merged nodes whose last supporting base edge
+        was retracted.
+
+        >>> g = GraphDatabase(nodes=["u"], edges=[("v", "a", "w")])
+        >>> g.discard_node("u")
+        >>> sorted(g.nodes())
+        ['v', 'w']
+        """
+        self._backend.discard_node(node)
 
     # ------------------------------------------------------------------ #
     # Reads

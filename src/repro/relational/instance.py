@@ -74,6 +74,43 @@ class RelationalInstance:
         if tup:
             self._by_first[symbol.name].setdefault(tup[0], set()).add(tup)
 
+    def remove(self, relation: str | RelationSymbol, values: Iterable[Constant]) -> bool:
+        """Delete the tuple ``values`` from ``relation`` if present.
+
+        Returns whether a tuple was actually removed (``False`` makes
+        delete-of-absent a cheap no-op, which the incremental chase relies
+        on to net out insert/delete churn).  The first-column index is kept
+        in sync, so :meth:`tuples_with_first` stays exact after deletions.
+        Raises :class:`~repro.errors.SchemaError` on arity mismatch or on
+        an undeclared relation, exactly like :meth:`add`.
+
+        >>> schema = RelationalSchema()
+        >>> _ = schema.declare("R", 2)
+        >>> inst = RelationalInstance(schema, {"R": [("a", "b")]})
+        >>> inst.remove("R", ("a", "b")), inst.remove("R", ("a", "b"))
+        (True, False)
+        >>> sorted(inst.tuples("R")), sorted(inst.tuples_with_first("R", "a"))
+        ([], [])
+        """
+        symbol = self._symbol(relation)
+        tup = tuple(values)
+        if len(tup) != symbol.arity:
+            raise SchemaError(
+                f"tuple {tup!r} has arity {len(tup)}, but {symbol} expects {symbol.arity}"
+            )
+        data = self._data[symbol.name]
+        if tup not in data:
+            return False
+        data.remove(tup)
+        if tup:
+            index = self._by_first[symbol.name]
+            bucket = index.get(tup[0])
+            if bucket is not None:
+                bucket.discard(tup)
+                if not bucket:
+                    del index[tup[0]]
+        return True
+
     def add_all(self, relation: str | RelationSymbol, tuples: Iterable[Iterable[Constant]]) -> None:
         """Insert every tuple from ``tuples`` into ``relation``."""
         for tup in tuples:

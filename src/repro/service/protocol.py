@@ -47,7 +47,7 @@ from repro.solver import SOLVER_NAMES
 PROTOCOL_VERSION = 1
 """Bumped on any incompatible change to the wire format."""
 
-COMPUTE_OPS = ("certain", "chase", "evaluate_batch", "exists")
+COMPUTE_OPS = ("apply_updates", "certain", "chase", "evaluate_batch", "exists")
 """Operations that run in the worker pool and are result-cacheable."""
 
 CONTROL_OPS = ("cancel", "ping", "shutdown", "stats")
@@ -153,6 +153,42 @@ def _check_queries(value: Any) -> list[str]:
     return value
 
 
+def _check_optional_queries(value: Any) -> list[str]:
+    if not isinstance(value, list) or not all(
+        isinstance(q, str) and q.strip() for q in value
+    ):
+        raise ProtocolError(
+            "bad-request", "queries must be a list of NRE strings"
+        )
+    return value
+
+
+def _check_updates(value: Any) -> list[dict]:
+    if not isinstance(value, list):
+        raise ProtocolError("bad-request", "updates must be a list")
+    for update in value:
+        if not isinstance(update, dict):
+            raise ProtocolError("bad-request", "each update must be an object")
+        unknown = set(update) - {"op", "relation", "tuple"}
+        if unknown:
+            raise ProtocolError(
+                "bad-request", f"update has unknown fields {sorted(unknown)}"
+            )
+        if update.get("op") not in ("insert", "delete"):
+            raise ProtocolError(
+                "bad-request", "update op must be 'insert' or 'delete'"
+            )
+        relation = update.get("relation")
+        if not isinstance(relation, str) or not relation:
+            raise ProtocolError(
+                "bad-request", "update relation must be a non-empty string"
+            )
+        values = update.get("tuple")
+        if not isinstance(values, list):
+            raise ProtocolError("bad-request", "update tuple must be a list")
+    return value
+
+
 def _check_pair(value: Any):
     if value is None:
         return None
@@ -179,6 +215,12 @@ _COMMON = {
 }
 
 _SPECS: dict[str, dict[str, tuple]] = {
+    "apply_updates": {
+        "document": (_check_document, True, None),
+        "updates": (_check_updates, True, None),
+        "queries": (_check_optional_queries, False, []),
+        **_COMMON,
+    },
     "exists": {"document": (_check_document, True, None), **_COMMON},
     "certain": {
         "document": (_check_document, True, None),

@@ -253,7 +253,63 @@ def _handle_evaluate_batch(params: dict) -> dict:
     }
 
 
+def _handle_apply_updates(params: dict) -> dict:
+    """Stream an update batch into a tenant's live incremental chase.
+
+    The tenant state is keyed by document value: a warm state checked in
+    by a previous request over this exact document resumes with its
+    trigger, quotient, and answer layers intact (O(affected) repair); a
+    cold miss bootstraps from scratch.  Either way the response is a pure
+    function of (document, updates, queries) — the updated document is
+    returned so the client can address the *next* batch to the new value —
+    and answers are byte-identical to a from-scratch ``evaluate_batch``
+    against the updated document.
+    """
+    from repro.core.certain import (
+        checkin_incremental_state,
+        checkout_incremental_state,
+    )
+    from repro.core.satpipeline import advance_pipeline
+    from repro.errors import SchemaError
+    from repro.io.json_io import document_to_dict
+
+    setting, instance = document_from_dict(params["document"])
+    queries = [parse_nre(q) for q in params["queries"]]
+    state = checkout_incremental_state(setting, instance)
+    try:
+        applied = state.apply_updates(params["updates"])
+    except (SchemaError, ValueError) as error:
+        # Batches are validated before any mutation, so the state is
+        # still consistent — hand it back warm and report bad-request.
+        checkin_incremental_state(state)
+        raise ValueError(str(error)) from None
+    engine = _engine(params)
+    results = [
+        certain_answers_to_dict(state.certain_answers(query, engine=engine))
+        for query in queries
+    ]
+    failure = state.failure_witness()
+    response = {
+        "applied": {
+            "deletes": applied["deletes"],
+            "inserts": applied["inserts"],
+            "noops": applied["noops"],
+        },
+        "document": document_to_dict(state.setting, state.instance),
+        "failed": state.failed,
+        "failure": None if failure is None else [failure[0], failure[1]],
+        "queries": list(params["queries"]),
+        "results": results,
+    }
+    checkin_incremental_state(state)
+    # Roll the per-universe SAT pipeline's working set forward too, so
+    # later certain/exists requests on the updated document start warm.
+    advance_pipeline(setting, instance, state.instance, params.get("solver"))
+    return response
+
+
 _HANDLERS: dict[str, Callable[[dict], dict]] = {
+    "apply_updates": _handle_apply_updates,
     "certain": _handle_certain,
     "chase": _handle_chase,
     "evaluate_batch": _handle_evaluate_batch,

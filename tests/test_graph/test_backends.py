@@ -233,3 +233,92 @@ class TestFrozenSemantics:
         assert frozen == graph
         assert frozen.fingerprint() is None
         assert frozen.thaw() == graph
+
+
+class TestRefreeze:
+    """Journal-replay refreeze: the warm path for live update batches."""
+
+    def test_noop_batch_preserves_identity_and_fingerprint(self):
+        """PR 6 regression: fingerprints must survive a no-op update batch."""
+        frozen = GraphDatabase(alphabet=LABELS, edges=[("n0", "a", "n1")]).freeze()
+        token = frozen.fingerprint()
+        assert frozen.refreeze([]) is frozen
+        assert frozen.refreeze([("n0", "a", "n1")]) is frozen  # duplicate
+        assert frozen.fingerprint() == token
+
+    def test_refreeze_equals_cold_freeze_twin(self):
+        frozen = GraphDatabase(alphabet=LABELS, edges=[("n0", "a", "n1")]).freeze()
+        warm = frozen.refreeze([("n1", "b", "n2"), ("n1", "b", "n2")])
+        cold = GraphDatabase(
+            alphabet=LABELS, edges=[("n0", "a", "n1"), ("n1", "b", "n2")]
+        ).freeze()
+        assert warm.is_frozen
+        assert warm.fingerprint() == cold.fingerprint()
+        assert_observably_equal(cold.thaw(), warm)
+
+    def test_refreeze_from_mutable_graph_freezes_first(self):
+        graph = GraphDatabase(alphabet=LABELS, edges=[("n0", "a", "n1")])
+        warm = graph.refreeze([("n1", "c", "n3")])
+        assert warm.is_frozen and warm.has_edge("n1", "c", "n3")
+        assert not graph.has_edge("n1", "c", "n3")  # the source is untouched
+
+    def test_csr_extended_rebuilds_only_touched_labels(self):
+        frozen = GraphDatabase(
+            alphabet=LABELS, edges=[("n0", "a", "n1"), ("n2", "b", "n3")]
+        ).freeze()
+        warm = frozen.refreeze([("n4", "b", "n5")])
+        assert warm.label_count("a") == 1 and warm.label_count("b") == 2
+
+    def test_engine_refreezes_along_a_journal_prefix(self):
+        """The csr engine replays the batch suffix instead of re-freezing."""
+        from repro.graph.parser import parse_nre
+
+        engine = QueryEngine(backend="csr")
+        graph = GraphDatabase(alphabet=LABELS, edges=[("n0", "a", "n1")])
+        query = parse_nre("a . b*")
+        engine.pairs(graph, query)
+        assert engine.stats.csr_refreezes == 0
+        graph.add_edge("n1", "b", "n2")
+        engine.pairs(graph, query)
+        assert engine.stats.csr_refreezes == 1
+        graph.add_edge("n2", "c", "n3")
+        engine.pairs(graph, query)
+        assert engine.stats.csr_refreezes == 2
+
+    def test_engine_falls_back_on_diverging_journals(self):
+        """A deletion breaks the journal-prefix shape: cold freeze, right answers."""
+        from repro.graph.parser import parse_nre
+
+        engine = QueryEngine(backend="csr")
+        graph = GraphDatabase(alphabet=LABELS, edges=[("n0", "a", "n1")])
+        query = parse_nre("a . b*")
+        engine.pairs(graph, query)
+        graph.add_edge("n1", "b", "n2")
+        graph.remove_edge("n0", "a", "n1")
+        rebuilt = GraphDatabase(alphabet=LABELS, edges=[("n1", "b", "n2")])
+        assert engine.pairs(rebuilt, query) == engine.pairs(
+            rebuilt.copy(), query
+        )
+        assert engine.stats.csr_refreezes == 0
+
+
+class TestDiscardNode:
+    def test_discards_isolated_nodes_only(self):
+        from repro.errors import SchemaError
+
+        graph = GraphDatabase(
+            alphabet=LABELS, nodes=["lonely"], edges=[("n0", "a", "n1")]
+        )
+        graph.discard_node("lonely")
+        graph.discard_node("never-there")  # absent: a no-op
+        assert graph.nodes() == frozenset({"n0", "n1"})
+        with pytest.raises(SchemaError):
+            graph.discard_node("n0")
+
+    def test_discard_is_destructive_and_frozen_rejects_it(self):
+        graph = GraphDatabase(alphabet=LABELS, nodes=["lonely"])
+        graph.discard_node("lonely")
+        assert graph.fingerprint() is None
+        frozen = GraphDatabase(alphabet=LABELS, nodes=["x"]).freeze()
+        with pytest.raises(FrozenGraphError):
+            frozen.discard_node("x")
