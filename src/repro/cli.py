@@ -34,6 +34,10 @@ its cross-candidate cache, or the set-algebraic reference oracle — both
 stay runnable end to end), ``--backend {dict,csr}`` to pick the storage
 backend evaluation runs on (the mutation-friendly hash indexes, or frozen
 interned-CSR arrays — identical answers, different physical traversal),
+``--kernel {vector,scalar}`` to pick the execution kernel (numpy
+array-at-a-time bulk search, or the pure-Python scalar oracle; the
+default honours the ``REPRO_KERNEL`` environment variable and falls back
+to scalar when numpy is absent),
 ``--solver {cdcl,dpll}`` to pick the SAT back-end for the complete
 Theorem 4.1 decisions (the incremental CDCL solver, or the chronological
 DPLL kept as the differential oracle — the answers must be identical,
@@ -57,6 +61,7 @@ from repro.core.existence import decide_existence
 from repro.core.search import CandidateSearchConfig
 from repro.core.setting import DataExchangeSetting
 from repro.engine.query import BACKEND_NAMES, EvalStats, QueryEngine, ReferenceEngine
+from repro.kernels import KERNEL_NAMES
 from repro.graph.parser import parse_nre
 from repro.io.dependencies import setting_to_dict
 from repro.io.dot import graph_to_dot, pattern_to_dot
@@ -135,7 +140,11 @@ def _engine_from_args(args: argparse.Namespace):
     stats = EvalStats()
     if getattr(args, "engine", "compiled") == "reference":
         return ReferenceEngine(stats=stats)
-    return QueryEngine(stats=stats, backend=getattr(args, "backend", "dict"))
+    return QueryEngine(
+        stats=stats,
+        backend=getattr(args, "backend", "dict"),
+        kernel=getattr(args, "kernel", None),
+    )
 
 
 def _maybe_print_stats(args: argparse.Namespace, engine) -> None:
@@ -245,6 +254,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             params["solver"] = args.solver
         if getattr(args, "backend", None):
             params["backend"] = args.backend
+        if getattr(args, "kernel", None):
+            params["kernel"] = args.kernel
     if op == "cancel":
         params["job"] = args.job
 
@@ -347,6 +358,14 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         help="storage backend for query evaluation: the mutation-friendly "
         "dict indexes (default) or frozen interned-CSR arrays — answers "
         "are identical, csr is the bulk-traversal fast path",
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=KERNEL_NAMES,
+        default=None,
+        help="execution kernel: numpy array-at-a-time bulk search (vector; "
+        "the default when numpy is importable, honours REPRO_KERNEL) or "
+        "the pure-Python scalar oracle — answers are identical",
     )
     parser.add_argument(
         "--stats",
@@ -495,6 +514,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--engine", choices=("compiled", "reference"), default=None)
         sub.add_argument("--solver", choices=SOLVER_NAMES, default=None)
         sub.add_argument("--backend", choices=BACKEND_NAMES, default=None)
+        sub.add_argument("--kernel", choices=KERNEL_NAMES, default=None)
     requests.add_parser("ping", help="liveness probe")
     requests.add_parser("stats", help="server telemetry snapshot")
     requests.add_parser("shutdown", help="stop the server")

@@ -82,10 +82,17 @@ class EgdViolationQueue:
         # ``seed_initial=False`` skips the initial full scan: the caller
         # asserts the view currently has no violations (it sits at a prior
         # fixpoint) and will feed later deltas through :meth:`rescan_since`.
+        # The queue orders violations through the heap, never through the
+        # matcher's enumeration order — so every scan below consumes the
+        # matcher's *projected pair set* (pair_matches / _seeded), which
+        # skips homomorphism materialisation and takes the indexed (and,
+        # on frozen CSR views, vectorized) join fast paths.
         if seed_initial:
             for egd in self._simple:
-                for hom in self.matcher.matches(egd.body):
-                    self._consider(hom[egd.left], hom[egd.right])
+                for left, right in self.matcher.pair_matches(
+                    egd.body, egd.left, egd.right
+                ):
+                    self._consider(left, right)
 
     def _repr(self, node: Node) -> str:
         cached = self._repr_cache.get(node)
@@ -105,6 +112,13 @@ class EgdViolationQueue:
             identity = frozenset((left, right))
             if identity not in self._pairs:
                 key = self._key(left, right)
+                # Store the pair in order-key orientation: violations now
+                # arrive as unordered sets (the matcher's pair
+                # projections), so first-arrival orientation would vary
+                # with hash seeding — and the orientation is observable
+                # through the chase's failure witness.
+                if self._repr(left) > self._repr(right):
+                    left, right = right, left
                 self._pairs[identity] = ((left, right), key)
                 self._by_node.setdefault(left, set()).add(identity)
                 self._by_node.setdefault(right, set()).add(identity)
@@ -160,8 +174,10 @@ class EgdViolationQueue:
         ['a', 'b']
         """
         for egd in self._simple:
-            for hom in self.matcher.delta_matches(egd.body, version):
-                self._consider(hom[egd.left], hom[egd.right])
+            for left, right in self.matcher.pair_matches_seeded(
+                egd.body, egd.left, egd.right, self.view.edges_since(version)
+            ):
+                self._consider(left, right)
 
     def merge(self, old: Node, new: Node) -> None:
         """Record the merge ``old ↦ new``: rename the view and the queue.
@@ -169,9 +185,13 @@ class EgdViolationQueue:
         Renames the view's node in place, rewrites the maintained pairs
         (dropping those the merge resolved), and re-matches each simple egd
         through the rewritten edges to pick up any violations the merge
-        *created* (cascading merges).
+        *created* (cascading merges).  Only the edges the rename actually
+        rewrote are re-matched — a homomorphism built purely from edges
+        that predate the rename existed before it, so its violation is
+        already maintained; ``new``'s untouched incident edges cannot
+        seed anything new.
         """
-        self.view.rename_node(old, new)
+        rewritten = self.view.rename_node(old, new)
         for identity in list(self._by_node.get(old, ())):
             (left, right), _ = self._pairs[identity]
             self._discard(identity)
@@ -180,8 +200,10 @@ class EgdViolationQueue:
             self._consider(left, right)
         self._by_node.pop(old, None)
         for egd in self._simple:
-            for hom in self.matcher.matches_touching(egd.body, new):
-                self._consider(hom[egd.left], hom[egd.right])
+            for left, right in self.matcher.pair_matches_seeded(
+                egd.body, egd.left, egd.right, rewritten
+            ):
+                self._consider(left, right)
 
 
 def run_egd_fixpoint(queue, stats, apply=None) -> tuple[bool, tuple[Node, Node] | None]:

@@ -177,6 +177,231 @@ class TriggerMatcher:
         yield from self._seeded_by_edges(query, self.graph.incident_edges(node))
 
     # ------------------------------------------------------------------ #
+    # Pair projections (egd violation maintenance)
+    # ------------------------------------------------------------------ #
+
+    def pair_matches(
+        self, query: CNREQuery, left: Variable, right: Variable
+    ) -> set[tuple[Node, Node]]:
+        """Return ``{(hom[left], hom[right]) | hom ⊨ query}`` as a set.
+
+        The egd violation queue orders violations through a heap, so it
+        only needs the *projected pair set* of a body — never the
+        homomorphisms themselves or their enumeration order.  That
+        freedom buys two fast paths over :meth:`matches`:
+
+        * two-atom bodies sharing one variable (the paper's
+          functionality egds) run a hash join straight over the per-label
+          index buckets — and when the view is a frozen CSR graph with
+          numpy importable, the self-join shape expands every node's
+          first-symbol CSR slice into its pair block with bulk array ops;
+        * every other simple body runs the backtracking join with the
+          projection applied in place (no per-hom dict copies) and
+          dedupes directly on the pair.
+        """
+        if not is_simple_query(query):
+            return {(hom[left], hom[right]) for hom in self.matches(query)}
+        atoms = list(query.atoms)
+        if len(atoms) == 2:
+            pairs = self._pair_join_two(atoms, left, right)
+            if pairs is not None:
+                return pairs
+        out: set[tuple[Node, Node]] = set()
+        self._project_join(self._order(atoms, set()), {}, left, right, out)
+        return out
+
+    def pair_matches_seeded(
+        self,
+        query: CNREQuery,
+        left: Variable,
+        right: Variable,
+        edges: Iterable[Edge],
+    ) -> set[tuple[Node, Node]]:
+        """Projected :meth:`_seeded_by_edges`: the ``(left, right)`` pairs
+        of every homomorphism routed through one of ``edges``.
+
+        Same contract as :meth:`pair_matches` (a set, no order), for the
+        delta cases — the violation queue's journal rescan and its
+        post-merge re-match, whose edge seeds are small.  Composite
+        queries fall back to full enumeration, matching
+        :meth:`matches_touching`.
+        """
+        out: set[tuple[Node, Node]] = set()
+        if not is_simple_query(query):
+            for hom in self.matches(query):
+                out.add((hom[left], hom[right]))
+            return out
+        graph = self.graph
+        edge_list = [
+            e for e in edges if graph.has_edge(e.source, e.label, e.target)
+        ]
+        if not edge_list:
+            return out
+        atoms = list(query.atoms)
+        for pinned_index, atom in enumerate(atoms):
+            source_term, lab, target_term = _edge_view(atom)
+            rest = atoms[:pinned_index] + atoms[pinned_index + 1 :]
+            ordered_rest = self._order(rest, set(atom.variables()))
+            for edge in edge_list:
+                if edge.label != lab:
+                    continue
+                assignment: Assignment = {}
+                if not _bind(assignment, source_term, edge.source):
+                    continue
+                if not _bind(assignment, target_term, edge.target):
+                    continue
+                self._project_join(ordered_rest, assignment, left, right, out)
+        return out
+
+    def _project_join(
+        self,
+        ordered: Sequence[CNREAtom],
+        assignment: Assignment,
+        left: Variable,
+        right: Variable,
+        out: set,
+    ) -> None:
+        """The backtracking join of :meth:`_run_join`, projected in place.
+
+        Instead of copying the assignment per result, full-depth leaves
+        add ``(assignment[left], assignment[right])`` to ``out`` — the
+        set absorbs the duplicates distinct homomorphisms project onto.
+        """
+
+        def extend(index: int) -> None:
+            if index == len(ordered):
+                out.add((assignment[left], assignment[right]))
+                return
+            atom = ordered[index]
+            source_term, lab, target_term = _edge_view(atom)
+            for u, v in self._candidates(source_term, lab, target_term, assignment):
+                added: list[Variable] = []
+                if _bind(assignment, source_term, u, added) and _bind(
+                    assignment, target_term, v, added
+                ):
+                    extend(index + 1)
+                for var in added:
+                    del assignment[var]
+
+        extend(0)
+
+    def _pair_join_two(
+        self, atoms: Sequence[CNREAtom], left: Variable, right: Variable
+    ) -> set[tuple[Node, Node]] | None:
+        """Hash join for two-atom bodies sharing exactly one variable.
+
+        Handles the shape ``(a, lab0, j), (b, lab1, j)`` in any
+        orientation, with ``{left, right} == {a, b}`` — each atom's index
+        bucket map (``j → endpoints``) comes straight from the graph's
+        per-label hash indexes, so the join never touches individual
+        edges.  Returns ``None`` for shapes it does not cover (constants,
+        repeated variables, projections involving the join variable);
+        the caller falls back to the projected backtracking join.
+        """
+        view0, view1 = _edge_view(atoms[0]), _edge_view(atoms[1])
+        terms0 = (view0[0], view0[2])
+        terms1 = (view1[0], view1[2])
+        if not all(is_variable(t) for t in terms0 + terms1):
+            return None
+        if terms0[0] == terms0[1] or terms1[0] == terms1[1]:
+            return None
+        vars0, vars1 = set(terms0), set(terms1)
+        shared = vars0 & vars1
+        if len(shared) != 1:
+            return None
+        join_var = next(iter(shared))
+        free0 = (vars0 - shared).pop()
+        free1 = (vars1 - shared).pop()
+        if (left, right) == (free0, free1):
+            swap = False
+        elif (left, right) == (free1, free0):
+            swap = True
+        else:
+            return None
+        graph = self.graph
+        join_at_source0 = join_var == terms0[0]
+        join_at_source1 = join_var == terms1[0]
+        if self.stats is not None:
+            self.stats.index_hits += 1
+        if view0[1] == view1[1] and join_at_source0 == join_at_source1:
+            # Same label, same orientation: a self-join — the pair set is
+            # symmetric, so ``swap`` is immaterial and the frozen-CSR
+            # vector expansion applies.
+            vectorized = self._pair_self_join_vector(view0, join_var, swap)
+            if vectorized is not None:
+                return vectorized
+        # Bucket maps keyed by the join variable: when it sits in edge-
+        # source position the forward index (source → targets) already is
+        # the multimap; in target position, the backward index.
+        index0 = (
+            graph.forward_index(view0[1])
+            if join_at_source0
+            else graph.backward_index(view0[1])
+        )
+        index1 = (
+            graph.forward_index(view1[1])
+            if join_at_source1
+            else graph.backward_index(view1[1])
+        )
+        if len(index1) < len(index0):
+            index0, index1 = index1, index0
+            swap = not swap
+        out: set[tuple[Node, Node]] = set()
+        for key, lefts in index0.items():
+            rights = index1.get(key)
+            if rights:
+                for a in lefts:
+                    for b in rights:
+                        out.add((b, a) if swap else (a, b))
+        return out
+
+    def _pair_self_join_vector(
+        self, view: tuple, join_var: object, swap: bool
+    ) -> set[tuple[Node, Node]] | None:
+        """Numpy bulk expansion of a self-join on a frozen CSR view.
+
+        The functionality-egd shape ``(x1, lab, j), (x2, lab, j)`` asks
+        for all ordered endpoint pairs within each node's first-symbol
+        CSR slice.  Per slice of degree ``k`` the block is the ``k²``
+        index grid, built for every node at once from the degree counts
+        (``swap`` is irrelevant: the pair set is symmetric).  Returns
+        ``None`` when the view is not frozen CSR or numpy is absent.
+        """
+        from repro import kernels
+
+        np = kernels.get_numpy()
+        csr = getattr(self.graph, "csr", None)
+        if np is None or csr is None:
+            return None
+        buffers = (
+            csr.backward_arrays(view[1])
+            if join_var == view[2]
+            else csr.forward_arrays(view[1])
+        )
+        if buffers is None:
+            return set()
+        offsets, endpoints = buffers
+        starts = offsets[:-1]
+        degs = offsets[1:] - starts
+        sizes = degs * degs
+        total = int(sizes.sum())
+        if not total:
+            return set()
+        base = starts.repeat(sizes)
+        cum = sizes.cumsum()
+        within = np.arange(total, dtype=np.int64) - (cum - sizes).repeat(sizes)
+        width = degs.repeat(sizes)
+        lefts = endpoints[base + within // width]
+        rights = endpoints[base + within % width]
+        codes = np.unique(lefts * np.int64(csr.node_count()) + rights)
+        node_at = csr.node_at
+        node_count = csr.node_count()
+        return {
+            (node_at(int(code) // node_count), node_at(int(code) % node_count))
+            for code in codes
+        }
+
+    # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
 

@@ -47,6 +47,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, fields
 from typing import Hashable, Iterable
 
+from repro import kernels
 from repro.graph.automaton import NREAutomaton, _Runner, compile_nre
 from repro.graph.database import Fingerprint, GraphDatabase
 from repro.graph.eval import evaluate_nre
@@ -72,6 +73,9 @@ class EvalStats:
 
     single_source_queries: int = 0
     """Single-source reachability evaluations requested."""
+
+    batched_source_queries: int = 0
+    """Sources answered through batched multi-source evaluations."""
 
     single_pair_queries: int = 0
     """Single-pair (early-exit) decisions requested."""
@@ -113,9 +117,11 @@ class _GraphState:
 
     __slots__ = ("graph", "runner", "pairs", "reach", "holds")
 
-    def __init__(self, graph: GraphDatabase, stats: EvalStats):
+    def __init__(
+        self, graph: GraphDatabase, stats: EvalStats, kernel: str | None = None
+    ):
         self.graph = graph
-        self.runner = _Runner(graph, stats)
+        self.runner = _Runner(graph, stats, kernel)
         self.pairs: dict[NRE, PairSet] = {}
         self.reach: dict[tuple[NRE, Node], frozenset[Node]] = {}
         self.holds: dict[tuple[NRE, Node, Node], bool] = {}
@@ -158,6 +164,13 @@ class QueryEngine:
     byte-identical across back-ends; only the physical evaluation differs.
     Graphs that cannot be fingerprinted (destructively mutated) are never
     frozen implicitly — they evaluate on their own backend.
+
+    ``kernel`` selects the execution kernel (:mod:`repro.kernels`):
+    ``"vector"`` runs the numpy array-at-a-time product search on
+    CSR-backed graphs, ``"scalar"`` the pure-Python loops, and ``None``
+    defers to ``REPRO_KERNEL``/the built-in default.  ``self.kernel``
+    holds the *resolved* choice (``"vector"`` degrades to ``"scalar"``
+    without numpy); answers are identical either way.
     """
 
     name = "compiled"
@@ -167,6 +180,7 @@ class QueryEngine:
         stats: EvalStats | None = None,
         max_graphs: int = 256,
         backend: str = "dict",
+        kernel: str | None = None,
     ):
         if backend not in BACKEND_NAMES:
             raise ValueError(
@@ -176,6 +190,7 @@ class QueryEngine:
         self.stats = stats if stats is not None else EvalStats()
         self.max_graphs = max_graphs
         self.backend = backend
+        self.kernel = kernels.resolve_kernel(kernel)
         self._automata: dict[NRE, NREAutomaton] = {}
         self._cache: OrderedDict[Fingerprint, _GraphState] = OrderedDict()
         # The most recently frozen graph (backend="csr" only): an update
@@ -194,12 +209,12 @@ class QueryEngine:
         cached = state.pairs.get(expr)
         if cached is None:
             automaton = self._automaton(expr).compiled()
-            runner = state.runner
-            result: set[Pair] = set()
-            for source in graph.nodes():
-                for target in runner.reachable(automaton, source):
-                    result.add((source, target))
-            cached = state.pairs[expr] = frozenset(result)
+            answers = state.runner.reachable_many(automaton, graph.nodes())
+            cached = state.pairs[expr] = frozenset(
+                (source, target)
+                for source, targets in answers.items()
+                for target in targets
+            )
         return cached
 
     def reachable(
@@ -221,6 +236,45 @@ class QueryEngine:
             cached = state.runner.reachable(self._automaton(expr).compiled(), source)
         state.reach[key] = cached
         return cached
+
+    def reachable_many(
+        self, graph: GraphDatabase, expr: NRE, sources: Iterable[Node]
+    ) -> dict[Node, frozenset[Node]]:
+        """Batched :meth:`reachable`: one answer set per source.
+
+        The bulk-traversal entry point: on the vector kernel every
+        uncached source runs through *one* multi-source product search
+        (:meth:`_Runner.reachable_many`), so the per-query numpy dispatch
+        overhead is amortised over the whole sweep.  Per-source cache
+        entries are consulted first and populated afterwards, so mixing
+        this with :meth:`reachable` stays coherent.
+        """
+        sources = list(sources)
+        self.stats.batched_source_queries += len(sources)
+        state = self._state(graph)
+        answers: dict[Node, frozenset[Node]] = {}
+        misses: list[Node] = []
+        pairs = state.pairs.get(expr)
+        for source in sources:
+            if source not in graph:
+                answers[source] = frozenset()
+                continue
+            cached = state.reach.get((expr, source))
+            if cached is None and pairs is not None:
+                cached = frozenset(v for u, v in pairs if u == source)
+                state.reach[(expr, source)] = cached
+            if cached is not None:
+                answers[source] = cached
+            else:
+                misses.append(source)
+        if misses:
+            fresh = state.runner.reachable_many(
+                self._automaton(expr).compiled(), misses
+            )
+            for source, targets in fresh.items():
+                state.reach[(expr, source)] = targets
+                answers[source] = targets
+        return answers
 
     def holds(
         self, graph: GraphDatabase, expr: NRE, source: Node, target: Node
@@ -255,13 +309,13 @@ class QueryEngine:
 
         The certain-answer engine only ever reports tuples over the source
         active domain, which is typically far smaller than the solution
-        graph — so this runs one single-source query per domain node instead
-        of materialising the full relation.
+        graph — so this runs one batched multi-source query over the
+        domain instead of materialising the full relation.
         """
         members = set(domain)
         result: set[Pair] = set()
-        for source in members:
-            for target in self.reachable(graph, expr, source):
+        for source, targets in self.reachable_many(graph, expr, members).items():
+            for target in targets:
                 if target in members:
                     result.add((source, target))
         return frozenset(result)
@@ -284,7 +338,7 @@ class QueryEngine:
             # Destructively-mutated graph: evaluate with a transient state
             # (nested-test memoisation still applies within one query).
             self.stats.uncacheable_graphs += 1
-            return _GraphState(graph, self.stats)
+            return _GraphState(graph, self.stats, self.kernel)
         state = self._cache.get(token)
         if state is not None:
             self._cache.move_to_end(token)
@@ -296,7 +350,7 @@ class QueryEngine:
             # Freeze once per fingerprint; every later query against this
             # content runs the interned integer-id fast path.
             graph = self._freeze_incremental(graph, token)
-        state = _GraphState(graph, self.stats)
+        state = _GraphState(graph, self.stats, self.kernel)
         self._cache[token] = state
         while len(self._cache) > self.max_graphs:
             self._cache.popitem(last=False)
@@ -367,6 +421,19 @@ class ReferenceEngine:
         self.stats.single_source_queries += 1
         return frozenset(v for u, v in evaluate_nre(graph, expr) if u == source)
 
+    def reachable_many(
+        self, graph: GraphDatabase, expr: NRE, sources: Iterable[Node]
+    ) -> dict[Node, frozenset[Node]]:
+        """Per-source answers, all filtered from one full relation."""
+        sources = list(sources)
+        self.stats.batched_source_queries += len(sources)
+        relation = evaluate_nre(graph, expr)
+        answers: dict[Node, set[Node]] = {source: set() for source in sources}
+        for u, v in relation:
+            if u in answers:
+                answers[u].add(v)
+        return {source: frozenset(targets) for source, targets in answers.items()}
+
     def holds(
         self, graph: GraphDatabase, expr: NRE, source: Node, target: Node
     ) -> bool:
@@ -387,20 +454,21 @@ class ReferenceEngine:
         )
 
 
-_DEFAULT_ENGINES: dict[str, QueryEngine] = {}
+_DEFAULT_ENGINES: dict[tuple[str, str], QueryEngine] = {}
 
 
-def default_engine(backend: str = "dict") -> QueryEngine:
+def default_engine(backend: str = "dict", kernel: str | None = None) -> QueryEngine:
     """Return the process-wide shared :class:`QueryEngine` for ``backend``.
 
     Core modules that are not handed an explicit engine share this one, so
     candidate solutions examined by different entry points (existence, then
     certain answers) still hit one another's caches.  One engine is kept
-    per storage backend (``"dict"`` / ``"csr"``) — the service workers
-    route requests carrying a ``backend`` parameter to the matching warm
-    instance.
+    per (storage backend, resolved kernel) combination — the service
+    workers route requests carrying ``backend``/``kernel`` parameters to
+    the matching warm instance.
     """
-    engine = _DEFAULT_ENGINES.get(backend)
+    key = (backend, kernels.resolve_kernel(kernel))
+    engine = _DEFAULT_ENGINES.get(key)
     if engine is None:
-        engine = _DEFAULT_ENGINES[backend] = QueryEngine(backend=backend)
+        engine = _DEFAULT_ENGINES[key] = QueryEngine(backend=backend, kernel=key[1])
     return engine

@@ -32,9 +32,11 @@ in the property-based test suite.
 from __future__ import annotations
 
 import functools
+import itertools
 from dataclasses import dataclass, field
-from typing import Hashable
+from typing import Hashable, Iterable
 
+from repro import kernels
 from repro.graph.database import GraphDatabase
 from repro.graph.nre import (
     NRE,
@@ -60,7 +62,14 @@ class Transition:
     target: int
 
 
-@dataclass(frozen=True, eq=False)  # identity semantics: test memos key on id()
+# Monotonic per-process ids for CompiledAutomaton memo keying: unlike
+# id(), a key is never reused after its automaton is garbage-collected,
+# so long-lived memo tables cannot silently alias two automata that
+# happened to occupy the same address.
+_cache_key_counter = itertools.count()
+
+
+@dataclass(frozen=True, eq=False)  # identity semantics: one key per instance
 class CompiledAutomaton:
     """The ε-free, label-indexed lowering of an :class:`NREAutomaton`.
 
@@ -83,6 +92,34 @@ class CompiledAutomaton:
     bwd: tuple[dict[str, tuple[int, ...]], ...]
     tests: tuple[tuple[tuple["CompiledAutomaton", int], ...], ...]
     state_count: int
+
+    @property
+    def cache_key(self) -> int:
+        """A process-unique, never-recycled id for memo tables.
+
+        ``id()`` keyed the nested-test and resolved-move memos before,
+        which can alias: garbage-collect an automaton and a newly
+        compiled one may reuse its address, silently inheriting its memo
+        entries.  The counter-based key is assigned on first use and
+        lives exactly as long as the instance.
+        """
+        key = self.__dict__.get("_cache_key")
+        if key is None:
+            key = next(_cache_key_counter)
+            object.__setattr__(self, "_cache_key", key)
+        return key
+
+    def __getstate__(self) -> dict:
+        # Never pickle the cache key: an automaton restored in another
+        # process (the on-disk autocache) must get a fresh key there, or
+        # two restored automata could collide on keys assigned by
+        # different original processes.
+        state = self.__dict__.copy()
+        state.pop("_cache_key", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
 
 @dataclass
@@ -260,22 +297,45 @@ class _Runner:
 
     ``stats`` is duck-typed (:class:`repro.engine.query.EvalStats` or any
     object with ``nested_tests`` / ``nested_test_cache_hits`` counters).
+
+    ``kernel`` selects the execution kernel (:mod:`repro.kernels`):
+    ``None`` defers to ``REPRO_KERNEL``/the built-in default, and a
+    ``"vector"`` resolution takes effect only on CSR-backed graphs with
+    numpy importable — everything else runs the scalar loops.  The two
+    kernels are answer-identical.
     """
 
-    def __init__(self, graph: GraphDatabase, stats: object | None = None):
+    def __init__(
+        self,
+        graph: GraphDatabase,
+        stats: object | None = None,
+        kernel: str | None = None,
+    ):
         self.graph = graph
         self.stats = stats
+        self.kernel = kernels.resolve_kernel(kernel)
         # Frozen graphs expose their CSR backend; a non-None probe flips
         # every search in this runner to the interned integer-id loop.
         self._csr = getattr(graph, "csr", None)
+        self._vector = self._make_vector()
         self._test_cache: dict[tuple[int, Node], bool] = {}
-        # Nested-test memos of the CSR loop, keyed by (automaton id,
-        # interned node id) — kept apart from _test_cache because integer
-        # node ids could collide with graphs whose nodes *are* integers.
+        # Nested-test memos of the CSR loop, keyed by (automaton cache
+        # key, interned node id) — kept apart from _test_cache because
+        # integer node ids could collide with graphs whose nodes *are*
+        # integers.
         self._id_test_cache: dict[tuple[int, int], bool] = {}
-        # id(CompiledAutomaton) → per-state move tables with the graph's
-        # per-label adjacency dicts (or CSR buffers) already looked up.
+        # CompiledAutomaton.cache_key → per-state move tables with the
+        # graph's per-label adjacency dicts (or CSR buffers) looked up.
         self._resolved: dict[int, tuple] = {}
+
+    def _make_vector(self):
+        if self.kernel != "vector" or self._csr is None:
+            return None
+        from repro.graph.vector import VectorSearch
+
+        if kernels.get_numpy() is None:  # masked after construction
+            return None
+        return VectorSearch(self._csr, self.stats)
 
     def rebind(self, graph: GraphDatabase) -> None:
         """Point the runner at ``graph`` (same content, different object).
@@ -287,6 +347,7 @@ class _Runner:
         """
         self.graph = graph
         self._csr = getattr(graph, "csr", None)
+        self._vector = self._make_vector()
         self._resolved.clear()
         self._id_test_cache.clear()
 
@@ -297,7 +358,7 @@ class _Runner:
         the label already resolved, so the product BFS does one dict ``get``
         per step instead of a method call plus a label lookup.
         """
-        key = id(compiled)
+        key = compiled.cache_key
         resolved = self._resolved.get(key)
         if resolved is None:
             graph = self.graph
@@ -329,12 +390,62 @@ class _Runner:
             source_id = csr.node_id(source)
             if source_id is None:
                 return frozenset()
-            hits = self._search_ids(self._compiled(automaton), source_id, _COLLECT)
-            node_at = csr.node_at
-            return frozenset(node_at(hit) for hit in hits)
+            compiled = self._compiled(automaton)
+            vector = self._vector
+            if vector is not None:
+                hits = vector.reachable_many(compiled, [source_id])[0]
+                return frozenset(csr.nodes_at(hits.tolist()))
+            hits = self._search_ids(compiled, source_id, _COLLECT)
+            return frozenset(csr.nodes_at(hits))
         if source not in self.graph:
             return frozenset()
         return frozenset(self._search(self._compiled(automaton), source, _ALL))
+
+    def reachable_many(
+        self,
+        automaton: NREAutomaton | CompiledAutomaton,
+        sources: Iterable[Node],
+    ) -> dict[Node, frozenset[Node]]:
+        """Batched :meth:`reachable`: one answer set per source, in bulk.
+
+        On the vector kernel all sources run through *one* product search
+        (the frontier carries a flat ``source × |V| + node`` config per
+        entry), which is where the array-at-a-time kernel earns its keep —
+        per-source calls cannot amortise the numpy dispatch overhead.
+        Elsewhere this is a plain loop over :meth:`reachable`.  Sources
+        outside the graph map to the empty set.
+        """
+        sources = list(sources)
+        csr = self._csr
+        vector = self._vector
+        if vector is None or csr is None:
+            return {source: self.reachable(automaton, source) for source in sources}
+        compiled = self._compiled(automaton)
+        in_graph: list[Node] = []
+        source_ids: list[int] = []
+        answers: dict[Node, frozenset[Node]] = {}
+        for source in sources:
+            source_id = csr.node_id(source)
+            if source_id is None:
+                answers[source] = frozenset()
+            else:
+                in_graph.append(source)
+                source_ids.append(source_id)
+        # Closure-heavy queries give many sources the *same* answer set
+        # (every source inside one strongly connected component reaches the
+        # same closure).  Hit arrays come back sorted, so identical answers
+        # have identical bytes — decode each distinct array once and share
+        # the frozenset object across its sources.
+        decoded: dict[bytes, frozenset[Node]] = {}
+        for source, hits in zip(
+            in_graph, vector.reachable_many(compiled, source_ids)
+        ):
+            key = hits.tobytes()
+            answer = decoded.get(key)
+            if answer is None:
+                answer = decoded[key] = frozenset(csr.nodes_at(hits.tolist()))
+            answers[source] = answer
+        return answers
 
     def holds(
         self, automaton: NREAutomaton | CompiledAutomaton, source: Node, target: Node
@@ -350,10 +461,11 @@ class _Runner:
             target_id = csr.node_id(target)
             if source_id is None or target_id is None:
                 return False
-            return (
-                self._search_ids(self._compiled(automaton), source_id, target_id)
-                is _FOUND
-            )
+            compiled = self._compiled(automaton)
+            vector = self._vector
+            if vector is not None:
+                return vector.holds(compiled, source_id, target_id)
+            return self._search_ids(compiled, source_id, target_id) is _FOUND
         if source not in self.graph or target not in self.graph:
             return False
         return self._search(self._compiled(automaton), source, target) is _FOUND
@@ -423,7 +535,7 @@ class _Runner:
         return hits if collect else None
 
     def _test(self, nested: CompiledAutomaton, node: Node) -> bool:
-        key = (id(nested), node)
+        key = (nested.cache_key, node)
         cached = self._test_cache.get(key)
         if cached is None:
             stats = self.stats
@@ -451,7 +563,7 @@ class _Runner:
         no move at all.  ``checks`` are ``(sub_automaton, base, state)``
         triples for the nested tests.
         """
-        key = id(compiled)
+        key = compiled.cache_key
         resolved = self._resolved.get(key)
         if resolved is None:
             csr = self._csr
@@ -577,7 +689,7 @@ class _Runner:
         return hits if collect else None
 
     def _test_ids(self, nested: CompiledAutomaton, node_id: int) -> bool:
-        key = (id(nested), node_id)
+        key = (nested.cache_key, node_id)
         cached = self._id_test_cache.get(key)
         if cached is None:
             stats = self.stats

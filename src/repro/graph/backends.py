@@ -44,6 +44,7 @@ from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Iterator, Protocol, runtime_checkable
 
+from repro import kernels
 from repro.errors import FrozenGraphError, SchemaError
 
 Node = Hashable
@@ -92,6 +93,26 @@ class Edge:
     source: Node
     label: LabelName
     target: Node
+
+    def __hash__(self) -> int:
+        # Edges are hashed constantly (edge sets, journals, incident-edge
+        # indexes, trigger dedupe); the generated dataclass hash rebuilds
+        # the field tuple on every call, so memoise it per instance.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.source, self.label, self.target))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __getstate__(self) -> dict:
+        # The memoised hash is salted per process (PYTHONHASHSEED); it
+        # must never survive pickling into another interpreter.
+        state = self.__dict__.copy()
+        state.pop("_hash", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     def __str__(self) -> str:
         return f"({self.source} -{self.label}-> {self.target})"
@@ -495,9 +516,14 @@ class CsrBackend:
 
     with each node's neighbour slice sorted ascending (so ``has_edge`` is
     a binary search and traversal output order is deterministic).  The
-    buffers are :class:`array.array` values (typecode ``"q"``) exposed to
-    the snapshot format as ``memoryview``-able bytes — no third-party
-    dependencies.
+    buffers are numpy ``int64`` arrays when numpy is importable — the
+    substrate of the vectorized execution kernel
+    (:mod:`repro.graph.vector`), pickled into snapshots as-is so reloads
+    reattach them without copies — and :class:`array.array` values
+    (typecode ``"q"``) otherwise.  Every accessor treats the two buffer
+    types interchangeably, so snapshots written by either installation
+    load on the other (numpy-written snapshots do require numpy to
+    unpickle).
 
     All mutation hooks raise :class:`~repro.errors.FrozenGraphError`.
     The generic read surface (``forward_index`` et al.) is served from
@@ -563,9 +589,13 @@ class CsrBackend:
         self._bwd_views: dict[LabelName, dict[Node, frozenset[Node]]] = {}
         # Lazy plain-list twins of the CSR buffers: CPython indexes and
         # slices lists of (pre-boxed) ints markedly faster than array
-        # values, so the automaton fast path resolves against these.
+        # values, so the scalar automaton fast path resolves against these.
         self._fwd_lists: dict[LabelName, tuple[list[int], list[int]]] = {}
         self._bwd_lists: dict[LabelName, tuple[list[int], list[int]]] = {}
+        # Lazy numpy int64 twins for the vector kernel (no-copy views when
+        # the buffers are already numpy-built).
+        self._fwd_arrays: dict[LabelName, tuple] = {}
+        self._bwd_arrays: dict[LabelName, tuple] = {}
         self._edge_set: frozenset[Edge] | None = None
 
     # -- interning / CSR surface (the automaton fast path) ----------------- #
@@ -577,6 +607,15 @@ class CsrBackend:
     def node_at(self, node_id: int) -> Node:
         """The node interned at ``node_id`` (inverse of :meth:`node_id`)."""
         return self._node_list[node_id]
+
+    def nodes_at(self, node_ids: Iterable[int]) -> "map":
+        """Bulk :meth:`node_at`: the nodes interned at each id, in order.
+
+        Returns a lazy C-level ``map`` so callers can feed it straight into
+        a set or list constructor without a Python-level loop — the vector
+        kernel decodes whole hit arrays through this.
+        """
+        return map(self._node_list.__getitem__, node_ids)
 
     def forward_csr(self, lab: LabelName) -> tuple[array, array] | None:
         """``(offsets, targets)`` arrays for ``lab``, or ``None`` if unused."""
@@ -622,6 +661,46 @@ class CsrBackend:
                 self._bwd_targets[lab].tolist(),
             )
         return lists
+
+    def forward_arrays(self, lab: LabelName) -> tuple | None:
+        """``(offsets, targets)`` as numpy ``int64`` arrays (memoised).
+
+        The vector kernel's buffer view: a no-copy pass-through when the
+        backend was built with numpy, a one-time conversion when the
+        buffers came from an :class:`array.array` build (e.g. a snapshot
+        written by a numpy-less installation).  Returns ``None`` for
+        labels absent from the graph — or when numpy itself is absent,
+        which is what flips the kernel back to scalar.
+        """
+        arrays = self._fwd_arrays.get(lab)
+        if arrays is None:
+            np_mod = kernels.get_numpy()
+            if np_mod is None:
+                return None
+            offsets = self._fwd_offsets.get(lab)
+            if offsets is None:
+                return None
+            arrays = self._fwd_arrays[lab] = (
+                np_mod.asarray(offsets, dtype=np_mod.int64),
+                np_mod.asarray(self._fwd_targets[lab], dtype=np_mod.int64),
+            )
+        return arrays
+
+    def backward_arrays(self, lab: LabelName) -> tuple | None:
+        """The predecessor mirror of :meth:`forward_arrays`."""
+        arrays = self._bwd_arrays.get(lab)
+        if arrays is None:
+            np_mod = kernels.get_numpy()
+            if np_mod is None:
+                return None
+            offsets = self._bwd_offsets.get(lab)
+            if offsets is None:
+                return None
+            arrays = self._bwd_arrays[lab] = (
+                np_mod.asarray(offsets, dtype=np_mod.int64),
+                np_mod.asarray(self._bwd_targets[lab], dtype=np_mod.int64),
+            )
+        return arrays
 
     # -- schema ------------------------------------------------------------ #
 
@@ -671,9 +750,9 @@ class CsrBackend:
         if sid is None or tid is None:
             return False
         targets = self._fwd_targets[lab]
-        low, high = offsets[sid], offsets[sid + 1]
+        low, high = int(offsets[sid]), int(offsets[sid + 1])
         position = bisect_left(targets, tid, low, high)
-        return position < high and targets[position] == tid
+        return bool(position < high and targets[position] == tid)
 
     def nodes(self) -> frozenset[Node]:
         """The node set."""
@@ -932,6 +1011,8 @@ class CsrBackend:
         clone._bwd_views = {}
         clone._fwd_lists = {}
         clone._bwd_lists = {}
+        clone._fwd_arrays = {}
+        clone._bwd_arrays = {}
         clone._edge_set = None
         for lab in self._fwd_offsets:
             if lab in touched:
@@ -942,12 +1023,12 @@ class CsrBackend:
             else:
                 # Fresh nodes have no edges under untouched labels: extend
                 # the offsets with the final running total, keep targets.
-                fwd = array("q", self._fwd_offsets[lab])
-                fwd.extend([fwd[-1]] * (count - old_count))
-                bwd = array("q", self._bwd_offsets[lab])
-                bwd.extend([bwd[-1]] * (count - old_count))
-                clone._fwd_offsets[lab] = fwd
-                clone._bwd_offsets[lab] = bwd
+                clone._fwd_offsets[lab] = _extend_offsets(
+                    self._fwd_offsets[lab], count - old_count
+                )
+                clone._bwd_offsets[lab] = _extend_offsets(
+                    self._bwd_offsets[lab], count - old_count
+                )
             clone._fwd_targets[lab] = self._fwd_targets[lab]
             clone._bwd_targets[lab] = self._bwd_targets[lab]
             view = self._fwd_views.get(lab)
@@ -961,9 +1042,12 @@ class CsrBackend:
             offsets = self._fwd_offsets.get(lab)
             if offsets is not None:
                 targets = self._fwd_targets[lab]
+                tolist = getattr(targets, "tolist", None)
+                target_values = tolist() if tolist is not None else list(targets)
+                offset_values = offsets.tolist()
                 for sid in range(old_count):
-                    for position in range(offsets[sid], offsets[sid + 1]):
-                        pairs.append((sid, targets[position]))
+                    for position in range(offset_values[sid], offset_values[sid + 1]):
+                        pairs.append((sid, target_values[position]))
             for edge in appended:
                 if edge.label == lab:
                     pairs.append((node_ids[edge.source], node_ids[edge.target]))
@@ -1001,7 +1085,14 @@ class CsrBackend:
 
     @classmethod
     def restore_state(cls, state: dict) -> "CsrBackend":
-        """Reattach a backend from :meth:`dump_state` output (no rebuild)."""
+        """Reattach a backend from :meth:`dump_state` output (no rebuild).
+
+        Buffers are reattached as stored — numpy arrays stay numpy arrays
+        (no copies) — except when a snapshot written by a numpy-less
+        installation (:class:`array.array` buffers) is loaded where numpy
+        is available: those are upgraded once here, so the vector kernel
+        never pays a per-query conversion.
+        """
         backend = cls.__new__(cls)
         backend._alphabet = state["alphabet"]
         backend._node_list = list(state["nodes"])
@@ -1018,20 +1109,41 @@ class CsrBackend:
         backend._edge_total = int(state["edge_total"])
         backend._label_counts = dict(state["label_counts"])
         backend._labels = frozenset(backend._label_counts)
-        backend._fwd_offsets = dict(state["fwd_offsets"])
-        backend._fwd_targets = dict(state["fwd_targets"])
-        backend._bwd_offsets = dict(state["bwd_offsets"])
-        backend._bwd_targets = dict(state["bwd_targets"])
+        backend._fwd_offsets = _coerce_buffers(state["fwd_offsets"])
+        backend._fwd_targets = _coerce_buffers(state["fwd_targets"])
+        backend._bwd_offsets = _coerce_buffers(state["bwd_offsets"])
+        backend._bwd_targets = _coerce_buffers(state["bwd_targets"])
         backend._fwd_views = {}
         backend._bwd_views = {}
         backend._fwd_lists = {}
         backend._bwd_lists = {}
+        backend._fwd_arrays = {}
+        backend._bwd_arrays = {}
         backend._edge_set = None
         return backend
 
 
-def _build_csr(node_count: int, sorted_pairs: list[tuple[int, int]]) -> tuple[array, array]:
-    """Build ``(offsets, targets)`` arrays from pairs sorted by (row, col)."""
+def _build_csr(node_count: int, sorted_pairs: list[tuple[int, int]]) -> tuple:
+    """Build ``(offsets, targets)`` buffers from pairs sorted by (row, col).
+
+    With numpy the whole build is three array ops (``bincount`` for the
+    per-row degrees, ``cumsum`` for the offsets, one fancy slice for the
+    targets); the :class:`array.array` fallback is the original Python
+    counting loop.  Both produce identical integer content.
+    """
+    np_mod = kernels.get_numpy()
+    if np_mod is not None:
+        offsets = np_mod.zeros(node_count + 1, dtype=np_mod.int64)
+        if sorted_pairs:
+            pairs = np_mod.asarray(sorted_pairs, dtype=np_mod.int64)
+            np_mod.cumsum(
+                np_mod.bincount(pairs[:, 0], minlength=node_count),
+                out=offsets[1:],
+            )
+            targets = np_mod.ascontiguousarray(pairs[:, 1])
+        else:
+            targets = np_mod.empty(0, dtype=np_mod.int64)
+        return offsets, targets
     offsets = array("q", bytes(8 * (node_count + 1)))
     targets = array("q", (col for _, col in sorted_pairs))
     for row, _ in sorted_pairs:
@@ -1041,3 +1153,28 @@ def _build_csr(node_count: int, sorted_pairs: list[tuple[int, int]]) -> tuple[ar
         running += offsets[index]
         offsets[index] = running
     return offsets, targets
+
+
+def _extend_offsets(offsets, extra: int):
+    """Append ``extra`` copies of the final running total to an offsets buffer."""
+    np_mod = kernels.get_numpy()
+    if np_mod is not None and isinstance(offsets, np_mod.ndarray):
+        return np_mod.concatenate(
+            [offsets, np_mod.full(extra, offsets[-1], dtype=np_mod.int64)]
+        )
+    extended = array("q", offsets)
+    extended.extend([extended[-1]] * extra)
+    return extended
+
+
+def _coerce_buffers(buffers: dict) -> dict:
+    """Upgrade restored CSR buffers to numpy when numpy is available."""
+    np_mod = kernels.get_numpy()
+    if np_mod is None:
+        return dict(buffers)
+    return {
+        lab: buf
+        if isinstance(buf, np_mod.ndarray)
+        else np_mod.asarray(buf, dtype=np_mod.int64)
+        for lab, buf in buffers.items()
+    }

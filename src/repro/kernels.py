@@ -1,0 +1,89 @@
+"""Execution-kernel selection for the query/chase hot paths.
+
+The library ships two interchangeable execution kernels:
+
+* ``"vector"`` — array-at-a-time evaluation over the CSR backend's numpy
+  buffers (:mod:`repro.graph.vector`): the product-automaton frontier is
+  an integer array, the visited map a ``state × |V|`` boolean matrix, and
+  edge expansion one vectorized CSR gather per drained state.  This is
+  the default whenever numpy is importable.
+* ``"scalar"`` — the pure-Python loops the vector kernel was derived
+  from, retained verbatim as the differential oracle (and as the only
+  kernel on installations without numpy).
+
+Selection precedence, weakest to strongest: the built-in default
+(``"vector"``), the ``REPRO_KERNEL`` environment variable, an explicit
+``kernel=`` argument (CLI ``--kernel``, service request parameter,
+:class:`~repro.engine.query.QueryEngine` constructor).  Whatever is
+selected, a ``"vector"`` choice silently degrades to ``"scalar"`` when
+numpy is absent — the two kernels are answer-identical, so degradation
+is a performance event, not a correctness one.
+
+All numpy access in the library routes through :func:`get_numpy`, so
+tests can simulate a numpy-less installation by monkeypatching one
+attribute (``repro.kernels.NUMPY = None``) instead of manipulating
+``sys.modules``.
+"""
+
+from __future__ import annotations
+
+import os
+
+KERNEL_NAMES = ("vector", "scalar")
+"""The execution kernels an engine can run (see ``--kernel``)."""
+
+try:  # pragma: no cover - exercised via both branches in the test suite
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - the container ships numpy
+    _numpy = None
+
+NUMPY = _numpy
+"""The numpy module, or ``None``.  Tests monkeypatch this to mask numpy."""
+
+
+def get_numpy():
+    """Return the numpy module or ``None`` (the single masking point).
+
+    >>> get_numpy() is NUMPY
+    True
+    """
+    return NUMPY
+
+
+def default_kernel() -> str:
+    """The kernel used when no explicit choice is made.
+
+    Honours ``REPRO_KERNEL`` (validated); otherwise ``"vector"``.
+    """
+    env = os.environ.get("REPRO_KERNEL")
+    if env:
+        if env not in KERNEL_NAMES:
+            raise ValueError(
+                f"REPRO_KERNEL={env!r} is not a kernel; expected one of "
+                f"{list(KERNEL_NAMES)}"
+            )
+        return env
+    return "vector"
+
+
+def resolve_kernel(kernel: str | None) -> str:
+    """Resolve a requested kernel to the one that will actually run.
+
+    ``None`` means "no explicit choice" and defers to
+    :func:`default_kernel`.  A ``"vector"`` outcome degrades to
+    ``"scalar"`` when numpy is unavailable.
+
+    >>> resolve_kernel("scalar")
+    'scalar'
+    >>> resolve_kernel("vector") in KERNEL_NAMES
+    True
+    """
+    if kernel is None:
+        kernel = default_kernel()
+    elif kernel not in KERNEL_NAMES:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; expected one of {list(KERNEL_NAMES)}"
+        )
+    if kernel == "vector" and get_numpy() is None:
+        return "scalar"
+    return kernel

@@ -33,6 +33,12 @@ class Null:
 
     label: str
 
+    def __hash__(self) -> int:
+        # Hash the label directly: str objects memoise their hash, so
+        # this skips the generated hash's per-call field-tuple allocation
+        # — nulls are graph nodes, hashed on every index operation.
+        return hash(self.label)
+
     def __str__(self) -> str:
         return f"⊥{self.label}"
 

@@ -26,6 +26,12 @@ class Variable:
 
     name: str
 
+    def __hash__(self) -> int:
+        # Hash the name directly: str objects memoise their hash, so this
+        # skips the generated hash's per-call field-tuple allocation —
+        # variables key every join assignment the chase builds.
+        return hash(self.name)
+
     def __str__(self) -> str:
         return self.name
 

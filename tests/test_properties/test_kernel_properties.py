@@ -1,0 +1,163 @@
+"""Differential properties of the execution kernels (vector vs scalar).
+
+The vector kernel (:mod:`repro.graph.vector`) must be answer-identical to
+the scalar kernel it was derived from, which in turn must match the
+set-algebraic reference evaluator.  Pinned here over random graphs ×
+random NREs and over random chase runs:
+
+* **query differential**: every (backend, kernel) combination of
+  :class:`~repro.engine.query.QueryEngine` returns the reference answers —
+  all-pairs, single-source, and the batched multi-source entry point;
+* **chase differential**: the egd chase and the sameAs construction give
+  identical results with numpy present and with numpy masked (the scalar
+  fallback), including the violation picked as a failure witness;
+* **numpy-absent fallback**: with ``repro.kernels.NUMPY`` masked, a
+  ``kernel="vector"`` request resolves to ``"scalar"`` and still answers
+  correctly — a numpy-less installation degrades, never breaks.
+
+The mask is one attribute (``repro.kernels.NUMPY``) because all numpy
+access in the library routes through :func:`repro.kernels.get_numpy`.
+"""
+
+import random
+from unittest import mock
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import kernels
+from repro.chase.egd_chase import chase_with_egds
+from repro.chase.sameas_chase import solve_with_sameas
+from repro.engine.query import QueryEngine, ReferenceEngine
+from repro.scenarios.flights import flights_st_tgd, hotel_egd, hotel_sameas
+from repro.scenarios.generators import (
+    random_flights_instance,
+    random_graph,
+    random_nre,
+)
+
+ALPHABET = ("a", "b", "c")
+
+BACKENDS = ("dict", "csr")
+
+
+@st.composite
+def graphs(draw, max_nodes=6, max_edges=12):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    nodes = draw(st.integers(min_value=1, max_value=max_nodes))
+    edges = draw(st.integers(min_value=0, max_value=max_edges))
+    return random_graph(nodes, edges, alphabet=ALPHABET, rng=random.Random(seed))
+
+
+@st.composite
+def nres(draw, max_depth=3):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    depth = draw(st.integers(min_value=0, max_value=max_depth))
+    return random_nre(depth=depth, alphabet=ALPHABET, rng=random.Random(seed))
+
+
+@st.composite
+def flight_instances(draw):
+    seed = draw(st.integers(min_value=0, max_value=100_000))
+    flights = draw(st.integers(min_value=1, max_value=5))
+    cities = draw(st.integers(min_value=2, max_value=4))
+    hotels = draw(st.integers(min_value=1, max_value=3))
+    return random_flights_instance(
+        flights, cities, hotels, rng=random.Random(seed)
+    )
+
+
+def engine_grid():
+    """One engine per (backend, kernel) combination."""
+    return [
+        QueryEngine(backend=backend, kernel=kernel)
+        for backend in BACKENDS
+        for kernel in kernels.KERNEL_NAMES
+    ]
+
+
+class TestQueryKernelDifferential:
+    @settings(max_examples=100, deadline=None)
+    @given(graphs(), nres())
+    def test_all_pairs_agree_with_reference(self, graph, expr):
+        expected = ReferenceEngine().pairs(graph, expr)
+        for engine in engine_grid():
+            assert engine.pairs(graph, expr) == expected, (
+                f"pairs diverged on backend={engine.backend} "
+                f"kernel={engine.kernel}"
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(graphs(), nres())
+    def test_single_source_agrees_with_reference(self, graph, expr):
+        reference = ReferenceEngine()
+        for source in sorted(graph.nodes(), key=repr):
+            expected = reference.reachable(graph, expr, source)
+            for engine in engine_grid():
+                assert engine.reachable(graph, expr, source) == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(graphs(), nres())
+    def test_batched_multi_source_agrees_with_reference(self, graph, expr):
+        sources = sorted(graph.nodes(), key=repr) + ["not-in-graph"]
+        expected = ReferenceEngine().reachable_many(graph, expr, sources)
+        for engine in engine_grid():
+            assert engine.reachable_many(graph, expr, sources) == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(graphs(), nres())
+    def test_vector_matches_scalar_with_numpy_masked(self, graph, expr):
+        """The fallback path: a vector engine built under a masked numpy
+        runs the scalar kernel and stays answer-identical."""
+        scalar = QueryEngine(backend="csr", kernel="scalar").pairs(graph, expr)
+        with mock.patch.object(kernels, "NUMPY", None):
+            engine = QueryEngine(backend="csr", kernel="vector")
+            assert engine.kernel == "scalar"
+            assert engine.pairs(graph, expr) == scalar
+
+
+class TestChaseKernelDifferential:
+    @settings(max_examples=25, deadline=None)
+    @given(flight_instances())
+    def test_egd_chase_identical_without_numpy(self, instance):
+        with_numpy = chase_with_egds(
+            [flights_st_tgd()], [hotel_egd()], instance, alphabet={"f", "h"}
+        )
+        with mock.patch.object(kernels, "NUMPY", None):
+            without_numpy = chase_with_egds(
+                [flights_st_tgd()], [hotel_egd()], instance, alphabet={"f", "h"}
+            )
+        assert with_numpy.failed == without_numpy.failed
+        assert with_numpy.failure_witness == without_numpy.failure_witness
+        assert with_numpy.expect_pattern() == without_numpy.expect_pattern()
+
+    @settings(max_examples=25, deadline=None)
+    @given(flight_instances())
+    def test_sameas_solution_identical_without_numpy(self, instance):
+        with_numpy = solve_with_sameas(
+            [flights_st_tgd()], [hotel_sameas()], instance, alphabet={"f", "h"}
+        )
+        with mock.patch.object(kernels, "NUMPY", None):
+            without_numpy = solve_with_sameas(
+                [flights_st_tgd()], [hotel_sameas()], instance, alphabet={"f", "h"}
+            )
+        assert with_numpy.expect_pattern() == without_numpy.expect_pattern()
+        assert with_numpy.expect_graph() == without_numpy.expect_graph()
+
+
+class TestKernelResolution:
+    def test_vector_degrades_to_scalar_without_numpy(self):
+        with mock.patch.object(kernels, "NUMPY", None):
+            assert kernels.resolve_kernel("vector") == "scalar"
+            assert kernels.resolve_kernel(None) == "scalar"
+
+    def test_invalid_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            kernels.resolve_kernel("turbo")
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "scalar")
+        assert kernels.default_kernel() == "scalar"
+        monkeypatch.setenv("REPRO_KERNEL", "warp")
+        with pytest.raises(ValueError):
+            kernels.default_kernel()
