@@ -36,7 +36,7 @@ import random
 import statistics
 import time
 
-from conftest import report
+from conftest import ab_medians, report, timed
 
 from repro.engine.query import QueryEngine
 from repro.graph.database import GraphDatabase
@@ -108,27 +108,6 @@ def make_vector_sweep(frozen: GraphDatabase):
         return sum(len(targets) for targets in answers.values())
 
     return sweep
-
-
-def timed(fn) -> float:
-    start = time.perf_counter()
-    fn()
-    return time.perf_counter() - start
-
-
-def ab_medians(*sweeps, rounds: int = 5) -> list[float]:
-    """Median wall-clock per sweep, measured in interleaved rounds.
-
-    Round-robin interleaving means a load spike on the host hits every
-    contestant roughly equally instead of skewing whichever sweep happened
-    to run during it — the speedup ratios asserted below stay meaningful
-    on noisy CI machines.
-    """
-    samples: list[list[float]] = [[] for _ in sweeps]
-    for _ in range(rounds):
-        for index, sweep in enumerate(sweeps):
-            samples[index].append(timed(sweep))
-    return [statistics.median(times) for times in samples]
 
 
 def test_bulk_traversal_dict(benchmark):

@@ -9,10 +9,34 @@ implementation measures, alongside pytest-benchmark's timing table.
 from __future__ import annotations
 
 import os
+import statistics
+import time
 
 # Keep timings free of first-run filesystem jitter from the cross-process
 # automaton cache: benchmarks measure steady-state compute, not disk IO.
 os.environ.setdefault("REPRO_AUTOMATON_CACHE", "off")
+
+
+def timed(fn) -> float:
+    """Wall-clock seconds of one call to ``fn``."""
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def ab_medians(*sweeps, rounds: int = 5) -> list[float]:
+    """Median wall-clock per sweep, measured in interleaved rounds.
+
+    Round-robin interleaving means a load spike on the host hits every
+    contestant roughly equally instead of skewing whichever sweep happened
+    to run during it — the speedup ratios asserted from these medians stay
+    meaningful on noisy CI machines.
+    """
+    samples: list[list[float]] = [[] for _ in sweeps]
+    for _ in range(rounds):
+        for index, sweep in enumerate(sweeps):
+            samples[index].append(timed(sweep))
+    return [statistics.median(times) for times in samples]
 
 
 def report(experiment: str, rows: list[tuple[str, object, object]]) -> None:

@@ -21,6 +21,7 @@ from typing import Hashable, Iterable, Sequence
 
 from repro.mappings.stt import SourceToTargetTgd
 from repro.patterns.pattern import GraphPattern
+from repro.relational.evaluate import cq_match_rows
 from repro.relational.instance import RelationalInstance
 from repro.relational.query import Variable, is_variable
 from repro.chase.result import ChaseResult, ChaseStats
@@ -53,39 +54,87 @@ def chase_pattern(
     stats = ChaseStats()
 
     for tgd in tgds:
-        # Deterministic trigger order keeps null labels reproducible.  Body
-        # matching runs on the source instance's first-column hash index
-        # (see repro.relational.evaluate); ``stats`` records the hits.
-        matches = sorted(tgd.body_matches(instance, stats=stats), key=lambda m: sorted(
-            (v.name, repr(m[v])) for v in m
-        ))
+        # All of the tgd's fireable triggers come out of *one* pass over
+        # the source instance (the evaluator's batch entry point projects
+        # each body homomorphism straight onto a value row — no per-match
+        # dict materialisation, no re-discovery per trigger).  Body
+        # matching runs on the instance's first-column hash index (see
+        # repro.relational.evaluate); ``stats`` records the hits.
+        variables = tuple(sorted(tgd.body.variables(), key=lambda v: v.name))
+        rows = cq_match_rows(tgd.body, instance, variables, stats=stats)
         # Oblivious chase with duplicate-trigger suppression: two body
         # homomorphisms agreeing on every variable are one trigger; distinct
         # homomorphisms fire separately even when they agree on the frontier
         # (that is what yields the three nulls N1..N3 in Figure 3).
-        fired: set[tuple] = set()
-        for match in matches:
-            full_key = tuple(repr(match[v]) for v in tgd.body.variables())
-            if full_key in fired:
-                continue
-            fired.add(full_key)
-            _apply_trigger(pattern, tgd, match)
-            stats.st_applications += 1
+        # Deterministic trigger order keeps null labels reproducible: rows
+        # are keyed by their per-variable reprs in variable-name order,
+        # which sorts exactly like the per-match (name, repr) pair lists
+        # the trigger loop used to sort — the names are shared across all
+        # rows of one tgd, so the repr tuples alone decide the order.
+        distinct: dict[tuple[str, ...], tuple] = {}
+        for row in rows:
+            key = tuple(repr(value) for value in row)
+            if key not in distinct:
+                distinct[key] = row
+        batch = [distinct[key] for key in sorted(distinct)]
+        _apply_triggers(pattern, tgd, variables, batch)
+        stats.st_applications += len(batch)
 
     stats.rounds = 1
     return ChaseResult(pattern=pattern, stats=stats)
 
 
-def _apply_trigger(
+def _apply_triggers(
     pattern: GraphPattern,
     tgd: SourceToTargetTgd,
-    match: dict[Variable, Node],
+    variables: tuple[Variable, ...],
+    rows: list[tuple],
 ) -> None:
-    """Instantiate the head of ``tgd`` under ``match`` into ``pattern``."""
-    assignment: dict[Variable, Node] = {v: match[v] for v in tgd.frontier}
-    for existential in tgd.existentials:
-        assignment[existential] = pattern.fresh_null()
-    for atom in tgd.head.atoms:
-        source = assignment[atom.subject] if is_variable(atom.subject) else atom.subject
-        target = assignment[atom.object] if is_variable(atom.object) else atom.object
-        pattern.add_edge(source, atom.nre, target)
+    """Instantiate the head of ``tgd`` under every row of ``rows``.
+
+    The head's shape is compiled once per tgd into positional slots —
+    each head-atom endpoint is either an index into the trigger row or
+    an index into the trigger's fresh-null block — so applying a trigger
+    is pure indexing, with the null allocation order (one null per
+    existential, in declaration order) identical to the historical
+    one-trigger-at-a-time loop.
+    """
+    slot = {variable: index for index, variable in enumerate(variables)}
+    null_slot = {
+        existential: index for index, existential in enumerate(tgd.existentials)
+    }
+
+    def endpoint(term):
+        if not is_variable(term):
+            return (_CONST, term)
+        index = slot.get(term)
+        if index is not None:
+            return (_ROW, index)
+        return (_NULL, null_slot[term])
+
+    plan = tuple(
+        (endpoint(atom.subject), atom.nre, endpoint(atom.object))
+        for atom in tgd.head.atoms
+    )
+    null_count = len(tgd.existentials)
+    fresh_null = pattern.fresh_null
+    add_edge = pattern.add_edge
+    for row in rows:
+        nulls = [fresh_null() for _ in range(null_count)]
+        for (source_kind, source_index), expr, (target_kind, target_index) in plan:
+            source = (
+                row[source_index]
+                if source_kind is _ROW
+                else nulls[source_index] if source_kind is _NULL else source_index
+            )
+            target = (
+                row[target_index]
+                if target_kind is _ROW
+                else nulls[target_index] if target_kind is _NULL else target_index
+            )
+            add_edge(source, expr, target)
+
+
+_ROW = object()
+_NULL = object()
+_CONST = object()

@@ -13,13 +13,31 @@ bodies that themselves mention ``sameAs``, so saturation repeats until no
 violation remains.  It terminates because the node set is fixed and each
 round adds at least one of at most ``|V|²`` possible sameAs edges.
 
-Saturation runs **semi-naively**: every body match found in one round is
-repaired immediately, so a match that is still violated in a later round
-must use at least one edge added since this constraint was last evaluated.
-Each constraint therefore remembers the graph version it last saw and
-re-matches only through the journal delta
-(:meth:`~repro.engine.matcher.TriggerMatcher.delta_matches`); constraints
-with composite-NRE bodies keep the full per-round scan.
+Two saturation strategies compute that fixpoint (``REPRO_SAMEAS``
+selects; ``"unionfind"`` is the default):
+
+* ``"journal"`` — the original edge-at-a-time loop, retained verbatim as
+  the **oracle**: every body match found in one round is repaired
+  immediately in journal enumeration order, and each constraint
+  re-matches only through the journal delta
+  (:meth:`~repro.engine.matcher.TriggerMatcher.delta_matches`).
+* ``"unionfind"`` — the batched reformulation.  Generic constraints are
+  evaluated through the matcher's *pair projections*
+  (:meth:`~repro.engine.matcher.TriggerMatcher.pair_matches` /
+  ``pair_matches_seeded``): one pass per constraint per round yields the
+  projected pair set — no per-homomorphism dict materialisation — and
+  the missing edges are inserted as one sorted batch.  Constraints that
+  spell out the sameAs *equivalence laws* (symmetry and transitivity
+  over the sameAs label) are recognised and absorbed into a union-find
+  over canonical representatives: their joint fixpoint on any edge set
+  is exactly "all ordered pairs of distinct nodes within one connected
+  component", so the O(|V|²)-round edge-at-a-time cascade collapses into
+  component merges plus one clique emission per dirty class.
+
+The least fixpoint is unique — every constraint is a monotone rule, so
+the final edge set does not depend on insertion order — and the two
+strategies are pinned output-identical (graph content *and* serialized
+document bytes) by a Hypothesis harness in the kernel-property suite.
 
 The key contrast with egds (the paper's point): sameAs edges may be added
 *between two constants*, so the constant/constant conflict that makes the
@@ -28,27 +46,71 @@ egd chase fail simply cannot arise.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import os
+from typing import Hashable, Iterable, Sequence
 
 from repro.chase.pattern_chase import chase_pattern
 from repro.chase.result import ChaseResult, ChaseStats
-from repro.engine.matcher import TriggerMatcher
+from repro.engine.matcher import TriggerMatcher, _edge_view, is_simple_query
 from repro.graph.database import GraphDatabase
 from repro.mappings.sameas import SAME_AS_LABEL, SameAsConstraint
 from repro.mappings.stt import SourceToTargetTgd
 from repro.patterns.rep import canonical_instantiation
 from repro.relational.instance import RelationalInstance
 
+Node = Hashable
+
+SAMEAS_STRATEGIES = ("unionfind", "journal")
+"""The saturation strategies ``REPRO_SAMEAS`` may select."""
+
+_ENV_STRATEGY = "REPRO_SAMEAS"
+
+
+def resolve_sameas_strategy(strategy: str | None = None) -> str:
+    """Resolve the saturation strategy (explicit > env > ``"unionfind"``).
+
+    >>> resolve_sameas_strategy("journal")
+    'journal'
+    >>> resolve_sameas_strategy() in SAMEAS_STRATEGIES
+    True
+    """
+    if strategy is None:
+        strategy = os.environ.get(_ENV_STRATEGY) or "unionfind"
+    if strategy not in SAMEAS_STRATEGIES:
+        raise ValueError(
+            f"unknown sameAs strategy {strategy!r}; expected one of "
+            f"{list(SAMEAS_STRATEGIES)}"
+        )
+    return strategy
+
 
 def saturate_sameas(
     graph: GraphDatabase,
     constraints: Sequence[SameAsConstraint],
     stats: ChaseStats | None = None,
+    strategy: str | None = None,
 ) -> GraphDatabase:
     """Add sameAs edges to ``graph`` until every constraint is satisfied.
 
     Returns a new graph; the input is not mutated.  The alphabet is widened
-    with ``sameAs`` if needed.
+    with ``sameAs`` if needed.  ``strategy`` picks the fixpoint algorithm
+    (see the module docstring); both produce the identical (unique) least
+    fixpoint.
+    """
+    if resolve_sameas_strategy(strategy) == "journal":
+        return _saturate_journal(graph, constraints, stats)
+    return _saturate_unionfind(graph, constraints, stats)
+
+
+def _saturate_journal(
+    graph: GraphDatabase,
+    constraints: Sequence[SameAsConstraint],
+    stats: ChaseStats | None = None,
+) -> GraphDatabase:
+    """The edge-at-a-time saturation in journal order — the oracle.
+
+    Kept verbatim: the union-find strategy's output is proven identical
+    to this loop's, and the proof needs a fixed reference implementation.
     """
     sigma = set(graph.alphabet) | {SAME_AS_LABEL}
     result = graph.with_alphabet(sigma)
@@ -69,6 +131,208 @@ def saturate_sameas(
             for left, right in pending:
                 result.add_edge(left, SAME_AS_LABEL, right)
                 counters.sameas_edges_added += 1
+                changed = True
+    return result
+
+
+# --------------------------------------------------------------------- #
+# The union-find strategy
+# --------------------------------------------------------------------- #
+
+
+def _pair_key(pair: tuple[Node, Node]) -> tuple[str, str]:
+    return (repr(pair[0]), repr(pair[1]))
+
+
+def _is_symmetry(constraint: SameAsConstraint) -> bool:
+    """Whether the constraint is sameAs symmetry: an edge demands its
+    reverse.  Matches ``(x, sameAs, y) → (y, sameAs, x)`` and the
+    equivalent backward-atom spelling."""
+    atoms = constraint.body.atoms
+    if len(atoms) != 1 or not is_simple_query(constraint.body):
+        return False
+    source_term, lab, target_term = _edge_view(atoms[0])
+    return (
+        lab == SAME_AS_LABEL
+        and source_term != target_term
+        and (constraint.left, constraint.right) == (target_term, source_term)
+    )
+
+
+def _is_transitivity(constraint: SameAsConstraint) -> bool:
+    """Whether the constraint is sameAs transitivity:
+    ``(x, sameAs, z), (z, sameAs, y) → (x, sameAs, y)`` (either atom may
+    be spelled backward)."""
+    atoms = constraint.body.atoms
+    if len(atoms) != 2 or not is_simple_query(constraint.body):
+        return False
+    views = [_edge_view(atom) for atom in atoms]
+    for first, second in (views, views[::-1]):
+        left_source, first_lab, middle_a = first
+        middle_b, second_lab, right_target = second
+        if (
+            first_lab == SAME_AS_LABEL
+            and second_lab == SAME_AS_LABEL
+            and middle_a == middle_b
+            and len({left_source, middle_a, right_target}) == 3
+            and (constraint.left, constraint.right)
+            == (left_source, right_target)
+        ):
+            return True
+    return False
+
+
+def _split_equivalence_constraints(
+    constraints: Sequence[SameAsConstraint],
+) -> tuple[list[SameAsConstraint], list[SameAsConstraint]]:
+    """Partition into (absorbed equivalence laws, generic constraints).
+
+    Absorption is sound only when symmetry *and* transitivity are both
+    present — their joint fixpoint is the per-component clique the
+    union-find emits.  Either law alone (directed transitive closure, or
+    bare symmetric closure) is weaker and stays on the generic path.
+    """
+    symmetry = [c for c in constraints if _is_symmetry(c)]
+    transitivity = [c for c in constraints if _is_transitivity(c)]
+    if not symmetry or not transitivity:
+        return [], list(constraints)
+    absorbed = {id(c) for c in symmetry + transitivity}
+    generic = [c for c in constraints if id(c) not in absorbed]
+    return symmetry + transitivity, generic
+
+
+class _UnionFind:
+    """Union-find over sameAs components, with canonical representatives.
+
+    Nodes enter lazily (only endpoints of sameAs edges ever join).  Find
+    runs path compression; union is by size with a repr tie-break, so
+    the representative of every class is deterministic for a given merge
+    history.  ``dirty`` collects the roots whose class gained members
+    since the last clique emission.
+    """
+
+    def __init__(self) -> None:
+        self.parent: dict[Node, Node] = {}
+        self.members: dict[Node, list[Node]] = {}
+        self.dirty: set[Node] = set()
+
+    def add(self, node: Node) -> Node:
+        if node not in self.parent:
+            self.parent[node] = node
+            self.members[node] = [node]
+        return self.find(node)
+
+    def find(self, node: Node) -> Node:
+        parent = self.parent
+        root = node
+        while parent[root] is not root:
+            root = parent[root]
+        while parent[node] is not root:
+            parent[node], node = root, parent[node]
+        return root
+
+    def union(self, a: Node, b: Node) -> None:
+        root_a = self.add(a)
+        root_b = self.add(b)
+        if root_a == root_b:
+            return
+        size_a, size_b = len(self.members[root_a]), len(self.members[root_b])
+        if (size_a, repr(root_a)) < (size_b, repr(root_b)):
+            root_a, root_b = root_b, root_a
+        # root_a is canonical: absorb root_b's class.
+        self.parent[root_b] = root_a
+        self.members[root_a].extend(self.members.pop(root_b))
+        self.dirty.discard(root_b)
+        self.dirty.add(root_a)
+
+
+def _close_equivalence(
+    result: GraphDatabase,
+    find: _UnionFind,
+    since: int | None,
+    counters: ChaseStats,
+) -> bool:
+    """One union-find closure step: absorb new sameAs edges, emit cliques.
+
+    Every sameAs edge unions its endpoints' classes; every class that
+    grew then receives all missing ordered pairs of distinct members
+    (the joint symmetry+transitivity fixpoint), inserted in repr-sorted
+    order.  Returns whether any edge was added.
+    """
+    if since is None:
+        for source, target in result.edges_with_label(SAME_AS_LABEL):
+            find.union(source, target)
+    else:
+        for edge in result.edges_since(since):
+            if edge.label == SAME_AS_LABEL:
+                find.union(edge.source, edge.target)
+    if not find.dirty:
+        return False
+    added = False
+    has_edge = result.has_edge
+    add_edge = result.add_edge
+    for root in sorted(find.dirty, key=repr):
+        clique = sorted(find.members[root], key=repr)
+        for left in clique:
+            for right in clique:
+                if left is not right and not has_edge(
+                    left, SAME_AS_LABEL, right
+                ):
+                    add_edge(left, SAME_AS_LABEL, right)
+                    counters.sameas_edges_added += 1
+                    added = True
+    find.dirty.clear()
+    return added
+
+
+def _saturate_unionfind(
+    graph: GraphDatabase,
+    constraints: Sequence[SameAsConstraint],
+    stats: ChaseStats | None = None,
+) -> GraphDatabase:
+    """Batched saturation: pair projections + union-find closure."""
+    sigma = set(graph.alphabet) | {SAME_AS_LABEL}
+    result = graph.with_alphabet(sigma)
+    counters = stats if stats is not None else ChaseStats()
+    matcher = TriggerMatcher(result, counters)
+    absorbed, generic = _split_equivalence_constraints(constraints)
+    find = _UnionFind() if absorbed else None
+    last_seen: list[int | None] = [None] * len(generic)
+    closure_seen: int | None = None
+    changed = True
+    while changed:
+        changed = False
+        counters.rounds += 1
+        for index, constraint in enumerate(generic):
+            since, last_seen[index] = last_seen[index], result.version
+            if since is None:
+                pairs = matcher.pair_matches(
+                    constraint.body, constraint.left, constraint.right
+                )
+            else:
+                delta = result.edges_since(since)
+                if not delta:
+                    continue
+                pairs = matcher.pair_matches_seeded(
+                    constraint.body, constraint.left, constraint.right, delta
+                )
+            pending = sorted(
+                (
+                    pair
+                    for pair in pairs
+                    if pair[0] != pair[1]
+                    and not result.has_edge(pair[0], SAME_AS_LABEL, pair[1])
+                ),
+                key=_pair_key,
+            )
+            for left, right in pending:
+                result.add_edge(left, SAME_AS_LABEL, right)
+            if pending:
+                counters.sameas_edges_added += len(pending)
+                changed = True
+        if find is not None:
+            since, closure_seen = closure_seen, result.version
+            if _close_equivalence(result, find, since, counters):
                 changed = True
     return result
 

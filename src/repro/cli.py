@@ -364,8 +364,10 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         choices=KERNEL_NAMES,
         default=None,
         help="execution kernel: numpy array-at-a-time bulk search (vector; "
-        "the default when numpy is importable, honours REPRO_KERNEL) or "
-        "the pure-Python scalar oracle — answers are identical",
+        "the default when numpy is importable, honours REPRO_KERNEL), the "
+        "pure-Python scalar oracle, or per-automaton generated code "
+        "(codegen; fastest for single-pair and warm repeated queries) — "
+        "answers are identical",
     )
     parser.add_argument(
         "--stats",

@@ -52,7 +52,7 @@ from repro.engine.matcher import TriggerMatcher
 from repro.errors import BoundExceeded, NotSupportedError
 from repro.graph.database import GraphDatabase
 from repro.graph.witness import default_fresh_factory, enumerate_witnesses
-from repro.patterns.pattern import GraphPattern
+from repro.patterns.pattern import GraphPattern, PatternEdge
 from repro.patterns.rep import Instantiation, assemble_witnesses
 from repro.relational.instance import RelationalInstance
 
@@ -240,7 +240,7 @@ def _pruned_instantiations(
     fails the solution check, so skipping them loses nothing and keeps the
     ``max_instantiations`` budget for combinations that can still win).
     """
-    edges = sorted(pattern.edges())
+    edges = sorted(pattern.edges(), key=PatternEdge.sort_key)
     fresh = default_fresh_factory()
     per_edge = [
         list(enumerate_witnesses(e.nre, e.source, e.target, cfg.star_bound, fresh))

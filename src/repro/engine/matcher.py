@@ -238,6 +238,10 @@ class TriggerMatcher:
         if not edge_list:
             return out
         atoms = list(query.atoms)
+        if len(atoms) == 2:
+            pairs = self._pair_join_two_seeded(atoms, left, right, edge_list)
+            if pairs is not None:
+                return pairs
         for pinned_index, atom in enumerate(atoms):
             source_term, lab, target_term = _edge_view(atom)
             rest = atoms[:pinned_index] + atoms[pinned_index + 1 :]
@@ -284,6 +288,78 @@ class TriggerMatcher:
                     del assignment[var]
 
         extend(0)
+
+    def _pair_join_two_seeded(
+        self,
+        atoms: Sequence[CNREAtom],
+        left: Variable,
+        right: Variable,
+        edges: Sequence[Edge],
+    ) -> set[tuple[Node, Node]] | None:
+        """Seeded counterpart of :meth:`_pair_join_two`.
+
+        Covers the same two-atom one-shared-variable shape (any
+        orientation, ``{left, right}`` the two free variables).  A
+        homomorphism routed through a seed edge pins that edge onto one
+        of the atoms; the other atom's matches are then exactly one
+        adjacency bucket of the join value — so each (seed, atom)
+        combination costs one index probe plus a bulk pair expansion,
+        never a backtracking join.  This is the egd engine's per-merge
+        re-match running at O(degree) per rewritten edge.  Returns
+        ``None`` for uncovered shapes (caller falls back to the pinned
+        backtracking join).
+        """
+        views = (_edge_view(atoms[0]), _edge_view(atoms[1]))
+        terms0 = (views[0][0], views[0][2])
+        terms1 = (views[1][0], views[1][2])
+        if not all(is_variable(t) for t in terms0 + terms1):
+            return None
+        if terms0[0] == terms0[1] or terms1[0] == terms1[1]:
+            return None
+        vars0, vars1 = set(terms0), set(terms1)
+        shared = vars0 & vars1
+        if len(shared) != 1:
+            return None
+        join_var = next(iter(shared))
+        free0 = (vars0 - shared).pop()
+        free1 = (vars1 - shared).pop()
+        if (left, right) == (free0, free1):
+            swap = False
+        elif (left, right) == (free1, free0):
+            swap = True
+        else:
+            return None
+        graph = self.graph
+        if self.stats is not None:
+            self.stats.index_hits += 1
+        out: set[tuple[Node, Node]] = set()
+        for pinned, other in ((0, 1), (1, 0)):
+            _, lab, _ = views[pinned]
+            join_at_source = join_var == views[pinned][0]
+            other_source, other_lab, _ = views[other]
+            bucket = (
+                graph.forward_index(other_lab)
+                if join_var == other_source
+                else graph.backward_index(other_lab)
+            )
+            # ``(pinned, swap)`` decides which side of the output pair the
+            # pinned atom's free value lands on.
+            pinned_first = (pinned == 0) != swap
+            for edge in edges:
+                if edge.label != lab:
+                    continue
+                if join_at_source:
+                    join_val, free_val = edge.source, edge.target
+                else:
+                    join_val, free_val = edge.target, edge.source
+                partners = bucket.get(join_val)
+                if not partners:
+                    continue
+                if pinned_first:
+                    out.update((free_val, partner) for partner in partners)
+                else:
+                    out.update((partner, free_val) for partner in partners)
+        return out
 
     def _pair_join_two(
         self, atoms: Sequence[CNREAtom], left: Variable, right: Variable

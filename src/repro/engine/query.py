@@ -167,10 +167,13 @@ class QueryEngine:
 
     ``kernel`` selects the execution kernel (:mod:`repro.kernels`):
     ``"vector"`` runs the numpy array-at-a-time product search on
-    CSR-backed graphs, ``"scalar"`` the pure-Python loops, and ``None``
-    defers to ``REPRO_KERNEL``/the built-in default.  ``self.kernel``
-    holds the *resolved* choice (``"vector"`` degrades to ``"scalar"``
-    without numpy); answers are identical either way.
+    CSR-backed graphs, ``"scalar"`` the pure-Python loops, ``"codegen"``
+    the generated-code kernel (:mod:`repro.graph.codegen` — each automaton
+    lowered once to specialized Python, the single-pair/warm-query fast
+    path), and ``None`` defers to ``REPRO_KERNEL``/the built-in default.
+    ``self.kernel`` holds the *resolved* choice (``"vector"`` degrades to
+    ``"scalar"`` without numpy; ``"codegen"`` is pure Python and never
+    degrades); answers are identical on every kernel.
     """
 
     name = "compiled"

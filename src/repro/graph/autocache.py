@@ -49,8 +49,14 @@ if TYPE_CHECKING:  # import cycle: automaton.py imports this module
     from repro.graph.automaton import NREAutomaton
     from repro.graph.nre import NRE
 
-CACHE_FORMAT = 1
-"""Bump on any change to the automaton classes' pickled shape."""
+CACHE_FORMAT = 2
+"""Bump on any change to the automaton classes' pickled shape.
+
+Format 2: entries additionally carry the codegen kernel's generated
+source strings (``_codegen_source`` side-attributes on every compiled
+automaton in the test tree), so a warm process skips code generation as
+well as Thompson compilation.  Format-1 entries read as misses via the
+version-stamped directory and are recompiled silently."""
 
 _MIN_STATES = 8
 """Smallest Thompson state count worth a filesystem round-trip."""
@@ -103,7 +109,16 @@ def load(expr: "NRE") -> "NREAutomaton | None":
     from repro.graph.automaton import NREAutomaton
 
     automaton = payload.get("automaton")
-    return automaton if isinstance(automaton, NREAutomaton) else None
+    if not isinstance(automaton, NREAutomaton):
+        return None
+    if automaton._compiled is not None:
+        # Persisted codegen source from a different generator version
+        # must not shadow regeneration (the directory stamp only guards
+        # the pickle shape, not the generated code).
+        from repro.graph.codegen import validate_sources
+
+        validate_sources(automaton._compiled)
+    return automaton
 
 
 _LOCK_STALE_SECONDS = 300.0
@@ -177,7 +192,10 @@ def store(expr: "NRE", automaton: "NREAutomaton") -> None:
         return
     source = str(expr)
     try:
-        automaton.compiled()  # persist the ε-free lowering too
+        compiled = automaton.compiled()  # persist the ε-free lowering too
+        from repro.graph.codegen import ensure_sources
+
+        ensure_sources(compiled)  # ... and the generated kernel source
         directory = cache_dir()
         os.makedirs(directory, exist_ok=True)
         target = _entry_path(source)

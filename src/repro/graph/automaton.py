@@ -113,9 +113,15 @@ class CompiledAutomaton:
         # Never pickle the cache key: an automaton restored in another
         # process (the on-disk autocache) must get a fresh key there, or
         # two restored automata could collide on keys assigned by
-        # different original processes.
+        # different original processes.  The codegen kernel's executed
+        # program and lowering plan are process-local too (function
+        # objects; rebuilt lazily) — only the generated *source* string
+        # (``_codegen_source``) is worth persisting, and it survives by
+        # staying in the dict.
         state = self.__dict__.copy()
         state.pop("_cache_key", None)
+        state.pop("_codegen_program", None)
+        state.pop("_codegen_plan", None)
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -299,10 +305,11 @@ class _Runner:
     object with ``nested_tests`` / ``nested_test_cache_hits`` counters).
 
     ``kernel`` selects the execution kernel (:mod:`repro.kernels`):
-    ``None`` defers to ``REPRO_KERNEL``/the built-in default, and a
+    ``None`` defers to ``REPRO_KERNEL``/the built-in default.  A
     ``"vector"`` resolution takes effect only on CSR-backed graphs with
-    numpy importable — everything else runs the scalar loops.  The two
-    kernels are answer-identical.
+    numpy importable, a ``"codegen"`` resolution only on CSR-backed
+    graphs (it needs no numpy) — everything else runs the scalar loops.
+    All kernels are answer-identical.
     """
 
     def __init__(
@@ -318,6 +325,7 @@ class _Runner:
         # every search in this runner to the interned integer-id loop.
         self._csr = getattr(graph, "csr", None)
         self._vector = self._make_vector()
+        self._codegen = self._make_codegen()
         self._test_cache: dict[tuple[int, Node], bool] = {}
         # Nested-test memos of the CSR loop, keyed by (automaton cache
         # key, interned node id) — kept apart from _test_cache because
@@ -337,6 +345,13 @@ class _Runner:
             return None
         return VectorSearch(self._csr, self.stats)
 
+    def _make_codegen(self):
+        if self.kernel != "codegen" or self._csr is None:
+            return None
+        from repro.graph.codegen import CodegenSearch
+
+        return CodegenSearch(self._csr, self.stats)
+
     def rebind(self, graph: GraphDatabase) -> None:
         """Point the runner at ``graph`` (same content, different object).
 
@@ -348,6 +363,7 @@ class _Runner:
         self.graph = graph
         self._csr = getattr(graph, "csr", None)
         self._vector = self._make_vector()
+        self._codegen = self._make_codegen()
         self._resolved.clear()
         self._id_test_cache.clear()
 
@@ -395,6 +411,9 @@ class _Runner:
             if vector is not None:
                 hits = vector.reachable_many(compiled, [source_id])[0]
                 return frozenset(csr.nodes_at(hits.tolist()))
+            codegen = self._codegen
+            if codegen is not None:
+                return frozenset(csr.nodes_at(codegen.collect(compiled, source_id)))
             hits = self._search_ids(compiled, source_id, _COLLECT)
             return frozenset(csr.nodes_at(hits))
         if source not in self.graph:
@@ -465,6 +484,9 @@ class _Runner:
             vector = self._vector
             if vector is not None:
                 return vector.holds(compiled, source_id, target_id)
+            codegen = self._codegen
+            if codegen is not None:
+                return codegen.holds(compiled, source_id, target_id)
             return self._search_ids(compiled, source_id, target_id) is _FOUND
         if source not in self.graph or target not in self.graph:
             return False

@@ -322,23 +322,84 @@ class DictBackend:
         self._nodes.add(node)
 
     def add_edge(self, source: Node, lab: LabelName, target: Node) -> None:
-        """Add the edge ``(source, lab, target)``; endpoints are auto-added."""
+        """Add the edge ``(source, lab, target)``; endpoints are auto-added.
+
+        Duplicates are detected on the forward index (which mirrors the
+        edge set exactly) *before* the :class:`Edge` is constructed — the
+        chase re-adds edges constantly, and the duplicate path costs two
+        dict probes and one set probe, no allocation.
+        """
         if self._alphabet is not None and lab not in self._alphabet:
             raise SchemaError(
                 f"label {lab!r} is not in the alphabet {sorted(self._alphabet)}"
             )
+        fwd = self._fwd.get(lab)
+        if fwd is None:
+            fwd = self._fwd[lab] = {}
+        targets = fwd.get(source)
+        if targets is None:
+            targets = fwd[source] = set()
+        elif target in targets:
+            return  # duplicate: endpoints are already present too
+        targets.add(target)
         self._nodes.add(source)
         self._nodes.add(target)
         edge = Edge(source, lab, target)
-        if edge in self._edges:
-            return
         self._edges.add(edge)
-        self._fwd.setdefault(lab, {}).setdefault(source, set()).add(target)
         self._bwd.setdefault(lab, {}).setdefault(target, set()).add(source)
         self._out_edges.setdefault(source, set()).add(edge)
         self._in_edges.setdefault(target, set()).add(edge)
         self._label_counts[lab] = self._label_counts.get(lab, 0) + 1
         self._journal.append(edge)
+
+    def clone(self, alphabet: "Iterable[LabelName] | None" = None) -> "DictBackend":
+        """A structural copy — index surgery, not edge-by-edge replay.
+
+        Copies the two-level adjacency indexes and incident-edge sets
+        directly and *shares* the frozen :class:`Edge` objects (their
+        memoised hashes ride along), so cloning costs container copies
+        only — no per-edge alphabet check, construction, or re-hash.
+        ``alphabet`` re-declares the clone's alphabet (``None`` keeps the
+        source's); labels in use that the new alphabet lacks raise
+        :class:`~repro.errors.SchemaError`, exactly like replaying the
+        edges would.  The clone's journal is the live edge set (fresh
+        graphs replayed edge-by-edge journal the same way), so it starts
+        non-destructive with ``version == edge_count()``.
+        """
+        declared = self._alphabet if alphabet is None else frozenset(alphabet)
+        if declared is not None:
+            for lab, count in self._label_counts.items():
+                if count > 0 and lab not in declared:
+                    raise SchemaError(
+                        f"label {lab!r} is not in the alphabet {sorted(declared)}"
+                    )
+
+        def copy_adjacency(
+            index: dict[LabelName, dict[Node, set[Node]]],
+        ) -> dict[LabelName, dict[Node, set[Node]]]:
+            copied = {}
+            for lab, bucket in index.items():
+                live = {node: set(peers) for node, peers in bucket.items() if peers}
+                if live:
+                    copied[lab] = live
+            return copied
+
+        twin = DictBackend.__new__(DictBackend)
+        twin._alphabet = declared
+        twin._nodes = set(self._nodes)
+        twin._edges = set(self._edges)
+        twin._fwd = copy_adjacency(self._fwd)
+        twin._bwd = copy_adjacency(self._bwd)
+        twin._out_edges = {n: set(es) for n, es in self._out_edges.items() if es}
+        twin._in_edges = {n: set(es) for n, es in self._in_edges.items() if es}
+        twin._label_counts = {
+            lab: count for lab, count in self._label_counts.items() if count > 0
+        }
+        twin._journal = list(self.edges())
+        twin._destructive = False
+        twin._fingerprint = None
+        twin._fingerprint_key = None
+        return twin
 
     def remove_edge(self, source: Node, lab: LabelName, target: Node) -> None:
         """Remove an edge if present; endpoints stay in the node set."""
@@ -399,8 +460,18 @@ class DictBackend:
         return node in self._nodes
 
     def has_edge(self, source: Node, lab: LabelName, target: Node) -> bool:
-        """Whether the edge ``(source, lab, target)`` is present."""
-        return Edge(source, lab, target) in self._edges
+        """Whether the edge ``(source, lab, target)`` is present.
+
+        Probed on the forward index rather than the edge set: three
+        container probes against one :class:`Edge` construction plus a
+        three-field hash — this runs per candidate pair in the sameAs
+        saturation's violation filter.
+        """
+        bucket = self._fwd.get(lab)
+        if bucket is None:
+            return False
+        targets = bucket.get(source)
+        return targets is not None and target in targets
 
     def nodes(self) -> frozenset[Node]:
         """The node set."""

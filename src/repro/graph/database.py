@@ -493,8 +493,12 @@ class GraphDatabase:
         """Return an independent *mutable* copy (same alphabet declaration).
 
         Copies are always dict-backed, whatever the source backend — the
-        point of copying is to mutate the result.
+        point of copying is to mutate the result.  Dict-backed sources
+        take the backend's structural :meth:`~DictBackend.clone` (index
+        surgery, shared edge objects) instead of edge-by-edge replay.
         """
+        if isinstance(self._backend, DictBackend):
+            return GraphDatabase._from_backend(self._backend.clone())
         clone = GraphDatabase(alphabet=self._backend.declared_alphabet())
         for node in self._backend.nodes():
             clone.add_node(node)
@@ -516,6 +520,10 @@ class GraphDatabase:
 
         Useful when a graph built over Σ must be re-read over Σ ∪ {sameAs}.
         """
+        if isinstance(self._backend, DictBackend):
+            return GraphDatabase._from_backend(
+                self._backend.clone(alphabet=frozenset(alphabet))
+            )
         clone = GraphDatabase(alphabet=alphabet)
         for node in self._backend.nodes():
             clone.add_node(node)

@@ -1,6 +1,6 @@
 """Execution-kernel selection for the query/chase hot paths.
 
-The library ships two interchangeable execution kernels:
+The library ships three interchangeable execution kernels:
 
 * ``"vector"`` — array-at-a-time evaluation over the CSR backend's numpy
   buffers (:mod:`repro.graph.vector`): the product-automaton frontier is
@@ -8,8 +8,14 @@ The library ships two interchangeable execution kernels:
   edge expansion one vectorized CSR gather per drained state.  This is
   the default whenever numpy is importable.
 * ``"scalar"`` — the pure-Python loops the vector kernel was derived
-  from, retained verbatim as the differential oracle (and as the only
+  from, retained verbatim as the differential oracle (and the fallback
   kernel on installations without numpy).
+* ``"codegen"`` — the specializing kernel (:mod:`repro.graph.codegen`):
+  each compiled automaton is lowered once to a dedicated Python source
+  string (per-state dispatch unrolled into direct branches over the
+  label-indexed CSR buffers), ``compile()``\\d, and reused — no generic
+  interpreter in the hot loop, no numpy requirement, and the generated
+  source persists across processes through the automaton cache.
 
 Selection precedence, weakest to strongest: the built-in default
 (``"vector"``), the ``REPRO_KERNEL`` environment variable, an explicit
@@ -29,7 +35,7 @@ from __future__ import annotations
 
 import os
 
-KERNEL_NAMES = ("vector", "scalar")
+KERNEL_NAMES = ("vector", "scalar", "codegen")
 """The execution kernels an engine can run (see ``--kernel``)."""
 
 try:  # pragma: no cover - exercised via both branches in the test suite
@@ -71,10 +77,13 @@ def resolve_kernel(kernel: str | None) -> str:
 
     ``None`` means "no explicit choice" and defers to
     :func:`default_kernel`.  A ``"vector"`` outcome degrades to
-    ``"scalar"`` when numpy is unavailable.
+    ``"scalar"`` when numpy is unavailable; ``"codegen"`` is pure Python
+    and never degrades.
 
     >>> resolve_kernel("scalar")
     'scalar'
+    >>> resolve_kernel("codegen")
+    'codegen'
     >>> resolve_kernel("vector") in KERNEL_NAMES
     True
     """

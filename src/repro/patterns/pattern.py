@@ -171,7 +171,7 @@ class GraphPattern:
         return node in self._nodes
 
     def __iter__(self) -> Iterator[PatternEdge]:
-        return iter(sorted(self._edges))
+        return iter(sorted(self._edges, key=PatternEdge.sort_key))
 
     # ------------------------------------------------------------------ #
     # Mutation (for the egd chase)
@@ -229,7 +229,7 @@ class GraphPattern:
     def pretty(self) -> str:
         """Return a multi-line human-readable rendering."""
         lines = [f"GraphPattern over Σ={sorted(self.alphabet or [])}"]
-        for edge in sorted(self._edges):
+        for edge in sorted(self._edges, key=PatternEdge.sort_key):
             lines.append(f"  {edge}")
         isolated = self._nodes - {e.source for e in self._edges} - {
             e.target for e in self._edges

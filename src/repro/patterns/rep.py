@@ -30,7 +30,7 @@ from repro.graph.witness import (
     witness_tree,
 )
 from repro.patterns.homomorphism import has_homomorphism
-from repro.patterns.pattern import GraphPattern, is_null
+from repro.patterns.pattern import GraphPattern, PatternEdge, is_null
 
 Node = Hashable
 
@@ -144,7 +144,7 @@ def canonical_instantiation(
     """
     sigma = alphabet if alphabet is not None else pattern.alphabet
     fresh = default_fresh_factory()
-    edges = sorted(pattern.edges())
+    edges = sorted(pattern.edges(), key=PatternEdge.sort_key)
     canonical = [witness_tree(e.nre, e.source, e.target, fresh) for e in edges]
     result = _assemble(pattern, canonical, sigma)
     if result is not None:
@@ -189,7 +189,7 @@ def enumerate_instantiations(
     """
     sigma = alphabet if alphabet is not None else pattern.alphabet
     fresh = default_fresh_factory()
-    edges = sorted(pattern.edges())
+    edges = sorted(pattern.edges(), key=PatternEdge.sort_key)
     per_edge: list[list[WitnessTree]] = [
         list(enumerate_witnesses(e.nre, e.source, e.target, star_bound, fresh))
         for e in edges

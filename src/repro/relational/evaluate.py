@@ -124,6 +124,50 @@ def cq_homomorphisms(
     yield from extend(0, initial)
 
 
+def cq_match_rows(
+    query: ConjunctiveQuery,
+    instance: RelationalInstance,
+    variables: tuple[Variable, ...],
+    seed: Mapping[Variable, object] | None = None,
+    stats: "ChaseStats | None" = None,
+) -> list[tuple]:
+    """Project every body homomorphism onto ``variables``, in one pass.
+
+    The batch entry point of the evaluator: where
+    :func:`cq_homomorphisms` yields one fresh dict per match (the right
+    shape for callers that inspect individual bindings), this runs the
+    same backtracking join but projects each match straight onto a value
+    tuple at the leaf — no per-match dict copy, no later re-discovery.
+    The pattern chase uses it to collect *all* fireable triggers of a
+    tgd in one call and apply them as a batch.
+
+    >>> from repro.relational import RelationalSchema, RelationalInstance
+    >>> from repro.relational.parser import parse_cq
+    >>> schema = RelationalSchema()
+    >>> _ = schema.declare("E", 2)
+    >>> inst = RelationalInstance(schema, {"E": [("a", "b"), ("b", "c")]})
+    >>> q = parse_cq("E(x, y) -> (x, y)")
+    >>> x, y = q.outputs
+    >>> sorted(cq_match_rows(q, inst, (y, x)))
+    [('b', 'a'), ('c', 'b')]
+    """
+    query.validate(instance.schema)
+    ordered = _atom_order(query, instance)
+    rows: list[tuple] = []
+    append = rows.append
+    depth = len(ordered)
+
+    def extend(index: int, assignment: Assignment) -> None:
+        if index == depth:
+            append(tuple(assignment[v] for v in variables))
+            return
+        for extended in _match_atom(ordered[index], instance, assignment, stats):
+            extend(index + 1, extended)
+
+    extend(0, dict(seed) if seed else {})
+    return rows
+
+
 def evaluate_cq(
     query: ConjunctiveQuery,
     instance: RelationalInstance,

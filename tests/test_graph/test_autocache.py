@@ -91,6 +91,74 @@ class TestSafety:
     def test_version_stamped_directory(self, cache_env):
         assert f"v{autocache.CACHE_FORMAT}-py" in autocache.cache_dir()
 
+    def test_foreign_format_stamp_reads_as_miss(self, cache_env):
+        """An entry stamped with another CACHE_FORMAT recompiles silently."""
+        expr = parse_nre("f . f*[h] . f- . (f-)*")
+        compile_nre(expr)
+        (name,) = entries(cache_env)
+        path = os.path.join(autocache.cache_dir(), name)
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        payload["format"] = autocache.CACHE_FORMAT - 1
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle)
+        assert autocache.load(expr) is None
+        compile_nre.cache_clear()
+        recompiled = compile_nre(expr)  # must not raise, must not read the entry
+        assert recompiled.state_count > 0
+
+
+class TestCodegenSources:
+    """Persisted generated sources must never shadow a newer generator.
+
+    Regression for a real failure mode: a cache entry written by an older
+    (buggy) code generator survives in the *same* pickle-format directory,
+    and :func:`repro.graph.codegen.source_for` prefers an existing
+    ``_codegen_source`` over regeneration — so without the load-time
+    version check, the stale source would keep resurfacing after the
+    generator is fixed.
+    """
+
+    def test_entries_carry_codegen_sources(self, cache_env):
+        from repro.graph.codegen import CODEGEN_VERSION
+
+        expr = parse_nre("f . f*[h] . f- . (f-)*")
+        compile_nre(expr)
+        loaded = autocache.load(expr)
+        source = loaded._compiled.__dict__.get("_codegen_source")
+        assert source is not None, "store() must pre-generate codegen sources"
+        assert source.startswith(f"CODEGEN_VERSION = {CODEGEN_VERSION}\n")
+
+    def test_stale_codegen_source_is_dropped_and_regenerated(self, cache_env):
+        from repro.graph.codegen import CODEGEN_VERSION, source_for
+
+        expr = parse_nre("f . f*[h] . f- . (f-)*")
+        fresh_source = source_for(compile_nre(expr).compiled())
+        # Plant an entry whose generated source claims an older generator
+        # version (its body would be garbage to the current binder).
+        (name,) = entries(cache_env)
+        path = os.path.join(autocache.cache_dir(), name)
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        stale = f"CODEGEN_VERSION = {CODEGEN_VERSION - 1}\nraise AssertionError\n"
+        object.__setattr__(payload["automaton"]._compiled, "_codegen_source", stale)
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle)
+        # The entry still loads (same pickle format) ...
+        loaded = autocache.load(expr)
+        assert loaded is not None
+        # ... but the stale source was dropped on load, so the program is
+        # regenerated from the current generator, silently.
+        assert "_codegen_source" not in loaded._compiled.__dict__ or (
+            loaded._compiled.__dict__["_codegen_source"] != stale
+        )
+        assert source_for(loaded._compiled) == fresh_source
+        graph = GraphDatabase(
+            edges=[("c1", "f", "s1"), ("s1", "f", "c2"), ("s1", "h", "h1")]
+        )
+        compile_nre.cache_clear()  # route the next evaluation through disk
+        assert evaluate_nre_automaton(graph, expr) == evaluate_nre(graph, expr)
+
 
 EXPR = "f . f*[h] . f- . (f-)*"
 

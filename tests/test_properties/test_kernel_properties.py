@@ -1,24 +1,34 @@
-"""Differential properties of the execution kernels (vector vs scalar).
+"""Differential properties of the execution kernels (codegen ≡ vector ≡ scalar).
 
-The vector kernel (:mod:`repro.graph.vector`) must be answer-identical to
-the scalar kernel it was derived from, which in turn must match the
-set-algebraic reference evaluator.  Pinned here over random graphs ×
-random NREs and over random chase runs:
+All three execution kernels must be answer-identical to the set-algebraic
+reference evaluator: the vector kernel (:mod:`repro.graph.vector`), the
+scalar kernel it was derived from, and the generated-code kernel
+(:mod:`repro.graph.codegen`), which lowers each compiled automaton to
+specialized Python source.  Pinned here over random graphs × random NREs
+and over random chase runs:
 
 * **query differential**: every (backend, kernel) combination of
   :class:`~repro.engine.query.QueryEngine` returns the reference answers —
-  all-pairs, single-source, and the batched multi-source entry point;
+  all-pairs, single-source, single-pair, and the batched multi-source
+  entry point.  The grid iterates :data:`repro.kernels.KERNEL_NAMES`, so
+  a new kernel joins every differential automatically;
 * **chase differential**: the egd chase and the sameAs construction give
   identical results with numpy present and with numpy masked (the scalar
   fallback), including the violation picked as a failure witness;
+* **sameAs strategy differential**: the union-find saturation strategy
+  produces *byte-identical* output to the journal-order oracle it
+  replaced — same graph content, same serialized document bytes;
 * **numpy-absent fallback**: with ``repro.kernels.NUMPY`` masked, a
   ``kernel="vector"`` request resolves to ``"scalar"`` and still answers
-  correctly — a numpy-less installation degrades, never breaks.
+  correctly — a numpy-less installation degrades, never breaks (the
+  codegen kernel is pure Python and never degrades).
 
 The mask is one attribute (``repro.kernels.NUMPY``) because all numpy
 access in the library routes through :func:`repro.kernels.get_numpy`.
 """
 
+import json
+import os
 import random
 from unittest import mock
 
@@ -27,8 +37,13 @@ from hypothesis import given, settings, strategies as st
 
 from repro import kernels
 from repro.chase.egd_chase import chase_with_egds
-from repro.chase.sameas_chase import solve_with_sameas
+from repro.chase.pattern_chase import chase_pattern
+from repro.chase.sameas_chase import saturate_sameas, solve_with_sameas
 from repro.engine.query import QueryEngine, ReferenceEngine
+from repro.io.json_io import graph_to_dict
+from repro.mappings.parser import parse_sameas
+from repro.mappings.sameas import SAME_AS_LABEL
+from repro.patterns.rep import canonical_instantiation
 from repro.scenarios.flights import flights_st_tgd, hotel_egd, hotel_sameas
 from repro.scenarios.generators import (
     random_flights_instance,
@@ -39,6 +54,20 @@ from repro.scenarios.generators import (
 ALPHABET = ("a", "b", "c")
 
 BACKENDS = ("dict", "csr")
+
+_hotel_sameas_constraint = hotel_sameas()
+_symmetry_constraint = parse_sameas("(x, sameAs, y) -> (y, sameAs, x)")
+_transitivity_constraint = parse_sameas(
+    "(x, sameAs, y), (y, sameAs, z) -> (x, sameAs, z)"
+)
+
+
+def _chased_graph(instance):
+    """Steps (i)–(ii) of the sameAs construction: chase, then instantiate."""
+    pattern = chase_pattern(
+        [flights_st_tgd()], instance, alphabet={"f", "h"}
+    ).pattern
+    return canonical_instantiation(pattern, alphabet=pattern.alphabet).graph
 
 
 @st.composite
@@ -106,6 +135,25 @@ class TestQueryKernelDifferential:
 
     @settings(max_examples=60, deadline=None)
     @given(graphs(), nres())
+    def test_single_pair_agrees_with_reference(self, graph, expr):
+        """``holds`` runs each kernel's dedicated single-pair code path —
+        for the codegen kernel a separately generated function with its
+        own early-exit structure, so it gets its own differential."""
+        reference = ReferenceEngine()
+        expected = reference.pairs(graph, expr)
+        nodes = sorted(graph.nodes(), key=repr)
+        probes = [
+            (u, nodes[(i * 3 + 1) % len(nodes)]) for i, u in enumerate(nodes)
+        ] + [(u, u) for u in nodes[:3]]
+        for engine in engine_grid():
+            for u, v in probes:
+                assert engine.holds(graph, expr, u, v) == ((u, v) in expected), (
+                    f"holds diverged on backend={engine.backend} "
+                    f"kernel={engine.kernel} probe=({u!r}, {v!r})"
+                )
+
+    @settings(max_examples=60, deadline=None)
+    @given(graphs(), nres())
     def test_vector_matches_scalar_with_numpy_masked(self, graph, expr):
         """The fallback path: a vector engine built under a masked numpy
         runs the scalar kernel and stays answer-identical."""
@@ -145,11 +193,83 @@ class TestChaseKernelDifferential:
         assert with_numpy.expect_graph() == without_numpy.expect_graph()
 
 
+class TestSameAsStrategyDifferential:
+    """The union-find saturation is byte-identical to the journal oracle.
+
+    ``saturate_sameas`` computes a least fixpoint of monotone rules, so
+    the result is unique whatever the insertion order — but "identical
+    graph" is a weaker promise than "identical bytes on the wire".  These
+    properties pin the strong version over random chased graphs, random
+    extra sameAs seed edges (pre-built equivalence classes), and every
+    constraint-shape combination the strategy dispatcher distinguishes:
+    generic bodies, the recognised symmetry/transitivity pair (absorbed
+    into the union-find), and a lone law (not absorbed).
+    """
+
+    CONSTRAINT_SETS = {
+        "generic": [_hotel_sameas_constraint],
+        "generic+laws": [
+            _hotel_sameas_constraint,
+            _symmetry_constraint,
+            _transitivity_constraint,
+        ],
+        "laws-only": [_symmetry_constraint, _transitivity_constraint],
+        "generic+symmetry-only": [_hotel_sameas_constraint, _symmetry_constraint],
+        "generic+transitivity-only": [
+            _hotel_sameas_constraint,
+            _transitivity_constraint,
+        ],
+    }
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        flight_instances(),
+        st.sampled_from(sorted(CONSTRAINT_SETS)),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=4),
+    )
+    def test_saturation_byte_identical(self, instance, shape, seed, extra):
+        graph = _chased_graph(instance)
+        nodes = sorted(graph.nodes(), key=repr)
+        rng = random.Random(seed)
+        widened = graph.with_alphabet(set(graph.alphabet) | {SAME_AS_LABEL})
+        for _ in range(extra):  # pre-seeded equivalence classes
+            widened.add_edge(rng.choice(nodes), SAME_AS_LABEL, rng.choice(nodes))
+        constraints = self.CONSTRAINT_SETS[shape]
+        unionfind = saturate_sameas(widened, constraints, strategy="unionfind")
+        journal = saturate_sameas(widened, constraints, strategy="journal")
+        assert unionfind == journal, f"graphs diverged on shape={shape}"
+        assert json.dumps(graph_to_dict(unionfind), sort_keys=True) == json.dumps(
+            graph_to_dict(journal), sort_keys=True
+        ), f"serialized bytes diverged on shape={shape}"
+
+    @settings(max_examples=15, deadline=None)
+    @given(flight_instances())
+    def test_solution_pipeline_byte_identical(self, instance):
+        """End-to-end ``solve_with_sameas`` under each ``REPRO_SAMEAS``."""
+        results = {}
+        for strategy in ("unionfind", "journal"):
+            with mock.patch.dict(os.environ, {"REPRO_SAMEAS": strategy}):
+                solved = solve_with_sameas(
+                    [flights_st_tgd()],
+                    [_hotel_sameas_constraint],
+                    instance,
+                    alphabet={"f", "h"},
+                )
+            results[strategy] = json.dumps(
+                graph_to_dict(solved.expect_graph()), sort_keys=True
+            )
+        assert results["unionfind"] == results["journal"]
+
+
 class TestKernelResolution:
-    def test_vector_degrades_to_scalar_without_numpy(self):
+    def test_vector_degrades_to_scalar_without_numpy(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
         with mock.patch.object(kernels, "NUMPY", None):
             assert kernels.resolve_kernel("vector") == "scalar"
             assert kernels.resolve_kernel(None) == "scalar"
+            # codegen is pure Python: explicit requests never degrade.
+            assert kernels.resolve_kernel("codegen") == "codegen"
 
     def test_invalid_kernel_rejected(self):
         with pytest.raises(ValueError):
