@@ -15,6 +15,11 @@ The tolerance is deliberately generous: CI machines differ from the
 machine that produced the committed baseline, so the gate catches
 order-of-magnitude regressions (an accidentally-disabled cache, a
 quadratic slip), not single-digit jitter.
+
+``--markdown-summary PATH`` additionally *appends* a per-bench delta
+table in GitHub-flavoured markdown to ``PATH`` (pass
+``"$GITHUB_STEP_SUMMARY"`` in CI) — drift is then visible in the job
+summary on every run, long before it grows past the gate.
 """
 
 from __future__ import annotations
@@ -93,6 +98,55 @@ def compare(
     return lines, regressions
 
 
+def markdown_table(
+    new: dict[str, float], baseline: dict[str, float], tolerance: float
+) -> str:
+    """The per-bench delta table as GitHub-flavoured markdown.
+
+    One row per benchmark on either side, slowest-relative first, with
+    the signed delta spelled out — the job-summary rendering of the same
+    comparison :func:`compare` gates on.
+    """
+    rows: list[tuple[float, str]] = []
+    for name in sorted(set(new) | set(baseline)):
+        if name not in baseline:
+            rows.append(
+                (0.0, f"| `{name}` | — | {1000 * new[name]:.2f} | — | new |")
+            )
+            continue
+        if name not in new:
+            rows.append(
+                (0.0,
+                 f"| `{name}` | {1000 * baseline[name]:.2f} | — | — | "
+                 "missing from new run |")
+            )
+            continue
+        ratio = new[name] / baseline[name] if baseline[name] else float("inf")
+        delta = 100 * (ratio - 1.0)
+        if ratio > 1.0 + tolerance:
+            verdict = f"**regression** (> {100 * tolerance:.0f}%)"
+        elif ratio > 1.0:
+            verdict = "ok"
+        else:
+            verdict = "faster"
+        rows.append(
+            (ratio,
+             f"| `{name}` | {1000 * baseline[name]:.2f} | "
+             f"{1000 * new[name]:.2f} | {delta:+.1f}% | {verdict} |")
+        )
+    rows.sort(key=lambda row: -row[0])
+    return "\n".join(
+        [
+            "### Benchmark medians vs baseline",
+            "",
+            "| benchmark | baseline (ms) | new (ms) | delta | verdict |",
+            "| --- | ---: | ---: | ---: | --- |",
+            *[line for _, line in rows],
+            "",
+        ]
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("new", help="freshly exported medians JSON")
@@ -103,10 +157,19 @@ def main(argv: list[str] | None = None) -> int:
         default=0.25,
         help="allowed fractional slowdown before failing (default 0.25)",
     )
-    args = parser.parse_args(argv)
-    lines, regressions = compare(
-        load_medians(args.new), load_medians(args.baseline), args.tolerance
+    parser.add_argument(
+        "--markdown-summary",
+        default=None,
+        metavar="PATH",
+        help="append the per-bench delta table (GitHub markdown) to PATH "
+        '(use "$GITHUB_STEP_SUMMARY" in CI)',
     )
+    args = parser.parse_args(argv)
+    new, baseline = load_medians(args.new), load_medians(args.baseline)
+    lines, regressions = compare(new, baseline, args.tolerance)
+    if args.markdown_summary:
+        with open(args.markdown_summary, "a", encoding="utf-8") as handle:
+            handle.write(markdown_table(new, baseline, args.tolerance) + "\n")
     print(f"medians: {args.new} vs baseline {args.baseline}")
     for line in lines:
         print(line)

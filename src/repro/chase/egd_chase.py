@@ -44,6 +44,7 @@ from repro.mappings.egd import TargetEgd
 from repro.mappings.stt import SourceToTargetTgd
 from repro.patterns.pattern import GraphPattern
 from repro.relational.instance import RelationalInstance
+from repro.telemetry import fold_stats, span
 
 Node = Hashable
 
@@ -96,8 +97,12 @@ def chase_pattern_with_egds(
 def _egd_fixpoint(
     pattern: GraphPattern, egds: list[TargetEgd], stats: ChaseStats
 ) -> ChaseResult:
-    queue = EgdViolationQueue(egds, pattern_symbol_view(pattern), stats)
-    failed, witness = run_egd_fixpoint(queue, stats, apply=pattern.substitute)
+    with span("chase.egd", egds=len(egds)):
+        queue = EgdViolationQueue(egds, pattern_symbol_view(pattern), stats)
+        failed, witness = run_egd_fixpoint(
+            queue, stats, apply=pattern.substitute
+        )
+    fold_stats("chase", stats)
     return ChaseResult(
         pattern=pattern, failed=failed, failure_witness=witness, stats=stats
     )

@@ -25,6 +25,7 @@ from repro.relational.evaluate import cq_match_rows
 from repro.relational.instance import RelationalInstance
 from repro.relational.query import Variable, is_variable
 from repro.chase.result import ChaseResult, ChaseStats
+from repro.telemetry import fold_stats, span
 
 Node = Hashable
 
@@ -53,6 +54,20 @@ def chase_pattern(
     pattern = GraphPattern(alphabet=sigma)
     stats = ChaseStats()
 
+    with span("chase.pattern", tgds=len(tgds)):
+        _fire_st_tgds(tgds, instance, pattern, stats)
+    stats.rounds = 1
+    fold_stats("chase", stats)
+    return ChaseResult(pattern=pattern, stats=stats)
+
+
+def _fire_st_tgds(
+    tgds: Sequence[SourceToTargetTgd],
+    instance: RelationalInstance,
+    pattern: GraphPattern,
+    stats: ChaseStats,
+) -> None:
+    """Fire every s-t tgd trigger over ``instance`` into ``pattern``."""
     for tgd in tgds:
         # All of the tgd's fireable triggers come out of *one* pass over
         # the source instance (the evaluator's batch entry point projects
@@ -79,9 +94,6 @@ def chase_pattern(
         batch = [distinct[key] for key in sorted(distinct)]
         _apply_triggers(pattern, tgd, variables, batch)
         stats.st_applications += len(batch)
-
-    stats.rounds = 1
-    return ChaseResult(pattern=pattern, stats=stats)
 
 
 def _apply_triggers(

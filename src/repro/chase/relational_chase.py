@@ -27,6 +27,7 @@ from repro.mappings.stt import SourceToTargetTgd
 from repro.patterns.pattern import Null
 from repro.relational.instance import RelationalInstance
 from repro.relational.query import Variable, is_variable
+from repro.telemetry import fold_stats, span
 
 Node = Hashable
 
@@ -60,6 +61,20 @@ def chase_relational(
     sigma: set[str] | None = set(alphabet) if alphabet is not None else None
     graph = GraphDatabase(alphabet=sigma)
     stats = ChaseStats()
+    with span("chase.relational", tgds=len(tgds), egds=len(egds)):
+        _fire_relational_tgds(tgds, instance, graph, stats)
+        result = _egd_fixpoint_on_graph(graph, list(egds), stats)
+    fold_stats("chase", stats)
+    return result
+
+
+def _fire_relational_tgds(
+    tgds: Sequence[SourceToTargetTgd],
+    instance: RelationalInstance,
+    graph: GraphDatabase,
+    stats: ChaseStats,
+) -> None:
+    """Fire every single-symbol s-t tgd trigger into ``graph``."""
     null_counter = 0
 
     for tgd in tgds:
@@ -86,8 +101,6 @@ def chase_relational(
                 )
                 graph.add_edge(source, atom.nre.name, target)  # type: ignore[union-attr]
             stats.st_applications += 1
-
-    return _egd_fixpoint_on_graph(graph, list(egds), stats)
 
 
 def _egd_fixpoint_on_graph(

@@ -15,7 +15,7 @@ Statistics are collected uniformly so benchmarks can report step counts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.graph.database import GraphDatabase
 from repro.patterns.pattern import GraphPattern
@@ -60,6 +60,20 @@ class ChaseStats:
             + self.tgd_applications
             + self.sameas_edges_added
         )
+
+    def as_dict(self) -> dict[str, int]:
+        """Every counter (plus derived ``triggers_fired``) as a plain dict.
+
+        The single source of truth for wire formats and telemetry folding
+        — new counters added to the dataclass show up everywhere at once.
+
+        >>> ChaseStats(st_applications=2, egd_firings=1).as_dict()[
+        ...     "triggers_fired"]
+        3
+        """
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["triggers_fired"] = self.triggers_fired
+        return out
 
     def merge(self, other: "ChaseStats") -> "ChaseStats":
         """Return the component-wise sum of two stat records.

@@ -216,7 +216,122 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache_limit=0 if args.no_cache else args.cache_limit,
         snapshot_dir=args.snapshot_dir,
+        metrics_port=args.metrics_port,
     )
+    return 0
+
+
+def _parse_service_address(address: str) -> tuple[str, int]:
+    """``HOST:PORT`` (or bare ``PORT``, defaulting to localhost)."""
+    host, _, port_text = address.rpartition(":")
+    if not host:
+        host = "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise SystemExit(f"invalid service address {address!r} "
+                         "(expected HOST:PORT or PORT)") from None
+    return host, port
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """``repro stats <addr>``: a live telemetry snapshot, human-rendered."""
+    from repro.service.client import ServiceClient, ServiceError
+
+    host, port = _parse_service_address(args.address)
+    try:
+        with ServiceClient(host, port, timeout=args.timeout) as client:
+            body = client.metrics()
+    except (ServiceError, OSError) as error:
+        print(f"service error: {error}", file=sys.stderr)
+        return 3
+    if args.json:
+        print(json.dumps(body, indent=2, sort_keys=True))
+        return 0
+    metrics = body["metrics"]
+    service = body["service"]
+    print(f"telemetry: {'on' if body['enabled'] else 'off'}")
+    print(
+        f"service: requests={service['requests']} "
+        f"connections={service['connections']} "
+        f"active_jobs={len(service['active_jobs'])}"
+    )
+    cache = service.get("cache")
+    if cache:
+        print(
+            f"cache: entries={cache['entries']}/{cache['limit']} "
+            f"hits={cache['hits']} misses={cache['misses']} "
+            f"evictions={cache['evictions']}"
+        )
+    traces = body.get("traces", {})
+    if traces:
+        print(
+            f"traces: recorded={traces['recorded']} "
+            f"slow={traces['slow_recorded']}"
+        )
+    if metrics["counters"]:
+        print("counters:")
+        for name in sorted(metrics["counters"]):
+            print(f"  {name} = {metrics['counters'][name]}")
+    if metrics["gauges"]:
+        print("gauges:")
+        for name in sorted(metrics["gauges"]):
+            print(f"  {name} = {metrics['gauges'][name]}")
+    if metrics["histograms"]:
+        print("histograms:")
+        for name in sorted(metrics["histograms"]):
+            snap = metrics["histograms"][name]
+            mean_ms = (snap["sum"] / snap["count"] * 1000) if snap["count"] else 0.0
+            print(
+                f"  {name}: count={snap['count']} "
+                f"mean={mean_ms:.3f}ms total={snap['sum']:.6f}s"
+            )
+    return 0
+
+
+def _render_span(node: dict, depth: int = 0) -> list[str]:
+    """Indent one span subtree into printable lines."""
+    duration_ms = float(node.get("duration_s", 0.0)) * 1000
+    attrs = node.get("attrs") or {}
+    attr_text = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+    line = f"{'  ' * depth}{node.get('name', '?')}  {duration_ms:.3f}ms"
+    if attr_text:
+        line += f"  [{attr_text}]"
+    lines = [line]
+    for child in node.get("children", ()):
+        lines.extend(_render_span(child, depth + 1))
+    if node.get("dropped_children"):
+        lines.append(
+            f"{'  ' * (depth + 1)}(+{node['dropped_children']} spans dropped)"
+        )
+    return lines
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace <addr>``: recent (or slow) request traces, rendered."""
+    from repro.service.client import ServiceClient, ServiceError
+
+    host, port = _parse_service_address(args.address)
+    try:
+        with ServiceClient(host, port, timeout=args.timeout) as client:
+            body = client.traces(limit=args.limit, slow=args.slow)
+    except (ServiceError, OSError) as error:
+        print(f"service error: {error}", file=sys.stderr)
+        return 3
+    if args.json:
+        print(json.dumps(body, indent=2, sort_keys=True))
+        return 0
+    stats = body["stats"]
+    ring = "slow-request ring" if args.slow else "recent ring"
+    print(
+        f"{ring}: showing {len(body['traces'])} of "
+        f"{stats['slow_recorded'] if args.slow else stats['recorded']} recorded"
+    )
+    for trace in body["traces"]:
+        print()
+        print("\n".join(_render_span(trace)))
+    if not body["traces"]:
+        print("(no traces recorded — is REPRO_TELEMETRY off on the server?)")
     return 0
 
 
@@ -258,6 +373,11 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             params["kernel"] = args.kernel
     if op == "cancel":
         params["job"] = args.job
+    if op == "traces":
+        if args.limit is not None:
+            params["limit"] = args.limit
+        if args.slow:
+            params["slow"] = True
 
     with ServiceClient(args.host, args.port, timeout=args.timeout) as client:
         try:
@@ -477,7 +597,40 @@ def build_parser() -> argparse.ArgumentParser:
         "tenants skip re-chasing after a restart (sets REPRO_SNAPSHOT_DIR "
         "for the worker pool)",
     )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="also bind a plain-HTTP /metrics + /healthz introspection "
+        "listener on this port (0 = ephemeral; Prometheus text format)",
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    stats = commands.add_parser(
+        "stats", help="live telemetry snapshot of a running service"
+    )
+    stats.add_argument("address", help="service address (HOST:PORT or PORT)")
+    stats.add_argument("--json", action="store_true", help="dump raw JSON")
+    stats.add_argument(
+        "--timeout", type=float, default=30.0, help="client socket timeout"
+    )
+    stats.set_defaults(handler=_cmd_stats)
+
+    trace = commands.add_parser(
+        "trace", help="recent request traces of a running service"
+    )
+    trace.add_argument("address", help="service address (HOST:PORT or PORT)")
+    trace.add_argument(
+        "--limit", type=int, default=5, help="how many traces to fetch"
+    )
+    trace.add_argument(
+        "--slow", action="store_true", help="read the slow-request ring"
+    )
+    trace.add_argument("--json", action="store_true", help="dump raw JSON")
+    trace.add_argument(
+        "--timeout", type=float, default=30.0, help="client socket timeout"
+    )
+    trace.set_defaults(handler=_cmd_trace)
 
     submit = commands.add_parser(
         "submit", help="send one request to a running service"
@@ -519,6 +672,10 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--kernel", choices=KERNEL_NAMES, default=None)
     requests.add_parser("ping", help="liveness probe")
     requests.add_parser("stats", help="server telemetry snapshot")
+    requests.add_parser("metrics", help="server metrics-registry snapshot")
+    sub_traces = requests.add_parser("traces", help="recent request traces")
+    sub_traces.add_argument("--limit", type=int, default=None)
+    sub_traces.add_argument("--slow", action="store_true")
     requests.add_parser("shutdown", help="stop the server")
     cancel = requests.add_parser("cancel", help="cancel an in-flight request id")
     cancel.add_argument("job", help="request id to cancel")

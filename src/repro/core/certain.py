@@ -53,6 +53,7 @@ from repro.errors import BoundExceeded
 from repro.graph.database import GraphDatabase
 from repro.graph.nre import NRE
 from repro.relational.instance import RelationalInstance
+from repro.telemetry import span
 
 Node = Hashable
 Pair = tuple[Node, Node]
@@ -134,14 +135,17 @@ def certain_answers_nre(
     domain = instance.active_domain()
     intersection: set[Pair] | None = None
     examined = 0
-    for solution in _solutions_for_intersection(
-        setting, instance, cfg, existence, eng
-    ):
-        answers = set(eng.answers_over(solution, query, domain))
-        intersection = answers if intersection is None else intersection & answers
-        examined += 1
-        if not intersection:
-            break
+    with span("engine.enumerate", queries=1):
+        for solution in _solutions_for_intersection(
+            setting, instance, cfg, existence, eng
+        ):
+            answers = set(eng.answers_over(solution, query, domain))
+            intersection = (
+                answers if intersection is None else intersection & answers
+            )
+            examined += 1
+            if not intersection:
+                break
 
     if intersection is None:
         raise BoundExceeded(
@@ -218,21 +222,24 @@ def certain_answers_batch(
             }
             live = set(pending)
             examined = 0
-            for solution in _solutions_for_intersection(
-                setting, instance, cfg, existence, eng
-            ):
-                if not live:
-                    break
-                examined += 1
-                for index in sorted(live):
-                    answers = set(
-                        eng.answers_over(solution, query_list[index], domain)
-                    )
-                    current = intersections[index]
-                    current = answers if current is None else current & answers
-                    intersections[index] = current
-                    if not current:
-                        live.discard(index)
+            with span("engine.enumerate", queries=len(pending)):
+                for solution in _solutions_for_intersection(
+                    setting, instance, cfg, existence, eng
+                ):
+                    if not live:
+                        break
+                    examined += 1
+                    for index in sorted(live):
+                        answers = set(
+                            eng.answers_over(solution, query_list[index], domain)
+                        )
+                        current = intersections[index]
+                        current = (
+                            answers if current is None else current & answers
+                        )
+                        intersections[index] = current
+                        if not current:
+                            live.discard(index)
             for index in pending:
                 intersection = intersections[index]
                 if intersection is None:

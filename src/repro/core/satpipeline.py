@@ -54,6 +54,7 @@ from repro.solver.encode import (
     decode_edge_model,
     encode_bounded_existence,
 )
+from repro.telemetry import fold_stats, span
 
 Node = Hashable
 
@@ -83,13 +84,14 @@ class SatPipeline:
         self.instance = instance.copy()
         instance = self.instance
         self.solver_name = resolve_solver_name(solver)
-        pattern = chase_pattern(
-            setting.st_tgds, instance, alphabet=setting.alphabet
-        ).expect_pattern()
-        self.nodes: list[Node] = sorted(pattern.nodes(), key=repr)
-        self._members = set(self.nodes)
-        self.cnf = encode_bounded_existence(setting, instance, self.nodes)
-        self.solver = make_solver(self.cnf, self.solver_name)
+        with span("solver.build", solver=self.solver_name):
+            pattern = chase_pattern(
+                setting.st_tgds, instance, alphabet=setting.alphabet
+            ).expect_pattern()
+            self.nodes: list[Node] = sorted(pattern.nodes(), key=repr)
+            self._members = set(self.nodes)
+            self.cnf = encode_bounded_existence(setting, instance, self.nodes)
+            self.solver = make_solver(self.cnf, self.solver_name)
         self.probes = 0
         """SAT solves issued through :meth:`probe_pair` (telemetry)."""
         self._guards: dict[tuple[NRE, Node, Node], int | None] = {}
@@ -106,7 +108,9 @@ class SatPipeline:
         guard false), so the verdict cannot go stale.
         """
         if self._existence is _UNSET:
-            model = self.solver.solve()
+            with span("solver.solve", kind="existence", solver=self.solver_name):
+                model = self.solver.solve()
+            self._fold_solver_stats()
             self._existence = None if model is None else self._witness(model)
         return self._existence  # type: ignore[return-value]
 
@@ -135,7 +139,9 @@ class SatPipeline:
             # The pair has no realisation over the universe: any solution
             # is a counterexample, and the existence answer is cached.
             return self.existence_witness()
-        model = self.solver.solve((guard,))
+        with span("solver.solve", kind="probe", solver=self.solver_name):
+            model = self.solver.solve((guard,))
+        self._fold_solver_stats()
         if model is None:
             return None
         return self._witness(model)
@@ -171,6 +177,16 @@ class SatPipeline:
         return installed
 
     # ------------------------------------------------------------------ #
+
+    def _fold_solver_stats(self) -> None:
+        """Fold the solver's cumulative counters into the telemetry registry.
+
+        Called after every solve; :func:`~repro.telemetry.fold_stats` folds
+        by delta, so repeated calls ship only the new work.
+        """
+        stats = getattr(self.solver, "stats", None)
+        if stats is not None:
+            fold_stats("solver", stats)
 
     def _install_guard(self, query: NRE, source: Node, target: Node) -> int | None:
         if source not in self._members or target not in self._members:
@@ -289,6 +305,16 @@ def advance_pipeline(
     if successor is not None and isinstance(prior, SatPipeline):
         successor.prewarm_pairs(prior.guard_keys())
     return successor
+
+
+def live_pipelines() -> list[SatPipeline]:
+    """Every pipeline currently warm in this process's registry.
+
+    The introspection hook worker processes use to flush accumulated
+    solver counters into the telemetry registry at response time.
+    """
+    with _PIPELINES_LOCK:
+        return [p for p in _PIPELINES.values() if isinstance(p, SatPipeline)]
 
 
 def clear_pipelines() -> None:

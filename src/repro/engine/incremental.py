@@ -47,6 +47,7 @@ from repro.graph.cnre import CNREAtom, CNREQuery
 from repro.graph.database import Edge, GraphDatabase
 from repro.graph.nre import NRE, Backward, Concat, Label, Union
 from repro.mappings.egd import TargetEgd
+from repro.telemetry import fold_stats, span
 from repro.patterns.pattern import Null, is_null
 from repro.relational.evaluate import cq_homomorphisms
 from repro.relational.instance import RelationalInstance
@@ -108,6 +109,14 @@ class UpdateStats:
         2
         """
         return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def as_dict(self) -> dict[str, int]:
+        """Alias of :meth:`summary` — the uniform stats-adapter spelling.
+
+        >>> UpdateStats(batches=2).as_dict()["batches"]
+        2
+        """
+        return self.summary()
 
 
 # --------------------------------------------------------------------- #
@@ -342,6 +351,12 @@ class IncrementalChase:
         Returns a summary dict with the batch's ``inserts``/``deletes``/
         ``noops`` counts and the resulting ``failed`` flag.
         """
+        with span("update.apply"):
+            counts = self._apply_batch(updates)
+        fold_stats("update", self.stats)
+        return counts
+
+    def _apply_batch(self, updates: Iterable[Update | Mapping]) -> dict:
         batch = [self._normalize(update) for update in updates]
         for _, relation, values in batch:
             symbol = self.instance.schema[relation]

@@ -105,6 +105,14 @@ class EvalStats:
     """CSR freezes served by journal replay from the previous frozen tip
     (only the update batch's labels rebuilt) instead of a cold freeze."""
 
+    def as_dict(self) -> dict[str, int]:
+        """Every counter as a plain dict (telemetry folding, reporting).
+
+        >>> EvalStats(graph_cache_hits=3).as_dict()["graph_cache_hits"]
+        3
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
     def summary(self) -> str:
         """Return a one-line ``key=value`` rendering of every counter."""
         return " ".join(
@@ -475,3 +483,14 @@ def default_engine(backend: str = "dict", kernel: str | None = None) -> QueryEng
     if engine is None:
         engine = _DEFAULT_ENGINES[key] = QueryEngine(backend=backend, kernel=key[1])
     return engine
+
+
+def live_engines() -> list[QueryEngine]:
+    """Every process-wide shared engine currently warm.
+
+    The introspection hook worker processes use to flush accumulated
+    :class:`EvalStats` counters into the telemetry registry at response
+    time (``repro.telemetry.fold_stats`` folds by delta, so repeated
+    flushes of these cumulative objects never double count).
+    """
+    return list(_DEFAULT_ENGINES.values())

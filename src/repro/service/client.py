@@ -138,6 +138,17 @@ class ServiceClient:
         """Best-effort cancellation of an in-flight request id."""
         return self.call("cancel", {"job": job_id})
 
+    def metrics(self) -> dict:
+        """The server's full telemetry-registry snapshot (JSON form)."""
+        return self.call("metrics")
+
+    def traces(self, limit: int | None = None, slow: bool = False) -> dict:
+        """Recent request traces (``slow=True`` reads the slow-request ring)."""
+        params: dict[str, Any] = {"slow": slow}
+        if limit is not None:
+            params["limit"] = limit
+        return self.call("traces", params)
+
     def exists(self, document: dict, **params) -> dict:
         """Decide existence of solutions for an exchange document."""
         return self.call("exists", {"document": document, **params})

@@ -51,8 +51,12 @@ PROTOCOL_VERSION = 1
 COMPUTE_OPS = ("apply_updates", "certain", "chase", "evaluate_batch", "exists")
 """Operations that run in the worker pool and are result-cacheable."""
 
-CONTROL_OPS = ("cancel", "ping", "shutdown", "stats")
-"""Operations answered inline by the server itself."""
+CONTROL_OPS = ("cancel", "metrics", "ping", "shutdown", "stats", "traces")
+"""Operations answered inline by the server itself.
+
+``metrics`` and ``traces`` form the introspection plane: they read the
+server's telemetry registry and trace ring without occupying a worker
+slot, so a wedged pool can still be diagnosed over the same wire."""
 
 ENGINE_NAMES = ("compiled", "reference")
 # BACKEND_NAMES (imported above) is the single source of truth for the
@@ -216,6 +220,22 @@ def _check_job(value: Any) -> str:
     return value
 
 
+def _check_trace_limit(value: Any):
+    if value is None:
+        return None
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise ProtocolError(
+            "bad-request", "limit must be a positive integer or null"
+        )
+    return value
+
+
+def _check_slow(value: Any) -> bool:
+    if not isinstance(value, bool):
+        raise ProtocolError("bad-request", "slow must be a boolean")
+    return value
+
+
 _COMMON = {
     "star_bound": (_check_star_bound, False, 2),
     "engine": (_check_engine, False, "compiled"),
@@ -248,6 +268,11 @@ _SPECS: dict[str, dict[str, tuple]] = {
     "stats": {},
     "shutdown": {},
     "cancel": {"job": (_check_job, True, None)},
+    "metrics": {},
+    "traces": {
+        "limit": (_check_trace_limit, False, None),
+        "slow": (_check_slow, False, False),
+    },
 }
 
 

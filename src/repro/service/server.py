@@ -31,8 +31,15 @@ from __future__ import annotations
 import asyncio
 import os
 import threading
+import time
 from typing import Callable
 
+from repro import telemetry
+from repro.telemetry import (
+    TraceBuffer,
+    slow_threshold,
+    stitch_request_trace,
+)
 from repro.service.cache import DEFAULT_LIMIT, ResultCache
 from repro.service.jobs import DuplicateJobError, JobRegistry
 from repro.service.protocol import (
@@ -63,10 +70,13 @@ class ExchangeService:
         self.jobs = jobs if jobs is not None else JobRegistry()
         self.connections = 0
         self.requests = 0
+        self.traces = TraceBuffer()
         self._server: asyncio.AbstractServer | None = None
+        self._metrics_server: asyncio.AbstractServer | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._shutdown: asyncio.Event | None = None
         self.address: tuple[str, int] | None = None
+        self.metrics_address: tuple[str, int] | None = None
 
     # ------------------------------------------------------------------ #
     # Request handling.
@@ -98,21 +108,43 @@ class ExchangeService:
             return ok_envelope(
                 request.id, {"job": request.params["job"], "outcome": outcome}
             )
+        if request.op == "metrics":
+            return ok_envelope(request.id, self.metrics_snapshot())
+        if request.op == "traces":
+            return ok_envelope(
+                request.id,
+                {
+                    "stats": self.traces.stats(),
+                    "traces": self.traces.snapshot(
+                        limit=request.params["limit"],
+                        slow=request.params["slow"],
+                    ),
+                },
+            )
         return await self._compute(request)
 
     async def _compute(self, request: Request) -> dict:
         fingerprint = request.fingerprint()
+        collect = telemetry.enabled()
+        if collect:
+            telemetry.inc("service.requests")
         use_cache = self.cache is not None and not request.no_cache
         if use_cache:
             hit, value = self.cache.get(fingerprint)  # type: ignore[union-attr]
             if hit:
+                if collect:
+                    telemetry.inc("service.cache_hits")
                 return ok_envelope(request.id, value, cached=True)
+            if collect:
+                telemetry.inc("service.cache_misses")
         if request.deadline_s is not None and request.deadline_s <= 0:
             return error_envelope(
                 request.id,
                 "deadline-exceeded",
                 "deadline elapsed before the job could be scheduled",
             )
+        submit_ts = time.time()
+        started = time.perf_counter()
         try:
             # Admission precedes submission: a duplicate id is rejected
             # before it can occupy a worker slot.
@@ -154,6 +186,17 @@ class ExchangeService:
             return error_envelope(
                 request.id, "internal-error", f"{type(error).__name__}: {error}"
             )
+        sidecar = None
+        if isinstance(result, dict) and result.get("__worker__") == 1:
+            # The pool wraps every result in the telemetry envelope;
+            # unwrap before caching/responding so wire responses stay
+            # byte-identical to direct execute_request calls.
+            sidecar = result.get("telemetry")
+            result = result.get("value")
+        if collect:
+            self._record_request(
+                request, submit_ts, time.perf_counter() - started, sidecar
+            )
         if job.cancel_requested:
             # A `cancel` op hit after a worker picked the job up: the
             # computation finished, but the documented contract is that a
@@ -170,6 +213,65 @@ class ExchangeService:
         if use_cache:
             self.cache.put(fingerprint, result)  # type: ignore[union-attr]
         return ok_envelope(request.id, result, cached=False)
+
+    def _record_request(
+        self,
+        request: Request,
+        submit_ts: float,
+        total_s: float,
+        sidecar: dict | None,
+    ) -> None:
+        """Fold one completed request into the registry and trace rings.
+
+        Merges the worker's shipped counter deltas (except on the inline
+        lane, whose workers already share this process's registry),
+        observes the latency histograms, stitches the full trace — queue
+        wait plus the worker's span tree — and records it, flagging the
+        request slow when it ran past the deadline fraction
+        (:func:`repro.telemetry.slow_threshold`).
+        """
+        worker_span = None
+        if isinstance(sidecar, dict):
+            worker_span = sidecar.get("span")
+            deltas = sidecar.get("metrics")
+            if isinstance(deltas, dict) and self.pool.mode != "inline":
+                telemetry.get_registry().merge_deltas(deltas)
+        telemetry.observe("service.request_seconds", total_s)
+        if isinstance(worker_span, dict):
+            telemetry.observe(
+                "service.queue_wait_seconds",
+                max(0.0, float(worker_span.get("start_ts", 0.0)) - submit_ts),
+            )
+        else:
+            worker_span = None
+        trace = stitch_request_trace(
+            request.id, request.op, submit_ts, total_s, worker_span
+        )
+        slow = total_s >= slow_threshold(request.deadline_s)
+        if slow:
+            telemetry.inc("service.slow_requests")
+        self.traces.add(trace, slow=slow)
+
+    def metrics_snapshot(self) -> dict:
+        """The ``metrics`` response body: the full registry + service state."""
+        self.refresh_gauges()
+        return {
+            "enabled": telemetry.enabled(),
+            "metrics": telemetry.get_registry().to_dict(),
+            "service": self.snapshot(),
+            "traces": self.traces.stats(),
+        }
+
+    def refresh_gauges(self) -> None:
+        """Mirror point-in-time service state into registry gauges."""
+        if not telemetry.enabled():
+            return
+        telemetry.set_gauge("service.active_jobs", len(self.jobs.active()))
+        telemetry.set_gauge("service.connections", self.connections)
+        if self.cache is not None:
+            telemetry.set_gauge(
+                "service.cache_entries", self.cache.stats()["entries"]
+            )
 
     def snapshot(self) -> dict:
         """The ``stats`` response body."""
@@ -228,6 +330,64 @@ class ExchangeService:
         self.address = (sockname[0], sockname[1])
         return self.address
 
+    async def serve_metrics(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> tuple[str, int]:
+        """Bind the plain-HTTP introspection listener (``--metrics-port``).
+
+        Serves ``GET /metrics`` (Prometheus text-exposition format, so a
+        stock Prometheus scraper can point straight at it) and
+        ``GET /healthz`` (liveness).  Returns the bound (host, port).
+        """
+        self._metrics_server = await asyncio.start_server(
+            self._handle_metrics_connection, host, port
+        )
+        sockname = self._metrics_server.sockets[0].getsockname()
+        self.metrics_address = (sockname[0], sockname[1])
+        return self.metrics_address
+
+    async def _handle_metrics_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Answer one HTTP/1.0-style request and close the connection."""
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), timeout=10)
+            while True:  # drain headers until the blank line (or EOF)
+                header = await asyncio.wait_for(reader.readline(), timeout=10)
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.split()
+            path = parts[1].decode("latin-1") if len(parts) >= 2 else ""
+            if path.split("?", 1)[0] == "/metrics":
+                self.refresh_gauges()
+                status, body = "200 OK", telemetry.get_registry().render_prometheus()
+                content_type = "text/plain; version=0.0.4; charset=utf-8"
+            elif path.split("?", 1)[0] == "/healthz":
+                status, body = "200 OK", "ok\n"
+                content_type = "text/plain; charset=utf-8"
+            else:
+                status, body = "404 Not Found", "not found\n"
+                content_type = "text/plain; charset=utf-8"
+            payload = body.encode("utf-8")
+            writer.write(
+                (
+                    f"HTTP/1.1 {status}\r\n"
+                    f"Content-Type: {content_type}\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode("latin-1")
+                + payload
+            )
+            await writer.drain()
+        except (asyncio.TimeoutError, OSError, ValueError):
+            pass  # a malformed or stalled scraper must not wedge the plane
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                pass
+
     async def serve_forever(self) -> None:
         """Run until :meth:`request_shutdown` (requires :meth:`serve` first)."""
         assert self._server is not None and self._shutdown is not None
@@ -236,6 +396,9 @@ class ExchangeService:
         finally:
             self._server.close()
             await self._server.wait_closed()
+            if self._metrics_server is not None:
+                self._metrics_server.close()
+                await self._metrics_server.wait_closed()
 
     def request_shutdown(self) -> None:
         """Unblock :meth:`serve_forever`; safe from any thread, idempotent."""
@@ -254,6 +417,7 @@ def run_server(
     cache_limit: int = DEFAULT_LIMIT,
     announce: Callable[[str], None] | None = None,
     snapshot_dir: str | None = None,
+    metrics_port: int | None = None,
 ) -> None:
     """Blocking server entry point (the ``repro serve`` CLI command).
 
@@ -268,6 +432,13 @@ def run_server(
     contract::
 
         repro-service listening on 127.0.0.1:8765 (workers=2, pid=4242)
+
+    ``metrics_port`` (CLI: ``--metrics-port``) additionally binds the
+    plain-HTTP ``/metrics`` + ``/healthz`` introspection listener on the
+    same host; its address is announced on a *second* line (the primary
+    announce-line contract above is unchanged)::
+
+        repro-metrics listening on 127.0.0.1:9090
     """
     pool = WorkerPool(workers, snapshot_dir=snapshot_dir)
     if pool.mode == "process":
@@ -278,17 +449,26 @@ def run_server(
 
     async def main() -> None:
         bound_host, bound_port = await service.serve(host, port)
-        line = (
+        lines = [
             f"repro-service listening on {bound_host}:{bound_port} "
             f"(workers={pool.workers if pool.mode == 'process' else 'inline'}, "
             f"pid={os.getpid()})"
-        )
-        if announce is not None:
-            announce(line)
-        else:
-            # flush=True: scrapers read this through a pipe, where stdout
-            # is block-buffered — an unflushed announce line never arrives.
-            print(line, flush=True)
+        ]
+        if metrics_port is not None:
+            metrics_host, bound_metrics_port = await service.serve_metrics(
+                host, metrics_port
+            )
+            lines.append(
+                f"repro-metrics listening on {metrics_host}:{bound_metrics_port}"
+            )
+        for line in lines:
+            if announce is not None:
+                announce(line)
+            else:
+                # flush=True: scrapers read this through a pipe, where stdout
+                # is block-buffered — an unflushed announce line never
+                # arrives.
+                print(line, flush=True)
         await service.serve_forever()
 
     try:
@@ -307,12 +487,15 @@ class ServiceHandle:
         thread: threading.Thread,
         host: str,
         port: int,
+        metrics_address: tuple[str, int] | None = None,
     ):
         self.service = service
         self.pool = pool
         self.thread = thread
         self.host = host
         self.port = port
+        self.metrics_address = metrics_address
+        """The bound ``/metrics`` HTTP address, when requested (host, port)."""
 
     def client(self, timeout: float = 120.0):
         """A fresh blocking client bound to this server."""
@@ -339,6 +522,7 @@ def start_in_thread(
     host: str = "127.0.0.1",
     port: int = 0,
     snapshot_dir: str | None = None,
+    metrics_port: int | None = None,
 ) -> ServiceHandle:
     """Start a server in a daemon thread; returns a :class:`ServiceHandle`.
 
@@ -361,6 +545,10 @@ def start_in_thread(
         async def main() -> None:
             try:
                 box["address"] = await service.serve(host, port)
+                if metrics_port is not None:
+                    box["metrics_address"] = await service.serve_metrics(
+                        host, metrics_port
+                    )
             finally:
                 ready.set()
             await service.serve_forever()
@@ -380,4 +568,7 @@ def start_in_thread(
         pool.shutdown()
         raise RuntimeError(f"service failed to bind: {box.get('error')}")
     bound_host, bound_port = box["address"]
-    return ServiceHandle(service, pool, thread, bound_host, bound_port)
+    return ServiceHandle(
+        service, pool, thread, bound_host, bound_port,
+        metrics_address=box.get("metrics_address"),
+    )

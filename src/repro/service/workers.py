@@ -49,6 +49,8 @@ from repro.io.json_io import (
     graph_to_dict,
     pattern_to_dict,
 )
+from repro import telemetry
+from repro.telemetry import fold_stats, span
 
 # --------------------------------------------------------------------- #
 # Result serialisation — shared by the handlers and the differential
@@ -123,10 +125,20 @@ pools, so two servers in one parent process never see each other's
 configuration (the environment is not mutated)."""
 
 
-def _initialize_worker(snapshot_dir: str | None) -> None:
-    """Pool initializer: pin this worker's snapshot directory."""
+def _initialize_worker(
+    snapshot_dir: str | None, telemetry_override: bool | None = None
+) -> None:
+    """Pool initializer: pin this worker's snapshot dir + telemetry state.
+
+    ``telemetry_override`` replays the parent's programmatic
+    :func:`repro.telemetry.set_enabled` override into the worker process
+    (``None`` leaves the worker on environment resolution, which spawned
+    workers inherit anyway).
+    """
     global _SNAPSHOT_DIR_OVERRIDE
     _SNAPSHOT_DIR_OVERRIDE = snapshot_dir
+    if telemetry_override is not None:
+        telemetry.set_enabled(telemetry_override)
 
 
 def snapshot_store():
@@ -231,10 +243,13 @@ def _handle_chase(params: dict) -> dict:
 
 
 def _chase_stats(result) -> dict:
-    return {
-        "null_merges": result.stats.null_merges,
-        "st_applications": result.stats.st_applications,
-    }
+    """The wire shape of a chase run's counters.
+
+    Delegates to :meth:`~repro.chase.result.ChaseStats.as_dict` — the one
+    source of truth — so counters added to the dataclass reach the wire
+    (and the telemetry registry) without touching this module.
+    """
+    return result.stats.as_dict()
 
 
 def _handle_evaluate_batch(params: dict) -> dict:
@@ -343,6 +358,50 @@ def execute_request(op: str, params: dict) -> dict:
         return _error_marker("internal-error", f"{type(error).__name__}: {error}")
 
 
+def _flush_worker_telemetry() -> None:
+    """Fold this process's warm caches' cumulative stats into the registry.
+
+    The per-process :class:`~repro.engine.query.QueryEngine` instances and
+    :class:`~repro.core.satpipeline.SatPipeline` solvers accumulate
+    counters across requests; folding is delta-based, so flushing after
+    every request ships exactly the new work.
+    """
+    from repro.core.satpipeline import live_pipelines
+    from repro.engine.query import live_engines
+
+    for engine in live_engines():
+        fold_stats("engine", engine.stats)
+    for pipeline in live_pipelines():
+        stats = getattr(pipeline.solver, "stats", None)
+        if stats is not None:
+            fold_stats("solver", stats)
+
+
+def traced_execute_request(op: str, params: dict) -> dict:
+    """:func:`execute_request` wrapped in the telemetry envelope.
+
+    The pool entry point.  The result is wrapped as ``{"__worker__": 1,
+    "value": <execute_request result>, "telemetry": <sidecar|None>}`` —
+    the server unwraps the value (so responses stay byte-identical to
+    direct :func:`execute_request` calls) and consumes the sidecar:
+    the worker's serialized span tree plus the counter deltas this
+    request produced, shipped for server-side stitching and aggregation.
+    ``execute_request`` itself stays pure and envelope-free for library
+    callers and the differential tests.
+    """
+    if not telemetry.enabled():
+        return {"__worker__": 1, "value": execute_request(op, params),
+                "telemetry": None}
+    with span("worker.execute", op=op, pid=os.getpid()) as root:
+        result = execute_request(op, params)
+    _flush_worker_telemetry()
+    sidecar = {
+        "span": root.to_dict(),
+        "metrics": telemetry.get_registry().export_deltas(),
+    }
+    return {"__worker__": 1, "value": result, "telemetry": sidecar}
+
+
 def _warm_worker() -> str:
     """Force a worker process to exist and pay its import cost up front.
 
@@ -390,14 +449,19 @@ class WorkerPool:
             self._executor = ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=_initialize_worker,
-                initargs=(self.snapshot_dir,),
+                initargs=(self.snapshot_dir, telemetry.enabled_override()),
             )
         self.submitted = 0
 
     def submit(self, op: str, params: dict) -> Future:
-        """Schedule one request; the future resolves to the result dict."""
+        """Schedule one request; the future resolves to the wrapped result.
+
+        The future's value is :func:`traced_execute_request`'s envelope —
+        the server unwraps it (and consumes the telemetry sidecar) before
+        building the response.
+        """
         self.submitted += 1
-        return self._executor.submit(execute_request, op, params)
+        return self._executor.submit(traced_execute_request, op, params)
 
     def warm(self, timeout: float = 120.0) -> None:
         """Spawn every worker and pay library import cost before serving.

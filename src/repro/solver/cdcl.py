@@ -41,7 +41,7 @@ deterministic — no randomness anywhere, all ties broken by index.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from heapq import heappop, heappush
 from typing import Iterable, Sequence
 
@@ -87,6 +87,14 @@ class CDCLStats:
     restarts: int = 0
     learned: int = 0
     deleted: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Every counter as a plain dict (telemetry folding, reporting).
+
+        >>> CDCLStats(conflicts=4).as_dict()["conflicts"]
+        4
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
     def summary(self) -> str:
         """One-line human-readable rendering."""

@@ -20,7 +20,7 @@ enumeration on every random small formula.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Iterator, Sequence
 
 from repro.solver.cnf import CNF, Clause
@@ -35,6 +35,14 @@ class SolverStats:
     decisions: int = 0
     propagations: int = 0
     conflicts: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Every counter as a plain dict (telemetry folding, reporting).
+
+        >>> SolverStats(decisions=2).as_dict()["decisions"]
+        2
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 class DPLLSolver:

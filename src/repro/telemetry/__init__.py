@@ -1,0 +1,76 @@
+"""Unified telemetry: metrics registry, request tracing, introspection.
+
+The instrumentation layer behind ``repro serve --metrics-port``,
+the ``metrics``/``traces`` service operations, and the ``repro stats`` /
+``repro trace`` CLI subcommands.  Three pillars:
+
+* :mod:`repro.telemetry.registry` — process-wide counters, gauges, and
+  fixed-bucket histograms in one dot-separated namespace, with JSON and
+  Prometheus text-exposition export and delta shipping across the
+  worker-pool boundary;
+* :mod:`repro.telemetry.tracing` — ``span("phase", **attrs)`` timed span
+  trees with contextvar nesting, JSON serialization over the process
+  pool, server-side stitching, and slow-request retention rings;
+* the service introspection plane wired through :mod:`repro.service`.
+
+Everything here is standard-library only and free of imports from the
+rest of :mod:`repro`, so every layer can instrument itself without
+cycles.  Set ``REPRO_TELEMETRY=off`` to disable collection process-wide;
+the instrumented paths then cost a single cached boolean check.
+"""
+
+from .registry import (
+    ENV_VAR,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    enabled,
+    enabled_override,
+    fold_stats,
+    format_value,
+    get_registry,
+    inc,
+    observe,
+    prometheus_name,
+    set_enabled,
+    set_gauge,
+    stats_as_dict,
+)
+from .tracing import (
+    MAX_CHILDREN,
+    Span,
+    TraceBuffer,
+    current_span,
+    slow_threshold,
+    span,
+    span_from_dict,
+    stitch_request_trace,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MAX_CHILDREN",
+    "Registry",
+    "Span",
+    "TraceBuffer",
+    "current_span",
+    "enabled",
+    "enabled_override",
+    "fold_stats",
+    "format_value",
+    "get_registry",
+    "inc",
+    "observe",
+    "prometheus_name",
+    "set_enabled",
+    "set_gauge",
+    "slow_threshold",
+    "span",
+    "span_from_dict",
+    "stats_as_dict",
+    "stitch_request_trace",
+]

@@ -1,0 +1,311 @@
+"""Request tracing: timed span trees, cross-process stitching, trace rings.
+
+A *span* is one timed phase of work — ``chase.pattern``, ``solver.solve``,
+``engine.enumerate`` — with attributes, a wall-clock start, a measured
+duration, and child spans.  The :func:`span` context manager is the only
+instrumentation call site the runtime needs:
+
+    with span("solver.solve", kind="probe"):
+        ...
+
+A contextvar tracks the current span, so nesting builds the tree without
+any explicit parent plumbing, and the pattern works unchanged inside
+worker processes (each process has its own contextvar state).
+
+**Cross-process propagation.**  Spans serialize to plain JSON dicts
+(:meth:`Span.to_dict` / :func:`span_from_dict`), so a worker process can
+ship its span tree back to the server inside the response envelope — it
+survives pickling through the ``ProcessPoolExecutor`` result channel
+because it is just dicts and floats.  The server then calls
+:func:`stitch_request_trace` to graft the worker tree under a
+``service.request`` root, deriving the ``service.queue_wait`` span from
+the gap between request submission (server wall clock) and the worker
+root's start (worker wall clock) — both sides use ``time.time()``
+precisely so the two clocks are comparable on one machine.
+
+**Retention.**  :class:`TraceBuffer` keeps the last N completed traces in
+a ring plus a separate ring of *slow* requests — anything over
+:func:`slow_threshold` (a configurable fraction of the request deadline,
+``REPRO_SLOW_FRACTION``, default 0.8; or the absolute
+``REPRO_SLOW_SECONDS`` fallback when no deadline was given).
+
+Like the registry, this module is standard-library only and imports
+nothing from the rest of :mod:`repro`.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Mapping
+
+from .registry import enabled
+
+MAX_CHILDREN = 128
+"""Per-span child cap — a runaway loop degrades to a count, not a leak."""
+
+_current_span: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
+    "repro_current_span", default=None
+)
+
+
+class Span:
+    """One timed phase: name, attributes, wall start, duration, children.
+
+    Use via the :func:`span` factory — constructing directly skips the
+    enabled check.  Spans carry two clocks: ``start_ts`` is wall time
+    (``time.time()``, comparable across processes on one machine, used
+    for stitching) and the duration is measured with ``perf_counter``
+    (monotonic, immune to clock steps).
+
+    >>> with span("demo.outer") as outer:
+    ...     with span("demo.inner", depth=1):
+    ...         pass
+    >>> outer.children[0].name if outer.children else None
+    'demo.inner'
+    """
+
+    __slots__ = (
+        "name", "attrs", "start_ts", "duration_s", "children",
+        "dropped_children", "_t0", "_token",
+    )
+
+    def __init__(self, name: str, attrs: dict[str, Any] | None = None):
+        self.name = name
+        self.attrs = attrs or {}
+        self.start_ts = 0.0
+        self.duration_s = 0.0
+        self.children: list[Span] = []
+        self.dropped_children = 0
+        self._t0 = 0.0
+        self._token: contextvars.Token | None = None
+
+    def __enter__(self) -> "Span":
+        parent = _current_span.get()
+        if parent is not None:
+            if len(parent.children) < MAX_CHILDREN:
+                parent.children.append(self)
+            else:
+                parent.dropped_children += 1
+        self._token = _current_span.set(self)
+        self.start_ts = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.duration_s = time.perf_counter() - self._t0
+        if self._token is not None:
+            _current_span.reset(self._token)
+            self._token = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-safe rendering of the whole subtree."""
+        node: dict[str, Any] = {
+            "name": self.name,
+            "start_ts": self.start_ts,
+            "duration_s": self.duration_s,
+        }
+        if self.attrs:
+            node["attrs"] = dict(self.attrs)
+        if self.children:
+            node["children"] = [child.to_dict() for child in self.children]
+        if self.dropped_children:
+            node["dropped_children"] = self.dropped_children
+        return node
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, {self.duration_s * 1000:.3f}ms, "
+            f"children={len(self.children)})"
+        )
+
+
+class _NoopSpan:
+    """The disabled-path span: one shared instance, every method a no-op."""
+
+    __slots__ = ()
+    name = ""
+    attrs: dict[str, Any] = {}
+    start_ts = 0.0
+    duration_s = 0.0
+    children: list = []
+    dropped_children = 0
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": "", "start_ts": 0.0, "duration_s": 0.0}
+
+
+_NOOP = _NoopSpan()
+
+
+def span(name: str, **attrs: Any) -> Span | _NoopSpan:
+    """Open a timed span as a context manager (no-op when telemetry is off).
+
+    Attributes are free-form JSON-safe keyword values recorded on the
+    span (``span("solver.solve", kind="probe")``).
+
+    >>> with span("demo.phase", items=3) as s:
+    ...     pass
+    >>> s.name, s.attrs["items"], s.duration_s >= 0
+    ('demo.phase', 3, True)
+    """
+    if not enabled():
+        return _NOOP
+    return Span(name, attrs)
+
+
+def current_span() -> Span | None:
+    """The innermost open span in this execution context (or ``None``)."""
+    return _current_span.get()
+
+
+def span_from_dict(node: Mapping[str, Any]) -> Span:
+    """Rebuild a :class:`Span` tree from its :meth:`Span.to_dict` form."""
+    rebuilt = Span(str(node.get("name", "")), dict(node.get("attrs") or {}))
+    rebuilt.start_ts = float(node.get("start_ts", 0.0))
+    rebuilt.duration_s = float(node.get("duration_s", 0.0))
+    rebuilt.dropped_children = int(node.get("dropped_children", 0))
+    rebuilt.children = [
+        span_from_dict(child) for child in node.get("children", ())
+    ]
+    return rebuilt
+
+
+# --------------------------------------------------------------------- #
+# Server-side stitching.
+# --------------------------------------------------------------------- #
+
+
+def stitch_request_trace(
+    request_id: Any,
+    op: str,
+    submit_ts: float,
+    total_s: float,
+    worker_span: Mapping[str, Any] | None,
+    cached: bool = False,
+) -> dict[str, Any]:
+    """Build the full request trace from the server's vantage point.
+
+    ``submit_ts`` is the server wall time at which the request was handed
+    to the pool; ``total_s`` the measured server-side duration.  When a
+    worker span tree is present, a synthetic ``service.queue_wait`` child
+    covers the gap between submission and the worker root's start — the
+    time the request sat in the executor queue before a process picked it
+    up — and the worker tree is grafted in after it.
+
+    >>> worker = {"name": "worker.execute", "start_ts": 100.25,
+    ...           "duration_s": 0.5}
+    >>> trace = stitch_request_trace(7, "certain", 100.0, 0.8, worker)
+    >>> [c["name"] for c in trace["children"]]
+    ['service.queue_wait', 'worker.execute']
+    >>> round(trace["children"][0]["duration_s"], 3)
+    0.25
+    """
+    root: dict[str, Any] = {
+        "name": "service.request",
+        "start_ts": submit_ts,
+        "duration_s": total_s,
+        "attrs": {"op": op, "request_id": request_id, "cached": cached},
+        "children": [],
+    }
+    if worker_span:
+        queue_wait = max(0.0, float(worker_span.get("start_ts", 0.0)) - submit_ts)
+        root["children"].append(
+            {
+                "name": "service.queue_wait",
+                "start_ts": submit_ts,
+                "duration_s": queue_wait,
+            }
+        )
+        root["children"].append(dict(worker_span))
+    return root
+
+
+# --------------------------------------------------------------------- #
+# Retention: trace rings and the slow-request log.
+# --------------------------------------------------------------------- #
+
+SLOW_FRACTION_VAR = "REPRO_SLOW_FRACTION"
+"""Deadline fraction above which a request counts as slow (default 0.8)."""
+
+SLOW_SECONDS_VAR = "REPRO_SLOW_SECONDS"
+"""Absolute slow threshold in seconds when no deadline is given (default 1.0)."""
+
+
+def slow_threshold(deadline_s: float | None) -> float:
+    """Seconds above which a request is logged as slow.
+
+    A configurable fraction of the request deadline when one was given,
+    else the absolute fallback.
+
+    >>> slow_threshold(10.0)
+    8.0
+    >>> slow_threshold(None)
+    1.0
+    """
+    if deadline_s is not None and deadline_s > 0:
+        try:
+            fraction = float(os.environ.get(SLOW_FRACTION_VAR, "0.8"))
+        except ValueError:
+            fraction = 0.8
+        return deadline_s * fraction
+    try:
+        return float(os.environ.get(SLOW_SECONDS_VAR, "1.0"))
+    except ValueError:
+        return 1.0
+
+
+class TraceBuffer:
+    """Ring buffers of completed request traces: recent and slow.
+
+    >>> buf = TraceBuffer(capacity=2)
+    >>> for n in range(3):
+    ...     buf.add({"name": "service.request", "duration_s": n})
+    >>> [t["duration_s"] for t in buf.snapshot()]
+    [2, 1]
+    """
+
+    def __init__(self, capacity: int = 64, slow_capacity: int = 32):
+        self._recent: deque[dict] = deque(maxlen=capacity)
+        self._slow: deque[dict] = deque(maxlen=slow_capacity)
+        self._lock = threading.Lock()
+        self.recorded = 0
+        self.slow_recorded = 0
+
+    def add(self, trace: dict[str, Any], slow: bool = False) -> None:
+        """Record one completed trace (and into the slow ring if flagged)."""
+        with self._lock:
+            self._recent.append(trace)
+            self.recorded += 1
+            if slow:
+                self._slow.append(trace)
+                self.slow_recorded += 1
+
+    def snapshot(self, limit: int | None = None, slow: bool = False) -> list[dict]:
+        """Most-recent-first copies of the ring (the ``traces`` op body)."""
+        with self._lock:
+            ring = self._slow if slow else self._recent
+            traces = list(ring)
+        traces.reverse()
+        if limit is not None:
+            traces = traces[: max(0, limit)]
+        return traces
+
+    def stats(self) -> dict[str, int]:
+        """Retention counters for the introspection plane."""
+        with self._lock:
+            return {
+                "recorded": self.recorded,
+                "slow_recorded": self.slow_recorded,
+                "retained": len(self._recent),
+                "slow_retained": len(self._slow),
+            }

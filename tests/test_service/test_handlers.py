@@ -75,7 +75,14 @@ class TestHandlersMatchLibrary:
         served = execute_request("chase", {"document": demo_document()})
         assert served["failed"] is False and served["failure"] is None
         assert len(served["pattern"]["edges"]) == 7
-        assert served["stats"] == {"null_merges": 1, "st_applications": 3}
+        # The stats block is ChaseStats.as_dict(): every dataclass counter
+        # plus the derived total — one source of truth for the wire shape.
+        assert served["stats"]["null_merges"] == 1
+        assert served["stats"]["st_applications"] == 3
+        assert served["stats"]["triggers_fired"] >= 3
+        from repro.chase.result import ChaseStats
+
+        assert set(served["stats"]) == set(ChaseStats().as_dict())
 
     def test_reference_engine_agrees(self):
         document = demo_document()

@@ -1,0 +1,177 @@
+"""Span trees, cross-process serialization, stitching, and trace retention."""
+
+import pytest
+
+from repro.telemetry import (
+    MAX_CHILDREN,
+    TraceBuffer,
+    current_span,
+    set_enabled,
+    slow_threshold,
+    span,
+    span_from_dict,
+    stitch_request_trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_on():
+    set_enabled(True)
+    yield
+    set_enabled(None)
+
+
+class TestSpanNesting:
+    def test_contextvar_builds_the_tree(self):
+        with span("a") as outer:
+            assert current_span() is outer
+            with span("b", depth=1) as inner:
+                assert current_span() is inner
+                with span("c"):
+                    pass
+            assert current_span() is outer
+        assert current_span() is None
+        assert [c.name for c in outer.children] == ["b"]
+        assert [c.name for c in outer.children[0].children] == ["c"]
+        assert outer.children[0].attrs == {"depth": 1}
+
+    def test_durations_measured(self):
+        with span("outer") as outer:
+            with span("inner") as inner:
+                sum(range(1000))
+        assert inner.duration_s > 0
+        assert outer.duration_s >= inner.duration_s
+
+    def test_start_ts_is_wall_clock(self):
+        import time
+
+        before = time.time()
+        with span("a") as s:
+            pass
+        assert before <= s.start_ts <= time.time()
+
+    def test_child_cap_degrades_to_a_count(self):
+        with span("root") as root:
+            for _ in range(MAX_CHILDREN + 5):
+                with span("leaf"):
+                    pass
+        assert len(root.children) == MAX_CHILDREN
+        assert root.dropped_children == 5
+        assert root.to_dict()["dropped_children"] == 5
+
+    def test_disabled_span_is_the_shared_noop(self):
+        set_enabled(False)
+        first, second = span("a"), span("b", k=1)
+        assert first is second
+        with first as s:
+            assert current_span() is None  # the noop never enters the tree
+        assert s.duration_s == 0.0
+
+    def test_exception_still_closes_the_span(self):
+        with pytest.raises(RuntimeError):
+            with span("outer"):
+                raise RuntimeError("boom")
+        assert current_span() is None
+
+
+class TestSerialization:
+    def test_round_trip_preserves_the_tree(self):
+        with span("worker.execute", op="certain") as root:
+            with span("solver.solve", kind="probe"):
+                pass
+            with span("engine.enumerate", queries=2):
+                pass
+        wire = root.to_dict()
+        rebuilt = span_from_dict(wire)
+        assert rebuilt.name == "worker.execute"
+        assert rebuilt.attrs == {"op": "certain"}
+        assert [c.name for c in rebuilt.children] == [
+            "solver.solve", "engine.enumerate",
+        ]
+        assert rebuilt.to_dict() == wire
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        with span("a", items=3, label="x") as root:
+            with span("b"):
+                pass
+        assert json.loads(json.dumps(root.to_dict()))["name"] == "a"
+
+    def test_pickles_across_process_boundaries(self):
+        import pickle
+
+        with span("worker.execute") as root:
+            with span("chase.pattern"):
+                pass
+        wire = pickle.loads(pickle.dumps(root.to_dict()))
+        assert span_from_dict(wire).children[0].name == "chase.pattern"
+
+
+class TestStitching:
+    def test_queue_wait_is_the_submit_to_start_gap(self):
+        worker = {"name": "worker.execute", "start_ts": 100.25,
+                  "duration_s": 0.5, "children": []}
+        trace = stitch_request_trace("r1", "certain", 100.0, 0.8, worker)
+        assert trace["name"] == "service.request"
+        assert trace["attrs"] == {
+            "op": "certain", "request_id": "r1", "cached": False,
+        }
+        names = [c["name"] for c in trace["children"]]
+        assert names == ["service.queue_wait", "worker.execute"]
+        assert trace["children"][0]["duration_s"] == pytest.approx(0.25)
+
+    def test_clock_skew_clamps_to_zero(self):
+        worker = {"name": "worker.execute", "start_ts": 99.9, "duration_s": 0.1}
+        trace = stitch_request_trace("r1", "exists", 100.0, 0.2, worker)
+        assert trace["children"][0]["duration_s"] == 0.0
+
+    def test_cached_responses_have_no_worker_subtree(self):
+        trace = stitch_request_trace("r2", "certain", 50.0, 0.001, None,
+                                     cached=True)
+        assert trace["attrs"]["cached"] is True
+        assert trace["children"] == []
+
+
+class TestSlowThreshold:
+    def test_fraction_of_deadline(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SLOW_FRACTION", raising=False)
+        assert slow_threshold(10.0) == pytest.approx(8.0)
+        monkeypatch.setenv("REPRO_SLOW_FRACTION", "0.5")
+        assert slow_threshold(10.0) == pytest.approx(5.0)
+
+    def test_absolute_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SLOW_SECONDS", raising=False)
+        assert slow_threshold(None) == pytest.approx(1.0)
+        monkeypatch.setenv("REPRO_SLOW_SECONDS", "2.5")
+        assert slow_threshold(None) == pytest.approx(2.5)
+        assert slow_threshold(0) == pytest.approx(2.5)
+
+    def test_malformed_environment_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SLOW_FRACTION", "fast")
+        assert slow_threshold(10.0) == pytest.approx(8.0)
+        monkeypatch.setenv("REPRO_SLOW_SECONDS", "soon")
+        assert slow_threshold(None) == pytest.approx(1.0)
+
+
+class TestTraceBuffer:
+    def test_ring_keeps_most_recent(self):
+        buf = TraceBuffer(capacity=3)
+        for n in range(5):
+            buf.add({"n": n})
+        assert [t["n"] for t in buf.snapshot()] == [4, 3, 2]
+        assert [t["n"] for t in buf.snapshot(limit=2)] == [4, 3]
+        assert buf.snapshot(limit=0) == []
+
+    def test_slow_ring_is_separate(self):
+        buf = TraceBuffer(capacity=4, slow_capacity=2)
+        buf.add({"n": 0})
+        buf.add({"n": 1}, slow=True)
+        buf.add({"n": 2}, slow=True)
+        assert [t["n"] for t in buf.snapshot(slow=True)] == [2, 1]
+        assert buf.stats() == {
+            "recorded": 3,
+            "slow_recorded": 2,
+            "retained": 3,
+            "slow_retained": 2,
+        }
