@@ -25,7 +25,7 @@ def run_sweep():
     rows = []
     for flights, cities, hotels in SIZES:
         instance = random_flights_instance(
-            flights, cities, hotels, rng=random.Random(flights)
+            flights, cities=cities, hotels=hotels, rng=random.Random(flights)
         )
         start = time.perf_counter()
         plain = chase_pattern([flights_st_tgd()], instance, alphabet={"f", "h"})

@@ -38,7 +38,7 @@ HOTELS = 120
 
 def tenant_instance():
     """The largest generator tenant: ~1000 source facts, ~1800 chased edges."""
-    return random_flights_instance(FLIGHTS, CITIES, HOTELS, rng=random.Random(17))
+    return random_flights_instance(FLIGHTS, cities=CITIES, hotels=HOTELS, rng=random.Random(17))
 
 
 def update_batch(size: int) -> list[tuple[str, str, tuple]]:

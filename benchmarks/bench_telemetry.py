@@ -80,7 +80,7 @@ def make_update_cycle():
     """A 32-fact insert/retract round trip on a warm incremental tenant."""
     live = IncrementalChase(
         example31_setting(),
-        random_flights_instance(200, 40, 80, rng=random.Random(17)),
+        random_flights_instance(200, cities=40, hotels=80, rng=random.Random(17)),
     )
     inserts = [
         update

@@ -4,14 +4,20 @@ Usage::
 
     python -m pytest benchmarks/... --benchmark-json=bench_raw.json
     python benchmarks/export_medians.py bench_raw.json BENCH_PR2.json
+    python benchmarks/export_medians.py scale_raw.json BENCH_SCALE.json --tag scale
 
 The output maps each benchmark name to its median wall-clock seconds,
 sorted by name, plus a small meta block — a stable, diff-friendly artifact
 that future PRs can compare against to track the perf trajectory.
+
+``--tag NAME`` namespaces every benchmark as ``NAME/<benchmark>`` — the
+scale-stress harness exports under ``--tag scale`` so its medians can
+never collide with (or be gated against) the micro-benchmark names.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 
@@ -36,35 +42,48 @@ def medians_from_raw(raw: dict) -> dict[str, float]:
     return medians
 
 
-def export(raw_path: str, out_path: str) -> dict:
-    """Read pytest-benchmark JSON at ``raw_path``, write medians to ``out_path``."""
+def export(raw_path: str, out_path: str, tag: str | None = None) -> dict:
+    """Read pytest-benchmark JSON at ``raw_path``, write medians to ``out_path``.
+
+    ``tag`` prefixes every benchmark name with ``{tag}/`` and is recorded
+    in the meta block, keeping tagged namespaces (``scale/…``) disjoint
+    from the untagged micro-benchmark table.
+    """
     with open(raw_path, encoding="utf-8") as handle:
         raw = json.load(handle)
     medians = medians_from_raw(raw)
-    document = {
-        "meta": {
-            "unit": "seconds",
-            "statistic": "median",
-            "machine": raw.get("machine_info", {}).get("node", "unknown"),
-            "python": raw.get("machine_info", {}).get("python_version", "unknown"),
-            "benchmarks": len(medians),
-        },
-        "medians": dict(sorted(medians.items())),
+    if tag:
+        medians = {f"{tag}/{name}": median for name, median in medians.items()}
+    meta = {
+        "unit": "seconds",
+        "statistic": "median",
+        "machine": raw.get("machine_info", {}).get("node", "unknown"),
+        "python": raw.get("machine_info", {}).get("python_version", "unknown"),
+        "benchmarks": len(medians),
     }
+    if tag:
+        meta["tag"] = tag
+    document = {"meta": meta, "medians": dict(sorted(medians.items()))}
     with open(out_path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return document
 
 
-def main(argv: list[str]) -> int:
-    if len(argv) != 3:
-        print(__doc__)
-        return 2
-    document = export(argv[1], argv[2])
-    print(f"wrote {argv[2]}: {document['meta']['benchmarks']} benchmark median(s)")
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("raw", help="pytest-benchmark JSON report")
+    parser.add_argument("out", help="path for the exported medians document")
+    parser.add_argument(
+        "--tag",
+        default=None,
+        help="namespace every benchmark as TAG/<name> (e.g. --tag scale)",
+    )
+    args = parser.parse_args(argv)
+    document = export(args.raw, args.out, tag=args.tag)
+    print(f"wrote {args.out}: {document['meta']['benchmarks']} benchmark median(s)")
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    sys.exit(main(sys.argv[1:]))

@@ -12,6 +12,11 @@ Available commands:
 
 * ``demo``     — write the paper's running example as an exchange document
                  (a ready-made input for the other commands);
+* ``genscale`` — stream a deterministic scale-workload tenant (the
+                 ``medlit``/``social`` families of
+                 :mod:`repro.scenarios.scale`) up to 10^6 nodes in
+                 O(batch) memory, or materialise a small one as an
+                 exchange document;
 * ``chase``    — run the appropriate chase and print the resulting pattern
                  (or graph, in the single-symbol fragment);
 * ``exists``   — decide existence of solutions; exit code 0/1/2 for
@@ -102,6 +107,60 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
         print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_genscale(args: argparse.Namespace) -> int:
+    from repro.scenarios.scale import (
+        GeneratorConfig,
+        iter_fact_batches,
+        scale_document,
+    )
+
+    config = GeneratorConfig(
+        family=args.family,
+        nodes=args.nodes,
+        seed=args.seed,
+        batch_size=args.batch_size,
+    )
+    if args.format == "document":
+        # Materialises the whole instance — meant for smoke-sized tenants
+        # that feed the other commands; the jsonl format streams.
+        text = json.dumps(scale_document(config), indent=2, sort_keys=True)
+        if args.output == "-":
+            print(text)
+        else:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {args.output}")
+        return 0
+
+    def stream(handle) -> int:
+        header = {
+            "family": config.family,
+            "nodes": config.nodes,
+            "seed": config.seed,
+            "batch_size": config.batch_size,
+            "format": "repro.genscale/v1",
+        }
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        total = 0
+        for batch in iter_fact_batches(config):
+            lines = [
+                json.dumps([relation, list(values)], separators=(",", ":"))
+                for relation, values in batch
+            ]
+            handle.write("\n".join(lines) + "\n")
+            total += len(batch)
+        handle.write(json.dumps({"facts": total}, sort_keys=True) + "\n")
+        return total
+
+    if args.output == "-":
+        stream(sys.stdout)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            total = stream(handle)
+        print(f"wrote {args.output} ({total} facts)")
     return 0
 
 
@@ -513,6 +572,40 @@ def build_parser() -> argparse.ArgumentParser:
     demo = commands.add_parser("demo", help="write the paper's running example")
     demo.add_argument("-o", "--output", default="-", help="output path or - for stdout")
     demo.set_defaults(handler=_cmd_demo)
+
+    genscale = commands.add_parser(
+        "genscale",
+        help="stream a deterministic scale-workload tenant (medlit/social)",
+    )
+    genscale.add_argument(
+        "--family",
+        choices=["medlit", "social"],
+        required=True,
+        help="workload family: medlit knowledge graph or social network",
+    )
+    genscale.add_argument(
+        "--nodes", type=int, required=True, help="entity-universe size (≥ 1)"
+    )
+    genscale.add_argument(
+        "--seed", type=int, default=7, help="generator seed (default 7)"
+    )
+    genscale.add_argument(
+        "--batch-size",
+        type=int,
+        default=10_000,
+        help="facts held in memory at a time while streaming (default 10000)",
+    )
+    genscale.add_argument(
+        "--format",
+        choices=["jsonl", "document"],
+        default="jsonl",
+        help="jsonl streams facts in O(batch) memory; document materialises "
+        "a full exchange document for the other commands",
+    )
+    genscale.add_argument(
+        "-o", "--output", default="-", help="output path or - for stdout"
+    )
+    genscale.set_defaults(handler=_cmd_genscale)
 
     chase = commands.add_parser("chase", help="chase an exchange document")
     chase.add_argument("document", help="exchange document (JSON)")

@@ -116,8 +116,21 @@ def certain_answers_nre(
     eng = engine if engine is not None else default_engine()
     cfg = config if config is not None else CandidateSearchConfig(star_bound=2)
     # The reference engine deliberately runs the full enumeration pipeline
-    # (it is the differential-testing oracle for this fast path).
+    # (it is the differential-testing oracle for these fast paths).
     if getattr(eng, "name", "") != "reference":
+        # Section 3.1 fragment: certain answers are the null-free answers
+        # on the chased universal solution — polynomial, and the only
+        # route that stays feasible on the scale workloads (the SAT
+        # universe and the minimal-solution enumeration are both
+        # exponential-ish in the instance).  Local import: tractable
+        # imports CertainAnswers from this module.
+        from repro.core.tractable import (
+            certain_answers_tractable,
+            in_tractable_fragment,
+        )
+
+        if in_tractable_fragment(setting):
+            return certain_answers_tractable(setting, instance, query, engine=eng)
         sat_result = _sat_certain_answers(setting, instance, query, eng, solver)
         if sat_result is not _INAPPLICABLE:
             return sat_result
@@ -194,6 +207,18 @@ def certain_answers_batch(
 
     pending: list[int] = []
     if getattr(eng, "name", "") != "reference":
+        from repro.core.tractable import (  # local import: cycle guard
+            certain_answers_tractable_batch,
+            in_tractable_fragment,
+        )
+
+        if in_tractable_fragment(setting):
+            # One chase, every query naively evaluated on the universal
+            # solution (see certain_answers_nre) — the fragment's batched
+            # fast path.
+            return certain_answers_tractable_batch(
+                setting, instance, query_list, engine=eng
+            )
         for index, query in enumerate(query_list):
             sat_result = _sat_certain_answers(setting, instance, query, eng, solver)
             if sat_result is _INAPPLICABLE:

@@ -39,6 +39,7 @@ from dataclasses import dataclass
 
 from repro.chase.egd_chase import chase_with_egds
 from repro.chase.pattern_chase import chase_pattern
+from repro.chase.relational_chase import chase_relational
 from repro.chase.sameas_chase import solve_with_sameas
 from repro.core.satpipeline import pipeline_for
 from repro.core.search import CandidateSearchConfig, candidate_solutions
@@ -269,6 +270,33 @@ def decide_existence(
 
     # 3. egds present.
     if fragment.has_egds:
+        # 3a. Single-symbol fragment: the relational chase is itself a
+        # complete decision procedure (Section 3.1) — it either
+        # materialises a concrete solution or proves none exists by trying
+        # to equate two constants.  It runs near-linearly in the instance,
+        # so it decides *before* the bounded SAT universe (whose encoding
+        # is super-cubic in the pattern's node count): the scale workloads
+        # (10^5+ source nodes) are decidable only through this path.
+        if (
+            fragment.heads_single_symbols
+            and not fragment.has_general_tgds
+            and not fragment.has_sameas
+        ):
+            chase_result = chase_relational(
+                setting.st_tgds, setting.egds(), instance, alphabet=setting.alphabet
+            )
+            if chase_result.failed:
+                left, right = chase_result.failure_witness  # type: ignore[misc]
+                return ExistenceResult(
+                    ExistenceStatus.NOT_EXISTS,
+                    "chase-failure",
+                    detail=(
+                        f"egd chase tried to equate constants {left!r} and {right!r}"
+                    ),
+                )
+            return _verified(
+                chase_result.graph, setting, instance, "relational-chase"
+            )
         sat_attempted = False
         if fragment.sat_encodable:
             # Complete fragment: the persistent incremental SAT decision

@@ -46,6 +46,7 @@ from repro.errors import NotSupportedError
 from repro.graph.nre import NRE
 from repro.patterns.pattern import is_null
 from repro.relational.instance import RelationalInstance
+from repro.telemetry import span
 
 Node = Hashable
 
@@ -78,31 +79,59 @@ def certain_answers_tractable(
     there.  ``query`` is evaluated once, on the chased universal solution,
     through ``engine`` (default: the shared compiled engine).
     """
+    return certain_answers_tractable_batch(setting, instance, [query], engine)[0]
+
+
+def certain_answers_tractable_batch(
+    setting: DataExchangeSetting,
+    instance: RelationalInstance,
+    queries,
+    engine=None,
+) -> list[CertainAnswers]:
+    """Batched :func:`certain_answers_tractable`: one chase, many queries.
+
+    The universal solution is chased once and every query is naively
+    evaluated against it — the batched shape behind the service's
+    ``evaluate_batch`` on fragment settings.  Answer sets equal per-query
+    calls exactly (each is an independent evaluation on the same graph).
+    """
     if not in_tractable_fragment(setting):
         raise NotSupportedError(
             "certain_answers_tractable requires the Section 3.1 fragment "
             "(single-symbol heads, egds only)"
         )
+    query_list = list(queries)
+    if not query_list:
+        return []
     eng = engine if engine is not None else default_engine()
     chase = chase_relational(
         setting.st_tgds, setting.egds(), instance, alphabet=setting.alphabet
     )
     if chase.failed:
-        return CertainAnswers(
-            answers=frozenset(),
-            no_solution=True,
-            solutions_examined=0,
-            method="naive-evaluation(chase-failed)",
-        )
+        return [
+            CertainAnswers(
+                answers=frozenset(),
+                no_solution=True,
+                solutions_examined=0,
+                method="naive-evaluation(chase-failed)",
+            )
+            for _ in query_list
+        ]
     universal = chase.expect_graph()
-    answers = frozenset(
-        (u, v)
-        for u, v in eng.pairs(universal, query)
-        if not is_null(u) and not is_null(v)
-    )
-    return CertainAnswers(
-        answers=answers,
-        no_solution=False,
-        solutions_examined=1,
-        method="naive-evaluation(universal-solution)",
-    )
+    results: list[CertainAnswers] = []
+    with span("engine.evaluate", queries=len(query_list)):
+        for query in query_list:
+            answers = frozenset(
+                (u, v)
+                for u, v in eng.pairs(universal, query)
+                if not is_null(u) and not is_null(v)
+            )
+            results.append(
+                CertainAnswers(
+                    answers=answers,
+                    no_solution=False,
+                    solutions_examined=1,
+                    method="naive-evaluation(universal-solution)",
+                )
+            )
+    return results

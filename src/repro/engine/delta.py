@@ -13,21 +13,32 @@ keeps the violation set of a set of egds up to date across merges instead:
   through an edge rewritten onto ``new`` — exactly what
   :meth:`~repro.engine.matcher.TriggerMatcher.matches_touching` enumerates.
 
-Egds whose bodies use composite NREs are handled by recomputation on every
-query (the seed behaviour), so the queue's answers — and therefore the
-chase's observable results — are identical to a full rescan; the fig1–fig7
-equivalence tests in ``tests/test_engine`` assert exactly that.
+Egds whose bodies are unions of words are *decomposed* into simple chain
+egds first (:func:`decompose_egd` — each ``(x, a·b, y)`` atom becomes
+``(x, a, z), (z, b, y)``), so they ride the maintained fast paths too;
+the decomposition preserves the violation set projected to the equated
+pair, so the chase's observable results are unchanged (the word-egd
+regimes of ``tests/test_engine/test_incremental.py`` pin byte-identity).
+Only genuinely composite bodies (stars, nesting) are handled by
+recomputation on every query (the seed behaviour); the fig1–fig7
+equivalence tests in ``tests/test_engine`` assert those answers are
+identical to a full rescan.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from itertools import product
 from typing import TYPE_CHECKING, Hashable, Sequence
 
 from repro.engine.matcher import TriggerMatcher, is_simple_query
+from repro.errors import NotSupportedError
+from repro.graph.cnre import CNREAtom, CNREQuery
 from repro.graph.database import GraphDatabase
+from repro.graph.nre import NRE, Backward, Concat, Label, Union
 from repro.patterns.pattern import is_null
+from repro.relational.query import Variable
 
 if TYPE_CHECKING:  # annotation-only imports; avoids an import cycle
     from repro.chase.result import ChaseStats
@@ -36,6 +47,133 @@ if TYPE_CHECKING:  # annotation-only imports; avoids an import cycle
 Node = Hashable
 Pair = tuple[Node, Node]
 PairKey = tuple[str, str]
+
+
+def _functional_profile(egd: "TargetEgd") -> "tuple[str, str] | None":
+    """Detect functional-dependency-shaped egds, or return ``None``.
+
+    A *functional* egd is ``(x1, L, k), (x2, L, k) -> x1 = x2`` (or the
+    mirrored ``(k, L, x1), (k, L, x2)`` form, possibly written with
+    backward labels): both atoms traverse the same single label, share a
+    key variable on the same side, and equate the two member variables.
+    Returns ``(label, direction)`` where direction ``"in"`` means the
+    members reach the key along *incoming* edges of the key (so the
+    group of a key is ``predecessors(key, label)``), and ``"out"`` means
+    ``successors(key, label)``.
+
+    Such egds say "the key determines the member": every key's member
+    group collapses to a single node.  Maintaining the full violation
+    set is O(k²) pairs per group — fatal for Zipf-skewed workloads where
+    one hot key can own thousands of members — but a *star* anchored at
+    the group's least member carries exactly the same merge sequence in
+    O(k) maintained pairs (each merge keeps the lesser node, so the
+    anchor survives and the remaining star pairs stay valid).
+    """
+    atoms = egd.body.atoms
+    if len(atoms) != 2:
+        return None
+    normalized: list[tuple] = []  # (source, label, target) edge templates
+    for atom in atoms:
+        expr = atom.nre
+        if not isinstance(atom.subject, Variable) or not isinstance(
+            atom.object, Variable
+        ):
+            return None
+        if isinstance(expr, Label):
+            normalized.append((atom.subject, expr.name, atom.object))
+        elif isinstance(expr, Backward):
+            normalized.append((atom.object, expr.name, atom.subject))
+        else:
+            return None
+    (s1, l1, t1), (s2, l2, t2) = normalized
+    if l1 != l2:
+        return None
+    members = {egd.left, egd.right}
+    if len(members) != 2:
+        return None
+    if t1 == t2 and {s1, s2} == members and t1 not in members:
+        return (l1, "in")
+    if s1 == s2 and {t1, t2} == members and s1 not in members:
+        return (l1, "out")
+    return None
+
+
+def _word_parts(expr: NRE) -> "list[NRE] | None":
+    """Flatten ``expr`` into a word (a concat of bare labels), or ``None``."""
+    if isinstance(expr, (Label, Backward)):
+        return [expr]
+    if isinstance(expr, Concat):
+        left = _word_parts(expr.left)
+        right = _word_parts(expr.right)
+        if left is None or right is None:
+            return None
+        return left + right
+    return None
+
+
+def _atom_alternatives(expr: NRE) -> "list[list[NRE]] | None":
+    """Expand top-level unions of ``expr`` into a list of words, or ``None``."""
+    if isinstance(expr, Union):
+        left = _atom_alternatives(expr.left)
+        right = _atom_alternatives(expr.right)
+        if left is None or right is None:
+            return None
+        return left + right
+    parts = _word_parts(expr)
+    return None if parts is None else [parts]
+
+
+def decompose_egd(egd: "TargetEgd", index: int) -> "list[TargetEgd]":
+    """Rewrite an egd with union-of-words atoms into simple chain egds.
+
+    Each atom ``(x, a·b, y)`` becomes a chain ``(x, a, z), (z, b, y)`` with
+    a fresh intermediate variable; a top-level union contributes one egd
+    per branch combination.  The returned egds have the same violation set
+    as ``egd`` once projected to ``(left, right)``, but their bodies are
+    *simple*, so the violation queue's maintained fast paths apply.
+    Raises :class:`~repro.errors.NotSupportedError` for bodies outside the
+    union-of-words fragment (stars, nesting).
+
+    >>> from repro.mappings.parser import parse_egd
+    >>> chains = decompose_egd(
+    ...     parse_egd("(x1, f . h, x3), (x2, h, x3) -> x1 = x2"), 0)
+    >>> [len(chain.body.atoms) for chain in chains]
+    [3]
+    >>> from repro.graph.parser import parse_nre
+    >>> from repro.mappings.egd import TargetEgd
+    >>> union = TargetEgd(
+    ...     CNREQuery([CNREAtom(Variable("x"), parse_nre("a + b"), Variable("y"))]),
+    ...     Variable("x"), Variable("y"))
+    >>> len(decompose_egd(union, 1))
+    2
+    """
+    from repro.mappings.egd import TargetEgd
+
+    per_atom: list[tuple[CNREAtom, list[list[NRE]]]] = []
+    for atom in egd.body.atoms:
+        alternatives = _atom_alternatives(atom.nre)
+        if alternatives is None:
+            raise NotSupportedError(
+                "egd chain decomposition handles bodies that are "
+                f"unions of words only; offending NRE: {atom.nre}"
+            )
+        per_atom.append((atom, alternatives))
+    chains: list[TargetEgd] = []
+    choice_space = [range(len(alternatives)) for _, alternatives in per_atom]
+    for branch_no, choices in enumerate(product(*choice_space)):
+        atoms: list[CNREAtom] = []
+        for atom_no, ((atom, alternatives), pick) in enumerate(zip(per_atom, choices)):
+            parts = alternatives[pick]
+            terms: list = [atom.subject]
+            for step_no in range(1, len(parts)):
+                terms.append(Variable(f"__inc{index}_{branch_no}_{atom_no}_{step_no}"))
+            terms.append(atom.object)
+            for step_no, part in enumerate(parts):
+                atoms.append(CNREAtom(terms[step_no], part, terms[step_no + 1]))
+        chains.append(
+            TargetEgd(CNREQuery(atoms), egd.left, egd.right, name=egd.name)
+        )
+    return chains
 
 
 class EgdViolationQueue:
@@ -65,8 +203,40 @@ class EgdViolationQueue:
     ):
         self.view = view
         self.matcher = TriggerMatcher(view, stats)
-        self._simple = [egd for egd in egds if is_simple_query(egd.body)]
-        self._fallback = [egd for egd in egds if not is_simple_query(egd.body)]
+        # Union-of-word bodies are decomposed into simple chains up front
+        # (same violation set projected to the equated pair), so only
+        # genuinely composite bodies (stars, nesting) pay the per-query
+        # recomputation fallback.
+        self._simple: list["TargetEgd"] = []
+        self._fallback: list["TargetEgd"] = []
+        # Functional egds (key determines member — see _functional_profile)
+        # skip pair enumeration entirely: each violating key group is kept
+        # as a star of O(k) pairs anchored at its least member, instead of
+        # the O(k²) pairs the generic join would emit.
+        self._functional: list[tuple[str, str]] = []
+
+        def classify(egd: "TargetEgd") -> None:
+            profile = _functional_profile(egd)
+            if profile is not None:
+                if profile not in self._functional:
+                    self._functional.append(profile)
+            else:
+                self._simple.append(egd)
+
+        for index, egd in enumerate(egds):
+            if is_simple_query(egd.body):
+                classify(egd)
+                continue
+            try:
+                chains = decompose_egd(egd, index)
+            except NotSupportedError:
+                self._fallback.append(egd)
+                continue
+            if all(is_simple_query(chain.body) for chain in chains):
+                for chain in chains:
+                    classify(chain)
+            else:
+                self._fallback.append(egd)
         # Violation identity is the *unordered node pair* (reprs are used
         # only for ordering, like the seed's violation selection, so nodes
         # with colliding reprs cannot coalesce two distinct violations).
@@ -88,6 +258,15 @@ class EgdViolationQueue:
         # skips homomorphism materialisation and takes the indexed (and,
         # on frozen CSR views, vectorized) join fast paths.
         if seed_initial:
+            for label, direction in self._functional:
+                index = (
+                    view.backward_index(label)
+                    if direction == "in"
+                    else view.forward_index(label)
+                )
+                for members in index.values():
+                    if len(members) > 1:
+                        self._star(members)
             for egd in self._simple:
                 for left, right in self.matcher.pair_matches(
                     egd.body, egd.left, egd.right
@@ -123,6 +302,35 @@ class EgdViolationQueue:
                 self._by_node.setdefault(left, set()).add(identity)
                 self._by_node.setdefault(right, set()).add(identity)
                 heapq.heappush(self._heap, (key, next(self._seq), identity))
+
+    def _star(self, members) -> None:
+        """Maintain a key group as a star anchored at its least member.
+
+        The anchor is the member the merge rules keep (every pairwise
+        merge keeps the lesser node), so ``(anchor, m)`` pairs stay valid
+        across the whole collapse; the pop *order* matches the all-pairs
+        encoding too, because every pair not containing the least member
+        sorts after every pair that does.
+        """
+        anchor = min(members, key=self._repr)
+        for member in members:
+            if member != anchor:
+                self._consider(anchor, member)
+
+    def _restar_touched(self, edges) -> None:
+        """Re-star the key groups of functional egds touched by ``edges``."""
+        for label, direction in self._functional:
+            keys = set()
+            for edge in edges:
+                if edge.label == label:
+                    keys.add(edge.target if direction == "in" else edge.source)
+            neighbors = (
+                self.view.predecessors if direction == "in" else self.view.successors
+            )
+            for key in keys:
+                members = neighbors(key, label)
+                if len(members) > 1:
+                    self._star(members)
 
     def _discard(self, identity: frozenset) -> None:
         entry = self._pairs.pop(identity, None)
@@ -173,9 +381,11 @@ class EgdViolationQueue:
         >>> sorted(queue.first_violation())
         ['a', 'b']
         """
+        inserted = self.view.edges_since(version)
+        self._restar_touched(inserted)
         for egd in self._simple:
             for left, right in self.matcher.pair_matches_seeded(
-                egd.body, egd.left, egd.right, self.view.edges_since(version)
+                egd.body, egd.left, egd.right, inserted
             ):
                 self._consider(left, right)
 
@@ -199,6 +409,26 @@ class EgdViolationQueue:
             right = new if right == old else right
             self._consider(left, right)
         self._by_node.pop(old, None)
+        # Functional groups survive member renames through the pair rewrite
+        # above (the star stays connected because merges keep the lesser
+        # node).  Only a rename of a *key* needs work: the old key's group
+        # unions into ``new``'s, so the united group is re-starred.  Member
+        # renames deliberately do no group scan — that is what keeps a
+        # k-member collapse at O(k) total pairs instead of O(k²).
+        for label, direction in self._functional:
+            neighbors = (
+                self.view.predecessors if direction == "in" else self.view.successors
+            )
+            for edge in rewritten:
+                if edge.label != label:
+                    continue
+                key = edge.target if direction == "in" else edge.source
+                if key != new:
+                    continue
+                members = neighbors(key, label)
+                if len(members) > 1:
+                    self._star(members)
+                break
         for egd in self._simple:
             for left, right in self.matcher.pair_matches_seeded(
                 egd.body, egd.left, egd.right, rewritten

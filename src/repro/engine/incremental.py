@@ -34,18 +34,21 @@ words — exactly the shapes the paper's figures and generators use.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from itertools import product
 from typing import TYPE_CHECKING, Hashable, Iterable, Iterator, Mapping, Sequence
 
 from repro.chase.relational_chase import _check_fragment, _egd_fixpoint_on_graph
 from repro.chase.result import ChaseResult, ChaseStats
-from repro.engine.delta import EgdViolationQueue, run_egd_fixpoint
+from repro.engine.delta import (
+    EgdViolationQueue,
+    decompose_egd,
+    run_egd_fixpoint,
+)
 from repro.engine.matcher import _edge_view
 from repro.engine.query import default_engine
 from repro.errors import NotSupportedError, SchemaError
 from repro.graph.cnre import CNREAtom, CNREQuery
 from repro.graph.database import Edge, GraphDatabase
-from repro.graph.nre import NRE, Backward, Concat, Label, Union
+from repro.graph.nre import NRE, Label
 from repro.mappings.egd import TargetEgd
 from repro.telemetry import fold_stats, span
 from repro.patterns.pattern import Null, is_null
@@ -122,81 +125,6 @@ class UpdateStats:
 # --------------------------------------------------------------------- #
 # Egd decomposition: union-of-words bodies -> simple chain egds
 # --------------------------------------------------------------------- #
-
-
-def _word_parts(expr: NRE) -> "list[NRE] | None":
-    """Flatten ``expr`` into a word (a concat of bare labels), or ``None``."""
-    if isinstance(expr, (Label, Backward)):
-        return [expr]
-    if isinstance(expr, Concat):
-        left = _word_parts(expr.left)
-        right = _word_parts(expr.right)
-        if left is None or right is None:
-            return None
-        return left + right
-    return None
-
-
-def _atom_alternatives(expr: NRE) -> "list[list[NRE]] | None":
-    """Expand top-level unions of ``expr`` into a list of words, or ``None``."""
-    if isinstance(expr, Union):
-        left = _atom_alternatives(expr.left)
-        right = _atom_alternatives(expr.right)
-        if left is None or right is None:
-            return None
-        return left + right
-    parts = _word_parts(expr)
-    return None if parts is None else [parts]
-
-
-def decompose_egd(egd: TargetEgd, index: int) -> list[TargetEgd]:
-    """Rewrite an egd with union-of-words atoms into simple chain egds.
-
-    Each atom ``(x, a·b, y)`` becomes a chain ``(x, a, z), (z, b, y)`` with
-    a fresh intermediate variable; a top-level union contributes one egd
-    per branch combination.  The returned egds have the same violation set
-    as ``egd`` once projected to ``(left, right)``, but their bodies are
-    *simple*, so the incremental violation queue's delta fast paths apply.
-    Raises :class:`~repro.errors.NotSupportedError` for bodies outside the
-    union-of-words fragment (stars, nesting).
-
-    >>> from repro.mappings.parser import parse_egd
-    >>> chains = decompose_egd(
-    ...     parse_egd("(x1, f . h, x3), (x2, h, x3) -> x1 = x2"), 0)
-    >>> [len(chain.body.atoms) for chain in chains]
-    [3]
-    >>> from repro.graph.parser import parse_nre
-    >>> union = TargetEgd(
-    ...     CNREQuery([CNREAtom(Variable("x"), parse_nre("a + b"), Variable("y"))]),
-    ...     Variable("x"), Variable("y"))
-    >>> len(decompose_egd(union, 1))
-    2
-    """
-    per_atom: list[tuple[CNREAtom, list[list[NRE]]]] = []
-    for atom in egd.body.atoms:
-        alternatives = _atom_alternatives(atom.nre)
-        if alternatives is None:
-            raise NotSupportedError(
-                "incremental maintenance handles egd bodies that are "
-                f"unions of words only; offending NRE: {atom.nre}"
-            )
-        per_atom.append((atom, alternatives))
-    chains: list[TargetEgd] = []
-    choice_space = [range(len(alternatives)) for _, alternatives in per_atom]
-    for branch_no, choices in enumerate(product(*choice_space)):
-        atoms: list[CNREAtom] = []
-        for atom_no, ((atom, alternatives), pick) in enumerate(zip(per_atom, choices)):
-            parts = alternatives[pick]
-            terms: list = [atom.subject]
-            for step_no in range(1, len(parts)):
-                terms.append(Variable(f"__inc{index}_{branch_no}_{atom_no}_{step_no}"))
-            terms.append(atom.object)
-            for step_no, part in enumerate(parts):
-                atoms.append(CNREAtom(terms[step_no], part, terms[step_no + 1]))
-        chains.append(
-            TargetEgd(CNREQuery(atoms), egd.left, egd.right, name=egd.name)
-        )
-    return chains
 
 
 # --------------------------------------------------------------------- #

@@ -8,6 +8,10 @@
   Figure 4 valuation graph of the Theorem 4.1 illustration;
 * :mod:`repro.scenarios.generators` — random Flight/Hotel instances and
   random graphs/NREs for the scaling and differential benchmarks;
+* :mod:`repro.scenarios.scale` — the deterministic, streamable scale
+  workload families (``medlit`` knowledge graphs, ``social``
+  preferential-attachment networks) behind ``repro genscale`` and the
+  scale-stress harness;
 * :mod:`repro.scenarios.service_workload` — the parameterised
   multi-tenant serving workload (settings × instances × query mixes)
   behind the service benchmarks, smoke tests, and examples.
@@ -47,6 +51,19 @@ from repro.scenarios.generators import (
     random_flights_instance,
     random_graph,
     random_nre,
+    resolve_rng,
+)
+from repro.scenarios.scale import (
+    FAMILIES,
+    GeneratorConfig,
+    fact_counts,
+    generate_instance,
+    iter_fact_batches,
+    iter_facts,
+    scale_document,
+    scale_setting,
+    update_stream,
+    workload_queries,
 )
 from repro.scenarios.service_workload import (
     QUERY_MIXES,
@@ -86,6 +103,17 @@ __all__ = [
     "random_flights_instance",
     "random_graph",
     "random_nre",
+    "resolve_rng",
+    "FAMILIES",
+    "GeneratorConfig",
+    "fact_counts",
+    "generate_instance",
+    "iter_fact_batches",
+    "iter_facts",
+    "scale_document",
+    "scale_setting",
+    "update_stream",
+    "workload_queries",
     "QUERY_MIXES",
     "WorkloadCase",
     "cold_documents",

@@ -17,6 +17,7 @@ with three random families (parameters documented in EXPERIMENTS.md):
 from __future__ import annotations
 
 import random
+import warnings
 
 from repro.graph.database import GraphDatabase
 from repro.graph.nre import (
@@ -31,21 +32,82 @@ from repro.graph.nre import (
 )
 from repro.relational.instance import RelationalInstance
 from repro.scenarios.flights import flights_schema
+from repro.scenarios.scale import GeneratorConfig
+
+
+def resolve_rng(
+    rng: random.Random | None = None,
+    seed: int | None = None,
+    config: GeneratorConfig | None = None,
+) -> random.Random:
+    """One seeding convention for every random family in this module.
+
+    Precedence mirrors the scalable families' :class:`GeneratorConfig`
+    surface: an explicit ``rng`` wins, else ``seed`` builds a fresh
+    ``random.Random(seed)``, else ``config`` contributes ``config.rng()``
+    (positioned at the stream start), else the generator is unseeded.
+    Passing ``rng`` together with ``seed``/``config`` is ambiguous and
+    rejected.
+    """
+    if rng is not None:
+        if seed is not None or config is not None:
+            raise ValueError("pass either rng or seed/config, not both")
+        return rng
+    if seed is not None:
+        if config is not None:
+            raise ValueError("pass either seed or config, not both")
+        return random.Random(seed)
+    if config is not None:
+        return config.rng()
+    return random.Random()
 
 
 def random_flights_instance(
     flights: int,
-    cities: int,
-    hotels: int,
+    *deprecated_positional,
+    cities: int | None = None,
+    hotels: int | None = None,
     max_stops: int = 2,
     rng: random.Random | None = None,
+    seed: int | None = None,
+    config: GeneratorConfig | None = None,
 ) -> RelationalInstance:
     """Return a random Flight/Hotel instance over the Example 2.2 schema.
 
     Source and destination cities are distinct when ``cities ≥ 2``; each
-    flight gets 1..``max_stops`` hotel stops.
+    flight gets 1..``max_stops`` hotel stops.  Seeding follows the shared
+    :func:`resolve_rng` convention (``rng`` / ``seed`` / a scalable-family
+    :class:`~repro.scenarios.scale.GeneratorConfig`).  Positional
+    ``cities``/``hotels``/``max_stops`` still work but are deprecated —
+    spell them as keywords.
     """
-    generator = rng if rng is not None else random.Random()
+    if deprecated_positional:
+        warnings.warn(
+            "positional cities/hotels/max_stops arguments to "
+            "random_flights_instance are deprecated; pass them as keywords",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if len(deprecated_positional) > 3:
+            raise TypeError(
+                "random_flights_instance takes at most 4 positional arguments"
+            )
+        positional = dict(
+            zip(("cities", "hotels", "max_stops"), deprecated_positional)
+        )
+        if "cities" in positional:
+            if cities is not None:
+                raise TypeError("cities passed both positionally and by keyword")
+            cities = positional["cities"]
+        if "hotels" in positional:
+            if hotels is not None:
+                raise TypeError("hotels passed both positionally and by keyword")
+            hotels = positional["hotels"]
+        if "max_stops" in positional:
+            max_stops = positional["max_stops"]
+    if cities is None or hotels is None:
+        raise TypeError("random_flights_instance requires cities= and hotels=")
+    generator = resolve_rng(rng, seed, config)
     instance = RelationalInstance(flights_schema())
     city_names = [f"c{i}" for i in range(1, cities + 1)]
     hotel_names = [f"h{i}" for i in range(1, hotels + 1)]
@@ -67,9 +129,10 @@ def random_graph(
     edges: int,
     alphabet: tuple[str, ...] = ("a", "b", "c"),
     rng: random.Random | None = None,
+    seed: int | None = None,
 ) -> GraphDatabase:
     """Return a random edge-labeled graph with ``nodes`` nodes, ``edges`` edges."""
-    generator = rng if rng is not None else random.Random()
+    generator = resolve_rng(rng, seed)
     node_names = [f"n{i}" for i in range(nodes)]
     graph = GraphDatabase(alphabet=set(alphabet), nodes=node_names)
     for _ in range(edges):
@@ -87,6 +150,7 @@ def random_fragment_setting(
     max_tgds: int = 2,
     max_egds: int = 3,
     max_facts: int = 3,
+    seed: int | None = None,
 ):
     """Return a random (setting, instance) pair in the Theorem 4.1 fragment.
 
@@ -105,7 +169,7 @@ def random_fragment_setting(
     from repro.relational.query import ConjunctiveQuery, RelationalAtom, Variable
     from repro.relational.schema import RelationalSchema
 
-    generator = rng if rng is not None else random.Random()
+    generator = resolve_rng(rng, seed)
     labels = [f"l{i}" for i in range(1, generator.randint(2, max_labels) + 1)]
     constants = ["k1", "k2", "k3"]
 
@@ -161,6 +225,7 @@ def random_nre(
     alphabet: tuple[str, ...] = ("a", "b", "c"),
     rng: random.Random | None = None,
     allow_nest: bool = True,
+    seed: int | None = None,
 ) -> NRE:
     """Return a random NRE of at most ``depth`` combinator levels.
 
@@ -169,7 +234,7 @@ def random_nre(
     differential tests between the two NRE evaluators — every grammar
     production is reachable.
     """
-    generator = rng if rng is not None else random.Random()
+    generator = resolve_rng(rng, seed)
     if depth <= 0:
         kind = generator.randrange(5)
         if kind == 0:

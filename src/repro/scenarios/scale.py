@@ -1,0 +1,595 @@
+"""Scalable workload generator families — million-node tenants, streamed.
+
+The paper-figure scenarios and the PR 4 service workload are all tiny;
+this module is the repo's answer to the ROADMAP's "million-node
+knowledge-graph workload" item.  It grows two deterministic families up
+to ``10**6`` nodes:
+
+* ``medlit`` — a medical-literature knowledge graph (papers, entities,
+  evidence): polymorphic relationship labels (``treats`` / ``causes`` /
+  ``interacts``), Zipf-skewed entity popularity and citation targets, and
+  *nulls modeling partial extraction* (unresolved mentions, preprints
+  with unknown venues, latent per-mention concepts);
+* ``social`` — a preferential-attachment follower graph with community
+  structure (Zipf community sizes, homophilous extra edges, invite
+  trees, per-community hub/region nulls).
+
+Both families are:
+
+* **deterministic from a seed** — one :class:`random.Random` consumed in
+  a fixed order; two runs with equal :class:`GeneratorConfig` produce
+  byte-identical fact streams (the scale-stress CI job pins this);
+* **streamable in O(batch) memory** — :func:`iter_fact_batches` yields
+  lists of ``(relation, values)`` facts without ever materialising the
+  instance.  ``medlit`` keeps no per-node state at all; ``social`` keeps
+  only compact numeric attachment state (an :mod:`array` of int64
+  endpoints plus small per-community rings), never fact tuples;
+* **in the friendly fragments end to end** — the settings returned by
+  :func:`scale_setting` have single-symbol s-t tgd heads (so
+  :func:`~repro.chase.relational_chase.chase_relational` and
+  :class:`~repro.engine.incremental.IncrementalChase` both apply) and
+  union-of-word egd bodies (so the Theorem 4.1 SAT pipeline is complete
+  on them), and their egds only ever merge nulls — the chase of a
+  generated tenant always succeeds.
+
+The CLI surface is ``repro genscale --family {medlit,social} --nodes N``
+(see :mod:`repro.cli`); the scale-stress harness on top lives in
+``benchmarks/bench_scale.py`` and ``tests/test_integration``.
+"""
+
+from __future__ import annotations
+
+import random
+from array import array
+from dataclasses import dataclass, replace
+from functools import lru_cache
+from typing import Callable, Iterator
+
+from repro.core.setting import DataExchangeSetting
+from repro.mappings.parser import parse_egd, parse_st_tgd
+from repro.relational.instance import RelationalInstance
+from repro.relational.schema import RelationalSchema
+
+Fact = tuple[str, tuple[str, ...]]
+"""One streamed fact: ``(relation name, value tuple)``."""
+
+FAMILIES: tuple[str, ...] = ("medlit", "social")
+"""The generator family names accepted by :class:`GeneratorConfig`."""
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Shared, validated parameter block for every scalable family.
+
+    ``nodes`` counts the family's primary entities (papers + entities for
+    ``medlit``; users for ``social``) — attribute constants (venues,
+    years, communities) ride on top.  ``seed`` fully determines the fact
+    stream; ``batch_size`` only shapes the streaming granularity of
+    :func:`iter_fact_batches` and never changes the facts or their order.
+
+    >>> config = GeneratorConfig(family="medlit", nodes=100, seed=3)
+    >>> config.scaled(nodes=10).nodes
+    10
+    """
+
+    family: str = "medlit"
+    nodes: int = 1_000
+    seed: int = 7
+    batch_size: int = 10_000
+    # --- medlit knobs -------------------------------------------------- #
+    paper_share: float = 0.6
+    cite_mean: float = 2.0
+    mention_mean: float = 2.0
+    null_rate: float = 0.08
+    evidence_rate: float = 0.3
+    preprint_rate: float = 0.15
+    # --- social knobs -------------------------------------------------- #
+    attach: int = 3
+    homophily: float = 0.5
+    extra_membership_rate: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES:
+            raise ValueError(
+                f"unknown generator family {self.family!r} "
+                f"(choose from {', '.join(FAMILIES)})"
+            )
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.attach < 1:
+            raise ValueError(f"attach must be >= 1, got {self.attach}")
+
+    def rng(self) -> random.Random:
+        """A fresh deterministic generator positioned at the stream start."""
+        return random.Random(self.seed)
+
+    def scaled(self, **changes) -> "GeneratorConfig":
+        """A copy with ``changes`` applied (downsampling, reseeding, …)."""
+        return replace(self, **changes)
+
+
+# --------------------------------------------------------------------- #
+# Small deterministic sampling helpers
+# --------------------------------------------------------------------- #
+
+
+def _zipf_index(rng: random.Random, n: int) -> int:
+    """A Zipf-skewed index in ``[0, n)`` — density roughly ``1/(k+1)``.
+
+    The inverse-log transform ``int(n ** u) - 1`` needs no O(n) weight
+    table, so the samplers stay O(1) memory at any scale; low indexes are
+    the heavy head (early papers, popular entities, big communities).
+    """
+    if n <= 1:
+        return 0
+    return min(n - 1, max(0, int(n ** rng.random()) - 1))
+
+
+def _burst(rng: random.Random, mean: float, cap: int = 16) -> int:
+    """A geometric count with the given ``mean``, capped at ``cap``."""
+    if mean <= 0:
+        return 0
+    keep = mean / (mean + 1.0)
+    count = 0
+    while count < cap and rng.random() < keep:
+        count += 1
+    return count
+
+
+# --------------------------------------------------------------------- #
+# medlit: papers / entities / evidence
+# --------------------------------------------------------------------- #
+
+_MEDLIT_RELATIONS: tuple[tuple[str, int], ...] = (
+    ("Paper", 3),       # Paper(pid, venue, year)     — published metadata
+    ("Preprint", 1),    # Preprint(pid)               — venue unknown (null)
+    ("Cites", 2),       # Cites(pid, pid)             — citation DAG
+    ("Mention", 2),     # Mention(pid, eid)           — resolved extraction
+    ("Unresolved", 2),  # Unresolved(pid, mid)        — entity unknown (null)
+    ("Treats", 3),      # Treats(pid, eid, eid)       — polymorphic evidence
+    ("Causes", 3),
+    ("Interacts", 3),
+)
+
+_MEDLIT_EVIDENCE: tuple[str, ...] = ("Treats", "Causes", "Interacts")
+
+
+def _medlit_counts(config: GeneratorConfig) -> tuple[int, int, int]:
+    """``(papers, entities, venues)`` for a medlit config."""
+    papers = max(1, int(config.nodes * config.paper_share))
+    entities = max(1, config.nodes - papers)
+    venues = max(4, round(papers ** 0.5))
+    return papers, entities, venues
+
+
+def _medlit_facts(config: GeneratorConfig) -> Iterator[Fact]:
+    """The medlit fact stream, one paper at a time, O(1) carried state."""
+    rng = config.rng()
+    papers, entities, venues = _medlit_counts(config)
+    mention_id = 0
+    for index in range(papers):
+        pid = f"p{index}"
+        # Published papers carry venue + year; preprints leave the venue
+        # to a chase null (partial metadata extraction).
+        if rng.random() < config.preprint_rate:
+            yield ("Preprint", (pid,))
+        else:
+            venue = f"v{_zipf_index(rng, venues)}"
+            year = str(1980 + rng.randrange(45))
+            yield ("Paper", (pid, venue, year))
+        # Citations point at earlier papers, Zipf-skewed toward the old
+        # and popular head of the DAG.
+        if index:
+            for _ in range(_burst(rng, config.cite_mean)):
+                yield ("Cites", (pid, f"p{_zipf_index(rng, index)}"))
+        # Mentions: Zipf-popular entities; a slice of the extractions
+        # fails entity resolution and streams as Unresolved instead.
+        for _ in range(1 + _burst(rng, config.mention_mean - 1)):
+            if rng.random() < config.null_rate:
+                mention_id += 1
+                yield ("Unresolved", (pid, f"m{mention_id}"))
+            else:
+                yield ("Mention", (pid, f"e{_zipf_index(rng, entities)}"))
+        # Polymorphic relationship evidence between two distinct entities.
+        if rng.random() < config.evidence_rate and entities > 1:
+            kind = _MEDLIT_EVIDENCE[rng.randrange(len(_MEDLIT_EVIDENCE))]
+            first = _zipf_index(rng, entities)
+            second = _zipf_index(rng, entities)
+            if first != second:
+                yield (kind, (pid, f"e{first}", f"e{second}"))
+
+
+def medlit_schema() -> RelationalSchema:
+    """The medlit source schema (papers / citations / extractions)."""
+    schema = RelationalSchema()
+    for name, arity in _MEDLIT_RELATIONS:
+        schema.declare(name, arity)
+    return schema
+
+
+@lru_cache(maxsize=None)
+def medlit_setting() -> DataExchangeSetting:
+    """The medlit data-exchange setting (single-symbol heads, word egds).
+
+    Existentials model partial extraction: each resolved mention invents
+    a latent concept node, unresolved mentions invent the entity itself,
+    preprints invent their venue.  Both egds only ever equate nulls —
+    concepts about one entity, and a paper's venue nulls (a pid never
+    carries two *published* venues) — so generated tenants always chase
+    to success while still producing heavy, Zipf-skewed merge pressure.
+    """
+    tgds = [
+        parse_st_tgd(
+            "Paper(p, v, y) -> (p, in_venue, v), (p, in_year, y)",
+            name="paper_meta",
+        ),
+        parse_st_tgd("Preprint(p) -> (p, in_venue, w)", name="preprint_venue"),
+        parse_st_tgd("Cites(p, q) -> (p, cites, q)", name="cites"),
+        parse_st_tgd(
+            "Mention(p, e) -> (p, mentions, e), (c, about, e), (p, discusses, c)",
+            name="mention_concept",
+        ),
+        parse_st_tgd("Unresolved(p, m) -> (p, mentions, u)", name="unresolved"),
+    ]
+    for kind in _MEDLIT_EVIDENCE:
+        label = kind.lower()
+        tgds.append(
+            parse_st_tgd(
+                f"{kind}(p, a, b) -> (a, {label}, b), "
+                "(p, mentions, a), (p, mentions, b)",
+                name=f"evidence_{label}",
+            )
+        )
+    egds = [
+        # One canonical concept per entity: merges the per-mention
+        # concept nulls (Zipf-head entities build the big merge classes).
+        parse_egd("(x1, about, x3), (x2, about, x3) -> x1 = x2", name="concept"),
+        # One venue per paper: merges a preprint's venue nulls (and a
+        # null into the constant venue if the paper later publishes).
+        parse_egd("(x3, in_venue, x1), (x3, in_venue, x2) -> x1 = x2", name="venue"),
+    ]
+    return DataExchangeSetting(
+        medlit_schema(),
+        {"in_venue", "in_year", "cites", "mentions", "about", "discusses",
+         "treats", "causes", "interacts"},
+        tgds,
+        egds,
+        name="medlit",
+    )
+
+
+_MEDLIT_QUERIES: tuple[str, ...] = (
+    "cites . cites",
+    "cites* . in_venue",
+    "mentions- . cites",
+    "discusses . about",
+    "cites[mentions] . in_venue",
+)
+
+
+# --------------------------------------------------------------------- #
+# social: preferential-attachment followers with communities
+# --------------------------------------------------------------------- #
+
+_SOCIAL_RELATIONS: tuple[tuple[str, int], ...] = (
+    ("Follows", 2),    # Follows(uid, uid)
+    ("Invited", 2),    # Invited(uid, uid)    — the attachment tree edge
+    ("Member", 2),     # Member(uid, gid)
+    ("Moderates", 2),  # Moderates(uid, gid)  — the community's founder
+)
+
+_RING_KEEP = 4  # recent members remembered per community (homophily pool)
+
+
+def _social_counts(config: GeneratorConfig) -> tuple[int, int]:
+    """``(users, communities)`` for a social config."""
+    users = config.nodes
+    communities = max(2, int(users ** 0.5) // 2 + 2)
+    return users, communities
+
+
+def _social_facts(config: GeneratorConfig) -> Iterator[Fact]:
+    """The social fact stream: one user at a time.
+
+    Carried state is numeric and compact — the preferential-attachment
+    endpoint pool (int64 array, O(edges)) and a ``_RING_KEEP``-deep ring
+    of recent members per community — never fact tuples.
+    """
+    rng = config.rng()
+    users, communities = _social_counts(config)
+    endpoints = array("q")
+    rings: list[list[int]] = [[] for _ in range(communities)]
+    founded = bytearray(communities)
+    for index in range(users):
+        uid = f"u{index}"
+        # Memberships: Zipf community sizes; some users join a second.
+        joined = 1 + (rng.random() < config.extra_membership_rate)
+        seen: set[int] = set()
+        for _ in range(joined):
+            community = _zipf_index(rng, communities)
+            if community in seen:
+                continue
+            seen.add(community)
+            yield ("Member", (uid, f"g{community}"))
+            if not founded[community]:
+                founded[community] = 1
+                yield ("Moderates", (uid, f"g{community}"))
+            ring = rings[community]
+            ring.append(index)
+            if len(ring) > _RING_KEEP:
+                del ring[0]
+        if not index:
+            continue
+        # The invite-tree edge: preferential among existing endpoints.
+        parent = (
+            endpoints[rng.randrange(len(endpoints))]
+            if endpoints
+            else rng.randrange(index)
+        )
+        yield ("Invited", (f"u{parent}", uid))
+        # Follower edges: preferential attachment with a uniform escape.
+        for _ in range(min(index, config.attach)):
+            if endpoints and rng.random() >= 0.2:
+                target = endpoints[rng.randrange(len(endpoints))]
+            else:
+                target = rng.randrange(index)
+            if target != index:
+                yield ("Follows", (uid, f"u{target}"))
+                endpoints.append(index)
+                endpoints.append(target)
+        # Homophily: one extra edge toward a recent same-community member.
+        if rng.random() < config.homophily:
+            ring = rings[min(seen)] if seen else []
+            pool = [member for member in ring if member != index]
+            if pool:
+                yield ("Follows", (uid, f"u{pool[rng.randrange(len(pool))]}"))
+
+
+def social_schema() -> RelationalSchema:
+    """The social source schema (follower / membership relations)."""
+    schema = RelationalSchema()
+    for name, arity in _SOCIAL_RELATIONS:
+        schema.declare(name, arity)
+    return schema
+
+
+@lru_cache(maxsize=None)
+def social_setting() -> DataExchangeSetting:
+    """The social data-exchange setting (hub/region/badge nulls).
+
+    Every membership invents a hub, a region, and a badge null; the egd
+    family quotients them down to one hub, one region per community and
+    one badge per user.  All three egds merge nulls only, so the chase
+    always succeeds — and all three are functional-dependency-shaped
+    (``(x1, L, k), (x2, L, k) -> x1 = x2`` up to mirroring), so the
+    violation queue's star fast path keeps the per-community collapse
+    linear in the community size even under Zipf-skewed membership.
+    """
+    tgds = [
+        parse_st_tgd("Follows(u, v) -> (u, follows, v)", name="follows"),
+        parse_st_tgd("Invited(u, v) -> (u, invited, v)", name="invited"),
+        parse_st_tgd(
+            "Member(u, g) -> (u, member, g), (h, anchors, g), "
+            "(g, region, r), (u, badge, b)",
+            name="member",
+        ),
+        parse_st_tgd(
+            "Moderates(u, g) -> (u, moderates, g), (u, member, g)",
+            name="moderates",
+        ),
+    ]
+    egds = [
+        # One badge per user, one region per community (merged nulls are
+        # the *objects*: the shared variable is the subject).
+        parse_egd("(x3, badge, x1), (x3, badge, x2) -> x1 = x2", name="badge"),
+        parse_egd("(x3, region, x1), (x3, region, x2) -> x1 = x2", name="region"),
+        # One hub per community (merged hub nulls share the community as
+        # their anchors-object).
+        parse_egd("(x1, anchors, x3), (x2, anchors, x3) -> x1 = x2", name="hub"),
+    ]
+    return DataExchangeSetting(
+        social_schema(),
+        {"follows", "invited", "member", "moderates", "anchors", "region",
+         "badge"},
+        tgds,
+        egds,
+        name="social",
+    )
+
+
+_SOCIAL_QUERIES: tuple[str, ...] = (
+    "follows . follows",
+    "member . anchors-",
+    "follows[moderates] . member",
+    "invited . invited . invited",
+    "follows . member",
+)
+
+
+# --------------------------------------------------------------------- #
+# The family registry and the public streaming surface
+# --------------------------------------------------------------------- #
+
+_FAMILY_STREAMS: dict[str, Callable[[GeneratorConfig], Iterator[Fact]]] = {
+    "medlit": _medlit_facts,
+    "social": _social_facts,
+}
+
+_FAMILY_SETTINGS: dict[str, Callable[[], DataExchangeSetting]] = {
+    "medlit": medlit_setting,
+    "social": social_setting,
+}
+
+_FAMILY_QUERIES: dict[str, tuple[str, ...]] = {
+    "medlit": _MEDLIT_QUERIES,
+    "social": _SOCIAL_QUERIES,
+}
+
+
+def scale_setting(family: str) -> DataExchangeSetting:
+    """The data-exchange setting of ``family`` (cached, immutable).
+
+    >>> scale_setting("medlit").fragment().sat_encodable
+    True
+    >>> scale_setting("social").fragment().heads_single_symbols
+    True
+    """
+    try:
+        return _FAMILY_SETTINGS[family]()
+    except KeyError:
+        raise ValueError(
+            f"unknown generator family {family!r} "
+            f"(choose from {', '.join(FAMILIES)})"
+        ) from None
+
+
+def workload_queries(family: str) -> tuple[str, ...]:
+    """The family's NRE query mix (parseable, alphabet-conformant)."""
+    if family not in _FAMILY_QUERIES:
+        raise ValueError(
+            f"unknown generator family {family!r} "
+            f"(choose from {', '.join(FAMILIES)})"
+        )
+    return _FAMILY_QUERIES[family]
+
+
+def iter_facts(config: GeneratorConfig) -> Iterator[Fact]:
+    """Stream the facts of ``config`` one by one, deterministically."""
+    return _FAMILY_STREAMS[config.family](config)
+
+
+def iter_fact_batches(config: GeneratorConfig) -> Iterator[list[Fact]]:
+    """Stream the facts of ``config`` in ``batch_size``-sized lists.
+
+    Batching never reorders or changes the stream — it only chunks
+    :func:`iter_facts`, so consumers hold O(batch) facts at a time.
+
+    >>> config = GeneratorConfig(family="social", nodes=50, seed=1,
+    ...                          batch_size=16)
+    >>> batches = list(iter_fact_batches(config))
+    >>> all(len(batch) <= 16 for batch in batches)
+    True
+    >>> sum(batches, []) == list(iter_facts(config))
+    True
+    """
+    batch: list[Fact] = []
+    for fact in iter_facts(config):
+        batch.append(fact)
+        if len(batch) >= config.batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def fact_counts(config: GeneratorConfig) -> dict[str, int]:
+    """Per-relation fact counts of the stream (consumes it, O(1) memory)."""
+    counts: dict[str, int] = {}
+    for relation, _ in iter_facts(config):
+        counts[relation] = counts.get(relation, 0) + 1
+    return counts
+
+
+def generate_instance(config: GeneratorConfig) -> RelationalInstance:
+    """Materialise the stream into a :class:`RelationalInstance`.
+
+    Convenient below ~10^5 nodes; at the top sizes prefer the streaming
+    surface (:func:`iter_fact_batches`) — that is what ``repro genscale``
+    and the RSS-bounded CI checks exercise.
+    """
+    instance = RelationalInstance(scale_setting(config.family).source_schema)
+    for relation, values in iter_facts(config):
+        instance.add(relation, values)
+    return instance
+
+
+def scale_document(config: GeneratorConfig) -> dict:
+    """The generated tenant as a wire-ready exchange document."""
+    from repro.io.json_io import document_to_dict
+
+    return document_to_dict(scale_setting(config.family), generate_instance(config))
+
+
+# --------------------------------------------------------------------- #
+# Deterministic update streams (soak tests, streaming benchmarks)
+# --------------------------------------------------------------------- #
+
+
+def update_stream(
+    config: GeneratorConfig,
+    batches: int,
+    ops_per_batch: int = 4,
+    churn: float = 0.45,
+) -> Iterator[list[tuple[str, str, tuple[str, ...]]]]:
+    """A deterministic insert/delete batch stream against a tenant.
+
+    Yields ``batches`` lists of ``(op, relation, values)`` updates in
+    :meth:`~repro.engine.incremental.IncrementalChase.apply_updates`
+    shape.  Inserts reference the tenant's existing node-id spaces (so
+    they genuinely graft onto the chased solution) under fresh stream-
+    local ids; a ``churn`` fraction of operations deletes a previously
+    inserted fact (delete-after-insert churn, the live-update shape the
+    incremental engine optimises for).  Deterministic in ``config.seed``
+    and the parameters — re-running a soak replays the same stream.
+    """
+    rng = random.Random((config.seed + 1) * 7919 + batches * 31 + ops_per_batch)
+    fresh = _fresh_update_factory(config)
+    outstanding: list[Fact] = []
+    emitted = 0
+    for _ in range(batches):
+        batch: list[tuple[str, str, tuple[str, ...]]] = []
+        for _ in range(ops_per_batch):
+            if outstanding and rng.random() < churn:
+                victim = outstanding.pop(rng.randrange(len(outstanding)))
+                batch.append(("delete", victim[0], victim[1]))
+            else:
+                emitted += 1
+                fact = fresh(rng, emitted)
+                outstanding.append(fact)
+                batch.append(("insert", fact[0], fact[1]))
+        yield batch
+
+
+def _fresh_update_factory(
+    config: GeneratorConfig,
+) -> Callable[[random.Random, int], Fact]:
+    """A family-specific maker of fresh, tenant-grafting insert facts."""
+    if config.family == "medlit":
+        papers, entities, _ = _medlit_counts(config)
+
+        def make_medlit(rng: random.Random, serial: int) -> Fact:
+            roll = rng.random()
+            if roll < 0.40:  # new mention of an existing Zipf entity
+                return (
+                    "Mention",
+                    (f"p{_zipf_index(rng, papers)}", f"e{_zipf_index(rng, entities)}"),
+                )
+            if roll < 0.60:  # a fresh streamed paper enters the DAG
+                return ("Preprint", (f"zp{serial}",))
+            if roll < 0.80:  # a fresh citation from a streamed paper
+                return ("Cites", (f"zp{serial}", f"p{_zipf_index(rng, papers)}"))
+            return (  # late entity resolution lands as evidence
+                "Treats",
+                (f"p{_zipf_index(rng, papers)}",
+                 f"e{_zipf_index(rng, entities)}",
+                 f"ze{serial}"),
+            )
+
+        return make_medlit
+
+    users, communities = _social_counts(config)
+
+    def make_social(rng: random.Random, serial: int) -> Fact:
+        roll = rng.random()
+        if roll < 0.45:  # a fresh follower edge between existing users
+            return (
+                "Follows",
+                (f"u{rng.randrange(users)}", f"u{_zipf_index(rng, users)}"),
+            )
+        if roll < 0.75:  # a streamed user joins a Zipf community
+            return ("Member", (f"zu{serial}", f"g{_zipf_index(rng, communities)}"))
+        return ("Invited", (f"u{_zipf_index(rng, users)}", f"zu{serial}"))
+
+    return make_social

@@ -96,7 +96,7 @@ def multi_tenant_workload(
                 instance = flights_instance()
             else:
                 instance = random_flights_instance(
-                    flights, cities, hotels, max_stops=2, rng=rng
+                    flights, cities=cities, hotels=hotels, max_stops=2, rng=rng
                 )
             mix = mix_names[(tenant_index + instance_index) % len(mix_names)]
             cases.append(
@@ -189,7 +189,7 @@ def cold_documents(
     documents: list[dict] = []
     for index in range(count):
         instance = random_flights_instance(
-            flights, cities, hotels, max_stops=2, rng=rng
+            flights, cities=cities, hotels=hotels, max_stops=2, rng=rng
         )
         instance.add("Flight", (f"cold{index:04d}", "c1", "c2"))
         documents.append(document_to_dict(setting, instance))

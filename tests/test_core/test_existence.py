@@ -48,7 +48,7 @@ class TestEgdStrategies:
         assert result.method == "candidate-search"
         assert is_solution(instance, result.witness, omega)
 
-    def test_sat_refutes_before_chase_on_fragment(self):
+    def test_relational_chase_refutes_before_sat_on_fragment(self):
         setting, instance = make(
             ["R(x, y) -> (x, h, y)"],
             [parse_egd("(x1, h, z), (x2, h, z) -> x1 = x2")],
@@ -57,11 +57,23 @@ class TestEgdStrategies:
         )
         result = decide_existence(setting, instance)
         assert result.status is ExistenceStatus.NOT_EXISTS
-        # Both the chase and the SAT decision refute this setting.  The
-        # setting is in the Theorem 4.1 fragment, where the SAT decision is
-        # complete and now runs *before* (instead of after) the adapted
-        # chase, which is skipped entirely.
-        assert result.method == "sat-bounded-complete"
+        # The setting has single-symbol heads, so the relational chase is a
+        # complete decision procedure and runs *before* the SAT pipeline:
+        # it stays near-linear in the instance where the bounded SAT
+        # encoding is super-cubic (the scale workloads depend on this).
+        assert result.method == "chase-failure"
+
+    def test_relational_chase_decides_positive_on_fragment(self):
+        setting, instance = make(
+            ["R(x, y) -> (x, h, y)"],
+            [parse_egd("(x1, h, z), (x2, h, z) -> x1 = x2")],
+            {"h"},
+            {"R": [("u", "v")]},
+        )
+        result = decide_existence(setting, instance)
+        assert result.status is ExistenceStatus.EXISTS
+        assert result.method == "relational-chase"
+        assert is_solution(instance, result.witness, setting)
 
     def test_chase_failure_still_refutes_directly(self):
         """The adapted chase's own refutation is still exercised (it is the

@@ -205,7 +205,7 @@ class TestRandomEquivalence:
     def test_egd_chase_equals_reference(self, seed):
         rng = random.Random(seed)
         instance = random_flights_instance(
-            rng.randint(1, 12), rng.randint(2, 6), rng.randint(1, 4), rng=rng
+            rng.randint(1, 12), cities=rng.randint(2, 6), hotels=rng.randint(1, 4), rng=rng
         )
         engine = chase_with_egds(
             [flights_st_tgd()], [hotel_egd()], instance, alphabet={"f", "h"}
@@ -224,7 +224,7 @@ class TestRandomEquivalence:
     def test_relational_chase_equals_seed_graph(self, seed):
         rng = random.Random(1000 + seed)
         instance = random_flights_instance(
-            rng.randint(1, 10), rng.randint(2, 5), rng.randint(1, 4), rng=rng
+            rng.randint(1, 10), cities=rng.randint(2, 5), hotels=rng.randint(1, 4), rng=rng
         )
         setting = example31_setting()
         result = chase_relational(
@@ -240,7 +240,7 @@ class TestRandomEquivalence:
     def test_sameas_saturation_equals_reference(self, seed):
         rng = random.Random(2000 + seed)
         instance = random_flights_instance(
-            rng.randint(1, 10), rng.randint(2, 6), rng.randint(1, 4), rng=rng
+            rng.randint(1, 10), cities=rng.randint(2, 6), hotels=rng.randint(1, 4), rng=rng
         )
         engine = solve_with_sameas(
             [flights_st_tgd()], [hotel_sameas()], instance, alphabet={"f", "h"}

@@ -115,7 +115,7 @@ class TestRelationalIndex:
 
         rng = random.Random(400 + trial)
         instance = random_flights_instance(
-            rng.randint(1, 15), rng.randint(2, 6), rng.randint(1, 5), rng=rng
+            rng.randint(1, 15), cities=rng.randint(2, 6), hotels=rng.randint(1, 5), rng=rng
         )
         query = flights_st_tgd().body
         indexed = {

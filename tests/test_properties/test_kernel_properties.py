@@ -92,7 +92,7 @@ def flight_instances(draw):
     cities = draw(st.integers(min_value=2, max_value=4))
     hotels = draw(st.integers(min_value=1, max_value=3))
     return random_flights_instance(
-        flights, cities, hotels, rng=random.Random(seed)
+        flights, cities=cities, hotels=hotels, rng=random.Random(seed)
     )
 
 

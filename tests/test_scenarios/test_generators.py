@@ -2,12 +2,16 @@
 
 import random
 
+import pytest
+
 from repro.graph.classes import alphabet_of
 from repro.scenarios.generators import (
     random_flights_instance,
     random_graph,
     random_nre,
+    resolve_rng,
 )
+from repro.scenarios.scale import GeneratorConfig
 
 
 class TestRandomFlights:
@@ -33,8 +37,8 @@ class TestRandomFlights:
             assert src == dest == "c1"
 
     def test_deterministic_with_seed(self):
-        one = random_flights_instance(5, 4, 3, rng=random.Random(7))
-        two = random_flights_instance(5, 4, 3, rng=random.Random(7))
+        one = random_flights_instance(5, cities=4, hotels=3, rng=random.Random(7))
+        two = random_flights_instance(5, cities=4, hotels=3, rng=random.Random(7))
         assert one == two
 
     def test_max_stops_respected(self):
@@ -43,6 +47,55 @@ class TestRandomFlights:
         )
         # ≤ 1 stop per flight: at most 10 hotel facts (dedup may shrink).
         assert len(instance.tuples("Hotel")) <= 10
+
+
+class TestSeedConventions:
+    """One seeding surface across the random and the scalable families."""
+
+    def test_seed_keyword_matches_explicit_rng(self):
+        by_seed = random_flights_instance(5, cities=4, hotels=3, seed=7)
+        by_rng = random_flights_instance(
+            5, cities=4, hotels=3, rng=random.Random(7)
+        )
+        assert by_seed == by_rng
+
+    def test_generator_config_supplies_the_seed(self):
+        config = GeneratorConfig(family="medlit", nodes=10, seed=7)
+        by_config = random_flights_instance(5, cities=4, hotels=3, config=config)
+        by_seed = random_flights_instance(5, cities=4, hotels=3, seed=7)
+        assert by_config == by_seed
+
+    def test_rng_conflicts_are_rejected(self):
+        with pytest.raises(ValueError):
+            random_flights_instance(
+                5, cities=4, hotels=3, rng=random.Random(1), seed=2
+            )
+        with pytest.raises(ValueError):
+            resolve_rng(seed=1, config=GeneratorConfig(nodes=10))
+
+    def test_positional_use_warns_but_stays_green(self):
+        with pytest.warns(DeprecationWarning):
+            old_style = random_flights_instance(5, 4, 3, rng=random.Random(7))
+        new_style = random_flights_instance(
+            5, cities=4, hotels=3, rng=random.Random(7)
+        )
+        assert old_style == new_style
+
+    def test_positional_keyword_collision_is_an_error(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError):
+                random_flights_instance(5, 4, cities=6, hotels=3)
+
+    def test_missing_dimensions_are_an_error(self):
+        with pytest.raises(TypeError):
+            random_flights_instance(5, cities=4)
+
+    def test_random_graph_accepts_seed(self):
+        one = random_graph(10, 30, seed=5)
+        two = random_graph(10, 30, rng=random.Random(5))
+        assert {(e.source, e.label, e.target) for e in one.edges()} == {
+            (e.source, e.label, e.target) for e in two.edges()
+        }
 
 
 class TestRandomGraph:
